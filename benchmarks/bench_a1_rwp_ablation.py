@@ -1,0 +1,37 @@
+"""A1 -- ablation: RWP repartitioning epoch and sampler density.
+
+DESIGN.md design decision 3 argues the sampler can be sparse and the
+epoch long; this sweep quantifies both axes.
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.sweeps import rwp_parameter_sweep
+from repro.experiments.tables import format_table
+from repro.trace.spec import sensitive_names
+
+# Epochs beyond ~1/3 of the measured window leave RWP stuck at its
+# initial 50/50 split (a static split actively hurts read-heavy
+# workloads -- see A2), so the sweep tops out at 16k at bench scale.
+EPOCHS = (500, 2_000, 8_000, 16_000)
+SAMPLINGS = (4, 16, 64)
+
+
+def run() -> tuple:
+    benches = sensitive_names()[:4]  # keep the grid affordable
+    results = rwp_parameter_sweep(
+        benches, EPOCHS, SAMPLINGS, SINGLE_CORE_SCALE
+    )
+    rows = [
+        [epoch] + [results[(epoch, s)] for s in SAMPLINGS]
+        for epoch in EPOCHS
+    ]
+    headers = ["epoch"] + [f"1/{s} sets" for s in SAMPLINGS]
+    return format_table(headers, rows), results
+
+
+def test_a1_rwp_parameter_ablation(benchmark):
+    table, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("A1: RWP geomean speedup vs (epoch, sampler density)", table)
+    # The mechanism must be robust: no cell collapses to LRU.
+    assert all(value > 1.0 for value in results.values())

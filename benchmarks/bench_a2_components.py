@@ -1,0 +1,69 @@
+"""A2 -- ablation: dynamic partitioning vs static splits.
+
+Isolates the value of RWP's *dynamic* sizing by pinning the clean-way
+target to fixed values (a static clean-biased split, a balanced split,
+and a dirty-biased split) and comparing against the adaptive policy.
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.core.rwp import RWPPolicy
+from repro.cpu.core import LLCRunner
+from repro.experiments.runner import cached_trace, make_llc_policy, run_benchmark
+from repro.experiments.tables import format_table
+from repro.multicore.metrics import geometric_mean
+from repro.trace.spec import sensitive_names
+
+STATIC_TARGETS = (4, 8, 14)
+
+
+def _run_static(bench: str, target: int) -> float:
+    trace = cached_trace(
+        bench,
+        SINGLE_CORE_SCALE.llc_lines,
+        SINGLE_CORE_SCALE.total_accesses,
+        SINGLE_CORE_SCALE.seed,
+    )
+    policy = RWPPolicy(epoch=1 << 62)  # never repartitions
+    runner = LLCRunner(SINGLE_CORE_SCALE.hierarchy(), policy)
+    policy.target_clean = target
+    result = runner.run(trace, warmup=SINGLE_CORE_SCALE.warmup)
+    return result.ipc
+
+
+def run() -> tuple:
+    benches = sensitive_names()
+    rows = []
+    per_policy = {f"static_{t}": [] for t in STATIC_TARGETS}
+    per_policy["dynamic"] = []
+    for bench in benches:
+        lru_ipc = run_benchmark(bench, "lru", SINGLE_CORE_SCALE).ipc
+        row = [bench]
+        for target in STATIC_TARGETS:
+            speedup = _run_static(bench, target) / lru_ipc
+            per_policy[f"static_{target}"].append(speedup)
+            row.append(speedup)
+        dynamic = (
+            run_benchmark(bench, "rwp", SINGLE_CORE_SCALE).ipc / lru_ipc
+        )
+        per_policy["dynamic"].append(dynamic)
+        row.append(dynamic)
+        rows.append(row)
+    geo = {name: geometric_mean(vals) for name, vals in per_policy.items()}
+    rows.append(
+        ["GEOMEAN"]
+        + [geo[f"static_{t}"] for t in STATIC_TARGETS]
+        + [geo["dynamic"]]
+    )
+    headers = ["benchmark"] + [
+        f"static c={t}" for t in STATIC_TARGETS
+    ] + ["dynamic"]
+    return format_table(headers, rows), geo
+
+
+def test_a2_static_vs_dynamic_partitioning(benchmark):
+    table, geo = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("A2: static clean/dirty splits vs dynamic RWP", table)
+    # Dynamic sizing must beat every one-size-fits-all split.
+    for target in STATIC_TARGETS:
+        assert geo["dynamic"] >= geo[f"static_{target}"] * 0.995

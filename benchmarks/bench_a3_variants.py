@@ -1,0 +1,37 @@
+"""A3 -- extension ablation: RWP backbone and bypass variants.
+
+Compares plain RWP (LRU within partitions) against ``rwp-srrip``
+(SRRIP within partitions: adds scan resistance) and ``rwp-bypass``
+(write-no-allocate when the dirty target collapses to zero: converges
+toward RRP without its predictor state).
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.runner import run_grid, speedups_over
+from repro.experiments.tables import format_table
+from repro.multicore.metrics import geometric_mean
+from repro.trace.spec import sensitive_names
+
+POLICIES = ("rwp", "rwp-srrip", "rwp-bypass", "rrp")
+
+
+def run() -> tuple:
+    benches = sensitive_names()
+    grid = run_grid(benches, ("lru", *POLICIES), SINGLE_CORE_SCALE)
+    speedups = speedups_over(grid, benches, POLICIES)
+    rows = [
+        [bench] + [speedups[p][i] for p in POLICIES]
+        for i, bench in enumerate(benches)
+    ]
+    geo = {p: geometric_mean(speedups[p]) for p in POLICIES}
+    rows.append(["GEOMEAN"] + [geo[p] for p in POLICIES])
+    return format_table(["benchmark", *POLICIES], rows), geo
+
+
+def test_a3_rwp_variants(benchmark):
+    table, geo = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("A3: RWP variants vs plain RWP and RRP (sensitive subset)", table)
+    # Variants must not regress the mechanism.
+    assert geo["rwp-srrip"] > 0.97 * geo["rwp"]
+    assert geo["rwp-bypass"] >= 0.99 * geo["rwp"]

@@ -1,0 +1,71 @@
+"""A4 -- interaction with prefetching.
+
+A stream prefetcher removes many of the easy (sequential) misses, so the
+question is whether read-write partitioning still pays for the misses
+that remain.  This harness repeats the F5 comparison with a stream
+prefetcher in front of every policy.
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.cpu.core import LLCRunner
+from repro.experiments.runner import cached_trace, make_llc_policy
+from repro.experiments.tables import format_table
+from repro.hierarchy.prefetch import StreamPrefetcher
+from repro.multicore.metrics import geometric_mean
+from repro.trace.spec import sensitive_names
+
+POLICIES = ("lru", "drrip", "ship", "rrp", "rwp")
+
+
+def _run(bench: str, policy: str) -> tuple:
+    scale = SINGLE_CORE_SCALE
+    trace = cached_trace(
+        bench, scale.llc_lines, scale.total_accesses, scale.seed
+    )
+    runner = LLCRunner(
+        scale.hierarchy(),
+        make_llc_policy(policy, scale.llc_lines),
+        prefetcher=StreamPrefetcher(depth=4),
+    )
+    result = runner.run(trace, warmup=scale.warmup)
+    return result
+
+
+def run() -> tuple:
+    benches = sensitive_names()
+    rows = []
+    speedups = {p: [] for p in POLICIES[1:]}
+    accuracy = []
+    for bench in benches:
+        base = _run(bench, "lru")
+        row = [bench]
+        for policy in POLICIES[1:]:
+            result = _run(bench, policy)
+            s = result.ipc / base.ipc if base.ipc else 0.0
+            speedups[policy].append(s)
+            row.append(s)
+        stats = base.extra["prefetch"]
+        acc = stats["useful"] / stats["fills"] if stats["fills"] else 0.0
+        accuracy.append(acc)
+        row.append(acc)
+        rows.append(row)
+    geo = {p: geometric_mean(v) for p, v in speedups.items()}
+    rows.append(
+        ["GEOMEAN"]
+        + [geo[p] for p in POLICIES[1:]]
+        + [sum(accuracy) / len(accuracy)]
+    )
+    headers = ["benchmark", *POLICIES[1:], "pf_accuracy"]
+    return format_table(headers, rows), geo
+
+
+def test_a4_prefetch_interaction(benchmark):
+    table, geo = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "A4: speedup over LRU with a stream prefetcher active (sensitive)",
+        table,
+    )
+    # RWP must keep beating the recency-based policies under prefetching.
+    assert geo["rwp"] > 1.0
+    assert geo["rwp"] > geo["drrip"]

@@ -1,0 +1,33 @@
+"""F10 -- sensitivity: LLC capacity sweep (0.5x .. 4x the reference)."""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.sweeps import size_sweep
+from repro.experiments.tables import format_table
+from repro.trace.spec import sensitive_names
+
+FACTORS = (0.5, 1.0, 2.0, 4.0)
+POLICIES = ("dip", "drrip", "ship", "rrp", "rwp")
+
+
+def run() -> tuple:
+    results = size_sweep(
+        sensitive_names(), POLICIES, FACTORS, SINGLE_CORE_SCALE
+    )
+    rows = [
+        [f"{factor}x"] + [results[(factor, p)] for p in POLICIES]
+        for factor in FACTORS
+    ]
+    return format_table(["llc_size", *POLICIES], rows), results
+
+
+def test_f10_size_sweep(benchmark):
+    table, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "F10: geomean speedup over LRU vs LLC size (sensitive subset)", table
+    )
+    # RWP never hurts, helps most at the reference size, and its edge
+    # vanishes once everything fits (4x).
+    assert all(results[(f, "rwp")] > 0.995 for f in FACTORS)
+    assert results[(1.0, "rwp")] > 1.10
+    assert results[(4.0, "rwp")] < results[(1.0, "rwp")]

@@ -1,0 +1,30 @@
+"""F11 -- sensitivity: associativity sweep at fixed capacity."""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.sweeps import associativity_sweep
+from repro.experiments.tables import format_table
+from repro.trace.spec import sensitive_names
+
+WAYS = (8, 16, 32)
+POLICIES = ("dip", "drrip", "ship", "rrp", "rwp")
+
+
+def run() -> tuple:
+    results = associativity_sweep(
+        sensitive_names(), POLICIES, WAYS, SINGLE_CORE_SCALE
+    )
+    rows = [
+        [f"{ways}-way"] + [results[(ways, p)] for p in POLICIES]
+        for ways in WAYS
+    ]
+    return format_table(["associativity", *POLICIES], rows), results
+
+
+def test_f11_associativity_sweep(benchmark):
+    table, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "F11: geomean speedup over LRU vs associativity (sensitive subset)",
+        table,
+    )
+    assert all(results[(w, "rwp")] > 1.0 for w in WAYS)

@@ -1,0 +1,27 @@
+"""F1 -- motivation: read/write breakdown of LLC traffic per benchmark."""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.motivation import traffic_breakdown
+from repro.experiments.tables import format_table
+from repro.trace.spec import benchmark_names
+
+
+def run() -> str:
+    rows = []
+    for bench in benchmark_names():
+        b = traffic_breakdown(bench, SINGLE_CORE_SCALE)
+        total = b.reads + b.writes
+        rows.append(
+            [bench, b.reads, b.writes, b.read_fraction, 1 - b.read_fraction]
+        )
+    return format_table(
+        ["benchmark", "llc_reads", "llc_writes", "read_frac", "write_frac"],
+        rows,
+    )
+
+
+def test_f1_rw_breakdown(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F1: LLC traffic read/write breakdown (LRU baseline)", table)
+    assert "mcf" in table

@@ -1,0 +1,41 @@
+"""F2 -- motivation: fraction of LLC lines dead for reads.
+
+A line is classified at eviction by the roles it served: read-only,
+read-write, or write-only.  Write-only lines occupy capacity without ever
+serving a load -- the space RWP reclaims.
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.motivation import traffic_breakdown
+from repro.experiments.tables import format_table
+from repro.trace.spec import benchmark_names
+
+
+def run() -> str:
+    rows = []
+    for bench in benchmark_names():
+        b = traffic_breakdown(bench, SINGLE_CORE_SCALE)
+        total = (
+            b.evicted_read_only + b.evicted_read_write + b.evicted_write_only
+        )
+        if total == 0:
+            rows.append([bench, 0.0, 0.0, 0.0])
+            continue
+        rows.append(
+            [
+                bench,
+                b.evicted_read_only / total,
+                b.evicted_read_write / total,
+                b.evicted_write_only / total,
+            ]
+        )
+    return format_table(
+        ["benchmark", "read_only", "read_write", "write_only(dead)"], rows
+    )
+
+
+def test_f2_line_classes(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F2: evicted-line role classes under LRU", table)
+    assert "omnetpp" in table

@@ -1,0 +1,45 @@
+"""F3 -- motivation: oracle potential for read-miss reduction.
+
+Compares read misses under LRU, Belady's OPT, and the read-aware OPT that
+lets future writes die (the bound RWP approaches without future
+knowledge).
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.motivation import read_potential
+from repro.experiments.tables import format_table
+from repro.trace.spec import sensitive_names
+
+
+def run() -> str:
+    rows = []
+    for bench in sensitive_names():
+        p = read_potential(bench, SINGLE_CORE_SCALE)
+        rows.append(
+            [
+                bench,
+                p.lru_read_misses,
+                p.opt_read_misses,
+                p.read_opt_read_misses,
+                p.opt_reduction,
+                p.read_opt_reduction,
+            ]
+        )
+    return format_table(
+        [
+            "benchmark",
+            "lru_rmiss",
+            "opt_rmiss",
+            "ropt_rmiss",
+            "opt_cut",
+            "ropt_cut",
+        ],
+        rows,
+    )
+
+
+def test_f3_read_potential(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F3: oracle read-miss reduction (cache-sensitive subset)", table)
+    assert "soplex" in table

@@ -1,0 +1,44 @@
+"""F4 -- the headline figure: single-core speedup over LRU, full suite.
+
+Paper claim C1: RWP ~ +5% geomean over LRU across all of SPEC CPU2006,
+beating DIP/DRRIP/SHiP and staying close to RRP.
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.runner import (
+    SINGLE_CORE_POLICIES,
+    run_grid,
+    speedups_over,
+)
+from repro.experiments.tables import format_percent, format_table
+from repro.multicore.metrics import geometric_mean
+from repro.trace.spec import benchmark_names
+
+
+def run() -> tuple:
+    benches = benchmark_names()
+    grid = run_grid(benches, SINGLE_CORE_POLICIES, SINGLE_CORE_SCALE)
+    speedups = speedups_over(grid, benches, SINGLE_CORE_POLICIES)
+    rows = []
+    for index, bench in enumerate(benches):
+        rows.append(
+            [bench] + [speedups[p][index] for p in SINGLE_CORE_POLICIES]
+        )
+    geo = {
+        p: geometric_mean(speedups[p]) for p in SINGLE_CORE_POLICIES
+    }
+    rows.append(["GEOMEAN"] + [geo[p] for p in SINGLE_CORE_POLICIES])
+    table = format_table(["benchmark", *SINGLE_CORE_POLICIES], rows)
+    summary = "  ".join(
+        f"{p}={format_percent(geo[p])}" for p in SINGLE_CORE_POLICIES
+    )
+    return table + f"\n\ngeomean speedup over LRU: {summary}", geo
+
+
+def test_f4_speedup_full_suite(benchmark):
+    table, geo = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F4: speedup over LRU, full SPEC-like suite (paper: RWP ~ +5%)", table)
+    assert geo["rwp"] > 1.0
+    assert geo["rwp"] > geo["drrip"]
+    assert geo["rwp"] > geo["dip"]

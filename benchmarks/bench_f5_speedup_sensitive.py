@@ -1,0 +1,43 @@
+"""F5 -- single-core speedup over LRU on the cache-sensitive subset.
+
+Paper claim C2: RWP ~ +14% geomean over LRU for cache-sensitive
+benchmarks.
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.runner import (
+    SINGLE_CORE_POLICIES,
+    run_grid,
+    speedups_over,
+)
+from repro.experiments.tables import format_percent, format_table
+from repro.multicore.metrics import geometric_mean
+from repro.trace.spec import sensitive_names
+
+
+def run() -> tuple:
+    benches = sensitive_names()
+    grid = run_grid(benches, SINGLE_CORE_POLICIES, SINGLE_CORE_SCALE)
+    speedups = speedups_over(grid, benches, SINGLE_CORE_POLICIES)
+    rows = [
+        [bench] + [speedups[p][i] for p in SINGLE_CORE_POLICIES]
+        for i, bench in enumerate(benches)
+    ]
+    geo = {p: geometric_mean(speedups[p]) for p in SINGLE_CORE_POLICIES}
+    rows.append(["GEOMEAN"] + [geo[p] for p in SINGLE_CORE_POLICIES])
+    table = format_table(["benchmark", *SINGLE_CORE_POLICIES], rows)
+    summary = "  ".join(
+        f"{p}={format_percent(geo[p])}" for p in SINGLE_CORE_POLICIES
+    )
+    return table + f"\n\ngeomean speedup over LRU: {summary}", geo
+
+
+def test_f5_speedup_sensitive(benchmark):
+    table, geo = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "F5: speedup over LRU, cache-sensitive subset (paper: RWP ~ +14%)",
+        table,
+    )
+    assert geo["rwp"] > 1.08
+    assert geo["rwp"] > geo["ship"] > geo["dip"]

@@ -1,0 +1,39 @@
+"""F6 -- read-MPKI reduction vs LRU (the mechanism behind the speedups)."""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.runner import SINGLE_CORE_POLICIES, run_grid
+from repro.experiments.tables import format_table
+from repro.trace.spec import sensitive_names
+
+
+def run() -> tuple:
+    benches = sensitive_names()
+    grid = run_grid(benches, SINGLE_CORE_POLICIES, SINGLE_CORE_SCALE)
+    rows = []
+    reductions = {}
+    for bench in benches:
+        base = grid[(bench, "lru")].read_mpki
+        row = [bench, base]
+        for policy in SINGLE_CORE_POLICIES[1:]:
+            mpki = grid[(bench, policy)].read_mpki
+            row.append(1 - mpki / base if base else 0.0)
+            reductions.setdefault(policy, []).append(
+                1 - mpki / base if base else 0.0
+            )
+        rows.append(row)
+    mean_row = ["MEAN", sum(r[1] for r in rows) / len(rows)]
+    for policy in SINGLE_CORE_POLICIES[1:]:
+        mean_row.append(sum(reductions[policy]) / len(reductions[policy]))
+    rows.append(mean_row)
+    headers = ["benchmark", "lru_rmpki"] + [
+        f"{p}_cut" for p in SINGLE_CORE_POLICIES[1:]
+    ]
+    return format_table(headers, rows), reductions
+
+
+def test_f6_read_mpki_reduction(benchmark):
+    table, reductions = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F6: read-MPKI reduction vs LRU (sensitive subset)", table)
+    mean_rwp = sum(reductions["rwp"]) / len(reductions["rwp"])
+    assert mean_rwp > 0.10

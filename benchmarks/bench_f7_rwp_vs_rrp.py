@@ -1,0 +1,41 @@
+"""F7 -- RWP vs RRP head to head.
+
+Paper claim C3: RWP performs within ~3% of RRP while using ~5% of its
+state (see T2).
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.runner import run_grid, speedups_over
+from repro.experiments.tables import format_percent, format_table
+from repro.multicore.metrics import geometric_mean
+from repro.trace.spec import benchmark_names
+
+
+def run() -> tuple:
+    benches = benchmark_names()
+    grid = run_grid(benches, ("lru", "rrp", "rwp"), SINGLE_CORE_SCALE)
+    speedups = speedups_over(grid, benches, ("rrp", "rwp"))
+    rows = []
+    for index, bench in enumerate(benches):
+        rrp = speedups["rrp"][index]
+        rwp = speedups["rwp"][index]
+        rows.append([bench, rrp, rwp, rwp / rrp - 1.0])
+    geo_rrp = geometric_mean(speedups["rrp"])
+    geo_rwp = geometric_mean(speedups["rwp"])
+    rows.append(["GEOMEAN", geo_rrp, geo_rwp, geo_rwp / geo_rrp - 1.0])
+    table = format_table(
+        ["benchmark", "rrp_speedup", "rwp_speedup", "rwp_vs_rrp"], rows
+    )
+    gap = geo_rwp / geo_rrp - 1.0
+    table += (
+        f"\n\nRWP vs RRP geomean gap: {gap * 100:+.1f}% "
+        f"(paper: within ~3%)"
+    )
+    return table, gap
+
+
+def test_f7_rwp_vs_rrp(benchmark):
+    table, gap = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F7: RWP vs RRP (paper claim C3)", table)
+    assert gap > -0.05  # within 5% at 1/16 scale (paper: 3%)

@@ -1,0 +1,56 @@
+"""F8 -- dynamic behavior: RWP's chosen clean-partition size over time.
+
+Contrasts a dead-write benchmark (clean partition grows toward all ways),
+an RMW benchmark (dirty partition stays large), and a streaming benchmark
+(no read-hit signal; the split idles).
+"""
+
+from conftest import SINGLE_CORE_SCALE, report
+
+from repro.experiments.runner import run_benchmark
+from repro.experiments.tables import format_table
+
+BENCHMARKS = ("mcf", "cactusADM", "libquantum")
+
+
+def run() -> tuple:
+    histories = {}
+    for bench in BENCHMARKS:
+        result = run_benchmark(bench, "rwp", SINGLE_CORE_SCALE)
+        state = result.extra["policy_state"]
+        histories[bench] = (state["target_clean"], result)
+    # Re-run one benchmark keeping the policy to expose the time series.
+    from repro.cpu.core import LLCRunner
+    from repro.experiments.runner import cached_trace, make_llc_policy
+
+    rows = []
+    series = {}
+    for bench in BENCHMARKS:
+        trace = cached_trace(
+            bench,
+            SINGLE_CORE_SCALE.llc_lines,
+            SINGLE_CORE_SCALE.total_accesses,
+            SINGLE_CORE_SCALE.seed,
+        )
+        policy = make_llc_policy("rwp", SINGLE_CORE_SCALE.llc_lines)
+        LLCRunner(SINGLE_CORE_SCALE.hierarchy(), policy).run(trace)
+        series[bench] = [t for _, t in policy.decision_history]
+    length = max(len(s) for s in series.values())
+    for epoch in range(length):
+        rows.append(
+            [epoch]
+            + [
+                series[b][epoch] if epoch < len(series[b]) else ""
+                for b in BENCHMARKS
+            ]
+        )
+    table = format_table(["epoch", *BENCHMARKS], rows)
+    return table, series
+
+
+def test_f8_partition_dynamics(benchmark):
+    table, series = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F8: clean-partition target per epoch (of 16 ways)", table)
+    # Dead-write benchmark converges high; RMW benchmark stays low.
+    assert series["mcf"][-1] >= 12
+    assert series["cactusADM"][-1] <= 10

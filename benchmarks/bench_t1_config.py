@@ -1,0 +1,32 @@
+"""T1 -- the simulated system configuration (paper Table 1)."""
+
+from conftest import report
+
+from repro.common.config import paper_system_config
+from repro.experiments.tables import format_table
+
+
+def build_table() -> str:
+    sim = paper_system_config()
+    h = sim.hierarchy
+    rows = [
+        ["Core", f"base CPI {h.core.base_cpi}, MLP {h.core.mlp}, "
+                 f"{h.core.frequency_ghz} GHz"],
+        ["Store buffer", f"{h.core.store_buffer_entries} entries"],
+        ["Write buffer", f"{h.core.write_buffer_entries} entries, "
+                         f"{h.memory.writeback_cost}-cycle drain"],
+        ["L1D", f"{h.l1.size >> 10} KiB, {h.l1.ways}-way, "
+                f"{h.l1.hit_latency} cycles"],
+        ["L2", f"{h.l2.size >> 10} KiB, {h.l2.ways}-way, "
+               f"{h.l2.hit_latency} cycles"],
+        ["LLC", f"{h.llc.size >> 20} MiB, {h.llc.ways}-way, "
+                f"{h.llc.hit_latency} cycles, {h.llc.line_size} B lines"],
+        ["Memory", f"{h.memory.latency}-cycle latency"],
+    ]
+    return format_table(["component", "configuration"], rows)
+
+
+def test_t1_system_configuration(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    report("T1: simulated system configuration", table)
+    assert "LLC" in table

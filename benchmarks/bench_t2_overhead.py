@@ -1,0 +1,17 @@
+"""T2 -- hardware state overhead: RWP vs RRP (paper claim C4: ~5.4%)."""
+
+from conftest import report
+
+from repro.common.config import paper_system_config
+from repro.core.overhead import overhead_ratio, overhead_report
+
+
+def run() -> tuple:
+    llc = paper_system_config().hierarchy.llc
+    return overhead_report(llc), overhead_ratio(llc)
+
+
+def test_t2_state_overhead(benchmark):
+    text, ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("T2: state overhead, RWP vs RRP", text)
+    assert 0.03 < ratio < 0.10

@@ -1,0 +1,94 @@
+"""Writing your own replacement policy against the public interface.
+
+Implements "DWE" (Dead-Write Eviction): a deliberately simple read-write
+aware policy -- plain LRU, except that lines which have absorbed writes
+but never served a read are always preferred as victims.  It captures a
+slice of RWP's insight with no sampler and no partition targets, and this
+example measures how much of the full mechanism's benefit that slice
+buys.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro import LLCRunner, ReplacementPolicy, default_hierarchy, make_model
+from repro.cache import register_policy
+
+
+class DeadWriteEvictionPolicy(ReplacementPolicy):
+    """LRU that sacrifices write-only lines first."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0
+
+    def victim(self, cache_set, set_index, is_write, pc, core):
+        dead = [
+            line
+            for line in cache_set.lines
+            if line.write_seen and not line.read_seen
+        ]
+        pool = dead if dead else cache_set.lines
+        return min(pool, key=lambda line: line.stamp)
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core):
+        self._clock += 1
+        line.stamp = self._clock
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core):
+        self._clock += 1
+        line.stamp = self._clock
+
+
+# Registering makes the policy usable by name everywhere (runners,
+# experiment grids, benchmarks).
+register_policy("dwe", DeadWriteEvictionPolicy)
+
+LLC_LINES = 2048
+config = default_hierarchy(llc_size=LLC_LINES * 64)
+
+print(f"{'workload':20} {'lru':>7} {'dwe':>7} {'rwp':>7}   (IPC)")
+for bench in ("micro_dead_writes", "mcf"):
+    trace = make_model(bench, llc_lines=LLC_LINES).generate(120_000, seed=5)
+    row = f"{bench:20}"
+    for policy in ("lru", "dwe", "rwp"):
+        result = LLCRunner(config, policy).run(trace, warmup=30_000)
+        row += f" {result.ipc:7.3f}"
+    print(row)
+
+# Where the shortcut fails: a produce/consume buffer.  A phase writes a
+# block of lines, a later phase reads it back.  Between the write and
+# the read, every buffer line looks "dead" to DWE and gets sacrificed;
+# RWP's sampler instead *measures* that reads hit the dirty stack and
+# keeps the dirty partition large.
+from repro.trace import Trace
+
+buffer_lines = 1200  # one buffer fits in the 2048-line LLC
+addresses, writes = [], []
+stream = 10_000_000
+for iteration in range(40):
+    base = iteration * buffer_lines  # a fresh buffer every iteration
+    for line in range(buffer_lines):  # produce
+        addresses.append((base + line) * 64)
+        writes.append(True)
+    for _ in range(600):  # unrelated streaming reads create set pressure
+        stream += 1
+        addresses.append(stream * 64)
+        writes.append(False)
+    for line in range(buffer_lines):  # consume
+        addresses.append((base + line) * 64)
+        writes.append(False)
+produce_consume = Trace(addresses, writes, name="produce_consume")
+
+row = f"{'produce_consume':20}"
+for policy in ("lru", "dwe", "rwp"):
+    result = LLCRunner(config, policy).run(produce_consume, warmup=30_000)
+    row += f" {result.ipc:7.3f}"
+print(row)
+
+print(
+    "\nDWE matches RWP when dirty lines really are dead, but on the "
+    "produce/consume buffer it evicts freshly written data right before "
+    "the consumer reads it. RWP's sampler observes reads hitting the "
+    "dirty stack and sizes the dirty partition accordingly -- measured "
+    "utility beats a hard-coded heuristic."
+)

@@ -1,0 +1,61 @@
+"""Oracle analysis: how far is each policy from Belady's bound?
+
+Replays one trace under the online policies and the two offline oracles
+(OPT, and the read-aware OPT that lets future-write-only lines die),
+then saves the trace to disk and reloads it to demonstrate the trace
+file formats.
+
+Run:  python examples/oracle_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    OPTPolicy,
+    SetAssociativeCache,
+    default_hierarchy,
+    make_model,
+    make_policy,
+)
+from repro.trace import load_npz, save_npz
+
+LLC_LINES = 1024
+config = default_hierarchy(llc_size=LLC_LINES * 64).llc
+model = make_model("omnetpp", llc_lines=LLC_LINES)
+trace = model.generate(100_000, seed=3)
+
+# Round-trip the trace through the on-disk format first.
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "omnetpp.npz"
+    save_npz(trace, path)
+    trace = load_npz(path)
+    print(f"trace round-tripped through {path.name}: {len(trace):,} accesses")
+
+
+def read_misses(policy) -> int:
+    cache = SetAssociativeCache(config, policy)
+    for index, (address, is_write, pc, _) in enumerate(trace):
+        if index == 25_000:
+            cache.reset_stats()
+        cache.access(address, is_write, pc)
+    return cache.read_misses
+
+
+lru = read_misses(make_policy("lru"))
+print(f"\n{'policy':10} {'read misses':>12} {'vs LRU':>8}")
+for name, policy in [
+    ("lru", make_policy("lru")),
+    ("drrip", make_policy("drrip")),
+    ("rwp", make_policy("rwp")),
+    ("OPT", OPTPolicy(trace, config)),
+    ("OPT-read", OPTPolicy(trace, config, reads_only=True, allow_bypass=True)),
+]:
+    misses = read_misses(policy)
+    print(f"{name:10} {misses:12,} {1 - misses / lru:8.1%}")
+
+print(
+    "\nOPT-read removes more *read* misses than OPT: sacrificing lines "
+    "whose only future is a write is free. RWP is the online policy "
+    "built to chase exactly that gap."
+)

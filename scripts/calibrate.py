@@ -1,0 +1,46 @@
+"""Calibration helper: per-benchmark speedups over LRU for all policies.
+
+Not part of the library; used during development to tune the workload
+registry so the reproduction's shape matches the paper's claims.
+Usage: python scripts/calibrate.py [sensitive|streaming|compute|all]
+"""
+
+import sys
+import time
+
+from repro.experiments import ExperimentScale, run_benchmark
+from repro.multicore.metrics import geometric_mean
+from repro.trace.spec import benchmark_names
+
+POLICIES = ["lru", "dip", "drrip", "ship", "rrp", "rwp"]
+
+
+def main() -> None:
+    which = sys.argv[1] if len(sys.argv) > 1 else "sensitive"
+    category = None if which == "all" else which
+    benches = benchmark_names(category)
+    scale = ExperimentScale(llc_lines=2048, warmup_factor=8, measure_factor=24)
+
+    start = time.time()
+    speedups = {p: [] for p in POLICIES}
+    for bench in benches:
+        base = run_benchmark(bench, "lru", scale)
+        row = f"{bench:12}"
+        for policy in POLICIES:
+            result = run_benchmark(bench, policy, scale)
+            s = result.speedup_over(base)
+            speedups[policy].append(s)
+            row += f" {policy}={s:5.3f}"
+        rwp_state = run_benchmark(bench, "rwp", scale).extra["policy_state"]
+        row += f"  tclean={rwp_state['target_clean']}"
+        row += f"  lru_rmpki={base.read_mpki:6.2f}"
+        print(row, flush=True)
+    print(
+        f"GEOMEAN {which}:",
+        {p: round(geometric_mean(speedups[p]), 3) for p in POLICIES},
+    )
+    print(f"{time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

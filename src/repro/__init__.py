@@ -1,0 +1,95 @@
+"""repro: a full reproduction of "Improving Cache Performance Using
+Read-Write Partitioning" (Khan et al., HPCA 2014).
+
+Public API quick tour
+---------------------
+>>> from repro import make_model, LLCRunner, default_hierarchy
+>>> trace = make_model("mcf", llc_lines=4096).generate(50_000)
+>>> runner = LLCRunner(default_hierarchy(llc_size=4096 * 64), "rwp")
+>>> result = runner.run(trace, warmup=10_000)
+>>> result.ipc > 0
+True
+
+Layers (see DESIGN.md):
+
+* ``repro.trace``       -- SPEC-2006-like synthetic workloads
+* ``repro.cache``       -- set-associative cache + replacement-policy zoo
+* ``repro.core``        -- the paper's RWP and RRP mechanisms
+* ``repro.hierarchy``   -- L1/L2/LLC/memory plumbing
+* ``repro.cpu``         -- read-stall/buffered-write timing model
+* ``repro.multicore``   -- shared-LLC multiprogrammed simulation
+* ``repro.experiments`` -- per-figure harnesses used by ``benchmarks/``
+"""
+
+from repro.cache import (
+    OPTPolicy,
+    ReadOPTPolicy,
+    ReplacementPolicy,
+    SetAssociativeCache,
+    make_policy,
+    policy_names,
+)
+from repro.common import (
+    CacheConfig,
+    CoreConfig,
+    HierarchyConfig,
+    MemoryConfig,
+    default_hierarchy,
+    paper_system_config,
+)
+from repro.core import (
+    RRPPolicy,
+    RWPPolicy,
+    overhead_ratio,
+    overhead_report,
+    rrp_state,
+    rwp_state,
+)
+from repro.cpu import HierarchyRunner, LLCRunner, RunResult
+from repro.hierarchy import MemoryHierarchy
+from repro.multicore import SharedLLCSystem, weighted_speedup
+from repro.trace import (
+    Trace,
+    WorkloadModel,
+    all_models,
+    benchmark_names,
+    make_model,
+    mix_names,
+    sensitive_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "HierarchyConfig",
+    "HierarchyRunner",
+    "LLCRunner",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "OPTPolicy",
+    "RRPPolicy",
+    "RWPPolicy",
+    "ReadOPTPolicy",
+    "ReplacementPolicy",
+    "RunResult",
+    "SetAssociativeCache",
+    "SharedLLCSystem",
+    "Trace",
+    "WorkloadModel",
+    "all_models",
+    "benchmark_names",
+    "default_hierarchy",
+    "make_model",
+    "make_policy",
+    "mix_names",
+    "overhead_ratio",
+    "overhead_report",
+    "paper_system_config",
+    "policy_names",
+    "rrp_state",
+    "rwp_state",
+    "sensitive_names",
+    "weighted_speedup",
+]

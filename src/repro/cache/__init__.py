@@ -1,0 +1,47 @@
+"""Set-associative cache model and the replacement-policy zoo."""
+
+from typing import List  # noqa: F401 (re-exported convenience)
+
+_POLICY_MODULES_LOADED = False
+
+
+def _ensure_policies_loaded() -> None:
+    """Import every policy module so registry names resolve."""
+    global _POLICY_MODULES_LOADED
+    if _POLICY_MODULES_LOADED:
+        return
+    from repro.cache import basic, dip, pipp, rrip, ship, ucp  # noqa: F401
+    from repro.core import rrp, rwp, variants  # noqa: F401
+
+    _POLICY_MODULES_LOADED = True
+
+
+from repro.cache.cache import AccessOutcome, CacheSet, SetAssociativeCache
+from repro.cache.dueling import SaturatingCounter, SetDueling
+from repro.cache.line import CacheLine
+from repro.cache.opt import NEVER, OPTPolicy, ReadOPTPolicy, compute_next_use
+from repro.cache.policy import (
+    POLICY_REGISTRY,
+    ReplacementPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "CacheLine",
+    "CacheSet",
+    "NEVER",
+    "OPTPolicy",
+    "POLICY_REGISTRY",
+    "ReadOPTPolicy",
+    "ReplacementPolicy",
+    "SaturatingCounter",
+    "SetAssociativeCache",
+    "SetDueling",
+    "compute_next_use",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+]

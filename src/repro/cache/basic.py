@@ -1,0 +1,120 @@
+"""Baseline replacement policies: LRU, Random, NRU, LFU.
+
+LRU is the paper's baseline; the others are sanity baselines used by tests
+and the policy-zoo examples.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import ReplacementPolicy, register_policy
+from repro.common.rng import CheapLCG
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via per-line timestamps."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0
+
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        lines = cache_set.lines
+        best = lines[0]
+        best_stamp = best.stamp
+        for line in lines:
+            if line.stamp < best_stamp:
+                best = line
+                best_stamp = line.stamp
+        return best
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+
+class MRUInsertLRUPolicy(LRUPolicy):
+    """LRU eviction with *LRU-position* insertion (LIP building block).
+
+    Exposed for completeness; DIP composes it with BIP via set dueling.
+    """
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        # Insert at the LRU position: older than every current line.
+        line.stamp = min(other.stamp for other in cache_set.lines) - 1
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim (deterministic seeded stream)."""
+
+    def __init__(self, seed: int = 2014) -> None:
+        super().__init__()
+        self._coin = CheapLCG(seed)
+
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        lines = cache_set.lines
+        return lines[self._coin.next_u32() % len(lines)]
+
+
+class NRUPolicy(ReplacementPolicy):
+    """Not-recently-used: one reference bit per line.
+
+    The reference bit lives in ``line.rrpv``.  The victim is the first
+    line with a clear bit; when all bits are set they are cleared (except
+    the just-used convention is not needed because the upcoming fill sets
+    its own bit).
+    """
+
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        lines = cache_set.lines
+        for line in lines:
+            if line.rrpv == 0:
+                return line
+        for line in lines:
+            line.rrpv = 0
+        return lines[0]
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = 1
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = 1
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Least-frequently-used with LRU tie-break.
+
+    Frequency lives in ``line.outcome`` (saturating at 255 so a formerly
+    hot line cannot become immortal); recency in ``line.stamp``.
+    """
+
+    _FREQ_CAP = 255
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0
+
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        return min(cache_set.lines, key=lambda l: (l.outcome, l.stamp))
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.outcome = 1
+        line.stamp = self._clock
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        if line.outcome < self._FREQ_CAP:
+            line.outcome += 1
+        line.stamp = self._clock
+
+
+register_policy("lru", LRUPolicy)
+register_policy("lip", MRUInsertLRUPolicy)
+register_policy("random", RandomPolicy)
+register_policy("nru", NRUPolicy)
+register_policy("lfu", LFUPolicy)

@@ -1,0 +1,305 @@
+"""The set-associative write-back cache core.
+
+Policy-agnostic: all replacement intelligence lives behind the
+:class:`~repro.cache.policy.ReplacementPolicy` hooks.  The core handles
+lookup, allocation into invalid ways, write-back bookkeeping, bypass
+plumbing, and the statistics every experiment consumes (including the
+read/write line-class accounting the paper's motivation figures need).
+
+Writes model the write-allocate path of an LLC receiving writebacks from
+the level above: a write hit dirties the line, a write miss allocates a
+dirty line (unless the policy bypasses it, modeling write-no-allocate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import ReplacementPolicy
+from repro.common.config import CacheConfig
+
+#: access() return type: (hit, bypassed, writeback_address_or_minus_1)
+AccessOutcome = Tuple[bool, bool, int]
+
+
+class CacheSet:
+    """One set: fixed ways plus a tag->line index for O(1) lookup."""
+
+    __slots__ = ("lines", "lookup", "filled")
+
+    def __init__(self, ways: int) -> None:
+        self.lines: List[CacheLine] = [CacheLine() for _ in range(ways)]
+        self.lookup: Dict[int, CacheLine] = {}
+        self.filled = 0
+
+    def valid_lines(self) -> List[CacheLine]:
+        return [line for line in self.lines if line.valid]
+
+    def dirty_count(self) -> int:
+        return sum(1 for line in self.lines if line.valid and line.dirty)
+
+
+class SetAssociativeCache:
+    """A single cache level driven by a pluggable replacement policy."""
+
+    def __init__(self, config: CacheConfig, policy: ReplacementPolicy) -> None:
+        self.config = config
+        self.policy = policy
+        self.sets = [CacheSet(config.ways) for _ in range(config.num_sets)]
+        self.ways = config.ways
+        self.tick = 0
+
+        self._offset_bits = config.offset_bits
+        self._index_mask = config.num_sets - 1
+        self._index_bits = config.index_bits
+        self._tag_shift = config.offset_bits + config.index_bits
+
+        # Resolve optional hooks once so the hot loop never calls no-ops.
+        self._policy_bypasses = (
+            type(policy).should_bypass is not ReplacementPolicy.should_bypass
+        )
+        self._policy_observes = policy.needs_observe
+        #: optional callback(address, was_dirty) fired on every eviction;
+        #: used by inclusive hierarchies for back-invalidation.
+        self.eviction_listener = None
+
+        # Demand statistics.
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.writebacks = 0
+        self.bypasses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        # Line-class accounting at eviction (motivation figures F1/F2).
+        self.evicted_read_only = 0
+        self.evicted_write_only = 0
+        self.evicted_read_write = 0
+        # Prefetch statistics.
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+        self.prefetch_unused_evictions = 0
+
+        policy.attach(self)
+
+    # -- the hot path ----------------------------------------------------
+    def access(
+        self, address: int, is_write: bool, pc: int = 0, core: int = 0
+    ) -> AccessOutcome:
+        """One demand access; returns (hit, bypassed, writeback_addr|-1)."""
+        self.tick += 1
+        set_index = (address >> self._offset_bits) & self._index_mask
+        tag = address >> self._tag_shift
+        policy = self.policy
+
+        if self._policy_observes:
+            policy.observe(set_index, tag, is_write, pc, core)
+
+        cache_set = self.sets[set_index]
+        line = cache_set.lookup.get(tag)
+        if line is not None:
+            if line.prefetched:
+                self.prefetch_useful += 1
+                line.prefetched = False
+            if is_write:
+                self.write_hits += 1
+                line.dirty = True
+                line.write_seen = True
+            else:
+                self.read_hits += 1
+                line.read_seen = True
+            policy.on_hit(cache_set, line, set_index, is_write, pc, core)
+            return (True, False, -1)
+
+        if is_write:
+            self.write_misses += 1
+        else:
+            self.read_misses += 1
+
+        if self._policy_bypasses and policy.should_bypass(
+            set_index, tag, is_write, pc, core
+        ):
+            self.bypasses += 1
+            return (False, True, -1)
+
+        writeback_addr = -1
+        if cache_set.filled < self.ways:
+            line = next(l for l in cache_set.lines if not l.valid)
+            cache_set.filled += 1
+        else:
+            line = policy.victim(cache_set, set_index, is_write, pc, core)
+            policy.on_evict(line, set_index)
+            self._account_eviction(line)
+            del cache_set.lookup[line.tag]
+            if line.dirty or self.eviction_listener is not None:
+                victim_addr = (
+                    (line.tag << self._index_bits) | set_index
+                ) << self._offset_bits
+                if line.dirty:
+                    self.writebacks += 1
+                    writeback_addr = victim_addr
+                if self.eviction_listener is not None:
+                    self.eviction_listener(victim_addr, line.dirty)
+
+        line.reset_for_fill(tag, is_write, pc, core)
+        cache_set.lookup[tag] = line
+        policy.on_fill(cache_set, line, set_index, is_write, pc, core)
+        return (False, False, writeback_addr)
+
+    def fill_prefetch(self, address: int, core: int = 0) -> int:
+        """Install a prefetched line; returns the writeback address or -1.
+
+        A no-op when the line is already resident. The fill goes through
+        the policy's normal victim/insertion path (a prefetch pollutes
+        exactly like a demand fill would) but counts in the prefetch
+        statistics instead of the demand counters, and the line is
+        tagged so a later demand hit can credit the prefetcher.
+        """
+        set_index = (address >> self._offset_bits) & self._index_mask
+        tag = address >> self._tag_shift
+        cache_set = self.sets[set_index]
+        if tag in cache_set.lookup:
+            return -1
+        policy = self.policy
+        if self._policy_observes:
+            policy.observe(set_index, tag, False, 0, core)
+        writeback_addr = -1
+        if cache_set.filled < self.ways:
+            line = next(l for l in cache_set.lines if not l.valid)
+            cache_set.filled += 1
+        else:
+            line = policy.victim(cache_set, set_index, False, 0, core)
+            policy.on_evict(line, set_index)
+            self._account_eviction(line)
+            del cache_set.lookup[line.tag]
+            if line.dirty:
+                self.writebacks += 1
+                writeback_addr = (
+                    (line.tag << self._index_bits) | set_index
+                ) << self._offset_bits
+        line.reset_for_fill(tag, False, 0, core)
+        line.read_seen = False  # a prefetch is not a demand read
+        line.prefetched = True
+        cache_set.lookup[tag] = line
+        policy.on_fill(cache_set, line, set_index, False, 0, core)
+        self.prefetch_fills += 1
+        return writeback_addr
+
+    # -- maintenance operations -------------------------------------------
+    def probe(self, address: int) -> CacheLine | None:
+        """Non-intrusive lookup: no stats, no policy updates."""
+        set_index = (address >> self._offset_bits) & self._index_mask
+        tag = address >> self._tag_shift
+        return self.sets[set_index].lookup.get(tag)
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line if present (no writeback); True if it was present."""
+        set_index = (address >> self._offset_bits) & self._index_mask
+        tag = address >> self._tag_shift
+        cache_set = self.sets[set_index]
+        line = cache_set.lookup.get(tag)
+        if line is None:
+            return False
+        del cache_set.lookup[tag]
+        line.invalidate()
+        cache_set.filled -= 1
+        return True
+
+    def _account_eviction(self, line: CacheLine) -> None:
+        self.evictions += 1
+        if line.dirty:
+            self.dirty_evictions += 1
+        if line.prefetched:
+            # Fetched but never demanded: pure pollution, tracked apart
+            # from the demand line classes.
+            self.prefetch_unused_evictions += 1
+            return
+        if line.read_seen and line.write_seen:
+            self.evicted_read_write += 1
+        elif line.read_seen:
+            self.evicted_read_only += 1
+        else:
+            self.evicted_write_only += 1
+
+    # -- statistics --------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero all counters (typically after warmup)."""
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.writebacks = 0
+        self.bypasses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.evicted_read_only = 0
+        self.evicted_write_only = 0
+        self.evicted_read_write = 0
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+        self.prefetch_unused_evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def read_accesses(self) -> int:
+        return self.read_hits + self.read_misses
+
+    def read_miss_rate(self) -> float:
+        reads = self.read_accesses
+        return self.read_misses / reads if reads else 0.0
+
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, int]:
+        """All counters as a flat dict keyed by the cache's name."""
+        prefix = self.config.name
+        return {
+            f"{prefix}.read_hits": self.read_hits,
+            f"{prefix}.read_misses": self.read_misses,
+            f"{prefix}.write_hits": self.write_hits,
+            f"{prefix}.write_misses": self.write_misses,
+            f"{prefix}.writebacks": self.writebacks,
+            f"{prefix}.bypasses": self.bypasses,
+            f"{prefix}.evictions": self.evictions,
+            f"{prefix}.dirty_evictions": self.dirty_evictions,
+            f"{prefix}.evicted_read_only": self.evicted_read_only,
+            f"{prefix}.evicted_write_only": self.evicted_write_only,
+            f"{prefix}.evicted_read_write": self.evicted_read_write,
+            f"{prefix}.prefetch_fills": self.prefetch_fills,
+            f"{prefix}.prefetch_useful": self.prefetch_useful,
+            f"{prefix}.prefetch_unused_evictions": self.prefetch_unused_evictions,
+        }
+
+    # -- introspection ------------------------------------------------------
+    def resident_lines(self) -> Iterator[CacheLine]:
+        """All valid lines (tests and occupancy studies)."""
+        for cache_set in self.sets:
+            for line in cache_set.lines:
+                if line.valid:
+                    yield line
+
+    def dirty_fraction(self) -> float:
+        """Fraction of valid lines currently dirty."""
+        valid = dirty = 0
+        for line in self.resident_lines():
+            valid += 1
+            dirty += line.dirty
+        return dirty / valid if valid else 0.0
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"SetAssociativeCache({cfg.name}: {cfg.size >> 10} KiB, "
+            f"{cfg.num_sets}x{cfg.ways}, policy={self.policy.name})"
+        )

@@ -1,0 +1,84 @@
+"""Insertion-policy family: BIP and DIP (Qureshi et al., ISCA 2007).
+
+BIP inserts new lines at the LRU position except for an occasional
+(1/32) MRU insertion, which retains a trickle of the working set under
+thrashing.  DIP set-duels LRU against BIP and follows the winner.
+"""
+
+from __future__ import annotations
+
+from repro.cache.basic import LRUPolicy
+from repro.cache.dueling import TEAM_A, SetDueling
+from repro.common.rng import CheapLCG
+
+#: BIP's bimodal throttle: one in this many fills goes to MRU.
+BIP_EPSILON = 32
+
+
+class BIPPolicy(LRUPolicy):
+    """Bimodal insertion: LRU-position fills with rare MRU promotion."""
+
+    def __init__(self, seed: int = 2014, epsilon: int = BIP_EPSILON) -> None:
+        super().__init__()
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        self._coin = CheapLCG(seed)
+        self._epsilon = epsilon
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        if self._coin.chance(self._epsilon):
+            self._clock += 1
+            line.stamp = self._clock
+        else:
+            line.stamp = min(other.stamp for other in cache_set.lines) - 1
+
+
+class DIPPolicy(LRUPolicy):
+    """Dynamic insertion: set-duel LRU (team A) against BIP (team B)."""
+
+    def __init__(
+        self,
+        seed: int = 2014,
+        leaders_per_team: int = 32,
+        psel_bits: int = 10,
+        epsilon: int = BIP_EPSILON,
+    ) -> None:
+        super().__init__()
+        self._coin = CheapLCG(seed)
+        self._epsilon = epsilon
+        self._leaders_per_team = leaders_per_team
+        self._psel_bits = psel_bits
+        self._dueling: SetDueling | None = None
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        self._dueling = SetDueling(
+            cache.config.num_sets, self._leaders_per_team, self._psel_bits
+        )
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        dueling = self._dueling
+        dueling.record_miss(set_index)
+        use_lru = dueling.team_for(set_index) == TEAM_A
+        if use_lru or self._coin.chance(self._epsilon):
+            self._clock += 1
+            line.stamp = self._clock
+        else:
+            line.stamp = min(other.stamp for other in cache_set.lines) - 1
+
+    def describe(self):
+        info = super().describe()
+        if self._dueling is not None:
+            info["psel"] = self._dueling.psel.value
+            info["following"] = "bip" if self._dueling.psel.high_half else "lru"
+        return info
+
+
+def _register() -> None:
+    from repro.cache.policy import register_policy
+
+    register_policy("bip", BIPPolicy)
+    register_policy("dip", DIPPolicy)
+
+
+_register()

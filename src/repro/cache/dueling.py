@@ -1,0 +1,98 @@
+"""Set-dueling infrastructure (Qureshi et al., ISCA 2007).
+
+Dedicates a few *leader sets* to each of two competing policies and lets a
+saturating policy-selector counter (PSEL) arbitrate for the remaining
+*follower sets*.  Used by DIP (LRU vs BIP), DRRIP (SRRIP vs BRRIP),
+TA-DRRIP (per-core selectors), and RWP's sampling machinery reuses the
+leader-selection scheme for its shadow sets.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter with a mid-point test."""
+
+    __slots__ = ("value", "maximum", "_mid")
+
+    def __init__(self, bits: int = 10) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self.maximum = (1 << bits) - 1
+        self.value = (self.maximum + 1) // 2
+        self._mid = (self.maximum + 1) // 2
+
+    def up(self) -> None:
+        if self.value < self.maximum:
+            self.value += 1
+
+    def down(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    @property
+    def high_half(self) -> bool:
+        """True when the counter sits at or above its midpoint."""
+        return self.value >= self._mid
+
+
+TEAM_A = 0
+TEAM_B = 1
+FOLLOWER = 2
+
+
+class SetDueling:
+    """Assigns leader sets and arbitrates between two policies.
+
+    Leader sets are spread evenly: within each *constituency* of
+    ``num_sets / leaders_per_team`` sets, the first set leads team A and
+    the second leads team B.  The PSEL counter counts misses: a miss in a
+    team-A leader pushes toward team B and vice versa, so followers adopt
+    the team currently missing less.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        leaders_per_team: int = 32,
+        psel_bits: int = 10,
+    ) -> None:
+        if num_sets < 4:
+            raise ValueError("set dueling needs at least 4 sets")
+        leaders = max(1, min(leaders_per_team, num_sets // 2))
+        constituency = max(2, num_sets // leaders)
+        self._roles: List[int] = []
+        for index in range(num_sets):
+            offset = index % constituency
+            if offset == 0:
+                self._roles.append(TEAM_A)
+            elif offset == 1:
+                self._roles.append(TEAM_B)
+            else:
+                self._roles.append(FOLLOWER)
+        self.psel = SaturatingCounter(psel_bits)
+
+    def role(self, set_index: int) -> int:
+        """TEAM_A, TEAM_B, or FOLLOWER for this set."""
+        return self._roles[set_index]
+
+    def record_miss(self, set_index: int) -> None:
+        """Update PSEL when a leader set misses."""
+        role = self._roles[set_index]
+        if role == TEAM_A:
+            self.psel.up()
+        elif role == TEAM_B:
+            self.psel.down()
+
+    def team_for(self, set_index: int) -> int:
+        """Which team's policy this set should apply right now."""
+        role = self._roles[set_index]
+        if role != FOLLOWER:
+            return role
+        # High PSEL means team A has been missing more -> follow team B.
+        return TEAM_B if self.psel.high_half else TEAM_A
+
+    def leader_sets(self, team: int) -> List[int]:
+        return [i for i, role in enumerate(self._roles) if role == team]

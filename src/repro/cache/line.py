@@ -1,0 +1,83 @@
+"""The cache-line record shared by every replacement policy.
+
+One class serves all policies: rather than subclassing lines per policy
+(which would force an allocation strategy on the cache core), the line
+carries the union of the small per-line state fields the policy zoo needs.
+Unused fields cost one slot each and keep the hot path monomorphic.
+"""
+
+from __future__ import annotations
+
+
+class CacheLine:
+    """One cache line (tag + state bits).
+
+    Fields
+    ------
+    tag          address tag (valid only when ``valid``)
+    valid        whether the line holds data
+    dirty        written since fill / last writeback
+    stamp        recency or priority timestamp (LRU/UCP/OPT)
+    rrpv         re-reference prediction value (RRIP family, NRU bit)
+    signature    fill signature (SHiP) or predictor index (RRP)
+    outcome      per-line flag/counter: reuse bit (SHiP), frequency (LFU)
+    owner        core id that filled the line (UCP, TA-DRRIP, shared LLC)
+    fill_pc      program counter of the filling access (RRP training)
+    read_seen    line served at least one read (including a read fill)
+    write_seen   line absorbed at least one write (including a write fill)
+    prefetched   line was filled by a prefetch and not yet demand-hit
+    """
+
+    __slots__ = (
+        "tag",
+        "valid",
+        "dirty",
+        "stamp",
+        "rrpv",
+        "signature",
+        "outcome",
+        "owner",
+        "fill_pc",
+        "read_seen",
+        "write_seen",
+        "prefetched",
+    )
+
+    def __init__(self) -> None:
+        self.tag = -1
+        self.valid = False
+        self.dirty = False
+        self.stamp = 0
+        self.rrpv = 0
+        self.signature = 0
+        self.outcome = 0
+        self.owner = 0
+        self.fill_pc = 0
+        self.read_seen = False
+        self.write_seen = False
+        self.prefetched = False
+
+    def reset_for_fill(self, tag: int, is_write: bool, pc: int, core: int) -> None:
+        """Reinitialize all state for a fresh fill of ``tag``."""
+        self.tag = tag
+        self.valid = True
+        self.dirty = is_write
+        self.stamp = 0
+        self.rrpv = 0
+        self.signature = 0
+        self.outcome = 0
+        self.owner = core
+        self.fill_pc = pc
+        self.read_seen = not is_write
+        self.write_seen = is_write
+        self.prefetched = False
+
+    def invalidate(self) -> None:
+        self.valid = False
+        self.dirty = False
+        self.tag = -1
+
+    def __repr__(self) -> str:
+        state = "V" if self.valid else "-"
+        state += "D" if self.dirty else " "
+        return f"CacheLine(tag={self.tag:#x}, {state})"

@@ -1,0 +1,147 @@
+"""PIPP: promotion/insertion pseudo-partitioning (Xie & Loh, ISCA 2009).
+
+Instead of enforcing way quotas at eviction time like UCP, PIPP encodes
+each core's allocation in the *insertion position*: core *i*'s fills
+enter the recency order at position ``allocation[i]`` counting from the
+LRU end, and hits promote a line by a single position (with probability
+3/4) rather than jumping to MRU.  Cores with large allocations insert
+high and their lines survive; cores with small allocations insert low
+and recycle quickly.  Allocations come from the same UMON + lookahead
+machinery as UCP.
+
+Recency order is represented by per-line float stamps: victim = minimum
+stamp, insertion at position *p* takes the midpoint between the stamps
+of its would-be neighbors, promotion swaps stamps with the next-higher
+line.  Stamps are re-normalized when they get too dense.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import ReplacementPolicy, register_policy
+from repro.cache.ucp import DEFAULT_EPOCH, UMON_SAMPLING, UtilityMonitor, lookahead_partition
+from repro.common.rng import CheapLCG
+
+#: promote on hit with probability (PROMOTION_NUM / PROMOTION_DEN)
+PROMOTION_NUM = 3
+PROMOTION_DEN = 4
+
+
+class PIPPPolicy(ReplacementPolicy):
+    """Pseudo-partitioning by insertion position + single-step promotion."""
+
+    needs_observe = True
+
+    def __init__(
+        self,
+        num_cores: int = 4,
+        sampling: int = UMON_SAMPLING,
+        epoch: int = DEFAULT_EPOCH,
+        seed: int = 2014,
+    ) -> None:
+        super().__init__()
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        self._sampling = sampling
+        self._epoch = epoch
+        self._accesses = 0
+        self._coin = CheapLCG(seed)
+        self._monitors: List[UtilityMonitor] = []
+        self.allocation: List[int] = []
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        ways = cache.config.ways
+        if ways < self.num_cores:
+            raise ValueError(
+                f"PIPP needs ways >= cores ({ways} < {self.num_cores})"
+            )
+        self._monitors = [UtilityMonitor(ways) for _ in range(self.num_cores)]
+        base = ways // self.num_cores
+        self.allocation = [base] * self.num_cores
+        self.allocation[0] += ways - base * self.num_cores
+
+    # -- monitoring (same UMON as UCP) -------------------------------------
+    def observe(self, set_index, tag, is_write, pc, core) -> None:
+        self._accesses += 1
+        if set_index % self._sampling == 0:
+            self._monitors[core % self.num_cores].observe(set_index, tag)
+        if self._accesses % self._epoch == 0:
+            self.allocation = lookahead_partition(
+                self._monitors, self.cache.config.ways
+            )
+            for monitor in self._monitors:
+                monitor.decay()
+
+    # -- replacement --------------------------------------------------------
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        lines = cache_set.lines
+        best = lines[0]
+        for line in lines:
+            if line.stamp < best.stamp:
+                best = line
+        return best
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        position = min(
+            self.allocation[core % self.num_cores],
+            len(cache_set.lines) - 1,
+        )
+        others = sorted(
+            other.stamp
+            for other in cache_set.lines
+            if other is not line and other.valid
+        )
+        if not others:
+            line.stamp = 0.0
+            return
+        position = min(position, len(others))
+        if position == 0:
+            line.stamp = others[0] - 1.0
+        elif position >= len(others):
+            line.stamp = others[-1] + 1.0
+        else:
+            line.stamp = (others[position - 1] + others[position]) / 2.0
+        self._maybe_renormalize(cache_set)
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        if self._coin.next_u32() % PROMOTION_DEN >= PROMOTION_NUM:
+            return  # promotion throttled (probability 3/4)
+        # Swap stamps with the immediately-more-recent line, if any.
+        above: CacheLine | None = None
+        for other in cache_set.lines:
+            if not other.valid or other is line:
+                continue
+            if other.stamp > line.stamp and (
+                above is None or other.stamp < above.stamp
+            ):
+                above = other
+        if above is not None:
+            line.stamp, above.stamp = above.stamp, line.stamp
+
+    @staticmethod
+    def _maybe_renormalize(cache_set) -> None:
+        """Re-space stamps when midpoint insertion has made them dense."""
+        stamps = [l.stamp for l in cache_set.lines if l.valid]
+        if len(stamps) < 2:
+            return
+        stamps.sort()
+        min_gap = min(b - a for a, b in zip(stamps, stamps[1:]))
+        if min_gap > 1e-6:
+            return
+        order = sorted(
+            (l for l in cache_set.lines if l.valid), key=lambda l: l.stamp
+        )
+        for rank, line in enumerate(order):
+            line.stamp = float(rank)
+
+    def describe(self):
+        info = super().describe()
+        info["allocation"] = list(self.allocation)
+        return info
+
+
+register_policy("pipp", PIPPPolicy)

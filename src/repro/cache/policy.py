@@ -1,0 +1,138 @@
+"""Replacement-policy interface and registry.
+
+A policy is a small strategy object attached to one cache.  The cache core
+drives it through five hooks:
+
+``observe``      every access (before lookup); only called when the policy
+                 sets ``needs_observe`` -- used by set-dueling monitors and
+                 shadow samplers (DIP, DRRIP, UCP, RWP, RRP)
+``should_bypass``on a miss, before victim selection: return True to skip
+                 allocation entirely
+``victim``       on a non-bypassed miss with no invalid way: pick the line
+                 to evict among the set's (all valid) lines
+``on_fill``      after the victim's slot is re-initialized for the new tag
+``on_hit``       on every hit
+``on_evict``     just before a valid line's contents are dropped (training
+                 hook: SHiP outcome updates, RRP negative samples)
+
+Policies are registered by name in :data:`POLICY_REGISTRY` so experiment
+harnesses can be driven by strings.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+from repro.cache.line import CacheLine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.cache import CacheSet, SetAssociativeCache
+
+
+class ReplacementPolicy:
+    """Base policy: the no-op hooks every policy inherits."""
+
+    #: set True in subclasses that need the per-access ``observe`` hook
+    needs_observe = False
+
+    def __init__(self) -> None:
+        self.cache: "SetAssociativeCache | None" = None
+
+    # -- lifecycle -------------------------------------------------------
+    def attach(self, cache: "SetAssociativeCache") -> None:
+        """Bind to a cache; geometry is available from ``cache.config``."""
+        self.cache = cache
+
+    # -- hooks -----------------------------------------------------------
+    def observe(
+        self, set_index: int, tag: int, is_write: bool, pc: int, core: int
+    ) -> None:
+        """See every access before lookup (only if ``needs_observe``)."""
+
+    def should_bypass(
+        self, set_index: int, tag: int, is_write: bool, pc: int, core: int
+    ) -> bool:
+        """Decide whether a missing line should not be allocated at all."""
+        return False
+
+    def victim(
+        self,
+        cache_set: "CacheSet",
+        set_index: int,
+        is_write: bool,
+        pc: int,
+        core: int,
+    ) -> CacheLine:
+        """Choose the eviction victim among the set's valid lines."""
+        raise NotImplementedError
+
+    def on_fill(
+        self,
+        cache_set: "CacheSet",
+        line: CacheLine,
+        set_index: int,
+        is_write: bool,
+        pc: int,
+        core: int,
+    ) -> None:
+        """Initialize policy state for a freshly filled line."""
+
+    def on_hit(
+        self,
+        cache_set: "CacheSet",
+        line: CacheLine,
+        set_index: int,
+        is_write: bool,
+        pc: int,
+        core: int,
+    ) -> None:
+        """Update policy state on a hit."""
+
+    def on_evict(self, line: CacheLine, set_index: int) -> None:
+        """Observe an eviction (for outcome training)."""
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def describe(self) -> Dict[str, object]:
+        """Policy-specific diagnostic state (for experiments/logs)."""
+        return {"policy": self.name}
+
+
+PolicyFactory = Callable[[], ReplacementPolicy]
+
+#: name -> zero-argument factory.  Populated by each policy module at
+#: import time via :func:`register_policy`.
+POLICY_REGISTRY: Dict[str, PolicyFactory] = {}
+
+
+def register_policy(name: str, factory: PolicyFactory) -> None:
+    """Register a policy factory under a (unique) short name."""
+    if name in POLICY_REGISTRY:
+        raise ValueError(f"policy {name!r} already registered")
+    POLICY_REGISTRY[name] = factory
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a registered policy by name."""
+    # Importing the zoo lazily avoids import cycles while keeping
+    # string-driven construction a one-liner for harnesses.
+    from repro.cache import _ensure_policies_loaded
+
+    _ensure_policies_loaded()
+    factory = POLICY_REGISTRY.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown policy {name!r}; known: {sorted(POLICY_REGISTRY)}"
+        )
+    return factory()
+
+
+def policy_names() -> List[str]:
+    """All registered policy names."""
+    from repro.cache import _ensure_policies_loaded
+
+    _ensure_policies_loaded()
+    return sorted(POLICY_REGISTRY)

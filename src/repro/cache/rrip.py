@@ -1,0 +1,157 @@
+"""RRIP family: SRRIP, BRRIP, DRRIP, TA-DRRIP (Jaleel et al., ISCA 2010).
+
+Re-reference interval prediction keeps a 2-bit RRPV per line: 0 means
+"re-referenced soon", 3 means "re-referenced in the distant future".
+Victims are lines with RRPV 3 (aging all lines when none qualifies).
+SRRIP inserts at 2 ("long"), BRRIP at 3 with a rare 2, and DRRIP duels the
+two.  TA-DRRIP duels per core, which is one of the multicore baselines the
+paper compares against.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.dueling import TEAM_A, SaturatingCounter, SetDueling
+from repro.cache.line import CacheLine
+from repro.cache.policy import ReplacementPolicy, register_policy
+from repro.common.rng import CheapLCG
+
+RRPV_MAX = 3  # 2-bit RRPV
+RRPV_LONG = RRPV_MAX - 1
+BRRIP_EPSILON = 32
+
+
+def _rrip_victim(cache_set) -> CacheLine:
+    """The canonical RRIP victim scan: find (or age toward) RRPV max."""
+    lines = cache_set.lines
+    while True:
+        for line in lines:
+            if line.rrpv >= RRPV_MAX:
+                return line
+        for line in lines:
+            line.rrpv += 1
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static RRIP: every fill predicted 'long' re-reference."""
+
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        return _rrip_victim(cache_set)
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = RRPV_LONG
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = 0
+
+
+class BRRIPPolicy(SRRIPPolicy):
+    """Bimodal RRIP: distant fills with a rare long insertion."""
+
+    def __init__(self, seed: int = 2014, epsilon: int = BRRIP_EPSILON) -> None:
+        super().__init__()
+        self._coin = CheapLCG(seed)
+        self._epsilon = epsilon
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = RRPV_LONG if self._coin.chance(self._epsilon) else RRPV_MAX
+
+
+class DRRIPPolicy(SRRIPPolicy):
+    """Dynamic RRIP: set-duel SRRIP (team A) against BRRIP (team B)."""
+
+    def __init__(
+        self,
+        seed: int = 2014,
+        leaders_per_team: int = 32,
+        psel_bits: int = 10,
+        epsilon: int = BRRIP_EPSILON,
+    ) -> None:
+        super().__init__()
+        self._coin = CheapLCG(seed)
+        self._epsilon = epsilon
+        self._leaders_per_team = leaders_per_team
+        self._psel_bits = psel_bits
+        self._dueling: SetDueling | None = None
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        self._dueling = SetDueling(
+            cache.config.num_sets, self._leaders_per_team, self._psel_bits
+        )
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        dueling = self._dueling
+        dueling.record_miss(set_index)
+        if dueling.team_for(set_index) == TEAM_A:
+            line.rrpv = RRPV_LONG
+        else:
+            line.rrpv = RRPV_LONG if self._coin.chance(self._epsilon) else RRPV_MAX
+
+    def describe(self):
+        info = super().describe()
+        if self._dueling is not None:
+            info["psel"] = self._dueling.psel.value
+        return info
+
+
+class TADRRIPPolicy(SRRIPPolicy):
+    """Thread-aware DRRIP: one SRRIP/BRRIP duel per core.
+
+    Leader sets interleave per core: within each constituency, set offset
+    ``2c`` is core *c*'s SRRIP leader and ``2c + 1`` its BRRIP leader (for
+    core c's own fills only); every other fill follows that core's PSEL.
+    """
+
+    def __init__(
+        self,
+        num_cores: int = 4,
+        seed: int = 2014,
+        psel_bits: int = 10,
+        epsilon: int = BRRIP_EPSILON,
+    ) -> None:
+        super().__init__()
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        self._coin = CheapLCG(seed)
+        self._epsilon = epsilon
+        self._psels: List[SaturatingCounter] = [
+            SaturatingCounter(psel_bits) for _ in range(num_cores)
+        ]
+        self._constituency = 0
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        num_sets = cache.config.num_sets
+        # 32 constituencies when sets allow; at least 2*num_cores wide.
+        self._constituency = max(2 * self.num_cores, num_sets // 32)
+
+    def _fill_rrpv_bimodal(self) -> int:
+        return RRPV_LONG if self._coin.chance(self._epsilon) else RRPV_MAX
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        offset = set_index % self._constituency
+        psel = self._psels[core % self.num_cores]
+        if offset == 2 * core:  # this core's SRRIP leader
+            psel.up()
+            line.rrpv = RRPV_LONG
+        elif offset == 2 * core + 1:  # this core's BRRIP leader
+            psel.down()
+            line.rrpv = self._fill_rrpv_bimodal()
+        elif psel.high_half:  # SRRIP has missed more -> follow BRRIP
+            line.rrpv = self._fill_rrpv_bimodal()
+        else:
+            line.rrpv = RRPV_LONG
+
+    def describe(self):
+        info = super().describe()
+        info["psel_per_core"] = [p.value for p in self._psels]
+        return info
+
+
+register_policy("srrip", SRRIPPolicy)
+register_policy("brrip", BRRIPPolicy)
+register_policy("drrip", DRRIPPolicy)
+register_policy("tadrrip", TADRRIPPolicy)

@@ -1,0 +1,66 @@
+"""SHiP-PC: signature-based hit prediction (Wu et al., MICRO 2011).
+
+A table of saturating counters (SHCT), indexed by a hash of the filling
+instruction's PC, learns whether fills from that instruction tend to be
+re-referenced.  Fills with a zero counter are inserted at distant RRPV
+(evicted quickly); others at long.  Eviction without reuse trains the
+counter down; first reuse trains it up.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import register_policy
+from repro.cache.rrip import RRPV_LONG, RRPV_MAX, SRRIPPolicy
+
+SHCT_ENTRIES = 16 * 1024
+SHCT_BITS = 3
+
+
+def pc_signature(pc: int, entries: int = SHCT_ENTRIES) -> int:
+    """Fold a PC into a table index (Fibonacci hashing)."""
+    return ((pc >> 2) * 2654435761) & (entries - 1)
+
+
+class SHiPPolicy(SRRIPPolicy):
+    """SHiP-PC over an SRRIP backbone."""
+
+    def __init__(
+        self, entries: int = SHCT_ENTRIES, counter_bits: int = SHCT_BITS
+    ) -> None:
+        super().__init__()
+        if entries & (entries - 1):
+            raise ValueError("SHCT entry count must be a power of two")
+        self._entries = entries
+        self._max_count = (1 << counter_bits) - 1
+        self._shct = [self._max_count // 2 + 1] * entries
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        signature = pc_signature(pc, self._entries)
+        line.signature = signature
+        line.outcome = 0
+        line.rrpv = RRPV_LONG if self._shct[signature] > 0 else RRPV_MAX
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = 0
+        if line.outcome == 0:
+            line.outcome = 1
+            signature = line.signature
+            if self._shct[signature] < self._max_count:
+                self._shct[signature] += 1
+
+    def on_evict(self, line: CacheLine, set_index: int) -> None:
+        if line.outcome == 0:
+            signature = line.signature
+            if self._shct[signature] > 0:
+                self._shct[signature] -= 1
+
+    def describe(self):
+        info = super().describe()
+        info["shct_nonzero_fraction"] = sum(
+            1 for c in self._shct if c > 0
+        ) / len(self._shct)
+        return info
+
+
+register_policy("ship", SHiPPolicy)

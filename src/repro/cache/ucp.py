@@ -1,0 +1,177 @@
+"""UCP: utility-based cache partitioning (Qureshi & Patt, MICRO 2006).
+
+Each core gets a way quota in the shared LLC.  A per-core utility monitor
+(UMON) samples a subset of sets with an auxiliary tag directory (ATD) kept
+under true LRU, counting hits per recency position.  Every epoch the
+*lookahead* algorithm reallocates ways to maximize total expected hits.
+Victim selection enforces the quotas: a core under its quota evicts from
+the most over-quota core; a core at/over quota recycles its own LRU line.
+
+This is one of the paper's multicore baselines, and its UMON machinery is
+the direct ancestor of RWP's clean/dirty utility sampler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import ReplacementPolicy, register_policy
+
+UMON_SAMPLING = 32  # monitor every 32nd set
+DEFAULT_EPOCH = 100_000  # accesses between repartitioning decisions
+
+
+class UtilityMonitor:
+    """Per-core ATD + per-recency-position hit histogram."""
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        # set_index -> MRU-ordered list of tags (true LRU stack).
+        self._stacks: Dict[int, List[int]] = {}
+        self.position_hits = [0] * ways
+
+    def observe(self, set_index: int, tag: int) -> None:
+        stack = self._stacks.get(set_index)
+        if stack is None:
+            stack = []
+            self._stacks[set_index] = stack
+        try:
+            position = stack.index(tag)
+        except ValueError:
+            stack.insert(0, tag)
+            if len(stack) > self.ways:
+                stack.pop()
+            return
+        self.position_hits[position] += 1
+        del stack[position]
+        stack.insert(0, tag)
+
+    def utility(self, ways: int) -> int:
+        """Expected hits if this core were given ``ways`` ways."""
+        return sum(self.position_hits[:ways])
+
+    def decay(self) -> None:
+        """Halve the histogram so stale phases fade out."""
+        self.position_hits = [count // 2 for count in self.position_hits]
+
+
+def lookahead_partition(monitors: List[UtilityMonitor], total_ways: int) -> List[int]:
+    """Qureshi's lookahead allocation: maximize summed marginal utility.
+
+    Every core is guaranteed at least one way.  Remaining ways go, one
+    bundle at a time, to the core with the highest marginal utility per
+    way over its best lookahead window.
+    """
+    num_cores = len(monitors)
+    if total_ways < num_cores:
+        raise ValueError("need at least one way per core")
+    allocation = [1] * num_cores
+    remaining = total_ways - num_cores
+    while remaining > 0:
+        best_core = -1
+        best_rate = -1.0
+        best_span = 1
+        for core, monitor in enumerate(monitors):
+            current = allocation[core]
+            max_span = min(remaining, total_ways - current)
+            base = monitor.utility(current)
+            for span in range(1, max_span + 1):
+                gain = monitor.utility(current + span) - base
+                rate = gain / span
+                if rate > best_rate:
+                    best_rate = rate
+                    best_core = core
+                    best_span = span
+        if best_core < 0:
+            best_core, best_span = 0, 1
+        allocation[best_core] += best_span
+        remaining -= best_span
+    return allocation
+
+
+class UCPPolicy(ReplacementPolicy):
+    """Way-partitioned LRU driven by UMON lookahead."""
+
+    needs_observe = True
+
+    def __init__(
+        self,
+        num_cores: int = 4,
+        sampling: int = UMON_SAMPLING,
+        epoch: int = DEFAULT_EPOCH,
+    ) -> None:
+        super().__init__()
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        self._sampling = sampling
+        self._epoch = epoch
+        self._clock = 0
+        self._accesses = 0
+        self._monitors: List[UtilityMonitor] = []
+        self.allocation: List[int] = []
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        ways = cache.config.ways
+        if ways < self.num_cores:
+            raise ValueError(
+                f"UCP needs ways >= cores ({ways} < {self.num_cores})"
+            )
+        self._monitors = [UtilityMonitor(ways) for _ in range(self.num_cores)]
+        base = ways // self.num_cores
+        self.allocation = [base] * self.num_cores
+        self.allocation[0] += ways - base * self.num_cores
+
+    def observe(self, set_index, tag, is_write, pc, core) -> None:
+        self._accesses += 1
+        if set_index % self._sampling == 0:
+            self._monitors[core % self.num_cores].observe(set_index, tag)
+        if self._accesses % self._epoch == 0:
+            self._repartition()
+
+    def _repartition(self) -> None:
+        self.allocation = lookahead_partition(
+            self._monitors, self.cache.config.ways
+        )
+        for monitor in self._monitors:
+            monitor.decay()
+
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        # Soft enforcement: lines of cores at or above their quota in this
+        # set are eviction candidates; under-quota cores' lines are
+        # protected.  Within the candidate pool, plain LRU.  This lets
+        # per-set occupancy float with demand (statistical multiplexing)
+        # while steering long-run shares toward the UMON allocation --
+        # strict per-set quotas lose badly to the per-set variance of
+        # real working sets.
+        num_cores = self.num_cores
+        occupancy = [0] * num_cores
+        for line in cache_set.lines:
+            occupancy[line.owner % num_cores] += 1
+        allocation = self.allocation
+        victim_pool = [
+            line
+            for line in cache_set.lines
+            if occupancy[line.owner % num_cores] >= allocation[line.owner % num_cores]
+        ]
+        if not victim_pool:  # every core under quota: global LRU
+            victim_pool = cache_set.lines
+        return min(victim_pool, key=lambda line: line.stamp)
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+    def describe(self):
+        info = super().describe()
+        info["allocation"] = list(self.allocation)
+        return info
+
+
+register_policy("ucp", UCPPolicy)

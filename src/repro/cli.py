@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``        available benchmarks (by category) and policies
+``run``         one benchmark under one policy; prints the full result
+``compare``     one benchmark under several policies, as a table
+``mix``         a 4-core mix under one or more policies
+``overhead``    the RWP-vs-RRP state budget (paper Table 2)
+``motivation``  read/write traffic + line-class breakdown for a benchmark
+
+All simulation commands accept ``--llc-lines`` (cache size in 64 B lines)
+and ``--accesses`` / ``--warmup-frac`` to trade fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.cache.policy import policy_names
+from repro.common.config import paper_system_config
+from repro.core.overhead import overhead_report
+from repro.experiments.motivation import traffic_breakdown
+from repro.experiments.multicore_exp import run_mix
+from repro.experiments.runner import ExperimentScale, run_benchmark
+from repro.experiments.tables import format_percent, format_table
+from repro.trace.mixes import mix_names
+from repro.trace.spec import ALL_PARAMS, benchmark_names, sensitive_names
+
+
+def _scale_from(args: argparse.Namespace) -> ExperimentScale:
+    total_factor = max(2, args.accesses // args.llc_lines)
+    warmup_factor = max(1, int(total_factor * args.warmup_frac))
+    return ExperimentScale(
+        llc_lines=args.llc_lines,
+        warmup_factor=warmup_factor,
+        measure_factor=total_factor - warmup_factor,
+        seed=args.seed,
+    )
+
+
+def _add_scale_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--llc-lines",
+        type=int,
+        default=2048,
+        help="LLC capacity in 64 B lines (default 2048 = 128 KiB)",
+    )
+    parser.add_argument(
+        "--accesses",
+        type=int,
+        default=65536,
+        help="total trace length in LLC accesses",
+    )
+    parser.add_argument(
+        "--warmup-frac",
+        type=float,
+        default=0.25,
+        help="fraction of the trace used as warmup (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=2014)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("benchmarks:")
+    for category in ("sensitive", "streaming", "compute"):
+        names = benchmark_names(category)
+        print(f"  {category:10} {', '.join(names)}")
+    micro = sorted(n for n in ALL_PARAMS if n.startswith("micro_"))
+    print(f"  {'micro':10} {', '.join(micro)}")
+    print(f"\nmixes:      {', '.join(mix_names())}")
+    print(f"\npolicies:   {', '.join(policy_names())}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    result = run_benchmark(args.benchmark, args.policy, scale)
+    print(f"benchmark : {args.benchmark}")
+    print(f"policy    : {result.policy}")
+    print(f"llc       : {scale.llc_lines} lines "
+          f"({scale.llc_lines * 64 >> 10} KiB), {scale.ways}-way")
+    print(f"accesses  : {result.llc_accesses:,} measured "
+          f"(+{scale.warmup:,} warmup)")
+    print(f"ipc       : {result.ipc:.4f}")
+    print(f"read miss : {result.read_miss_rate:.4f} "
+          f"(mpki {result.read_mpki:.2f})")
+    print(f"writes    : {result.llc_write_hits:,} hits / "
+          f"{result.llc_write_misses:,} misses / "
+          f"{result.llc_bypasses:,} bypassed")
+    print(f"writebacks: {result.llc_writebacks:,}")
+    state = result.extra.get("policy_state", {})
+    interesting = {k: v for k, v in state.items()
+                   if k not in ("policy", "clean_hits", "dirty_hits")}
+    if interesting:
+        print(f"policy state: {interesting}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    policies = args.policies.split(",")
+    baseline = run_benchmark(args.benchmark, policies[0], scale)
+    rows = []
+    for policy in policies:
+        result = run_benchmark(args.benchmark, policy, scale)
+        rows.append(
+            [
+                policy,
+                result.ipc,
+                format_percent(result.speedup_over(baseline)),
+                result.read_miss_rate,
+                result.read_mpki,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "ipc", f"vs {policies[0]}", "read_miss_rate", "read_mpki"],
+            rows,
+            title=f"{args.benchmark} @ {scale.llc_lines} lines",
+        )
+    )
+    return 0
+
+
+def cmd_mix(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    policies = args.policies.split(",")
+    rows = []
+    for policy in policies:
+        result = run_mix(args.mix, policy, scale)
+        rows.append(
+            [
+                policy,
+                result.weighted_speedup,
+                result.harmonic_speedup,
+                result.throughput,
+                result.fairness,
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "weighted_speedup", "harmonic", "throughput", "fairness"],
+            rows,
+            title=f"{args.mix} (4 cores, shared {4 * scale.llc_lines} lines)",
+        )
+    )
+    return 0
+
+
+def cmd_overhead(args: argparse.Namespace) -> int:
+    print(overhead_report(paper_system_config().hierarchy.llc))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.quickreport import generate_report, write_report
+
+    scale = _scale_from(args)
+    if args.output:
+        path = write_report(args.output, scale)
+        print(f"wrote {path}")
+    else:
+        print(generate_report(scale))
+    return 0
+
+
+def cmd_motivation(args: argparse.Namespace) -> int:
+    scale = _scale_from(args)
+    benches = (
+        sensitive_names() if args.benchmark == "sensitive" else [args.benchmark]
+    )
+    rows = []
+    for bench in benches:
+        b = traffic_breakdown(bench, scale)
+        rows.append(
+            [
+                bench,
+                b.read_fraction,
+                1 - b.read_fraction,
+                b.write_only_line_fraction,
+            ]
+        )
+    print(
+        format_table(
+            ["benchmark", "read_frac", "write_frac", "dead_line_frac"], rows
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Read-Write Partitioning (HPCA 2014) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks, mixes, and policies")
+
+    run_parser = sub.add_parser("run", help="run one benchmark+policy")
+    run_parser.add_argument("benchmark")
+    run_parser.add_argument("--policy", "-p", default="rwp")
+    _add_scale_options(run_parser)
+
+    compare_parser = sub.add_parser("compare", help="compare policies")
+    compare_parser.add_argument("benchmark")
+    compare_parser.add_argument(
+        "--policies", "-p", default="lru,dip,drrip,ship,rrp,rwp"
+    )
+    _add_scale_options(compare_parser)
+
+    mix_parser = sub.add_parser("mix", help="run a 4-core mix")
+    mix_parser.add_argument("mix")
+    mix_parser.add_argument("--policies", "-p", default="lru,tadrrip,ucp,rwp")
+    _add_scale_options(mix_parser)
+
+    sub.add_parser("overhead", help="RWP vs RRP state budget")
+
+    report_parser = sub.add_parser(
+        "report", help="run the headline experiments, emit markdown"
+    )
+    report_parser.add_argument(
+        "--output", "-o", default=None, help="write to a file instead of stdout"
+    )
+    _add_scale_options(report_parser)
+
+    motivation_parser = sub.add_parser(
+        "motivation", help="traffic breakdown for a benchmark"
+    )
+    motivation_parser.add_argument(
+        "benchmark", help="a benchmark name, or 'sensitive' for the subset"
+    )
+    _add_scale_options(motivation_parser)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "mix": cmd_mix,
+    "overhead": cmd_overhead,
+    "report": cmd_report,
+    "motivation": cmd_motivation,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

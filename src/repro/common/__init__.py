@@ -1,0 +1,27 @@
+"""Shared infrastructure: configuration, statistics, deterministic RNG."""
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    HierarchyConfig,
+    MemoryConfig,
+    SimulationConfig,
+    default_hierarchy,
+    paper_system_config,
+)
+from repro.common.rng import make_rng, split_rng
+from repro.common.stats import Counter, StatGroup
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "Counter",
+    "HierarchyConfig",
+    "MemoryConfig",
+    "SimulationConfig",
+    "StatGroup",
+    "default_hierarchy",
+    "make_rng",
+    "paper_system_config",
+    "split_rng",
+]

@@ -1,0 +1,149 @@
+"""Configuration dataclasses for every simulated component.
+
+The values in :func:`paper_system_config` mirror the system the paper
+evaluates (Table 1 of the original): a 3-level hierarchy whose last level is
+a 16-way 2 MB cache with 64-byte lines, backed by a ~200-cycle memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one set-associative cache.
+
+    Sizes are in bytes.  ``size`` must equal ``num_sets * ways * line_size``
+    with power-of-two sets and line size so that set indexing is a bit
+    slice of the address.
+    """
+
+    size: int
+    ways: int
+    line_size: int = 64
+    hit_latency: int = 1
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if self.size % (self.ways * self.line_size) != 0:
+            raise ValueError(
+                f"{self.name}: size {self.size} not divisible by "
+                f"ways*line_size = {self.ways * self.line_size}"
+            )
+        if not _is_pow2(self.line_size):
+            raise ValueError(f"{self.name}: line size must be a power of two")
+        if not _is_pow2(self.num_sets):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.ways * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        return self.num_sets * self.ways
+
+    @property
+    def offset_bits(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        return self.num_sets.bit_length() - 1
+
+    def set_index(self, address: int) -> int:
+        """Set index for a byte address."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Tag for a byte address (everything above the index bits)."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def block_address(self, address: int) -> int:
+        """Line-aligned address (tag + index, shifted back up)."""
+        return address >> self.offset_bits
+
+    def scaled(self, factor: int) -> "CacheConfig":
+        """A copy with capacity scaled by ``factor`` (same ways/line)."""
+        return replace(self, size=self.size * factor)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main-memory timing model parameters.
+
+    ``latency`` is the flat read-miss service latency in cycles;
+    ``writeback_cost`` is the incremental cycle cost a writeback adds to
+    channel occupancy (writebacks never stall the core directly, but they
+    consume bandwidth that can delay later demand reads).
+    """
+
+    latency: int = 200
+    writeback_cost: int = 20
+    bandwidth_lines_per_kcycle: int = 64
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Analytic core timing parameters.
+
+    ``base_cpi`` is the CPI with a perfect LLC.  ``mlp`` models the average
+    number of overlapping outstanding read misses (memory-level
+    parallelism): the effective stall per read miss is ``latency / mlp``.
+    Writes retire through a ``store_buffer_entries``-deep buffer and only
+    stall the core when the buffer is full for sustained periods.
+    """
+
+    base_cpi: float = 0.65
+    mlp: float = 1.6
+    store_buffer_entries: int = 32
+    write_buffer_entries: int = 16
+    frequency_ghz: float = 3.2
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """A full private-hierarchy configuration: L1D, L2, shared LLC."""
+
+    l1: CacheConfig
+    l2: CacheConfig
+    llc: CacheConfig
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level knobs for one experiment run."""
+
+    hierarchy: HierarchyConfig
+    num_cores: int = 1
+    warmup_accesses: int = 0
+    seed: int = 2014
+
+
+def default_hierarchy(
+    llc_size: int = 2 * 1024 * 1024,
+    llc_ways: int = 16,
+) -> HierarchyConfig:
+    """The paper's single-core system (Table 1) with a configurable LLC."""
+    return HierarchyConfig(
+        l1=CacheConfig(size=32 * 1024, ways=8, hit_latency=3, name="L1D"),
+        l2=CacheConfig(size=256 * 1024, ways=8, hit_latency=10, name="L2"),
+        llc=CacheConfig(size=llc_size, ways=llc_ways, hit_latency=30, name="LLC"),
+    )
+
+
+def paper_system_config(num_cores: int = 1) -> SimulationConfig:
+    """The evaluated system: 2 MB LLC per core, 16-way, 64 B lines.
+
+    For multicore runs the LLC is shared and scaled with the core count,
+    as in the paper's 4-core experiments (4-core -> 8 MB shared LLC).
+    """
+    hierarchy = default_hierarchy(llc_size=2 * 1024 * 1024 * num_cores)
+    return SimulationConfig(hierarchy=hierarchy, num_cores=num_cores)

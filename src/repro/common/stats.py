@@ -1,0 +1,95 @@
+"""Lightweight statistics: named counters grouped per component.
+
+Simulators accumulate large numbers of counters; this module keeps them
+cheap (plain ints behind attribute access), nameable, and dumpable as flat
+dictionaries so experiment harnesses can tabulate any run uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+
+class Counter:
+    """A single monotonically increasing statistic."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class StatGroup:
+    """A named collection of counters with dotted-path export.
+
+    >>> stats = StatGroup("llc")
+    >>> stats.counter("read_hits").add()
+    >>> stats.as_dict()
+    {'llc.read_hits': 1}
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (or lazily create) a counter in this group."""
+        found = self._counters.get(name)
+        if found is None:
+            found = Counter(name)
+            self._counters[name] = found
+        return found
+
+    def child(self, name: str) -> "StatGroup":
+        """Get (or lazily create) a nested group."""
+        found = self._children.get(name)
+        if found is None:
+            found = StatGroup(name)
+            self._children[name] = found
+        return found
+
+    def get(self, name: str) -> int:
+        """Value of a counter (0 when the counter has never been touched)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        for group in self._children.values():
+            group.reset()
+
+    def as_dict(self, prefix: str = "") -> Dict[str, int]:
+        """Flatten to ``{dotted.path: value}``."""
+        base = f"{prefix}{self.name}"
+        flat = {f"{base}.{c.name}": c.value for c in self._counters.values()}
+        for group in self._children.values():
+            flat.update(group.as_dict(prefix=f"{base}."))
+        return flat
+
+    def __iter__(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def __repr__(self) -> str:
+        return f"StatGroup({self.name}, {len(self._counters)} counters)"
+
+
+def ratio(numerator: int, denominator: int) -> float:
+    """``numerator / denominator`` with 0/0 defined as 0.0."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,30 @@
+"""The paper's contribution: RWP, RRP, and their supporting machinery."""
+
+from repro.core.overhead import (
+    StateBudget,
+    overhead_ratio,
+    overhead_report,
+    rrp_state,
+    rwp_state,
+)
+from repro.core.partition import best_split, predicted_read_hits, split_utilities
+from repro.core.rrp import RRPPolicy
+from repro.core.rwp import RWPPolicy
+from repro.core.sampler import ReadWriteSampler
+from repro.core.variants import RWPBypassPolicy, RWPSRRIPPolicy
+
+__all__ = [
+    "RRPPolicy",
+    "RWPBypassPolicy",
+    "RWPPolicy",
+    "RWPSRRIPPolicy",
+    "ReadWriteSampler",
+    "StateBudget",
+    "best_split",
+    "overhead_ratio",
+    "overhead_report",
+    "predicted_read_hits",
+    "rrp_state",
+    "rwp_state",
+    "split_utilities",
+]

@@ -1,0 +1,121 @@
+"""Analytic state-overhead accounting for RWP and RRP.
+
+The paper's Claim C4: RWP needs only ~5.4% of RRP's state.  Both budgets
+are bit counts of the hardware structures each mechanism adds on top of a
+baseline LRU cache:
+
+RWP adds
+    * a shadow sampler: ~64 sampled sets, each with two ``ways``-deep tag
+      stacks (partial tag + per-entry LRU field + valid bit),
+    * two per-position 16-bit read-hit histograms, and
+    * a handful of registers (partition target, epoch counter).
+
+RRP adds
+    * a PC-indexed saturating-counter table, and
+    * per-line metadata in the whole LLC: the fill signature (so eviction
+      can train the table down) and the served-a-read outcome bit.
+
+Partial tags in samplers are conventional (15-16 bits is enough to make
+aliasing negligible); per-line signature width matches the table index.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.config import CacheConfig
+from repro.core.rrp import COUNTER_BITS, TABLE_ENTRIES
+from repro.core.rwp import TARGET_SAMPLED_SETS
+
+
+@dataclass(frozen=True)
+class StateBudget:
+    """A named bit budget broken into components."""
+
+    name: str
+    components: tuple
+
+    @property
+    def total_bits(self) -> int:
+        return sum(bits for _, bits in self.components)
+
+    @property
+    def total_kib(self) -> float:
+        return self.total_bits / 8 / 1024
+
+    def rows(self):
+        """(component, bits) rows plus a total row, for table printing."""
+        rows = list(self.components)
+        rows.append(("total", self.total_bits))
+        return rows
+
+
+def rwp_state(
+    config: CacheConfig,
+    sampled_sets: int = TARGET_SAMPLED_SETS,
+    partial_tag_bits: int = 15,
+    histogram_bits: int = 16,
+) -> StateBudget:
+    """RWP's added state for a given LLC geometry."""
+    ways = config.ways
+    sampled_sets = min(sampled_sets, config.num_sets)
+    lru_bits = max(1, math.ceil(math.log2(ways)))
+    entry_bits = partial_tag_bits + lru_bits + 1  # tag + stack position + valid
+    sampler_bits = sampled_sets * 2 * ways * entry_bits
+    histogram = 2 * ways * histogram_bits
+    registers = (
+        math.ceil(math.log2(ways + 1))  # target_clean
+        + 20  # epoch access counter
+    )
+    return StateBudget(
+        "RWP",
+        (
+            (f"shadow sampler ({sampled_sets} sets x 2x{ways} entries)", sampler_bits),
+            ("read-hit histograms", histogram),
+            ("registers", registers),
+        ),
+    )
+
+
+def rrp_state(
+    config: CacheConfig,
+    table_entries: int = TABLE_ENTRIES,
+    counter_bits: int = COUNTER_BITS,
+) -> StateBudget:
+    """RRP's added state for a given LLC geometry."""
+    signature_bits = math.ceil(math.log2(table_entries))
+    per_line = signature_bits + 1  # signature + outcome bit
+    return StateBudget(
+        "RRP",
+        (
+            (f"predictor table ({table_entries} x {counter_bits}b)", table_entries * counter_bits),
+            (f"per-line signature+outcome ({config.num_lines} lines)", config.num_lines * per_line),
+        ),
+    )
+
+
+def overhead_ratio(config: CacheConfig) -> float:
+    """RWP state as a fraction of RRP state (paper: ~0.054)."""
+    return rwp_state(config).total_bits / rrp_state(config).total_bits
+
+
+def overhead_report(config: CacheConfig) -> str:
+    """A printable Table-2-style comparison."""
+    rwp = rwp_state(config)
+    rrp = rrp_state(config)
+    lines = [
+        f"State overhead for {config.name}: "
+        f"{config.size >> 20} MiB, {config.num_sets} sets x {config.ways} ways",
+        "",
+    ]
+    for budget in (rrp, rwp):
+        lines.append(f"{budget.name}:")
+        for component, bits in budget.rows():
+            lines.append(f"  {component:<55} {bits:>10} bits ({bits / 8 / 1024:8.2f} KiB)")
+        lines.append("")
+    ratio = rwp.total_bits / rrp.total_bits
+    lines.append(
+        f"RWP / RRP state ratio: {ratio:.1%}   (paper reports 5.4%)"
+    )
+    return "\n".join(lines)

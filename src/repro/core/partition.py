@@ -1,0 +1,69 @@
+"""Partition-size selection for Read-Write Partitioning.
+
+Given read-hit histograms by LRU stack position for the clean and dirty
+shadow stacks, the expected number of read hits under a split of
+``clean_ways`` clean / ``ways - clean_ways`` dirty is the sum of the two
+histogram prefixes.  RWP picks the split maximizing that estimate --
+equivalently, minimizing predicted read misses -- with optional hysteresis
+so noise does not flap the partition between epochs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def predicted_read_hits(
+    clean_hits: Sequence[int],
+    dirty_hits: Sequence[int],
+    clean_ways: int,
+) -> int:
+    """Expected read hits when ``clean_ways`` ways hold clean lines."""
+    ways = len(clean_hits)
+    if len(dirty_hits) != ways:
+        raise ValueError("histograms must have equal length")
+    if not 0 <= clean_ways <= ways:
+        raise ValueError(f"clean_ways {clean_ways} out of range 0..{ways}")
+    return sum(clean_hits[:clean_ways]) + sum(dirty_hits[: ways - clean_ways])
+
+
+def split_utilities(
+    clean_hits: Sequence[int], dirty_hits: Sequence[int]
+) -> List[int]:
+    """Predicted read hits for every split 0..ways (prefix sums)."""
+    ways = len(clean_hits)
+    clean_prefix = [0]
+    for count in clean_hits:
+        clean_prefix.append(clean_prefix[-1] + count)
+    dirty_prefix = [0]
+    for count in dirty_hits:
+        dirty_prefix.append(dirty_prefix[-1] + count)
+    return [
+        clean_prefix[c] + dirty_prefix[ways - c] for c in range(ways + 1)
+    ]
+
+
+def best_split(
+    clean_hits: Sequence[int],
+    dirty_hits: Sequence[int],
+    current: int,
+    hysteresis: float = 0.0,
+) -> Tuple[int, List[int]]:
+    """The read-hit-maximizing clean-way count, with hysteresis.
+
+    Returns ``(chosen_split, utilities)``.  The current split is kept
+    unless some other split beats it by more than ``hysteresis`` (a
+    relative margin, e.g. 0.02 = 2%); ties prefer the split closest to the
+    current one so the partition drifts rather than jumps.
+    """
+    utilities = split_utilities(clean_hits, dirty_hits)
+    ways = len(clean_hits)
+    current = min(max(current, 0), ways)
+    best = max(
+        range(ways + 1),
+        key=lambda c: (utilities[c], -abs(c - current)),
+    )
+    threshold = utilities[current] * (1.0 + hysteresis)
+    if utilities[best] <= threshold and best != current:
+        return current, utilities
+    return best, utilities

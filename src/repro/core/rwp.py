@@ -1,0 +1,139 @@
+"""Read-Write Partitioning (RWP) -- the paper's primary contribution.
+
+RWP logically splits every set's ways into a *clean* partition and a
+*dirty* partition and sizes them, chip-wide, to minimize read misses:
+
+* A :class:`~repro.core.sampler.ReadWriteSampler` shadows a few sets and
+  records, for each partition and LRU depth, how many *read* hits that
+  depth produced.
+* Every epoch, :func:`~repro.core.partition.best_split` converts those
+  histograms into the read-hit-maximizing split ``target_clean`` (clean
+  ways) / ``ways - target_clean`` (dirty ways).
+* On every replacement, the partition currently *over* its target gives
+  up its LRU line; at target, the victim comes from the incoming line's
+  own partition so the split is preserved.
+
+Lines migrate between partitions implicitly: a write to a clean line
+dirties it (the line now counts against the dirty target and will be
+shed at the next replacement if the dirty partition is over target), and
+dirty lines only return to clean by eviction + refill.
+
+Within each partition replacement is true LRU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import ReplacementPolicy, register_policy
+from repro.core.partition import best_split
+from repro.core.sampler import ReadWriteSampler
+
+DEFAULT_EPOCH = 25_000  # LLC accesses between repartitioning decisions
+TARGET_SAMPLED_SETS = 64  # hardware budget: ~64 shadowed sets regardless of size
+DEFAULT_HYSTERESIS = 0.02
+
+
+class RWPPolicy(ReplacementPolicy):
+    """Dynamic clean/dirty cache partitioning."""
+
+    needs_observe = True
+
+    def __init__(
+        self,
+        epoch: int = DEFAULT_EPOCH,
+        sampling: int | None = None,
+        hysteresis: float = DEFAULT_HYSTERESIS,
+    ) -> None:
+        super().__init__()
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        self._epoch = epoch
+        self._sampling = sampling
+        self._hysteresis = hysteresis
+        self._clock = 0
+        self._accesses = 0
+        self.sampler: ReadWriteSampler | None = None
+        self.target_clean = 0
+        #: (access_count, target_clean) decision log for dynamics studies
+        self.decision_history: List[tuple] = []
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        config = cache.config
+        # Default sampling keeps a roughly constant shadow-set budget
+        # (~TARGET_SAMPLED_SETS) at any cache size.
+        sampling = self._sampling
+        if sampling is None:
+            sampling = max(1, config.num_sets // TARGET_SAMPLED_SETS)
+        self.sampler = ReadWriteSampler(config.ways, config.num_sets, sampling)
+        # Start balanced; the first epoch corrects this from evidence.
+        self.target_clean = config.ways // 2
+
+    # -- sampling & repartitioning ----------------------------------------
+    def observe(self, set_index, tag, is_write, pc, core) -> None:
+        sampler = self.sampler
+        if set_index % sampler.sampling == 0:
+            sampler.observe(set_index, tag, is_write)
+        self._accesses += 1
+        if self._accesses % self._epoch == 0:
+            self._repartition()
+
+    def _repartition(self) -> None:
+        sampler = self.sampler
+        self.target_clean, _ = best_split(
+            sampler.clean_hits,
+            sampler.dirty_hits,
+            current=self.target_clean,
+            hysteresis=self._hysteresis,
+        )
+        self.decision_history.append((self._accesses, self.target_clean))
+        sampler.decay()
+
+    # -- replacement -------------------------------------------------------
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        ways = len(cache_set.lines)
+        target_dirty = ways - self.target_clean
+        dirty_count = 0
+        lru_dirty: CacheLine | None = None
+        lru_clean: CacheLine | None = None
+        for line in cache_set.lines:
+            if line.dirty:
+                dirty_count += 1
+                if lru_dirty is None or line.stamp < lru_dirty.stamp:
+                    lru_dirty = line
+            else:
+                if lru_clean is None or line.stamp < lru_clean.stamp:
+                    lru_clean = line
+
+        if dirty_count > target_dirty:
+            evict_dirty = True
+        elif dirty_count < target_dirty:
+            evict_dirty = False
+        else:
+            # At target: replace within the incoming line's own partition.
+            evict_dirty = is_write
+
+        if evict_dirty:
+            return lru_dirty if lru_dirty is not None else lru_clean
+        return lru_clean if lru_clean is not None else lru_dirty
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+    def describe(self):
+        info = super().describe()
+        info["target_clean"] = self.target_clean
+        if self.sampler is not None:
+            info["clean_hits"] = list(self.sampler.clean_hits)
+            info["dirty_hits"] = list(self.sampler.dirty_hits)
+        return info
+
+
+register_policy("rwp", RWPPolicy)

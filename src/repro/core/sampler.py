@@ -1,0 +1,104 @@
+"""Shadow-tag sampler that measures read-hit utility per partition.
+
+A small fraction of sets is shadowed.  Each shadowed set keeps two
+MRU-ordered tag stacks -- one for clean lines, one for dirty lines -- each
+as deep as the cache's associativity, so the sampler can answer "how many
+read hits would position *p* of each partition have produced?" for every
+candidate partition size at once.
+
+Stack transitions mirror the real clean/dirty life cycle:
+
+* miss             -> insert at MRU of the matching stack (dirty iff write)
+* read on clean    -> read hit at its clean-stack depth; promote in place
+* write on clean   -> the line becomes dirty: move to dirty-stack MRU
+* read on dirty    -> read hit at its dirty-stack depth; promote in place
+  (reads never clean a line -- the writeback obligation remains)
+* write on dirty   -> promote within the dirty stack
+
+Only *read* hits are counted: RWP sizes partitions to minimize read
+misses, and write hits are free by assumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class ShadowSet:
+    """The two shadow stacks of one sampled set."""
+
+    __slots__ = ("clean", "dirty")
+
+    def __init__(self) -> None:
+        self.clean: List[int] = []  # MRU first
+        self.dirty: List[int] = []
+
+
+class ReadWriteSampler:
+    """Aggregated clean/dirty read-hit histograms over sampled sets."""
+
+    def __init__(self, ways: int, num_sets: int, sampling: int = 16) -> None:
+        if ways < 1:
+            raise ValueError("ways must be >= 1")
+        if sampling < 1:
+            raise ValueError("sampling must be >= 1")
+        self.ways = ways
+        self.sampling = min(sampling, num_sets)
+        self.clean_hits = [0] * ways
+        self.dirty_hits = [0] * ways
+        self._sets: Dict[int, ShadowSet] = {}
+
+    def is_sampled(self, set_index: int) -> bool:
+        return set_index % self.sampling == 0
+
+    def observe(self, set_index: int, tag: int, is_write: bool) -> None:
+        """Feed one access to a sampled set into the shadow stacks."""
+        shadow = self._sets.get(set_index)
+        if shadow is None:
+            shadow = ShadowSet()
+            self._sets[set_index] = shadow
+        clean, dirty = shadow.clean, shadow.dirty
+
+        try:
+            position = clean.index(tag)
+        except ValueError:
+            position = -1
+        if position >= 0:
+            del clean[position]
+            if is_write:
+                dirty.insert(0, tag)
+                if len(dirty) > self.ways:
+                    dirty.pop()
+            else:
+                self.clean_hits[position] += 1
+                clean.insert(0, tag)
+            return
+
+        try:
+            position = dirty.index(tag)
+        except ValueError:
+            position = -1
+        if position >= 0:
+            if not is_write:
+                self.dirty_hits[position] += 1
+            del dirty[position]
+            dirty.insert(0, tag)
+            return
+
+        # Shadow miss: fill the matching partition's stack.
+        stack = dirty if is_write else clean
+        stack.insert(0, tag)
+        if len(stack) > self.ways:
+            stack.pop()
+
+    def decay(self) -> None:
+        """Halve both histograms (ages out stale phases between epochs)."""
+        self.clean_hits = [count // 2 for count in self.clean_hits]
+        self.dirty_hits = [count // 2 for count in self.dirty_hits]
+
+    def total_read_hits(self) -> int:
+        return sum(self.clean_hits) + sum(self.dirty_hits)
+
+    @property
+    def sampled_set_count(self) -> int:
+        return len(self._sets)

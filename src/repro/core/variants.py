@@ -1,0 +1,91 @@
+"""RWP variants: the paper's extension directions, made concrete.
+
+``RWPSRRIPPolicy``
+    The partitioning idea is orthogonal to the within-partition
+    replacement order.  This variant keeps RWP's sampler and clean/dirty
+    targets but replaces true LRU inside each partition with SRRIP
+    (2-bit RRPVs), adding scan resistance inside the clean partition.
+
+``RWPBypassPolicy``
+    When the learned dirty target is zero, plain RWP still allocates
+    every write miss and evicts it at the next replacement -- a pointless
+    round trip through the array.  This variant short-circuits it: write
+    misses are bypassed (write-no-allocate straight to memory) whenever
+    the dirty partition's target is at or below a threshold, converging
+    toward RRP's behavior without a predictor table.
+
+Both are registered ("rwp-srrip", "rwp-bypass") and compared in the A3
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import register_policy
+from repro.cache.rrip import RRPV_LONG, RRPV_MAX
+from repro.core.rwp import RWPPolicy
+
+
+class RWPSRRIPPolicy(RWPPolicy):
+    """RWP partition sizing with SRRIP ordering inside each partition."""
+
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        ways = len(cache_set.lines)
+        target_dirty = ways - self.target_clean
+        dirty_pool = []
+        clean_pool = []
+        for line in cache_set.lines:
+            (dirty_pool if line.dirty else clean_pool).append(line)
+
+        if len(dirty_pool) > target_dirty:
+            pool = dirty_pool or clean_pool
+        elif len(dirty_pool) < target_dirty:
+            pool = clean_pool or dirty_pool
+        else:
+            pool = (dirty_pool or clean_pool) if is_write else (clean_pool or dirty_pool)
+        return self._rrip_victim(pool)
+
+    @staticmethod
+    def _rrip_victim(pool) -> CacheLine:
+        while True:
+            for line in pool:
+                if line.rrpv >= RRPV_MAX:
+                    return line
+            for line in pool:
+                line.rrpv += 1
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = RRPV_LONG
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        line.rrpv = 0
+
+
+class RWPBypassPolicy(RWPPolicy):
+    """RWP that bypasses write misses when dirty lines are read-dead.
+
+    ``bypass_threshold`` is the dirty-way target at or below which write
+    misses stop allocating: 0 is the conservative setting (only bypass
+    when the sampler says dirty lines produce *no* read hits at all).
+    """
+
+    def __init__(self, bypass_threshold: int = 0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if bypass_threshold < 0:
+            raise ValueError("bypass_threshold must be >= 0")
+        self.bypass_threshold = bypass_threshold
+
+    def should_bypass(self, set_index, tag, is_write, pc, core) -> bool:
+        if not is_write or self.sampler is None:
+            return False
+        ways = self.sampler.ways
+        return ways - self.target_clean <= self.bypass_threshold
+
+    def describe(self):
+        info = super().describe()
+        info["bypass_threshold"] = self.bypass_threshold
+        return info
+
+
+register_policy("rwp-srrip", RWPSRRIPPolicy)
+register_policy("rwp-bypass", RWPBypassPolicy)

@@ -1,0 +1,12 @@
+"""Core timing model and trace drivers."""
+
+from repro.cpu.core import DRAMLLCRunner, HierarchyRunner, LLCRunner, RunResult
+from repro.cpu.timing import TimingModel
+
+__all__ = [
+    "DRAMLLCRunner",
+    "HierarchyRunner",
+    "LLCRunner",
+    "RunResult",
+    "TimingModel",
+]

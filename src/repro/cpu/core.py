@@ -1,0 +1,305 @@
+"""Single-core trace drivers.
+
+Two drivers share the :class:`RunResult` shape:
+
+* :class:`LLCRunner` -- the workhorse: replays an LLC-level trace against
+  a single cache (the LLC under study) plus the analytic timing model.
+* :class:`HierarchyRunner` -- replays a raw access trace through the full
+  L1/L2/LLC stack; used by integration tests and the motivation studies
+  to validate the LLC-level shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import ReplacementPolicy, make_policy
+from repro.common.config import HierarchyConfig
+from repro.cpu.timing import TimingModel
+from repro.hierarchy.system import MemoryHierarchy
+from repro.trace.access import Trace
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything an experiment needs from one simulation run."""
+
+    name: str
+    policy: str
+    instructions: int
+    cycles: float
+    ipc: float
+    llc_read_hits: int
+    llc_read_misses: int
+    llc_write_hits: int
+    llc_write_misses: int
+    llc_writebacks: int
+    llc_bypasses: int
+    read_stall_cycles: float
+    write_stall_cycles: float
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def llc_accesses(self) -> int:
+        return (
+            self.llc_read_hits
+            + self.llc_read_misses
+            + self.llc_write_hits
+            + self.llc_write_misses
+        )
+
+    @property
+    def llc_misses(self) -> int:
+        return self.llc_read_misses + self.llc_write_misses
+
+    @property
+    def read_miss_rate(self) -> float:
+        reads = self.llc_read_hits + self.llc_read_misses
+        return self.llc_read_misses / reads if reads else 0.0
+
+    @property
+    def read_mpki(self) -> float:
+        return 1000.0 * self.llc_read_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def mpki(self) -> float:
+        return 1000.0 * self.llc_misses / self.instructions if self.instructions else 0.0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """This run's IPC relative to a baseline run's IPC."""
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+
+class LLCRunner:
+    """Replay an LLC-level trace against one cache + timing model.
+
+    ``prefetcher`` (optional) observes every demand access and its
+    prefetches are installed through the cache's normal replacement
+    path, so pollution and useful coverage are both real.  Each prefetch
+    fill is charged one memory-channel slot (like a writeback) in the
+    timing model: off the critical path, but capable of back-pressure.
+    """
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        policy: ReplacementPolicy | str = "lru",
+        prefetcher=None,
+    ) -> None:
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.config = config
+        self.llc = SetAssociativeCache(config.llc, policy)
+        self.prefetcher = prefetcher
+        self.timing = TimingModel(
+            config.core, config.memory, config.llc.hit_latency
+        )
+
+    def run(self, trace: Trace, warmup: int = 0) -> RunResult:
+        """Simulate ``trace``; the first ``warmup`` accesses prime state
+        but are excluded from every reported statistic."""
+        if warmup >= len(trace):
+            raise ValueError(
+                f"warmup ({warmup}) must be smaller than the trace ({len(trace)})"
+            )
+        llc = self.llc
+        timing = self.timing
+        access = llc.access
+        prefetcher = self.prefetcher
+        prefetch_by_pc = getattr(prefetcher, "on_access_pc", None)
+        position = 0
+        for address, is_write, pc, gap in trace:
+            if position == warmup:
+                llc.reset_stats()
+                timing.reset()
+            position += 1
+            timing.advance(gap)
+            hit, bypassed, writeback = access(address, is_write, pc)
+            if is_write:
+                if bypassed:
+                    timing.memory_write()
+            elif hit:
+                timing.read_hit()
+            else:
+                timing.read_miss()
+            if writeback >= 0:
+                timing.memory_write()
+            if prefetcher is not None:
+                if prefetch_by_pc is not None:
+                    targets = prefetch_by_pc(address, is_write, hit, pc)
+                else:
+                    targets = prefetcher.on_access(address, is_write, hit)
+                for target in targets:
+                    prefetch_writeback = llc.fill_prefetch(target)
+                    timing.memory_write()  # channel slot for the fill
+                    if prefetch_writeback >= 0:
+                        timing.memory_write()
+        return self._result(trace.name)
+
+    def _result(self, name: str) -> RunResult:
+        llc = self.llc
+        timing = self.timing
+        return RunResult(
+            name=name,
+            policy=llc.policy.name,
+            instructions=timing.instructions,
+            cycles=timing.cycles,
+            ipc=timing.ipc(),
+            llc_read_hits=llc.read_hits,
+            llc_read_misses=llc.read_misses,
+            llc_write_hits=llc.write_hits,
+            llc_write_misses=llc.write_misses,
+            llc_writebacks=llc.writebacks,
+            llc_bypasses=llc.bypasses,
+            read_stall_cycles=timing.read_stall_cycles,
+            write_stall_cycles=timing.write_stall_cycles,
+            extra={
+                "policy_state": llc.policy.describe(),
+                "prefetch": {
+                    "fills": llc.prefetch_fills,
+                    "useful": llc.prefetch_useful,
+                    "unused_evictions": llc.prefetch_unused_evictions,
+                },
+            },
+        )
+
+
+class HierarchyRunner:
+    """Replay a raw (core-level) trace through the full hierarchy."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        llc_policy: ReplacementPolicy | str = "lru",
+    ) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config, llc_policy)
+        self.timing = TimingModel(
+            config.core, config.memory, config.llc.hit_latency
+        )
+
+    def run(self, trace: Trace, warmup: int = 0) -> RunResult:
+        if warmup >= len(trace):
+            raise ValueError(
+                f"warmup ({warmup}) must be smaller than the trace ({len(trace)})"
+            )
+        hierarchy = self.hierarchy
+        timing = self.timing
+        memory = hierarchy.memory
+        seen_memory_writes = memory.writes
+        position = 0
+        for address, is_write, pc, gap in trace:
+            if position == warmup:
+                hierarchy.reset_stats()
+                timing.reset()
+                seen_memory_writes = 0
+            position += 1
+            timing.advance(gap)
+            level, _ = hierarchy.access(address, is_write, pc)
+            if not is_write:
+                if level == "llc":
+                    timing.read_hit()
+                elif level == "memory":
+                    timing.read_miss()
+            while seen_memory_writes < memory.writes:
+                timing.memory_write()
+                seen_memory_writes += 1
+        llc = hierarchy.llc
+        return RunResult(
+            name=trace.name,
+            policy=llc.policy.name,
+            instructions=timing.instructions,
+            cycles=timing.cycles,
+            ipc=timing.ipc(),
+            llc_read_hits=llc.read_hits,
+            llc_read_misses=llc.read_misses,
+            llc_write_hits=llc.write_hits,
+            llc_write_misses=llc.write_misses,
+            llc_writebacks=llc.writebacks,
+            llc_bypasses=llc.bypasses,
+            read_stall_cycles=timing.read_stall_cycles,
+            write_stall_cycles=timing.write_stall_cycles,
+            extra={
+                "hierarchy": hierarchy.snapshot(),
+                "policy_state": llc.policy.describe(),
+            },
+        )
+
+
+class DRAMLLCRunner(LLCRunner):
+    """LLCRunner variant backed by the banked DRAM model.
+
+    Read-miss latency becomes dynamic (row-buffer hits are cheap, bank
+    conflicts queue), and writebacks occupy banks instead of a flat
+    write buffer -- so a policy that trades write traffic for read hits
+    (RWP) is charged for the extra writebacks through the bank conflicts
+    they cause.
+    """
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        policy: "ReplacementPolicy | str" = "lru",
+        dram=None,
+        write_scheduler: bool = False,
+    ) -> None:
+        super().__init__(config, policy)
+        if dram is None:
+            from repro.hierarchy.dram import DRAMModel
+
+            dram = DRAMModel()
+        self.dram = dram
+        self.scheduler = None
+        if write_scheduler:
+            from repro.hierarchy.dram import WriteDrainScheduler
+
+            self.scheduler = WriteDrainScheduler(dram)
+
+    def run(self, trace: Trace, warmup: int = 0) -> RunResult:
+        if warmup >= len(trace):
+            raise ValueError(
+                f"warmup ({warmup}) must be smaller than the trace ({len(trace)})"
+            )
+        llc = self.llc
+        timing = self.timing
+        dram = self.dram
+        scheduler = self.scheduler
+        read = scheduler.read if scheduler is not None else dram.read
+        write = scheduler.write if scheduler is not None else dram.write
+        access = llc.access
+        position = 0
+        for address, is_write, pc, gap in trace:
+            if position == warmup:
+                llc.reset_stats()
+                timing.reset()
+                dram.reset_stats()
+            position += 1
+            timing.advance(gap)
+            hit, bypassed, writeback = access(address, is_write, pc)
+            if is_write:
+                if bypassed:
+                    write(address, timing.cycles)
+            elif hit:
+                timing.read_hit()
+            else:
+                timing.read_stall(read(address, timing.cycles))
+            if writeback >= 0:
+                write(writeback, timing.cycles)
+        if scheduler is not None:
+            scheduler.drain(timing.cycles)
+        result = self._result(trace.name)
+        result.extra["dram"] = {
+            "row_hit_rate": dram.row_hit_rate(),
+            **dram.snapshot(),
+        }
+        if scheduler is not None:
+            result.extra["write_queue"] = {
+                "enqueued": scheduler.enqueued,
+                "forwarded_reads": scheduler.forwarded_reads,
+                "drain_batches": scheduler.drain_batches,
+            }
+        return result

@@ -1,0 +1,78 @@
+"""Experiment harnesses: runners, sweeps, and table formatting."""
+
+from repro.experiments.energy import (
+    EnergyBreakdown,
+    EnergyParams,
+    evaluate_energy,
+)
+from repro.experiments.export import export_grid, grid_rows, write_csv, write_json
+from repro.experiments.motivation import (
+    ReadPotential,
+    TrafficBreakdown,
+    read_potential,
+    traffic_breakdown,
+)
+from repro.experiments.multicore_exp import (
+    MULTICORE_POLICIES,
+    MixResult,
+    normalized_ws,
+    run_mix,
+    run_mix_grid,
+)
+from repro.experiments.replication import (
+    ReplicatedResult,
+    replicate_speedup,
+    replication_table,
+)
+from repro.experiments.runner import (
+    DEFAULT_LLC_LINES,
+    SINGLE_CORE_POLICIES,
+    ExperimentScale,
+    cached_trace,
+    make_llc_policy,
+    run_benchmark,
+    run_grid,
+    speedups_over,
+)
+from repro.experiments.sweeps import (
+    associativity_sweep,
+    rwp_parameter_sweep,
+    size_sweep,
+)
+from repro.experiments.tables import bar, format_percent, format_table
+
+__all__ = [
+    "DEFAULT_LLC_LINES",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "evaluate_energy",
+    "MULTICORE_POLICIES",
+    "MixResult",
+    "ReadPotential",
+    "ReplicatedResult",
+    "SINGLE_CORE_POLICIES",
+    "ExperimentScale",
+    "TrafficBreakdown",
+    "associativity_sweep",
+    "bar",
+    "cached_trace",
+    "export_grid",
+    "format_percent",
+    "format_table",
+    "grid_rows",
+    "make_llc_policy",
+    "normalized_ws",
+    "read_potential",
+    "replicate_speedup",
+    "replication_table",
+    "rwp_parameter_sweep",
+    "run_benchmark",
+    "run_grid",
+    "run_mix",
+    "run_mix_grid",
+    "size_sweep",
+    "speedups_over",
+    "traffic_breakdown",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,94 @@
+"""Result export: CSV/JSON writers so downstream tooling can plot.
+
+Every benchmark harness prints a fixed-width table; these helpers write
+the same data in machine-readable form.  ``export_grid`` flattens a
+(benchmark, policy) -> RunResult grid, ``write_csv``/``write_json`` dump
+arbitrary header+rows tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cpu.core import RunResult
+
+#: RunResult fields exported per row, in order.
+RESULT_FIELDS = (
+    "ipc",
+    "instructions",
+    "cycles",
+    "llc_read_hits",
+    "llc_read_misses",
+    "llc_write_hits",
+    "llc_write_misses",
+    "llc_writebacks",
+    "llc_bypasses",
+    "read_stall_cycles",
+    "write_stall_cycles",
+)
+
+
+def grid_rows(
+    results: Dict[Tuple[str, str], RunResult],
+) -> Tuple[List[str], List[List[object]]]:
+    """Flatten a result grid to (headers, rows)."""
+    headers = ["benchmark", "policy", *RESULT_FIELDS, "read_mpki"]
+    rows: List[List[object]] = []
+    for (benchmark, policy), result in sorted(results.items()):
+        row: List[object] = [benchmark, policy]
+        row.extend(getattr(result, field) for field in RESULT_FIELDS)
+        row.append(result.read_mpki)
+        rows.append(row)
+    return headers, rows
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Path:
+    """Write one table as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row width {len(row)} != header width {len(headers)}"
+                )
+            writer.writerow(row)
+    return path
+
+
+def write_json(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> Path:
+    """Write one table as a list of JSON objects; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [dict(zip(headers, row)) for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+    path.write_text(json.dumps(records, indent=2, default=str))
+    return path
+
+
+def export_grid(
+    results: Dict[Tuple[str, str], RunResult],
+    csv_path: str | Path | None = None,
+    json_path: str | Path | None = None,
+) -> List[Path]:
+    """Export a result grid to CSV and/or JSON; returns written paths."""
+    headers, rows = grid_rows(results)
+    written: List[Path] = []
+    if csv_path is not None:
+        written.append(write_csv(csv_path, headers, rows))
+    if json_path is not None:
+        written.append(write_json(json_path, headers, rows))
+    return written

@@ -1,0 +1,166 @@
+"""The 4-core evaluation harness (figure F9).
+
+Methodology (mirrors the paper's):
+
+* The shared LLC is ``num_cores`` x the per-core reference size.
+* Each core runs one SPEC-like model, generated at the *per-core* scale
+  (a program does not change because it shares a cache).
+* ``alone`` IPCs -- the weighted-speedup denominators -- come from each
+  benchmark running by itself on the whole shared LLC under baseline LRU.
+* Reported per policy: weighted speedup, harmonic speedup, throughput,
+  each also normalized to the shared-LRU run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import default_hierarchy
+from repro.cpu.core import LLCRunner
+from repro.experiments.runner import ExperimentScale, cached_trace, make_llc_policy
+from repro.multicore.metrics import (
+    fairness,
+    harmonic_speedup,
+    throughput,
+    weighted_speedup,
+)
+from repro.multicore.shared import SharedLLCSystem, SharedRunResult
+from repro.trace.generator import LINE_SIZE
+from repro.trace.mixes import mix_benchmarks
+
+#: baseline LRU + state-of-the-art comparators + RWP
+MULTICORE_POLICIES = ("lru", "dip", "tadrrip", "ucp", "pipp", "rwp")
+
+
+@dataclass(frozen=True)
+class MixResult:
+    """All metrics for one (mix, policy) run."""
+
+    mix: str
+    policy: str
+    weighted_speedup: float
+    harmonic_speedup: float
+    throughput: float
+    fairness: float
+    per_core_ipc: Tuple[float, ...]
+
+
+def _shared_scale(per_core: ExperimentScale, num_cores: int) -> ExperimentScale:
+    """The shared-LLC geometry: num_cores x the per-core capacity."""
+    return ExperimentScale(
+        llc_lines=per_core.llc_lines * num_cores,
+        ways=per_core.ways,
+        warmup_factor=per_core.warmup_factor,
+        measure_factor=per_core.measure_factor,
+        seed=per_core.seed,
+    )
+
+
+@lru_cache(maxsize=64)
+def _alone_ipc(
+    benchmark: str,
+    per_core_llc_lines: int,
+    shared_llc_lines: int,
+    ways: int,
+    total_accesses: int,
+    warmup: int,
+    seed: int,
+) -> float:
+    """IPC of one benchmark alone on the full shared LLC under LRU."""
+    trace = cached_trace(benchmark, per_core_llc_lines, total_accesses, seed)
+    hierarchy = default_hierarchy(
+        llc_size=shared_llc_lines * LINE_SIZE, llc_ways=ways
+    )
+    runner = LLCRunner(hierarchy, make_llc_policy("lru"))
+    return runner.run(trace, warmup=warmup).ipc
+
+
+def run_mix(
+    mix: str,
+    policy: str,
+    per_core: ExperimentScale | None = None,
+    num_cores: int = 4,
+) -> MixResult:
+    """Run one named mix under one policy and compute all metrics."""
+    per_core = per_core or ExperimentScale()
+    benchmarks = mix_benchmarks(mix)
+    if len(benchmarks) != num_cores:
+        raise ValueError(
+            f"mix {mix} has {len(benchmarks)} benchmarks, need {num_cores}"
+        )
+    shared = _shared_scale(per_core, num_cores)
+
+    traces = [
+        cached_trace(
+            bench, per_core.llc_lines, per_core.total_accesses, per_core.seed
+        )
+        for bench in benchmarks
+    ]
+    system = SharedLLCSystem(
+        shared.hierarchy(),
+        num_cores,
+        make_llc_policy(policy, shared.llc_lines, num_cores),
+    )
+    result: SharedRunResult = system.run(traces, warmup=per_core.warmup)
+
+    shared_ipcs = result.ipcs()
+    alone_ipcs = [
+        _alone_ipc(
+            bench,
+            per_core.llc_lines,
+            shared.llc_lines,
+            per_core.ways,
+            per_core.total_accesses,
+            per_core.warmup,
+            per_core.seed,
+        )
+        for bench in benchmarks
+    ]
+    return MixResult(
+        mix=mix,
+        policy=policy,
+        weighted_speedup=weighted_speedup(shared_ipcs, alone_ipcs),
+        harmonic_speedup=harmonic_speedup(shared_ipcs, alone_ipcs),
+        throughput=throughput(shared_ipcs),
+        fairness=fairness(shared_ipcs, alone_ipcs),
+        per_core_ipc=tuple(shared_ipcs),
+    )
+
+
+def run_mix_grid(
+    mixes: Sequence[str],
+    policies: Sequence[str] = MULTICORE_POLICIES,
+    per_core: ExperimentScale | None = None,
+    progress: bool = False,
+) -> Dict[Tuple[str, str], MixResult]:
+    """Every (mix, policy) pair."""
+    results: Dict[Tuple[str, str], MixResult] = {}
+    for mix in mixes:
+        for policy in policies:
+            results[(mix, policy)] = run_mix(mix, policy, per_core)
+            if progress:
+                r = results[(mix, policy)]
+                print(
+                    f"  {mix:<22} {policy:<8} WS={r.weighted_speedup:5.3f} "
+                    f"HS={r.harmonic_speedup:5.3f}"
+                )
+    return results
+
+
+def normalized_ws(
+    results: Dict[Tuple[str, str], MixResult],
+    mixes: Sequence[str],
+    policies: Sequence[str],
+    baseline: str = "lru",
+) -> Dict[str, List[float]]:
+    """Weighted speedup normalized to the baseline policy, per mix."""
+    normalized: Dict[str, List[float]] = {}
+    for policy in policies:
+        normalized[policy] = [
+            results[(mix, policy)].weighted_speedup
+            / results[(mix, baseline)].weighted_speedup
+            for mix in mixes
+        ]
+    return normalized

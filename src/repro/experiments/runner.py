@@ -1,0 +1,174 @@
+"""Experiment runner: one place that turns (benchmark, policy, scale)
+into a :class:`~repro.cpu.core.RunResult`.
+
+Scale
+-----
+Experiments default to a 1/8-scale system (256 KiB, 16-way LLC) with
+workload working sets scaled identically, which preserves every relative
+effect while keeping a full 29-benchmark x 6-policy sweep in seconds-to-
+minutes of pure-Python simulation.  ``llc_lines=PAPER_LLC_LINES`` runs at
+the paper's full 2 MB scale.
+
+Traces are cached per (benchmark, scale, length, seed) so comparing many
+policies replays identical access streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cache.policy import ReplacementPolicy, make_policy
+from repro.common.config import CacheConfig, HierarchyConfig, default_hierarchy
+from repro.core.rwp import RWPPolicy
+from repro.cpu.core import LLCRunner, RunResult
+from repro.trace.access import Trace
+from repro.trace.generator import LINE_SIZE
+from repro.trace.spec import make_model
+
+#: default experiment scale: 4096-line (256 KiB) LLC
+DEFAULT_LLC_LINES = 4096
+
+#: the six policies of the single-core headline comparison (F4/F5)
+SINGLE_CORE_POLICIES = ("lru", "dip", "drrip", "ship", "rrp", "rwp")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Geometry + trace-length bundle for one experiment scale."""
+
+    llc_lines: int = DEFAULT_LLC_LINES
+    ways: int = 16
+    warmup_factor: int = 8  # warmup accesses = factor * llc_lines
+    measure_factor: int = 32  # measured accesses = factor * llc_lines
+    seed: int = 2014
+
+    @property
+    def warmup(self) -> int:
+        return self.warmup_factor * self.llc_lines
+
+    @property
+    def total_accesses(self) -> int:
+        return (self.warmup_factor + self.measure_factor) * self.llc_lines
+
+    def hierarchy(self) -> HierarchyConfig:
+        return default_hierarchy(
+            llc_size=self.llc_lines * LINE_SIZE, llc_ways=self.ways
+        )
+
+    def llc_config(self) -> CacheConfig:
+        return self.hierarchy().llc
+
+
+@lru_cache(maxsize=128)
+def cached_trace(
+    benchmark: str, llc_lines: int, num_accesses: int, seed: int
+) -> Trace:
+    """Generate (once) the trace for a benchmark at a given scale."""
+    model = make_model(benchmark, llc_lines)
+    return model.generate(num_accesses, seed=seed)
+
+
+def make_llc_policy(
+    name: str, llc_lines: int = DEFAULT_LLC_LINES, num_cores: int = 1
+) -> ReplacementPolicy:
+    """Instantiate a policy with scale-appropriate parameters.
+
+    RWP's repartitioning epoch scales with cache size (the paper's epoch
+    is fixed in instructions for a fixed-size cache; scaling keeps the
+    number of fills per epoch comparable across scales).  UCP and
+    TA-DRRIP need the core count.
+    """
+    rwp_epoch = max(4000, 2 * llc_lines)
+    if name == "rwp":
+        return RWPPolicy(epoch=rwp_epoch)
+    if name == "rwp-srrip":
+        from repro.core.variants import RWPSRRIPPolicy
+
+        return RWPSRRIPPolicy(epoch=rwp_epoch)
+    if name == "rwp-bypass":
+        from repro.core.variants import RWPBypassPolicy
+
+        return RWPBypassPolicy(epoch=rwp_epoch)
+    if name == "ucp":
+        from repro.cache.ucp import UCPPolicy
+
+        return UCPPolicy(num_cores=num_cores)
+    if name == "tadrrip":
+        from repro.cache.rrip import TADRRIPPolicy
+
+        return TADRRIPPolicy(num_cores=num_cores)
+    if name == "pipp":
+        from repro.cache.pipp import PIPPPolicy
+
+        return PIPPPolicy(num_cores=num_cores)
+    return make_policy(name)
+
+
+@lru_cache(maxsize=4096)
+def _run_benchmark_cached(
+    benchmark: str, policy: str, scale: ExperimentScale
+) -> RunResult:
+    trace = cached_trace(
+        benchmark, scale.llc_lines, scale.total_accesses, scale.seed
+    )
+    runner = LLCRunner(
+        scale.hierarchy(), make_llc_policy(policy, scale.llc_lines)
+    )
+    return runner.run(trace, warmup=scale.warmup)
+
+
+def run_benchmark(
+    benchmark: str,
+    policy: str,
+    scale: ExperimentScale | None = None,
+) -> RunResult:
+    """Run one benchmark under one policy at the given scale.
+
+    Runs are deterministic, so results are memoized: harnesses that share
+    a baseline (every figure normalizes to LRU) never re-simulate it.
+    """
+    return _run_benchmark_cached(benchmark, policy, scale or ExperimentScale())
+
+
+ResultGrid = Dict[Tuple[str, str], RunResult]
+
+
+def run_grid(
+    benchmarks: Sequence[str],
+    policies: Sequence[str],
+    scale: ExperimentScale | None = None,
+    progress: bool = False,
+) -> ResultGrid:
+    """Run every (benchmark, policy) pair; identical traces per benchmark."""
+    scale = scale or ExperimentScale()
+    results: ResultGrid = {}
+    for benchmark in benchmarks:
+        for policy in policies:
+            results[(benchmark, policy)] = run_benchmark(
+                benchmark, policy, scale
+            )
+            if progress:
+                result = results[(benchmark, policy)]
+                print(
+                    f"  {benchmark:<12} {policy:<8} "
+                    f"ipc={result.ipc:6.3f} read_mpki={result.read_mpki:7.2f}"
+                )
+    return results
+
+
+def speedups_over(
+    results: ResultGrid,
+    benchmarks: Sequence[str],
+    policies: Sequence[str],
+    baseline: str = "lru",
+) -> Dict[str, List[float]]:
+    """Per-policy speedup lists (ordered by ``benchmarks``) vs a baseline."""
+    speedups: Dict[str, List[float]] = {}
+    for policy in policies:
+        speedups[policy] = [
+            results[(bench, policy)].speedup_over(results[(bench, baseline)])
+            for bench in benchmarks
+        ]
+    return speedups

@@ -1,0 +1,138 @@
+"""Parameter sweeps: LLC size (F10), associativity (F11), RWP ablations (A1).
+
+Sweeps re-scale the *cache* while holding the *workload* fixed at the
+reference scale, which is what the paper's sensitivity studies do: the
+program does not change when the machine does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.config import default_hierarchy
+from repro.core.rwp import RWPPolicy
+from repro.cpu.core import LLCRunner, RunResult
+from repro.experiments.runner import (
+    ExperimentScale,
+    cached_trace,
+    make_llc_policy,
+)
+from repro.multicore.metrics import geometric_mean
+from repro.trace.generator import LINE_SIZE
+
+
+def _run_with_geometry(
+    benchmark: str,
+    policy: str,
+    llc_lines: int,
+    ways: int,
+    reference: ExperimentScale,
+) -> RunResult:
+    """Run a reference-scale trace against an arbitrary LLC geometry."""
+    trace = cached_trace(
+        benchmark,
+        reference.llc_lines,
+        reference.total_accesses,
+        reference.seed,
+    )
+    hierarchy = default_hierarchy(
+        llc_size=llc_lines * LINE_SIZE, llc_ways=ways
+    )
+    runner = LLCRunner(hierarchy, make_llc_policy(policy, llc_lines))
+    return runner.run(trace, warmup=reference.warmup)
+
+
+def size_sweep(
+    benchmarks: Sequence[str],
+    policies: Sequence[str],
+    size_factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
+    reference: ExperimentScale | None = None,
+) -> Dict[Tuple[float, str], float]:
+    """Geomean speedup over LRU at each cache size factor.
+
+    Returns ``{(factor, policy): geomean_speedup}``; factor 1.0 is the
+    reference scale (the paper's 2 MB point).
+    """
+    reference = reference or ExperimentScale()
+    results: Dict[Tuple[float, str], float] = {}
+    for factor in size_factors:
+        llc_lines = max(reference.ways, int(reference.llc_lines * factor))
+        baselines = {
+            bench: _run_with_geometry(
+                bench, "lru", llc_lines, reference.ways, reference
+            )
+            for bench in benchmarks
+        }
+        for policy in policies:
+            speedups = []
+            for bench in benchmarks:
+                run = _run_with_geometry(
+                    bench, policy, llc_lines, reference.ways, reference
+                )
+                speedups.append(run.speedup_over(baselines[bench]))
+            results[(factor, policy)] = geometric_mean(speedups)
+    return results
+
+
+def associativity_sweep(
+    benchmarks: Sequence[str],
+    policies: Sequence[str],
+    ways_list: Sequence[int] = (8, 16, 32),
+    reference: ExperimentScale | None = None,
+) -> Dict[Tuple[int, str], float]:
+    """Geomean speedup over LRU at each associativity (capacity fixed)."""
+    reference = reference or ExperimentScale()
+    results: Dict[Tuple[int, str], float] = {}
+    for ways in ways_list:
+        baselines = {
+            bench: _run_with_geometry(
+                bench, "lru", reference.llc_lines, ways, reference
+            )
+            for bench in benchmarks
+        }
+        for policy in policies:
+            speedups = []
+            for bench in benchmarks:
+                run = _run_with_geometry(
+                    bench, policy, reference.llc_lines, ways, reference
+                )
+                speedups.append(run.speedup_over(baselines[bench]))
+            results[(ways, policy)] = geometric_mean(speedups)
+    return results
+
+
+def rwp_parameter_sweep(
+    benchmarks: Sequence[str],
+    epochs: Sequence[int] = (2_000, 8_000, 32_000, 128_000),
+    samplings: Sequence[int] = (4, 16, 64),
+    reference: ExperimentScale | None = None,
+) -> Dict[Tuple[int, int], float]:
+    """A1 ablation: geomean RWP speedup over LRU per (epoch, sampling)."""
+    reference = reference or ExperimentScale()
+    hierarchy = reference.hierarchy()
+    baselines: Dict[str, RunResult] = {}
+    for bench in benchmarks:
+        trace = cached_trace(
+            bench, reference.llc_lines, reference.total_accesses, reference.seed
+        )
+        runner = LLCRunner(hierarchy, make_llc_policy("lru"))
+        baselines[bench] = runner.run(trace, warmup=reference.warmup)
+
+    results: Dict[Tuple[int, int], float] = {}
+    for epoch in epochs:
+        for sampling in samplings:
+            speedups: List[float] = []
+            for bench in benchmarks:
+                trace = cached_trace(
+                    bench,
+                    reference.llc_lines,
+                    reference.total_accesses,
+                    reference.seed,
+                )
+                runner = LLCRunner(
+                    hierarchy, RWPPolicy(epoch=epoch, sampling=sampling)
+                )
+                run = runner.run(trace, warmup=reference.warmup)
+                speedups.append(run.speedup_over(baselines[bench]))
+            results[(epoch, sampling)] = geometric_mean(speedups)
+    return results

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment output.
+
+Every bench target prints its paper artifact through these helpers so the
+rows/series the paper reports come out in one uniform, diffable format.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table; floats rendered to 3 decimals."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    text_rows: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in text_rows)
+    return "\n".join(out)
+
+
+def format_percent(value: float) -> str:
+    """1.063 -> '+6.3%' (speedups relative to 1.0)."""
+    return f"{(value - 1.0) * 100:+.1f}%"
+
+
+def bar(value: float, scale: float = 40.0, maximum: float = 2.0) -> str:
+    """A crude inline bar for speedup eyeballing in terminal output."""
+    clamped = max(0.0, min(value, maximum))
+    return "#" * int(round(clamped / maximum * scale))

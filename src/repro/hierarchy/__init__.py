@@ -1,0 +1,33 @@
+"""Memory hierarchy: caches glued to a memory endpoint with write buffering."""
+
+from repro.hierarchy.dram import DRAMBank, DRAMModel
+from repro.hierarchy.memory import MainMemory
+from repro.hierarchy.prefetch import (
+    NextLinePrefetcher,
+    NoPrefetcher,
+    Prefetcher,
+    StreamPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from repro.hierarchy.system import BYPASSED, L1, L2, LLC, MEMORY, MemoryHierarchy
+from repro.hierarchy.writebuffer import WriteBufferModel
+
+__all__ = [
+    "BYPASSED",
+    "DRAMBank",
+    "DRAMModel",
+    "L1",
+    "L2",
+    "LLC",
+    "MEMORY",
+    "MainMemory",
+    "MemoryHierarchy",
+    "NextLinePrefetcher",
+    "NoPrefetcher",
+    "Prefetcher",
+    "StreamPrefetcher",
+    "StridePrefetcher",
+    "WriteBufferModel",
+    "make_prefetcher",
+]

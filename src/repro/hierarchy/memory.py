@@ -1,0 +1,37 @@
+"""Main-memory endpoint: flat-latency reads, bandwidth-costed writes."""
+
+from __future__ import annotations
+
+from repro.common.config import MemoryConfig
+
+
+class MainMemory:
+    """The bottom of the hierarchy.
+
+    Reads cost :attr:`MemoryConfig.latency` cycles on the critical path.
+    Writes (writebacks and bypassed stores) are not on the critical path
+    but consume channel time (``writeback_cost`` per line), which the
+    write-buffer model converts into back-pressure when sustained.
+    """
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, address: int) -> int:
+        """Service a demand read; returns its latency in cycles."""
+        self.reads += 1
+        return self.config.latency
+
+    def write(self, address: int) -> int:
+        """Absorb a writeback; returns its channel occupancy in cycles."""
+        self.writes += 1
+        return self.config.writeback_cost
+
+    def reset_stats(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def snapshot(self) -> dict:
+        return {"memory.reads": self.reads, "memory.writes": self.writes}

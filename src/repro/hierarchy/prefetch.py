@@ -1,0 +1,194 @@
+"""Hardware prefetchers for the LLC.
+
+Cache-management papers live or die by their interaction with
+prefetching: a prefetcher changes which misses remain for the policy to
+fight over, and prefetched-but-unused lines are themselves a form of
+dead capacity. This module provides the three standard designs:
+
+``NextLinePrefetcher``
+    On every demand miss, fetch the next ``degree`` sequential lines.
+``StridePrefetcher``
+    A PC-indexed reference-prediction table (Chen & Baer style): learns
+    per-instruction strides with a confidence counter and issues
+    ``degree`` strided prefetches once confident.
+``StreamPrefetcher``
+    Region-based up/down stream detection with trainable streams, in the
+    spirit of the IBM POWER4 prefetcher: a region that sees monotonic
+    misses allocates a stream that runs ``depth`` lines ahead.
+
+Prefetchers see the *demand* access stream (address, write flag, hit
+flag) and return line-aligned addresses to fill. The driver fills them
+through :meth:`repro.cache.cache.SetAssociativeCache.fill_prefetch`, so
+useless prefetches pollute the cache exactly as they would in hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+LINE_SIZE = 64
+
+
+class Prefetcher:
+    """Base interface: observe a demand access, propose prefetches."""
+
+    def on_access(self, address: int, is_write: bool, hit: bool) -> List[int]:
+        """Return line-aligned byte addresses to prefetch (may be [])."""
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class NoPrefetcher(Prefetcher):
+    """The null prefetcher (keeps driver code uniform)."""
+
+    def on_access(self, address: int, is_write: bool, hit: bool) -> List[int]:
+        return []
+
+
+class NextLinePrefetcher(Prefetcher):
+    """Fetch the next ``degree`` sequential lines on every demand miss."""
+
+    def __init__(self, degree: int = 1) -> None:
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+
+    def on_access(self, address: int, is_write: bool, hit: bool) -> List[int]:
+        if hit:
+            return []
+        line = address & ~(LINE_SIZE - 1)
+        return [line + LINE_SIZE * k for k in range(1, self.degree + 1)]
+
+
+class StridePrefetcher(Prefetcher):
+    """PC-indexed stride detection with 2-bit confidence.
+
+    Needs the PC, so the driver calls :meth:`on_access_pc`; the plain
+    ``on_access`` falls back to PC 0 (degrades to a single global
+    stream, still functional for PC-less traces).
+    """
+
+    _CONFIDENT = 2
+    _MAX_CONF = 3
+
+    class _Entry:
+        __slots__ = ("last_address", "stride", "confidence")
+
+        def __init__(self) -> None:
+            self.last_address = -1
+            self.stride = 0
+            self.confidence = 0
+
+    def __init__(self, table_entries: int = 256, degree: int = 2) -> None:
+        if table_entries < 1 or table_entries & (table_entries - 1):
+            raise ValueError("table_entries must be a power of two")
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self._mask = table_entries - 1
+        self._table: Dict[int, StridePrefetcher._Entry] = {}
+
+    def on_access(self, address: int, is_write: bool, hit: bool) -> List[int]:
+        return self.on_access_pc(address, is_write, hit, pc=0)
+
+    def on_access_pc(
+        self, address: int, is_write: bool, hit: bool, pc: int
+    ) -> List[int]:
+        index = (pc >> 2) & self._mask
+        entry = self._table.get(index)
+        if entry is None:
+            entry = self._Entry()
+            self._table[index] = entry
+        prefetches: List[int] = []
+        if entry.last_address >= 0:
+            stride = address - entry.last_address
+            if stride != 0:
+                if stride == entry.stride:
+                    if entry.confidence < self._MAX_CONF:
+                        entry.confidence += 1
+                else:
+                    entry.confidence -= 1
+                    if entry.confidence <= 0:
+                        entry.stride = stride
+                        entry.confidence = 1
+                if (
+                    entry.confidence >= self._CONFIDENT
+                    and abs(entry.stride) >= LINE_SIZE // 2
+                ):
+                    base = address & ~(LINE_SIZE - 1)
+                    for k in range(1, self.degree + 1):
+                        target = base + entry.stride * k
+                        prefetches.append(target & ~(LINE_SIZE - 1))
+        entry.last_address = address
+        return [p for p in prefetches if p >= 0]
+
+
+class StreamPrefetcher(Prefetcher):
+    """Region-based up/down stream detection.
+
+    Tracks the last miss line per 4 KiB region; two monotonic misses in
+    the same direction allocate a stream that prefetches ``depth`` lines
+    ahead of the demand point on every subsequent miss in the region.
+    """
+
+    _REGION_SHIFT = 12  # 4 KiB training regions
+
+    class _Region:
+        __slots__ = ("last_line", "direction", "trained")
+
+        def __init__(self) -> None:
+            self.last_line = -1
+            self.direction = 0
+            self.trained = False
+
+    def __init__(self, depth: int = 4, max_regions: int = 64) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if max_regions < 1:
+            raise ValueError("max_regions must be >= 1")
+        self.depth = depth
+        self.max_regions = max_regions
+        self._regions: Dict[int, StreamPrefetcher._Region] = {}
+
+    def on_access(self, address: int, is_write: bool, hit: bool) -> List[int]:
+        if hit:
+            return []
+        region_id = address >> self._REGION_SHIFT
+        line = address // LINE_SIZE
+        region = self._regions.get(region_id)
+        if region is None:
+            if len(self._regions) >= self.max_regions:
+                # Evict an arbitrary stale region (FIFO-ish via dict order).
+                self._regions.pop(next(iter(self._regions)))
+            region = self._Region()
+            self._regions[region_id] = region
+        prefetches: List[int] = []
+        if region.last_line >= 0 and line != region.last_line:
+            direction = 1 if line > region.last_line else -1
+            if direction == region.direction:
+                region.trained = True
+            region.direction = direction
+        if region.trained:
+            for k in range(1, self.depth + 1):
+                target_line = line + region.direction * k
+                if target_line >= 0:
+                    prefetches.append(target_line * LINE_SIZE)
+        region.last_line = line
+        return prefetches
+
+
+def make_prefetcher(name: str, **kwargs) -> Prefetcher:
+    """Instantiate a prefetcher by short name."""
+    factories = {
+        "none": NoPrefetcher,
+        "nextline": NextLinePrefetcher,
+        "stride": StridePrefetcher,
+        "stream": StreamPrefetcher,
+    }
+    factory = factories.get(name)
+    if factory is None:
+        raise KeyError(f"unknown prefetcher {name!r}; known: {sorted(factories)}")
+    return factory(**kwargs)

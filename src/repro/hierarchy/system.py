@@ -1,0 +1,181 @@
+"""Three-level memory hierarchy plumbing.
+
+``MemoryHierarchy`` connects an L1D, an L2, a last-level cache (the cache
+whose policy is under study) and main memory.  Demand accesses walk down
+on misses; dirty evictions walk down as writes (a write-back hierarchy);
+nothing walks back up (non-inclusive, no coherence -- the workloads are
+single-threaded or multiprogrammed, never sharing lines).
+
+This full mode backs the unit/integration tests and the motivation
+experiments.  The bulk experiments drive the LLC directly with LLC-level
+traces (see DESIGN.md, design decision 1); :meth:`llc_filter` converts a
+raw access stream into the LLC-level stream the shortcut consumes, which
+is also how the equivalence of the two modes is validated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import ReplacementPolicy, make_policy
+from repro.common.config import HierarchyConfig
+from repro.hierarchy.memory import MainMemory
+from repro.trace.access import Trace
+
+#: levels a demand access can be served at
+L1, L2, LLC, MEMORY, BYPASSED = "l1", "l2", "llc", "memory", "bypassed"
+
+
+class MemoryHierarchy:
+    """An L1D + L2 + LLC + memory stack for one (or more) cores."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        llc_policy: ReplacementPolicy | str = "lru",
+        num_l1l2: int = 1,
+        inclusive: bool = False,
+    ) -> None:
+        if isinstance(llc_policy, str):
+            llc_policy = make_policy(llc_policy)
+        self.config = config
+        #: when True, an LLC eviction back-invalidates the line from every
+        #: private L1/L2 (inclusive LLC); a back-invalidated dirty private
+        #: copy is written straight to memory (its LLC home is gone).
+        self.inclusive = inclusive
+        self.back_invalidations = 0
+        # Private L1/L2 per core; one shared LLC.
+        self.l1s = [
+            SetAssociativeCache(config.l1, make_policy("lru"))
+            for _ in range(num_l1l2)
+        ]
+        self.l2s = [
+            SetAssociativeCache(config.l2, make_policy("lru"))
+            for _ in range(num_l1l2)
+        ]
+        self.llc = SetAssociativeCache(config.llc, llc_policy)
+        self.memory = MainMemory(config.memory)
+        if inclusive:
+            self.llc.eviction_listener = self._back_invalidate
+
+    def _back_invalidate(self, address: int, was_dirty: bool) -> None:
+        """Enforce inclusion: an LLC eviction removes the line above.
+
+        A dirty private copy loses its LLC home, so its data goes
+        straight to memory (already counted as one memory write when the
+        LLC copy itself was dirty; a clean LLC copy with a dirty L1/L2
+        copy pays its own transfer here).
+        """
+        for l1, l2 in zip(self.l1s, self.l2s):
+            for cache in (l1, l2):
+                line = cache.probe(address)
+                if line is None:
+                    continue
+                if line.dirty and not was_dirty:
+                    self.memory.write(address)
+                cache.invalidate(address)
+                self.back_invalidations += 1
+
+    def access(
+        self, address: int, is_write: bool, pc: int = 0, core: int = 0
+    ) -> Tuple[str, int]:
+        """One demand access from ``core``; returns (service_level, latency)."""
+        config = self.config
+        l1 = self.l1s[core]
+        hit, _, wb = l1.access(address, is_write, pc, core)
+        if wb >= 0:
+            self._write_l2(wb, pc, core)
+        if hit:
+            return (L1, config.l1.hit_latency)
+
+        l2 = self.l2s[core]
+        hit, _, wb = l2.access(address, False, pc, core)
+        if wb >= 0:
+            self._write_llc(wb, pc, core)
+        if hit:
+            return (L2, config.l2.hit_latency)
+
+        hit, bypassed, wb = self.llc.access(address, False, pc, core)
+        if wb >= 0:
+            self.memory.write(wb)
+        if hit:
+            return (LLC, config.llc.hit_latency)
+        self.memory.read(address)
+        return (MEMORY, config.memory.latency)
+
+    def _write_l2(self, address: int, pc: int, core: int) -> None:
+        """Absorb an L1 dirty eviction into L2 (write-allocate)."""
+        _, _, wb = self.l2s[core].access(address, True, pc, core)
+        if wb >= 0:
+            self._write_llc(wb, pc, core)
+
+    def _write_llc(self, address: int, pc: int, core: int) -> None:
+        """Absorb an L2 dirty eviction into the LLC."""
+        _, bypassed, wb = self.llc.access(address, True, pc, core)
+        if bypassed:
+            self.memory.write(address)
+        if wb >= 0:
+            self.memory.write(wb)
+
+    # -- LLC-trace extraction ---------------------------------------------
+    def llc_filter(self, trace: Trace, core: int = 0) -> Trace:
+        """Replay ``trace`` through this hierarchy's L1/L2 and return the
+        stream of accesses that reached the LLC (reads = L2 read misses,
+        writes = L2 dirty evictions), with instruction gaps re-attributed.
+
+        Mutates the L1/L2 state of ``core`` (use a fresh hierarchy when a
+        clean filter is needed).  The LLC itself is *not* touched.
+        """
+        l1 = self.l1s[core]
+        l2 = self.l2s[core]
+        out_addr: List[int] = []
+        out_write: List[bool] = []
+        out_pc: List[int] = []
+        out_gap: List[int] = []
+        pending_gap = 0
+
+        def emit(address: int, is_write: bool, pc: int) -> None:
+            nonlocal pending_gap
+            out_addr.append(address)
+            out_write.append(is_write)
+            out_pc.append(pc)
+            out_gap.append(pending_gap)
+            pending_gap = 0
+
+        for address, is_write, pc, gap in trace:
+            pending_gap += gap
+            hit, _, wb1 = l1.access(address, is_write, pc, core)
+            if wb1 >= 0:
+                _, _, wb2 = l2.access(wb1, True, pc, core)
+                if wb2 >= 0:
+                    emit(wb2, True, pc)
+            if hit:
+                continue
+            hit, _, wb2 = l2.access(address, False, pc, core)
+            if wb2 >= 0:
+                emit(wb2, True, pc)
+            if not hit:
+                emit(address, False, pc)
+        return Trace(out_addr, out_write, out_pc, out_gap, name=f"{trace.name}@llc")
+
+    # -- bookkeeping --------------------------------------------------------
+    def reset_stats(self) -> None:
+        for cache in self.all_caches():
+            cache.reset_stats()
+        self.memory.reset_stats()
+
+    def all_caches(self) -> Iterable[SetAssociativeCache]:
+        yield from self.l1s
+        yield from self.l2s
+        yield self.llc
+
+    def snapshot(self) -> dict:
+        stats: dict = {}
+        for index, (l1, l2) in enumerate(zip(self.l1s, self.l2s)):
+            for cache in (l1, l2):
+                for key, value in cache.snapshot().items():
+                    stats[f"core{index}.{key}"] = value
+        stats.update(self.llc.snapshot())
+        stats.update(self.memory.snapshot())
+        return stats

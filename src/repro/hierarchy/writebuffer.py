@@ -1,0 +1,59 @@
+"""Write-buffer back-pressure model.
+
+The paper's premise is that writes are *usually* off the critical path:
+stores retire into a buffer and drain to memory in the background.  The
+exception -- and the reason "usually" matters -- is a full buffer: when
+writes arrive faster than the drain rate for long enough, the core stalls.
+
+This model is a single-server queue with bounded occupancy.  Entries
+drain sequentially, each occupying the memory channel for ``drain_cycles``.
+``issue(now)`` enqueues a write at cycle ``now`` and returns how many
+cycles the issuing core must stall (zero unless the buffer is full).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class WriteBufferModel:
+    """Bounded write buffer with a fixed per-entry drain time."""
+
+    def __init__(self, entries: int, drain_cycles: int) -> None:
+        if entries < 1:
+            raise ValueError("write buffer needs at least one entry")
+        if drain_cycles < 1:
+            raise ValueError("drain_cycles must be >= 1")
+        self.entries = entries
+        self.drain_cycles = drain_cycles
+        self._completions: deque[float] = deque()
+        self._server_free = 0.0
+        self.total_writes = 0
+        self.stall_cycles = 0.0
+
+    def issue(self, now: float) -> float:
+        """Enqueue a write at cycle ``now``; returns core stall cycles."""
+        completions = self._completions
+        while completions and completions[0] <= now:
+            completions.popleft()
+
+        stall = 0.0
+        if len(completions) >= self.entries:
+            # Full: wait for the oldest in-flight drain to finish.
+            stall = completions.popleft() - now
+            now += stall
+            self.stall_cycles += stall
+
+        start = now if now > self._server_free else self._server_free
+        self._server_free = start + self.drain_cycles
+        completions.append(self._server_free)
+        self.total_writes += 1
+        return stall
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._completions)
+
+    def reset_stats(self) -> None:
+        self.total_writes = 0
+        self.stall_cycles = 0.0

@@ -1,0 +1,21 @@
+"""Shared-LLC multicore simulation and multiprogrammed metrics."""
+
+from repro.multicore.metrics import (
+    fairness,
+    geometric_mean,
+    harmonic_speedup,
+    throughput,
+    weighted_speedup,
+)
+from repro.multicore.shared import CoreResult, SharedLLCSystem, SharedRunResult
+
+__all__ = [
+    "CoreResult",
+    "SharedLLCSystem",
+    "SharedRunResult",
+    "fairness",
+    "geometric_mean",
+    "harmonic_speedup",
+    "throughput",
+    "weighted_speedup",
+]

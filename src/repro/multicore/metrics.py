@@ -1,0 +1,61 @@
+"""Multiprogrammed performance metrics.
+
+All metrics take per-core IPCs measured in the shared configuration and,
+where needed, per-core IPCs measured running alone on the same hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _validate(shared: Sequence[float], alone: Sequence[float]) -> None:
+    if len(shared) != len(alone):
+        raise ValueError("shared and alone IPC lists must have equal length")
+    if not shared:
+        raise ValueError("need at least one core")
+    if any(ipc <= 0 for ipc in alone):
+        raise ValueError("alone IPCs must be positive")
+
+
+def weighted_speedup(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Sum of per-core speedups vs. running alone (system throughput)."""
+    _validate(shared, alone)
+    return sum(s / a for s, a in zip(shared, alone))
+
+
+def harmonic_speedup(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Harmonic mean of per-core speedups (balances fairness/throughput)."""
+    _validate(shared, alone)
+    if any(ipc <= 0 for ipc in shared):
+        return 0.0
+    return len(shared) / sum(a / s for s, a in zip(shared, alone))
+
+
+def throughput(shared: Sequence[float]) -> float:
+    """Raw instruction throughput: sum of per-core IPCs."""
+    if not shared:
+        raise ValueError("need at least one core")
+    return float(sum(shared))
+
+
+def fairness(shared: Sequence[float], alone: Sequence[float]) -> float:
+    """Min/max ratio of per-core slowdowns (1.0 = perfectly fair)."""
+    _validate(shared, alone)
+    slowdowns = [a / s if s > 0 else float("inf") for s, a in zip(shared, alone)]
+    worst = max(slowdowns)
+    if worst == float("inf"):
+        return 0.0
+    return min(slowdowns) / worst
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geomean (the paper's averaging convention for speedups)."""
+    if not values:
+        raise ValueError("geometric mean of nothing")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,186 @@
+"""Shared-LLC multicore simulation.
+
+N cores, each replaying its own LLC-level trace, contend for one shared
+LLC.  Interleaving is progress-driven: at every step the core with the
+smallest accumulated cycle count issues its next access, so a core that
+is stalling on misses naturally falls behind and issues less often --
+the first-order timing interaction that makes shared-cache policy
+comparisons meaningful without a full OoO model.
+
+Address and PC spaces are offset per core (distinct processes do not
+share lines), and each core's statistics are counted over its first
+``measure`` post-warmup accesses while the trace wraps around afterwards
+to keep pressure on the cache until every core finishes (the standard
+multiprogrammed methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import ReplacementPolicy, make_policy
+from repro.common.config import HierarchyConfig
+from repro.cpu.timing import TimingModel
+from repro.trace.access import Trace
+
+#: per-core offsets that keep address/PC spaces disjoint across cores
+CORE_ADDRESS_STRIDE = 1 << 44
+CORE_PC_STRIDE = 1 << 30
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Per-core outcome of a shared run."""
+
+    name: str
+    instructions: int
+    cycles: float
+    ipc: float
+    read_hits: int
+    read_misses: int
+    write_hits: int
+    write_misses: int
+
+    @property
+    def read_mpki(self) -> float:
+        return 1000.0 * self.read_misses / self.instructions if self.instructions else 0.0
+
+
+@dataclass(frozen=True)
+class SharedRunResult:
+    """Outcome of one multiprogrammed run."""
+
+    policy: str
+    cores: List[CoreResult]
+
+    def ipcs(self) -> List[float]:
+        return [core.ipc for core in self.cores]
+
+
+class SharedLLCSystem:
+    """N cores with private timing models around one shared LLC."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        num_cores: int,
+        policy: ReplacementPolicy | str = "lru",
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        self.config = config
+        self.num_cores = num_cores
+        self.llc = SetAssociativeCache(config.llc, policy)
+        self.timings = [
+            TimingModel(config.core, config.memory, config.llc.hit_latency)
+            for _ in range(num_cores)
+        ]
+
+    def run(
+        self, traces: Sequence[Trace], warmup: int = 0
+    ) -> SharedRunResult:
+        """Run one trace per core to completion of its measured window."""
+        if len(traces) != self.num_cores:
+            raise ValueError(
+                f"need {self.num_cores} traces, got {len(traces)}"
+            )
+        for trace in traces:
+            if warmup >= len(trace):
+                raise ValueError(
+                    f"warmup ({warmup}) >= trace length ({len(trace)})"
+                )
+
+        num_cores = self.num_cores
+        llc = self.llc
+        access = llc.access
+        timings = self.timings
+
+        # Pre-offset the traces into disjoint address/PC regions.
+        addr = [
+            [a + core * CORE_ADDRESS_STRIDE for a in traces[core].addresses]
+            for core in range(num_cores)
+        ]
+        wrts = [traces[core].is_write for core in range(num_cores)]
+        pcs = [
+            [p + core * CORE_PC_STRIDE for p in traces[core].pcs]
+            for core in range(num_cores)
+        ]
+        gaps = [traces[core].instr_gaps for core in range(num_cores)]
+        lengths = [len(trace) for trace in traces]
+
+        position = [0] * num_cores  # index into the (wrapping) trace
+        counting = [False] * num_cores  # inside the measured window?
+        done = [False] * num_cores
+        stats = [[0, 0, 0, 0] for _ in range(num_cores)]  # rh, rm, wh, wm
+        frozen: List[tuple] = [(0, 0.0)] * num_cores  # (instr, cycles) at done
+        remaining = num_cores
+
+        while remaining:
+            # The least-advanced *unfinished* core issues next; finished
+            # cores keep pace (pressure) but never get ahead of the pack.
+            core = 0
+            best = None
+            for candidate in range(num_cores):
+                cycles = timings[candidate].cycles
+                if done[candidate]:
+                    cycles += 1.0  # finished cores yield ties
+                if best is None or cycles < best:
+                    best = cycles
+                    core = candidate
+            index = position[core]
+            length = lengths[core]
+            if not done[core] and index == warmup:
+                timings[core].reset()
+                counting[core] = True
+            wrapped = index % length
+            is_write = wrts[core][wrapped]
+            timing = timings[core]
+            timing.advance(gaps[core][wrapped])
+            hit, bypassed, writeback = access(
+                addr[core][wrapped], is_write, pcs[core][wrapped], core
+            )
+            if is_write:
+                if bypassed:
+                    timing.memory_write()
+            elif hit:
+                timing.read_hit()
+            else:
+                timing.read_miss()
+            if writeback >= 0:
+                timing.memory_write()
+            if counting[core]:
+                row = stats[core]
+                if is_write:
+                    row[3 - hit] += 1  # write hit -> [2], miss -> [3]
+                else:
+                    row[1 - hit] += 1  # read hit -> [0], miss -> [1]
+            position[core] = index + 1
+            if not done[core] and position[core] >= length:
+                # Freeze this core's timing snapshot: it keeps running to
+                # pressure the cache, but only the measured window counts.
+                done[core] = True
+                counting[core] = False
+                frozen[core] = (timing.instructions, timing.cycles)
+                remaining -= 1
+
+        cores = []
+        for core in range(num_cores):
+            instructions, cycles = frozen[core]
+            rh, rm, wh, wm = stats[core]
+            cores.append(
+                CoreResult(
+                    name=traces[core].name,
+                    instructions=instructions,
+                    cycles=cycles,
+                    ipc=instructions / cycles if cycles else 0.0,
+                    read_hits=rh,
+                    read_misses=rm,
+                    write_hits=wh,
+                    write_misses=wm,
+                )
+            )
+        return SharedRunResult(policy=llc.policy.name, cores=cores)

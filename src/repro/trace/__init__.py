@@ -1,0 +1,49 @@
+"""Workload traces: record types, synthetic generators, SPEC-like models."""
+
+from repro.trace.access import Access, Trace
+from repro.trace.champsim import read_champsim, write_champsim
+from repro.trace.file_io import load_npz, load_text, save_npz, save_text
+from repro.trace.generator import (
+    LINE_SIZE,
+    KernelSpec,
+    MixtureGenerator,
+    WorkloadModel,
+    describe,
+    merge_models,
+)
+from repro.trace.mixes import FOUR_CORE_MIXES, mix_benchmarks, mix_names
+from repro.trace.phases import Phase, PhasedWorkload
+from repro.trace.spec import (
+    PAPER_LLC_LINES,
+    all_models,
+    benchmark_names,
+    make_model,
+    sensitive_names,
+)
+
+__all__ = [
+    "Access",
+    "FOUR_CORE_MIXES",
+    "KernelSpec",
+    "LINE_SIZE",
+    "MixtureGenerator",
+    "PAPER_LLC_LINES",
+    "Phase",
+    "PhasedWorkload",
+    "Trace",
+    "WorkloadModel",
+    "all_models",
+    "benchmark_names",
+    "describe",
+    "load_npz",
+    "load_text",
+    "make_model",
+    "merge_models",
+    "mix_benchmarks",
+    "mix_names",
+    "read_champsim",
+    "save_npz",
+    "save_text",
+    "sensitive_names",
+    "write_champsim",
+]

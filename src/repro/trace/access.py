@@ -1,0 +1,134 @@
+"""Memory-access records and trace containers.
+
+A trace is a sequence of LLC-level accesses.  Each record carries the byte
+address, whether it is a store, the program counter of the instruction that
+issued it (used by PC-indexed predictors such as RRP), and the number of
+instructions the core committed since the previous record (used to
+reconstruct IPC from miss counts).
+
+For simulation speed the canonical representation is four parallel lists
+(``Trace``); the :class:`Access` dataclass is the convenient scalar view
+used by tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One memory access as seen by the cache under study."""
+
+    address: int
+    is_write: bool
+    pc: int = 0
+    instr_gap: int = 1
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+        if self.instr_gap < 0:
+            raise ValueError("instr_gap must be non-negative")
+
+
+class Trace:
+    """A sequence of accesses stored as parallel lists.
+
+    Iterating yields ``(address, is_write, pc, instr_gap)`` tuples, which is
+    what the hot simulation loop consumes; :meth:`accesses` yields
+    :class:`Access` objects for code that prefers names over positions.
+    """
+
+    __slots__ = ("addresses", "is_write", "pcs", "instr_gaps", "name")
+
+    def __init__(
+        self,
+        addresses: Sequence[int],
+        is_write: Sequence[bool],
+        pcs: Sequence[int] | None = None,
+        instr_gaps: Sequence[int] | None = None,
+        name: str = "trace",
+    ) -> None:
+        n = len(addresses)
+        if len(is_write) != n:
+            raise ValueError("addresses and is_write must have equal length")
+        if pcs is not None and len(pcs) != n:
+            raise ValueError("pcs length mismatch")
+        if instr_gaps is not None and len(instr_gaps) != n:
+            raise ValueError("instr_gaps length mismatch")
+        self.addresses: List[int] = list(addresses)
+        self.is_write: List[bool] = [bool(w) for w in is_write]
+        self.pcs: List[int] = list(pcs) if pcs is not None else [0] * n
+        self.instr_gaps: List[int] = (
+            list(instr_gaps) if instr_gaps is not None else [1] * n
+        )
+        self.name = name
+
+    @classmethod
+    def from_arrays(
+        cls,
+        addresses: np.ndarray,
+        is_write: np.ndarray,
+        pcs: np.ndarray | None = None,
+        instr_gaps: np.ndarray | None = None,
+        name: str = "trace",
+    ) -> "Trace":
+        """Build from numpy arrays (the generators' native output)."""
+        trace = cls.__new__(cls)
+        trace.addresses = addresses.astype(np.int64).tolist()
+        trace.is_write = is_write.astype(bool).tolist()
+        n = len(trace.addresses)
+        trace.pcs = pcs.astype(np.int64).tolist() if pcs is not None else [0] * n
+        trace.instr_gaps = (
+            instr_gaps.astype(np.int64).tolist() if instr_gaps is not None else [1] * n
+        )
+        trace.name = name
+        return trace
+
+    @classmethod
+    def from_accesses(cls, accesses: Sequence[Access], name: str = "trace") -> "Trace":
+        return cls(
+            [a.address for a in accesses],
+            [a.is_write for a in accesses],
+            [a.pc for a in accesses],
+            [a.instr_gap for a in accesses],
+            name=name,
+        )
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return zip(self.addresses, self.is_write, self.pcs, self.instr_gaps)
+
+    def accesses(self) -> Iterator[Access]:
+        """Yield :class:`Access` objects (slower, named view)."""
+        for addr, wr, pc, gap in self:
+            yield Access(addr, wr, pc, gap)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace covering records ``[start, stop)``."""
+        return Trace(
+            self.addresses[start:stop],
+            self.is_write[start:stop],
+            self.pcs[start:stop],
+            self.instr_gaps[start:stop],
+            name=f"{self.name}[{start}:{stop}]",
+        )
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.instr_gaps)
+
+    @property
+    def write_fraction(self) -> float:
+        if not self.is_write:
+            return 0.0
+        return sum(self.is_write) / len(self.is_write)
+
+    def __repr__(self) -> str:
+        return f"Trace({self.name!r}, {len(self)} accesses)"

@@ -1,0 +1,46 @@
+"""Multiprogrammed workload mixes for the multicore evaluation.
+
+The paper evaluates RWP on a 4-core system running multiprogrammed SPEC
+mixes.  We define ten named 4-benchmark mixes spanning the standard design
+points: all-sensitive (maximum contention for the shared LLC), mixed
+sensitive/streaming (a polluter next to victims), and lighter mixes with
+compute-bound fillers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.trace.spec import SPEC2006_PARAMS
+
+#: name -> 4 benchmark names run together on a shared LLC.
+FOUR_CORE_MIXES: Dict[str, Tuple[str, str, str, str]] = {
+    "mix01_all_sensitive": ("mcf", "omnetpp", "soplex", "sphinx3"),
+    "mix02_all_sensitive": ("xalancbmk", "astar", "bzip2", "gcc"),
+    "mix03_sens_heavy": ("mcf", "xalancbmk", "sphinx3", "libquantum"),
+    "mix04_sens_stream": ("omnetpp", "soplex", "lbm", "milc"),
+    "mix05_sens_stream": ("astar", "sphinx3", "libquantum", "bwaves"),
+    "mix06_rmw_mix": ("cactusADM", "dealII", "mcf", "leslie3d"),
+    "mix07_balanced": ("mcf", "lbm", "povray", "gcc"),
+    "mix08_balanced": ("soplex", "GemsFDTD", "namd", "omnetpp"),
+    "mix09_light": ("bzip2", "hmmer", "gobmk", "sphinx3"),
+    "mix10_stream_heavy": ("libquantum", "lbm", "milc", "mcf"),
+}
+
+
+def mix_names() -> List[str]:
+    return sorted(FOUR_CORE_MIXES)
+
+
+def mix_benchmarks(mix_name: str) -> Tuple[str, ...]:
+    """The benchmark names of one mix, validated against the registry."""
+    try:
+        benchmarks = FOUR_CORE_MIXES[mix_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mix {mix_name!r}; known: {mix_names()}"
+        ) from None
+    for bench in benchmarks:
+        if bench not in SPEC2006_PARAMS:
+            raise ValueError(f"mix {mix_name} references unknown benchmark {bench!r}")
+    return benchmarks

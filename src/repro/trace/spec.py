@@ -1,0 +1,345 @@
+"""SPEC CPU2006-like synthetic workload models.
+
+One model per SPEC CPU2006 benchmark (all 29), each a kernel mixture tuned
+to the published LLC behavior class of its namesake:
+
+``sensitive``
+    Last-level-cache sensitive: a large read working set competes with
+    dirty traffic (write-only buffers or read-modify-write state).  These
+    are the workloads where read-aware management pays off.
+``streaming``
+    Traffic dominated by streaming or cache-thrashing sweeps; replacement
+    policy barely matters, miss rates are high under every policy.
+``compute``
+    Core-bound: small working sets that fit comfortably, few LLC accesses
+    per kiloinstruction.
+
+Working-set sizes are expressed as *fractions of LLC capacity* so the same
+behavior class reproduces at any simulated cache size: call
+:func:`make_model` with the line count of the LLC under study.  The default
+(32768 lines) corresponds to the paper's 2 MB, 64 B-line LLC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.trace.generator import KernelSpec, WorkloadModel
+
+PAPER_LLC_LINES = 32768  # 2 MB / 64 B
+
+SENSITIVE = "sensitive"
+STREAMING = "streaming"
+COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class BenchmarkParams:
+    """Relative composition of one benchmark model.
+
+    Each kernel entry is ``(weight, kind, mode, ws_fraction)`` where
+    ``ws_fraction`` scales by the LLC line count (ignored for streams).
+    """
+
+    category: str
+    ipa_mean: float
+    kernels: Tuple[Tuple[float, str, str, float], ...]
+
+
+def _sens(
+    ipa: float, *kernels: Tuple[float, str, str, float]
+) -> BenchmarkParams:
+    return BenchmarkParams(SENSITIVE, ipa, kernels)
+
+
+def _strm(
+    ipa: float, *kernels: Tuple[float, str, str, float]
+) -> BenchmarkParams:
+    return BenchmarkParams(STREAMING, ipa, kernels)
+
+
+def _comp(
+    ipa: float, *kernels: Tuple[float, str, str, float]
+) -> BenchmarkParams:
+    return BenchmarkParams(COMPUTE, ipa, kernels)
+
+
+#: Per-benchmark composition.  Weights need not sum to 1 (normalized later).
+SPEC2006_PARAMS: Dict[str, BenchmarkParams] = {
+    # --- cache-sensitive: dirty traffic competing with read working sets ---
+    # The dirty pressure in these models is *hot*: write-only working
+    # sets re-written at ~0.5x cache-capacity intervals, so recency-based
+    # policies (LRU, SRRIP, SHiP -- whose promotions are write-blind)
+    # keep them resident even though they never serve a read.
+    "mcf": _sens(
+        22.0,
+        (0.54, "chase", "read", 0.85),
+        (0.32, "loop", "write", 0.22),
+        (0.06, "stream", "read", 0.0),
+        (0.08, "stream", "write", 0.0),
+    ),
+    "omnetpp": _sens(
+        35.0,
+        (0.46, "chase", "read", 0.72),
+        (0.38, "loop", "write", 0.26),
+        (0.10, "stream", "write", 0.0),
+        (0.06, "stream", "read", 0.0),
+    ),
+    "xalancbmk": _sens(
+        45.0,
+        (0.42, "chase", "read", 0.55),
+        (0.16, "loop", "read", 0.14),
+        (0.36, "loop", "write", 0.18),
+        (0.06, "stream", "read", 0.0),
+    ),
+    "astar": _sens(
+        40.0,
+        (0.58, "chase", "read", 0.75),
+        (0.36, "loop", "write", 0.26),
+        (0.06, "stream", "read", 0.0),
+    ),
+    "soplex": _sens(
+        30.0,
+        (0.28, "loop", "read", 0.45),
+        (0.22, "chase", "read", 0.32),
+        (0.36, "loop", "write", 0.18),
+        (0.06, "stream", "read", 0.0),
+        (0.08, "stream", "write", 0.0),
+    ),
+    "sphinx3": _sens(
+        35.0,
+        (0.67, "chase", "read", 0.90),
+        (0.28, "loop", "write", 0.20),
+        (0.05, "stream", "read", 0.0),
+    ),
+    "bzip2": _sens(
+        55.0,
+        (0.36, "loop", "read", 0.38),
+        (0.14, "chase", "read", 0.22),
+        (0.26, "loop", "rmw", 0.12),
+        (0.14, "loop", "write", 0.14),
+        (0.05, "stream", "write", 0.0),
+        (0.05, "stream", "read", 0.0),
+    ),
+    "gcc": _sens(
+        60.0,
+        (0.46, "chase", "read", 0.58),
+        (0.08, "loop", "read", 0.10),
+        (0.30, "loop", "write", 0.22),
+        (0.06, "stream", "read", 0.0),
+        (0.10, "stream", "write", 0.0),
+    ),
+    # Dirty lines are mostly *read-modify-write* here: the dirty partition
+    # itself carries read hits, so RWP must learn to keep it large.
+    "cactusADM": _sens(
+        50.0,
+        (0.58, "loop", "rmw", 0.48),
+        (0.20, "loop", "read", 0.18),
+        (0.15, "stream", "read", 0.0),
+        (0.07, "stream", "write", 0.0),
+    ),
+    "dealII": _sens(
+        70.0,
+        (0.38, "loop", "rmw", 0.28),
+        (0.42, "chase", "read", 0.42),
+        (0.12, "stream", "read", 0.0),
+        (0.08, "stream", "write", 0.0),
+    ),
+    # --- streaming / thrashing: policy-insensitive, high MPKI ---
+    "libquantum": _strm(
+        30.0,
+        (0.70, "stream", "read", 0.0),
+        (0.30, "stream", "write", 0.0),
+    ),
+    "lbm": _strm(
+        35.0,
+        (0.65, "stream", "rmw", 0.0),
+        (0.20, "stream", "write", 0.0),
+        (0.15, "loop", "read", 0.05),
+    ),
+    "milc": _strm(
+        40.0,
+        (0.50, "stream", "read", 0.0),
+        (0.25, "stream", "write", 0.0),
+        (0.25, "loop", "read", 0.10),
+    ),
+    "bwaves": _strm(
+        35.0,
+        (0.65, "stream", "read", 0.0),
+        (0.20, "loop", "read", 1.60),
+        (0.15, "stream", "write", 0.0),
+    ),
+    "leslie3d": _strm(
+        40.0,
+        (0.56, "stream", "read", 0.0),
+        (0.24, "loop", "read", 1.80),
+        (0.20, "stream", "write", 0.0),
+    ),
+    "GemsFDTD": _strm(
+        38.0,
+        (0.61, "stream", "read", 0.0),
+        (0.24, "loop", "read", 2.20),
+        (0.15, "stream", "write", 0.0),
+    ),
+    "wrf": _strm(
+        55.0,
+        (0.46, "stream", "read", 0.0),
+        (0.24, "loop", "read", 1.40),
+        (0.20, "stream", "write", 0.0),
+        (0.10, "loop", "read", 0.05),
+    ),
+    "zeusmp": _strm(
+        50.0,
+        (0.44, "stream", "rmw", 0.0),
+        (0.28, "loop", "read", 1.50),
+        (0.28, "stream", "read", 0.0),
+    ),
+    # --- compute-bound: small working sets, sparse LLC traffic ---
+    "perlbench": _comp(
+        400.0,
+        (0.50, "loop", "read", 0.030),
+        (0.30, "loop", "rmw", 0.020),
+        (0.20, "stream", "read", 0.0),
+    ),
+    "gobmk": _comp(
+        350.0,
+        (0.55, "loop", "read", 0.050),
+        (0.25, "loop", "write", 0.020),
+        (0.20, "stream", "read", 0.0),
+    ),
+    "hmmer": _comp(
+        250.0,
+        (0.60, "loop", "rmw", 0.020),
+        (0.30, "loop", "read", 0.010),
+        (0.10, "stream", "write", 0.0),
+    ),
+    "sjeng": _comp(
+        500.0,
+        (0.60, "loop", "read", 0.040),
+        (0.20, "loop", "rmw", 0.020),
+        (0.20, "stream", "read", 0.0),
+    ),
+    "h264ref": _comp(
+        300.0,
+        (0.45, "loop", "read", 0.080),
+        (0.30, "loop", "rmw", 0.030),
+        (0.25, "stream", "write", 0.0),
+    ),
+    "gamess": _comp(
+        900.0,
+        (0.70, "loop", "read", 0.020),
+        (0.20, "loop", "rmw", 0.010),
+        (0.10, "stream", "read", 0.0),
+    ),
+    "gromacs": _comp(
+        450.0,
+        (0.50, "loop", "read", 0.060),
+        (0.30, "loop", "rmw", 0.030),
+        (0.20, "stream", "read", 0.0),
+    ),
+    "namd": _comp(
+        600.0,
+        (0.60, "loop", "read", 0.050),
+        (0.25, "loop", "rmw", 0.020),
+        (0.15, "stream", "read", 0.0),
+    ),
+    "povray": _comp(
+        1000.0,
+        (0.65, "loop", "read", 0.020),
+        (0.25, "loop", "rmw", 0.010),
+        (0.10, "stream", "read", 0.0),
+    ),
+    "calculix": _comp(
+        500.0,
+        (0.55, "loop", "read", 0.050),
+        (0.25, "loop", "rmw", 0.020),
+        (0.20, "stream", "read", 0.0),
+    ),
+    "tonto": _comp(
+        550.0,
+        (0.60, "loop", "read", 0.040),
+        (0.25, "loop", "rmw", 0.020),
+        (0.15, "stream", "read", 0.0),
+    ),
+}
+
+#: Focused microbenchmarks used by tests and the motivation experiments.
+MICRO_PARAMS: Dict[str, BenchmarkParams] = {
+    # Best case for read-write awareness: a read set that fits only once
+    # dead dirty lines stop occupying capacity.
+    "micro_dead_writes": _sens(
+        30.0,
+        (0.52, "loop", "read", 0.72),
+        (0.38, "loop", "write", 0.25),
+        (0.10, "stream", "write", 0.0),
+    ),
+    # Dirty lines are re-read constantly; shrinking the dirty partition
+    # would *hurt* -- exercises RWP's adaptation in the other direction.
+    "micro_rmw": _sens(
+        30.0,
+        (0.80, "loop", "rmw", 0.70),
+        (0.20, "loop", "read", 0.20),
+    ),
+    # Everything fits: every policy should behave identically (all hits).
+    "micro_fit": _comp(
+        100.0,
+        (0.70, "loop", "read", 0.20),
+        (0.30, "loop", "rmw", 0.10),
+    ),
+    # Classic LRU-thrashing read loop (DIP/DRRIP territory).
+    "micro_thrash": _strm(
+        30.0,
+        (1.0, "loop", "read", 1.50),
+    ),
+    # Pure streaming, nothing any policy can do.
+    "micro_stream": _strm(
+        30.0,
+        (0.6, "stream", "read", 0.0),
+        (0.4, "stream", "write", 0.0),
+    ),
+}
+
+ALL_PARAMS: Dict[str, BenchmarkParams] = {**SPEC2006_PARAMS, **MICRO_PARAMS}
+
+
+def benchmark_names(category: str | None = None) -> List[str]:
+    """SPEC benchmark names, optionally filtered by behavior category."""
+    if category is None:
+        return sorted(SPEC2006_PARAMS)
+    return sorted(
+        name
+        for name, params in SPEC2006_PARAMS.items()
+        if params.category == category
+    )
+
+
+def sensitive_names() -> List[str]:
+    """The cache-sensitive subset used for the paper's 14% claim."""
+    return benchmark_names(SENSITIVE)
+
+
+def make_model(name: str, llc_lines: int = PAPER_LLC_LINES) -> WorkloadModel:
+    """Instantiate a benchmark model scaled to an LLC of ``llc_lines``."""
+    params = ALL_PARAMS.get(name)
+    if params is None:
+        raise KeyError(
+            f"unknown benchmark {name!r}; known: {sorted(ALL_PARAMS)}"
+        )
+    kernels = []
+    for weight, kind, mode, ws_frac in params.kernels:
+        ws_lines = max(16, int(round(ws_frac * llc_lines))) if kind != "stream" else 1
+        kernels.append(
+            (weight, KernelSpec(kind=kind, mode=mode, ws_lines=ws_lines))
+        )
+    return WorkloadModel(
+        name=name,
+        kernels=tuple(kernels),
+        ipa_mean=params.ipa_mean,
+        category=params.category,
+    )
+
+
+def all_models(llc_lines: int = PAPER_LLC_LINES) -> Dict[str, WorkloadModel]:
+    """All 29 SPEC-like models at the given scale."""
+    return {name: make_model(name, llc_lines) for name in benchmark_names()}

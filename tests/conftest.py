@@ -1,0 +1,63 @@
+"""Shared fixtures: small cache geometries and deterministic traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheConfig, HierarchyConfig, default_hierarchy
+from repro.trace.access import Trace
+from repro.trace.generator import KernelSpec, WorkloadModel
+
+
+@pytest.fixture
+def tiny_config() -> CacheConfig:
+    """16 sets x 4 ways x 64 B = 4 KiB: small enough to reason about."""
+    return CacheConfig(size=4096, ways=4, line_size=64, name="tiny")
+
+
+@pytest.fixture
+def small_config() -> CacheConfig:
+    """64 sets x 8 ways: big enough for set dueling, still fast."""
+    return CacheConfig(size=64 * 8 * 64, ways=8, name="small")
+
+
+@pytest.fixture
+def small_hierarchy() -> HierarchyConfig:
+    """A scaled-down full hierarchy (LLC = 64 KiB, 16-way)."""
+    return default_hierarchy(llc_size=64 * 1024, llc_ways=16)
+
+
+def make_trace(pairs, name="t") -> Trace:
+    """Trace from (line_number, is_write) pairs with 64 B lines."""
+    return Trace(
+        [line * 64 for line, _ in pairs],
+        [w for _, w in pairs],
+        name=name,
+    )
+
+
+@pytest.fixture
+def dead_write_model() -> WorkloadModel:
+    """A read loop + hot write-only loop sized for a 1024-line LLC."""
+    return WorkloadModel(
+        name="dead_writes",
+        kernels=(
+            (0.55, KernelSpec(kind="loop", mode="read", ws_lines=720)),
+            (0.35, KernelSpec(kind="loop", mode="write", ws_lines=260)),
+            (0.10, KernelSpec(kind="stream", mode="write")),
+        ),
+        ipa_mean=20.0,
+    )
+
+
+@pytest.fixture
+def rmw_model() -> WorkloadModel:
+    """Dirty lines that are read back: the dirty partition must stay big."""
+    return WorkloadModel(
+        name="rmw",
+        kernels=(
+            (0.8, KernelSpec(kind="loop", mode="rmw", ws_lines=700)),
+            (0.2, KernelSpec(kind="loop", mode="read", ws_lines=200)),
+        ),
+        ipa_mean=20.0,
+    )

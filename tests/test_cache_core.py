@@ -1,0 +1,242 @@
+"""Unit tests for the set-associative cache core (policy-independent)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import ReplacementPolicy, make_policy
+from repro.common.config import CacheConfig
+
+
+def make_cache(config, policy="lru"):
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    return SetAssociativeCache(config, policy)
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestHitMissBasics:
+    def test_cold_miss_then_hit(self, tiny_config):
+        cache = make_cache(tiny_config)
+        hit, bypassed, wb = cache.access(addr(5), False)
+        assert (hit, bypassed, wb) == (False, False, -1)
+        hit, _, _ = cache.access(addr(5), False)
+        assert hit
+        assert cache.read_misses == 1
+        assert cache.read_hits == 1
+
+    def test_same_line_different_offset_hits(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(5), False)
+        hit, _, _ = cache.access(addr(5) + 63, False)
+        assert hit
+
+    def test_write_then_read_hits(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(9), True)
+        hit, _, _ = cache.access(addr(9), False)
+        assert hit
+        assert cache.write_misses == 1
+        assert cache.read_hits == 1
+
+    def test_distinct_sets_do_not_conflict(self, tiny_config):
+        cache = make_cache(tiny_config)
+        # 16 sets: lines 0..15 map to distinct sets.
+        for line in range(16):
+            cache.access(addr(line), False)
+        for line in range(16):
+            hit, _, _ = cache.access(addr(line), False)
+            assert hit
+
+    def test_set_fills_all_ways_before_evicting(self, tiny_config):
+        cache = make_cache(tiny_config)
+        # 4 ways; lines k*16 all map to set 0.
+        for k in range(4):
+            cache.access(addr(k * 16), False)
+        assert cache.evictions == 0
+        cache.access(addr(4 * 16), False)
+        assert cache.evictions == 1
+
+
+class TestDirtyAndWriteback:
+    def test_clean_eviction_no_writeback(self, tiny_config):
+        cache = make_cache(tiny_config)
+        for k in range(5):
+            _, _, wb = cache.access(addr(k * 16), False)
+            assert wb == -1
+        assert cache.writebacks == 0
+
+    def test_dirty_eviction_returns_victim_address(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(0), True)  # dirty line in set 0
+        for k in range(1, 5):  # evict it with 4 more fills (LRU)
+            _, _, wb = cache.access(addr(k * 16), False)
+            if wb >= 0:
+                assert wb == addr(0)
+        assert cache.writebacks == 1
+
+    def test_write_hit_dirties_clean_line(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(0), False)
+        assert not cache.probe(addr(0)).dirty
+        cache.access(addr(0), True)
+        assert cache.probe(addr(0)).dirty
+
+    def test_rewritten_line_writes_back_once(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(0), True)
+        cache.access(addr(0), True)
+        for k in range(1, 5):
+            cache.access(addr(k * 16), False)
+        assert cache.writebacks == 1
+
+
+class TestLineClassAccounting:
+    def test_read_only_class(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(0), False)
+        for k in range(1, 5):
+            cache.access(addr(k * 16), False)
+        assert cache.evicted_read_only == 1
+
+    def test_write_only_class(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(0), True)
+        for k in range(1, 5):
+            cache.access(addr(k * 16), False)
+        assert cache.evicted_write_only == 1
+
+    def test_read_write_class(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(0), True)
+        cache.access(addr(0), False)
+        for k in range(1, 5):
+            cache.access(addr(k * 16), False)
+        assert cache.evicted_read_write == 1
+
+
+class TestMaintenanceOps:
+    def test_probe_does_not_touch_stats(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(3), False)
+        before = cache.accesses
+        assert cache.probe(addr(3)) is not None
+        assert cache.probe(addr(99)) is None
+        assert cache.accesses == before
+
+    def test_invalidate(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(3), False)
+        assert cache.invalidate(addr(3))
+        assert cache.probe(addr(3)) is None
+        assert not cache.invalidate(addr(3))
+        hit, _, _ = cache.access(addr(3), False)
+        assert not hit
+
+    def test_invalidated_way_is_refillable(self, tiny_config):
+        cache = make_cache(tiny_config)
+        for k in range(4):
+            cache.access(addr(k * 16), False)
+        cache.invalidate(addr(0))
+        cache.access(addr(99 * 16), False)
+        assert cache.evictions == 0  # reused the invalid way
+
+    def test_reset_stats(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(1), True)
+        cache.reset_stats()
+        assert cache.accesses == 0
+        assert cache.write_misses == 0
+        # contents survive a stats reset
+        hit, _, _ = cache.access(addr(1), False)
+        assert hit
+
+    def test_snapshot_keys_prefixed(self, tiny_config):
+        cache = make_cache(tiny_config)
+        cache.access(addr(1), False)
+        snap = cache.snapshot()
+        assert snap["tiny.read_misses"] == 1
+        assert all(key.startswith("tiny.") for key in snap)
+
+
+class TestBypass:
+    class AlwaysBypassWrites(ReplacementPolicy):
+        def should_bypass(self, set_index, tag, is_write, pc, core):
+            return is_write
+
+        def victim(self, cache_set, set_index, is_write, pc, core):
+            return min(cache_set.lines, key=lambda l: l.stamp)
+
+        def on_fill(self, cache_set, line, set_index, is_write, pc, core):
+            line.stamp = self.cache.tick
+
+        def on_hit(self, cache_set, line, set_index, is_write, pc, core):
+            line.stamp = self.cache.tick
+
+    def test_bypassed_write_not_cached(self, tiny_config):
+        cache = make_cache(tiny_config, self.AlwaysBypassWrites())
+        hit, bypassed, wb = cache.access(addr(0), True)
+        assert bypassed and not hit and wb == -1
+        assert cache.bypasses == 1
+        assert cache.probe(addr(0)) is None
+
+    def test_bypass_not_consulted_on_hits(self, tiny_config):
+        cache = make_cache(tiny_config, self.AlwaysBypassWrites())
+        cache.access(addr(0), False)
+        hit, bypassed, _ = cache.access(addr(0), True)  # write HIT: no bypass
+        assert hit and not bypassed
+
+    def test_default_policies_skip_bypass_call(self, tiny_config):
+        cache = make_cache(tiny_config, "lru")
+        assert not cache._policy_bypasses
+
+
+class TestStatInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 127), st.booleans()),
+            min_size=1,
+            max_size=400,
+        ),
+        st.sampled_from(["lru", "random", "nru", "srrip", "dip", "rwp"]),
+    )
+    def test_counts_reconcile(self, ops, policy):
+        config = CacheConfig(size=8 * 4 * 64, ways=4, name="t")
+        cache = make_cache(config, policy)
+        for line, is_write in ops:
+            cache.access(addr(line), is_write)
+        assert cache.accesses == len(ops)
+        fills = cache.misses - cache.bypasses
+        resident = sum(1 for _ in cache.resident_lines())
+        assert fills == resident + cache.evictions
+        assert cache.dirty_evictions == cache.writebacks
+        assert (
+            cache.evicted_read_only
+            + cache.evicted_write_only
+            + cache.evicted_read_write
+            == cache.evictions
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 63), st.booleans()),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_no_duplicate_tags_within_set(self, ops):
+        config = CacheConfig(size=4 * 4 * 64, ways=4, name="t")
+        cache = make_cache(config, "lru")
+        for line, is_write in ops:
+            cache.access(addr(line), is_write)
+        for cache_set in cache.sets:
+            tags = [l.tag for l in cache_set.lines if l.valid]
+            assert len(tags) == len(set(tags))
+            assert set(cache_set.lookup) == set(tags)
+            assert cache_set.filled == len(tags)

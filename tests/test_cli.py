@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--llc-lines", "256", "--accesses", "4096"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "mcf"])
+        assert args.policy == "rwp"
+        assert args.llc_lines == 2048
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        assert "rwp" in out
+        assert "mix01_all_sensitive" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "micro_fit", "-p", "lru", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "ipc" in out
+        assert "LRUPolicy" in out
+
+    def test_run_reports_policy_state(self, capsys):
+        assert main(["run", "micro_fit", "-p", "rwp", *FAST]) == 0
+        assert "target_clean" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "micro_fit", "-p", "lru,rwp", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "vs lru" in out
+        assert "rwp" in out
+
+    def test_mix(self, capsys):
+        assert main(["mix", "mix09_light", "-p", "lru", *FAST]) == 0
+        assert "weighted_speedup" in capsys.readouterr().out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        assert "RWP / RRP state ratio" in capsys.readouterr().out
+
+    def test_motivation_single(self, capsys):
+        assert main(["motivation", "micro_dead_writes", *FAST]) == 0
+        assert "dead_line_frac" in capsys.readouterr().out
+
+    def test_motivation_sensitive_group(self, capsys):
+        assert main(["motivation", "sensitive", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "soplex" in out
+
+    def test_unknown_benchmark_is_error(self):
+        assert main(["run", "quake3", *FAST]) == 2

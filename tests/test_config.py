@@ -1,0 +1,110 @@
+"""Unit tests for configuration dataclasses and address math."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    HierarchyConfig,
+    MemoryConfig,
+    default_hierarchy,
+    paper_system_config,
+)
+
+
+class TestCacheConfigGeometry:
+    def test_num_sets(self):
+        config = CacheConfig(size=2 * 1024 * 1024, ways=16, line_size=64)
+        assert config.num_sets == 2048
+
+    def test_num_lines(self):
+        config = CacheConfig(size=2 * 1024 * 1024, ways=16, line_size=64)
+        assert config.num_lines == 32768
+
+    def test_offset_and_index_bits(self):
+        config = CacheConfig(size=4096, ways=4, line_size=64)
+        assert config.offset_bits == 6
+        assert config.index_bits == 4  # 16 sets
+
+    def test_size_not_divisible_rejected(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            CacheConfig(size=1000, ways=3, line_size=64)
+
+    def test_non_pow2_line_size_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig(size=96 * 6, ways=6, line_size=96)
+
+    def test_non_pow2_sets_rejected(self):
+        # 3 sets x 4 ways x 64 B
+        with pytest.raises(ValueError, match="power of two"):
+            CacheConfig(size=3 * 4 * 64, ways=4, line_size=64)
+
+    def test_scaled_doubles_sets(self):
+        config = CacheConfig(size=4096, ways=4, line_size=64)
+        doubled = config.scaled(2)
+        assert doubled.num_sets == 2 * config.num_sets
+        assert doubled.ways == config.ways
+
+
+class TestAddressMath:
+    def test_set_index_slices_correct_bits(self):
+        config = CacheConfig(size=4096, ways=4, line_size=64)  # 16 sets
+        address = (0xAB << 10) | (7 << 6) | 13  # tag=0xAB, set=7, offset=13
+        assert config.set_index(address) == 7
+        assert config.tag(address) == 0xAB
+
+    def test_block_address_strips_offset(self):
+        config = CacheConfig(size=4096, ways=4, line_size=64)
+        assert config.block_address(64 * 99 + 63) == 99
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_tag_index_roundtrip(self, address):
+        config = CacheConfig(size=64 * 1024, ways=16, line_size=64)
+        set_index = config.set_index(address)
+        tag = config.tag(address)
+        rebuilt = ((tag << config.index_bits) | set_index) << config.offset_bits
+        assert rebuilt == address - (address % config.line_size)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_same_line_same_set(self, address):
+        config = CacheConfig(size=32 * 1024, ways=8, line_size=64)
+        base = address - (address % 64)
+        for offset in (0, 1, 63):
+            assert config.set_index(base + offset) == config.set_index(base)
+            assert config.tag(base + offset) == config.tag(base)
+
+
+class TestSystemConfigs:
+    def test_default_hierarchy_levels_grow(self):
+        h = default_hierarchy()
+        assert h.l1.size < h.l2.size < h.llc.size
+        assert h.l1.hit_latency < h.l2.hit_latency < h.llc.hit_latency
+        assert h.llc.hit_latency < h.memory.latency
+
+    def test_paper_config_single_core(self):
+        sim = paper_system_config()
+        assert sim.hierarchy.llc.size == 2 * 1024 * 1024
+        assert sim.hierarchy.llc.ways == 16
+        assert sim.num_cores == 1
+
+    def test_paper_config_scales_llc_with_cores(self):
+        sim = paper_system_config(num_cores=4)
+        assert sim.hierarchy.llc.size == 8 * 1024 * 1024
+        assert sim.num_cores == 4
+
+    def test_memory_config_defaults(self):
+        memory = MemoryConfig()
+        assert memory.latency > 0
+        assert memory.writeback_cost > 0
+
+    def test_core_config_defaults_sane(self):
+        core = CoreConfig()
+        assert 0 < core.base_cpi <= 2.0
+        assert core.mlp >= 1.0
+
+    def test_hierarchy_config_is_frozen(self):
+        h = default_hierarchy()
+        with pytest.raises(AttributeError):
+            h.l1 = h.l2

@@ -1,0 +1,240 @@
+"""Unit tests for set dueling, BIP/DIP, and the RRIP family."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.dip import BIPPolicy, DIPPolicy
+from repro.cache.dueling import FOLLOWER, TEAM_A, TEAM_B, SaturatingCounter, SetDueling
+from repro.cache.policy import make_policy
+from repro.cache.rrip import (
+    RRPV_LONG,
+    RRPV_MAX,
+    BRRIPPolicy,
+    DRRIPPolicy,
+    SRRIPPolicy,
+    TADRRIPPolicy,
+)
+from repro.common.config import CacheConfig
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestSaturatingCounter:
+    def test_starts_at_midpoint(self):
+        counter = SaturatingCounter(bits=4)
+        assert counter.value == 8
+        assert counter.high_half
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.up()
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.down()
+        assert counter.value == 0
+        assert not counter.high_half
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+
+class TestSetDueling:
+    def test_leader_counts_balanced(self):
+        dueling = SetDueling(num_sets=256, leaders_per_team=32)
+        assert len(dueling.leader_sets(TEAM_A)) == 32
+        assert len(dueling.leader_sets(TEAM_B)) == 32
+
+    def test_leaders_disjoint(self):
+        dueling = SetDueling(num_sets=128, leaders_per_team=16)
+        a = set(dueling.leader_sets(TEAM_A))
+        b = set(dueling.leader_sets(TEAM_B))
+        assert a.isdisjoint(b)
+
+    def test_followers_follow_winner(self):
+        dueling = SetDueling(num_sets=64, leaders_per_team=8)
+        follower = next(
+            i for i in range(64) if dueling.role(i) == FOLLOWER
+        )
+        # Hammer misses on team A leaders -> followers go to team B.
+        for _ in range(600):
+            dueling.record_miss(dueling.leader_sets(TEAM_A)[0])
+        assert dueling.team_for(follower) == TEAM_B
+        for _ in range(1200):
+            dueling.record_miss(dueling.leader_sets(TEAM_B)[0])
+        assert dueling.team_for(follower) == TEAM_A
+
+    def test_leaders_always_use_own_team(self):
+        dueling = SetDueling(num_sets=64, leaders_per_team=8)
+        leader_a = dueling.leader_sets(TEAM_A)[0]
+        for _ in range(600):
+            dueling.record_miss(leader_a)
+        assert dueling.team_for(leader_a) == TEAM_A
+
+    def test_tiny_cache_clamps_leaders(self):
+        dueling = SetDueling(num_sets=4, leaders_per_team=32)
+        assert len(dueling.leader_sets(TEAM_A)) >= 1
+
+    def test_too_few_sets_rejected(self):
+        with pytest.raises(ValueError):
+            SetDueling(num_sets=2)
+
+
+class TestBIP:
+    def test_mostly_inserts_at_lru(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, BIPPolicy(epsilon=1 << 30))
+        for k in range(4):
+            cache.access(addr(k * 16), False)
+        cache.access(addr(4 * 16), False)
+        # With epsilon ~ infinity every fill lands at LRU: the newest
+        # line is the next victim, so line 3*16 got evicted.
+        assert cache.probe(addr(3 * 16)) is None
+
+    def test_epsilon_one_behaves_like_lru(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, BIPPolicy(epsilon=1))
+        for k in range(5):
+            cache.access(addr(k * 16), False)
+        assert cache.probe(addr(0)) is None  # classic LRU victim
+
+    def test_retains_fraction_of_thrashing_set(self):
+        # Working set of 8 lines in a 4-way set: LRU gets zero hits,
+        # BIP must retain some lines and produce hits.
+        config = CacheConfig(size=1 * 4 * 64, ways=4, name="t")
+        lru = SetAssociativeCache(config, make_policy("lru"))
+        bip = SetAssociativeCache(config, BIPPolicy(seed=3))
+        for _ in range(300):
+            for line in range(8):
+                lru.access(addr(line), False)
+                bip.access(addr(line), False)
+        assert lru.read_hits == 0
+        assert bip.read_hits > 100
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            BIPPolicy(epsilon=0)
+
+
+class TestDIP:
+    def _thrash(self, cache, rounds=400, ws=96):
+        # 96 lines over 8 sets = a cyclic 12-line loop per 4-way set.
+        for _ in range(rounds):
+            for line in range(ws):
+                cache.access(addr(line), False)
+
+    def test_converges_to_bip_on_thrash(self):
+        config = CacheConfig(size=8 * 4 * 64, ways=4, name="t")
+        policy = DIPPolicy(leaders_per_team=2)
+        cache = SetAssociativeCache(config, policy)
+        self._thrash(cache)
+        assert policy.describe()["following"] == "bip"
+
+    def test_follows_lru_on_recency_friendly_workload(self):
+        # A cold stream where each line is re-referenced one fill later:
+        # LRU hits the re-reference, BIP (LRU-position insertion) evicts
+        # the line before it, so the duel must pick LRU.
+        config = CacheConfig(size=8 * 4 * 64, ways=4, name="t")
+        policy = DIPPolicy(leaders_per_team=2)
+        cache = SetAssociativeCache(config, policy)
+        for line in range(6000):
+            cache.access(addr(line), False)
+            if line >= 8:
+                # Same set as `line`, one fill older: LRU keeps it,
+                # BIP has already chosen it as the victim.
+                cache.access(addr(line - 8), False)
+        assert policy.describe()["following"] == "lru"
+
+    def test_beats_lru_on_thrash(self):
+        config = CacheConfig(size=8 * 4 * 64, ways=4, name="t")
+        lru = SetAssociativeCache(config, make_policy("lru"))
+        dip = SetAssociativeCache(config, DIPPolicy(leaders_per_team=2))
+        self._thrash(lru)
+        self._thrash(dip)
+        assert dip.read_hits > lru.read_hits
+
+
+class TestSRRIP:
+    def test_fill_gets_long_rrpv(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, SRRIPPolicy())
+        cache.access(addr(0), False)
+        assert cache.probe(addr(0)).rrpv == RRPV_LONG
+
+    def test_hit_resets_rrpv(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, SRRIPPolicy())
+        cache.access(addr(0), False)
+        cache.access(addr(0), False)
+        assert cache.probe(addr(0)).rrpv == 0
+
+    def test_victim_is_distant_line(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, SRRIPPolicy())
+        for k in range(4):
+            cache.access(addr(k * 16), False)
+        cache.access(addr(0), False)  # protect line 0 (rrpv 0)
+        cache.access(addr(4 * 16), False)
+        assert cache.probe(addr(0)) is not None
+
+    def test_aging_terminates(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, SRRIPPolicy())
+        for k in range(4):
+            cache.access(addr(k * 16), False)
+            cache.access(addr(k * 16), False)  # every line at rrpv 0
+        cache.access(addr(4 * 16), False)  # forces aging rounds
+        assert cache.evictions == 1
+
+    def test_scan_resistance_vs_lru(self):
+        # Hot set of 3 lines + an endless scan: SRRIP keeps the hot
+        # lines (rrpv 0) while LRU lets the scan push them out.
+        config = CacheConfig(size=1 * 4 * 64, ways=4, name="t")
+        lru = SetAssociativeCache(config, make_policy("lru"))
+        srrip = SetAssociativeCache(config, SRRIPPolicy())
+        for cache in (lru, srrip):
+            for round_ in range(200):
+                for _ in range(2):  # hot lines are genuinely re-referenced
+                    for hot in range(3):
+                        cache.access(addr(hot), False)
+                for scan in range(2):
+                    cache.access(addr(100 + round_ * 2 + scan), False)
+        assert srrip.read_hits > lru.read_hits
+
+
+class TestBRRIPAndDRRIP:
+    def test_brrip_mostly_distant(self, tiny_config):
+        cache = SetAssociativeCache(
+            tiny_config, BRRIPPolicy(epsilon=1 << 30)
+        )
+        cache.access(addr(0), False)
+        assert cache.probe(addr(0)).rrpv == RRPV_MAX
+
+    def test_drrip_beats_srrip_on_thrash(self):
+        config = CacheConfig(size=8 * 4 * 64, ways=4, name="t")
+        srrip = SetAssociativeCache(config, SRRIPPolicy())
+        drrip = SetAssociativeCache(config, DRRIPPolicy(leaders_per_team=2))
+        for _ in range(400):
+            for line in range(96):  # 12-line cyclic loop per 4-way set
+                srrip.access(addr(line), False)
+                drrip.access(addr(line), False)
+        assert drrip.read_hits > srrip.read_hits
+
+
+class TestTADRRIP:
+    def test_per_core_psels_move_independently(self):
+        config = CacheConfig(size=64 * 8 * 64, ways=8, name="t")
+        policy = TADRRIPPolicy(num_cores=2)
+        cache = SetAssociativeCache(config, policy)
+        # Core 0 thrashes (BRRIP should win for it); core 1 fits.
+        for _ in range(200):
+            for line in range(640):  # thrash for core 0
+                cache.access(addr(line), False, core=0)
+                if line < 32:
+                    cache.access(addr(line + 100_000), False, core=1)
+        psels = policy.describe()["psel_per_core"]
+        assert psels[0] != psels[1]
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            TADRRIPPolicy(num_cores=0)

@@ -1,0 +1,82 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.experiments.energy import EnergyParams, evaluate_energy
+from repro.experiments.runner import ExperimentScale, run_benchmark
+
+SCALE = ExperimentScale(llc_lines=1024, warmup_factor=8, measure_factor=20)
+
+
+def synthetic_result(**overrides):
+    from repro.cpu.core import RunResult
+
+    defaults = dict(
+        name="t",
+        policy="x",
+        instructions=1_000_000,
+        cycles=2_000_000.0,
+        ipc=0.5,
+        llc_read_hits=50_000,
+        llc_read_misses=10_000,
+        llc_write_hits=20_000,
+        llc_write_misses=5_000,
+        llc_writebacks=8_000,
+        llc_bypasses=0,
+        read_stall_cycles=0.0,
+        write_stall_cycles=0.0,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestBreakdownMath:
+    def test_components_sum(self):
+        breakdown = evaluate_energy(synthetic_result())
+        assert breakdown.total_mj == pytest.approx(
+            breakdown.llc_dynamic_mj
+            + breakdown.dram_read_mj
+            + breakdown.dram_write_mj
+            + breakdown.static_mj
+        )
+
+    def test_dram_read_cost_exact(self):
+        params = EnergyParams(dram_read_nj=10.0)
+        breakdown = evaluate_energy(synthetic_result(), params)
+        assert breakdown.dram_read_mj == pytest.approx(10_000 * 10.0 * 1e-6)
+
+    def test_writebacks_and_bypasses_both_write_dram(self):
+        a = evaluate_energy(synthetic_result(llc_bypasses=0))
+        b = evaluate_energy(synthetic_result(llc_bypasses=4_000))
+        assert b.dram_write_mj > a.dram_write_mj
+
+    def test_static_scales_with_cycles(self):
+        short = evaluate_energy(synthetic_result(cycles=1e6))
+        long = evaluate_energy(synthetic_result(cycles=4e6))
+        assert long.static_mj == pytest.approx(4 * short.static_mj)
+
+    def test_edp_blends_energy_and_time(self):
+        fast = evaluate_energy(synthetic_result(cycles=1e6))
+        slow = evaluate_energy(synthetic_result(cycles=4e6))
+        assert slow.edp > fast.edp
+
+    def test_epki_zero_instructions(self):
+        breakdown = evaluate_energy(synthetic_result(instructions=0))
+        assert breakdown.energy_per_kilo_instruction_uj == 0.0
+
+
+class TestEndToEnd:
+    def test_rwp_wins_edp_on_dead_writes(self):
+        """RWP spends more DRAM-write energy but saves far more time:
+        energy-delay product must favor it over LRU."""
+        lru = run_benchmark("micro_dead_writes", "lru", SCALE)
+        rwp = run_benchmark("micro_dead_writes", "rwp", SCALE)
+        e_lru = evaluate_energy(lru)
+        e_rwp = evaluate_energy(rwp)
+        assert e_rwp.dram_write_mj > e_lru.dram_write_mj  # the cost...
+        assert e_rwp.edp < e_lru.edp  # ...is worth it
+
+    def test_energy_comparable_on_insensitive_workload(self):
+        lru = evaluate_energy(run_benchmark("micro_stream", "lru", SCALE))
+        rwp = evaluate_energy(run_benchmark("micro_stream", "rwp", SCALE))
+        assert rwp.total_mj == pytest.approx(lru.total_mj, rel=0.02)

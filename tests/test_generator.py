@@ -1,0 +1,222 @@
+"""Unit tests for the synthetic kernel generators and workload mixtures."""
+
+import numpy as np
+import pytest
+
+from repro.trace.generator import (
+    LINE_SIZE,
+    KernelSpec,
+    MixtureGenerator,
+    WorkloadModel,
+    describe,
+    merge_models,
+)
+
+_REGION_LINES = 1 << 26
+
+
+def single_kernel_model(spec: KernelSpec, ipa: float = 10.0) -> WorkloadModel:
+    return WorkloadModel(name="single", kernels=((1.0, spec),), ipa_mean=ipa)
+
+
+def lines_of(trace):
+    return [a // LINE_SIZE for a in trace.addresses]
+
+
+class TestKernelSpecValidation:
+    def test_bad_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            KernelSpec(kind="zigzag")
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            KernelSpec(kind="loop", mode="readwrite")
+
+    def test_chase_must_be_read(self):
+        with pytest.raises(ValueError, match="read-only"):
+            KernelSpec(kind="chase", mode="write")
+
+    def test_nonpositive_ws(self):
+        with pytest.raises(ValueError, match="ws_lines"):
+            KernelSpec(kind="loop", ws_lines=0)
+
+
+class TestLoopKernel:
+    def test_covers_working_set_exactly(self):
+        model = single_kernel_model(KernelSpec(kind="loop", mode="read", ws_lines=50))
+        trace = model.generate(100, seed=1)
+        relative = [l % _REGION_LINES for l in lines_of(trace)]
+        # Two full passes over 50 lines: each line exactly twice.
+        counts = np.bincount(relative, minlength=50)
+        assert all(counts[:50] == 2)
+
+    def test_read_mode_never_writes(self):
+        model = single_kernel_model(KernelSpec(kind="loop", mode="read", ws_lines=8))
+        assert not any(model.generate(64, seed=1).is_write)
+
+    def test_write_mode_always_writes(self):
+        model = single_kernel_model(KernelSpec(kind="loop", mode="write", ws_lines=8))
+        assert all(model.generate(64, seed=1).is_write)
+
+    def test_rmw_pairs_read_then_write_same_line(self):
+        model = single_kernel_model(KernelSpec(kind="loop", mode="rmw", ws_lines=16))
+        trace = model.generate(64, seed=3)
+        for i in range(0, 64, 2):
+            assert not trace.is_write[i]
+            assert trace.is_write[i + 1]
+            assert trace.addresses[i] == trace.addresses[i + 1]
+
+    def test_permutation_not_sequential(self):
+        model = single_kernel_model(KernelSpec(kind="loop", mode="read", ws_lines=256))
+        relative = [l % _REGION_LINES for l in lines_of(model.generate(256, seed=5))]
+        assert relative != sorted(relative)
+
+
+class TestChaseKernel:
+    def test_within_working_set(self):
+        model = single_kernel_model(KernelSpec(kind="chase", ws_lines=32))
+        relative = [l % _REGION_LINES for l in lines_of(model.generate(500, seed=2))]
+        assert max(relative) < 32
+        assert min(relative) >= 0
+
+    def test_reads_only(self):
+        model = single_kernel_model(KernelSpec(kind="chase", ws_lines=32))
+        assert not any(model.generate(100, seed=2).is_write)
+
+    def test_covers_most_of_working_set(self):
+        model = single_kernel_model(KernelSpec(kind="chase", ws_lines=64))
+        relative = {l % _REGION_LINES for l in lines_of(model.generate(2000, seed=2))}
+        assert len(relative) > 55  # coupon-collector: nearly all touched
+
+
+class TestStreamKernel:
+    def test_never_reuses_lines(self):
+        model = single_kernel_model(KernelSpec(kind="stream", mode="read"))
+        relative = lines_of(model.generate(5000, seed=4))
+        assert len(set(relative)) == 5000
+
+    def test_monotonically_advances(self):
+        model = single_kernel_model(KernelSpec(kind="stream", mode="read"))
+        relative = [l % _REGION_LINES for l in lines_of(model.generate(100, seed=4))]
+        assert relative == sorted(relative)
+
+    def test_rmw_stream_touches_each_line_twice(self):
+        model = single_kernel_model(KernelSpec(kind="stream", mode="rmw"))
+        trace = model.generate(100, seed=4)
+        assert trace.addresses[0] == trace.addresses[1]
+        assert not trace.is_write[0] and trace.is_write[1]
+
+    def test_cursor_persists_across_chunks(self):
+        generator = MixtureGenerator(
+            single_kernel_model(KernelSpec(kind="stream", mode="read")), seed=1
+        )
+        first = lines_of(generator.generate(50))
+        second = lines_of(generator.generate(50))
+        assert len(set(first) & set(second)) == 0
+
+
+class TestMixture:
+    def test_weights_normalized(self):
+        model = WorkloadModel(
+            name="m",
+            kernels=(
+                (2.0, KernelSpec(kind="stream", mode="read")),
+                (2.0, KernelSpec(kind="stream", mode="write")),
+            ),
+        )
+        assert model.weights.tolist() == [0.5, 0.5]
+
+    def test_mixture_ratio_respected(self):
+        model = WorkloadModel(
+            name="m",
+            kernels=(
+                (0.8, KernelSpec(kind="stream", mode="read")),
+                (0.2, KernelSpec(kind="stream", mode="write")),
+            ),
+        )
+        trace = model.generate(20_000, seed=3)
+        assert 0.17 < trace.write_fraction < 0.23
+
+    def test_kernels_use_disjoint_regions(self):
+        model = WorkloadModel(
+            name="m",
+            kernels=(
+                (0.5, KernelSpec(kind="loop", mode="read", ws_lines=100)),
+                (0.5, KernelSpec(kind="loop", mode="write", ws_lines=100)),
+            ),
+        )
+        trace = model.generate(1000, seed=7)
+        read_regions = {a // (LINE_SIZE * _REGION_LINES) for a, w in zip(trace.addresses, trace.is_write) if not w}
+        write_regions = {a // (LINE_SIZE * _REGION_LINES) for a, w in zip(trace.addresses, trace.is_write) if w}
+        assert read_regions.isdisjoint(write_regions)
+
+    def test_distinct_pcs_per_kernel(self):
+        model = WorkloadModel(
+            name="m",
+            kernels=(
+                (0.5, KernelSpec(kind="loop", mode="read", ws_lines=64, pcs=4)),
+                (0.5, KernelSpec(kind="stream", mode="write", pcs=2)),
+            ),
+        )
+        trace = model.generate(2000, seed=8)
+        read_pcs = {p for p, w in zip(trace.pcs, trace.is_write) if not w}
+        write_pcs = {p for p, w in zip(trace.pcs, trace.is_write) if w}
+        assert len(read_pcs) == 4
+        assert len(write_pcs) == 2
+        assert read_pcs.isdisjoint(write_pcs)
+
+    def test_deterministic_per_seed(self):
+        model = WorkloadModel(
+            name="m",
+            kernels=((1.0, KernelSpec(kind="chase", ws_lines=128)),),
+        )
+        assert model.generate(500, seed=11).addresses == model.generate(500, seed=11).addresses
+        assert model.generate(500, seed=11).addresses != model.generate(500, seed=12).addresses
+
+    def test_instruction_gap_mean(self):
+        model = WorkloadModel(
+            name="m",
+            kernels=((1.0, KernelSpec(kind="stream", mode="read")),),
+            ipa_mean=40.0,
+        )
+        trace = model.generate(20_000, seed=13)
+        mean = trace.total_instructions / len(trace)
+        assert 36 < mean < 44
+
+    def test_generate_rejects_nonpositive(self):
+        model = single_kernel_model(KernelSpec(kind="stream", mode="read"))
+        with pytest.raises(ValueError):
+            MixtureGenerator(model).generate(0)
+
+
+class TestModelValidation:
+    def test_empty_kernels_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(name="m", kernels=())
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(
+                name="m",
+                kernels=((0.0, KernelSpec(kind="stream", mode="read")),),
+            )
+
+    def test_low_ipa_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(
+                name="m",
+                kernels=((1.0, KernelSpec(kind="stream", mode="read")),),
+                ipa_mean=0.5,
+            )
+
+    def test_merge_models(self, dead_write_model, rmw_model):
+        merged = merge_models("combo", [dead_write_model, rmw_model])
+        assert len(merged.kernels) == 5
+        trace = merged.generate(100, seed=1)
+        assert len(trace) == 100
+
+    def test_describe_shape(self, dead_write_model):
+        info = describe(dead_write_model)
+        assert info["name"] == "dead_writes"
+        assert len(info["kernels"]) == 3
+        assert abs(sum(k["weight"] for k in info["kernels"]) - 1.0) < 1e-6

@@ -1,0 +1,198 @@
+"""Unit tests for the memory hierarchy, main memory, and write buffer."""
+
+import pytest
+
+from repro.common.config import MemoryConfig, default_hierarchy
+from repro.hierarchy.memory import MainMemory
+from repro.hierarchy.system import L1, L2, LLC, MEMORY, MemoryHierarchy
+from repro.hierarchy.writebuffer import WriteBufferModel
+from repro.trace.access import Trace
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestMainMemory:
+    def test_read_returns_latency_and_counts(self):
+        memory = MainMemory(MemoryConfig(latency=123))
+        assert memory.read(0) == 123
+        assert memory.reads == 1
+
+    def test_write_returns_channel_cost(self):
+        memory = MainMemory(MemoryConfig(writeback_cost=17))
+        assert memory.write(0) == 17
+        assert memory.writes == 1
+
+    def test_reset(self):
+        memory = MainMemory(MemoryConfig())
+        memory.read(0)
+        memory.write(0)
+        memory.reset_stats()
+        assert memory.snapshot() == {"memory.reads": 0, "memory.writes": 0}
+
+
+class TestWriteBuffer:
+    def test_no_stall_when_sparse(self):
+        buffer = WriteBufferModel(entries=4, drain_cycles=10)
+        assert buffer.issue(0) == 0
+        assert buffer.issue(100) == 0
+
+    def test_stall_when_full(self):
+        buffer = WriteBufferModel(entries=2, drain_cycles=10)
+        # Three writes at t=0: drains complete at 10 and 20.
+        assert buffer.issue(0) == 0
+        assert buffer.issue(0) == 0
+        stall = buffer.issue(0)
+        assert stall == 10  # waited for the first drain
+
+    def test_drain_is_sequential(self):
+        buffer = WriteBufferModel(entries=8, drain_cycles=10)
+        for _ in range(4):
+            buffer.issue(0)
+        assert buffer.occupancy == 4
+        # At t=35, drains at 10/20/30 have completed.
+        buffer.issue(35)
+        assert buffer.occupancy == 2  # one remaining + the new one
+
+    def test_burst_stall_accumulates(self):
+        buffer = WriteBufferModel(entries=1, drain_cycles=5)
+        total = sum(buffer.issue(0) for _ in range(4))
+        assert total == 5 + 10 + 15
+        assert buffer.stall_cycles == total
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            WriteBufferModel(entries=0, drain_cycles=1)
+        with pytest.raises(ValueError):
+            WriteBufferModel(entries=1, drain_cycles=0)
+
+
+class TestHierarchyPaths:
+    @pytest.fixture
+    def hierarchy(self, small_hierarchy):
+        return MemoryHierarchy(small_hierarchy, llc_policy="lru")
+
+    def test_cold_read_reaches_memory(self, hierarchy):
+        level, latency = hierarchy.access(addr(0), False)
+        assert level == MEMORY
+        assert latency == hierarchy.config.memory.latency
+        assert hierarchy.memory.reads == 1
+
+    def test_second_access_hits_l1(self, hierarchy):
+        hierarchy.access(addr(0), False)
+        level, latency = hierarchy.access(addr(0), False)
+        assert level == L1
+        assert latency == hierarchy.config.l1.hit_latency
+
+    def test_fill_populates_all_levels(self, hierarchy):
+        hierarchy.access(addr(0), False)
+        assert hierarchy.l1s[0].probe(addr(0)) is not None
+        assert hierarchy.l2s[0].probe(addr(0)) is not None
+        assert hierarchy.llc.probe(addr(0)) is not None
+
+    def test_l1_evict_hits_l2(self, hierarchy):
+        l1 = hierarchy.config.l1
+        lines_same_set = [k * l1.num_sets for k in range(l1.ways + 1)]
+        for line in lines_same_set:
+            hierarchy.access(addr(line), False)
+        # First line was evicted from L1 but lives in L2.
+        level, _ = hierarchy.access(addr(lines_same_set[0]), False)
+        assert level == L2
+
+    def test_dirty_writeback_cascades_to_memory(self, small_hierarchy):
+        hierarchy = MemoryHierarchy(small_hierarchy)
+        hierarchy.access(addr(0), True)  # dirty in L1
+        # Flood with lines that conflict with line 0 in *every* level:
+        # a stride of the largest set count maps to set 0 everywhere.
+        stride = max(
+            small_hierarchy.l1.num_sets,
+            small_hierarchy.l2.num_sets,
+            small_hierarchy.llc.num_sets,
+        )
+        # Enough conflicting fills to chase the dirty line down L1 -> L2
+        # -> LLC -> memory (each level re-MRUs it on arrival, so the
+        # flood must overwhelm every level's ways in sequence).
+        for k in range(1, 50):
+            hierarchy.access(addr(k * stride), False)
+        assert hierarchy.memory.writes >= 1
+
+    def test_multi_core_private_l1l2(self, small_hierarchy):
+        hierarchy = MemoryHierarchy(small_hierarchy, num_l1l2=2)
+        hierarchy.access(addr(0), False, core=0)
+        assert hierarchy.l1s[0].probe(addr(0)) is not None
+        assert hierarchy.l1s[1].probe(addr(0)) is None
+        # Core 1 misses its private levels but hits the shared LLC.
+        level, _ = hierarchy.access(addr(0), False, core=1)
+        assert level == LLC
+
+    def test_snapshot_has_distinct_core_prefixes(self, small_hierarchy):
+        hierarchy = MemoryHierarchy(small_hierarchy, num_l1l2=2)
+        hierarchy.access(addr(0), False, core=0)
+        snap = hierarchy.snapshot()
+        assert "core0.L1D.read_misses" in snap
+        assert "core1.L1D.read_misses" in snap
+        assert snap["core0.L1D.read_misses"] == 1
+        assert snap["core1.L1D.read_misses"] == 0
+
+    def test_reset_stats_clears_everything(self, hierarchy):
+        hierarchy.access(addr(0), True)
+        hierarchy.reset_stats()
+        assert all(v == 0 for v in hierarchy.snapshot().values())
+
+
+class TestLLCFilter:
+    def test_filter_preserves_llc_traffic(self, small_hierarchy):
+        """Replaying the filtered trace on a fresh LLC must reproduce the
+        full-hierarchy LLC miss counts exactly (same policy, LRU)."""
+        from repro.cache.cache import SetAssociativeCache
+        from repro.cache.policy import make_policy
+        from repro.trace.generator import KernelSpec, WorkloadModel
+
+        model = WorkloadModel(
+            name="mix",
+            kernels=(
+                (0.5, KernelSpec(kind="loop", mode="read", ws_lines=1500)),
+                (0.3, KernelSpec(kind="loop", mode="write", ws_lines=400)),
+                (0.2, KernelSpec(kind="stream", mode="read")),
+            ),
+        )
+        trace = model.generate(30_000, seed=3)
+
+        full = MemoryHierarchy(small_hierarchy, llc_policy="lru")
+        for a, w, pc, _ in trace:
+            full.access(a, w, pc)
+
+        filter_hierarchy = MemoryHierarchy(small_hierarchy, llc_policy="lru")
+        llc_trace = filter_hierarchy.llc_filter(trace)
+        replay_llc = SetAssociativeCache(small_hierarchy.llc, make_policy("lru"))
+        for a, w, pc, _ in llc_trace:
+            replay_llc.access(a, w, pc)
+
+        assert replay_llc.read_misses == full.llc.read_misses
+        assert replay_llc.read_hits == full.llc.read_hits
+        assert replay_llc.write_misses == full.llc.write_misses
+
+    def test_filter_preserves_instruction_count_prefix(self, small_hierarchy):
+        trace = Trace(
+            [addr(k % 50) for k in range(200)],
+            [False] * 200,
+            instr_gaps=[3] * 200,
+        )
+        hierarchy = MemoryHierarchy(small_hierarchy)
+        llc_trace = hierarchy.llc_filter(trace)
+        # Gaps of accesses that never reached the LLC are folded into the
+        # next LLC-level record, so no instructions are lost up to the
+        # final LLC access.
+        assert llc_trace.total_instructions <= trace.total_instructions
+        assert len(llc_trace) < len(trace)
+
+    def test_filter_marks_writebacks_as_writes(self, small_hierarchy):
+        # Write-only streaming guarantees L2 dirty evictions.
+        trace = Trace(
+            [addr(k) for k in range(20_000)],
+            [True] * 20_000,
+        )
+        hierarchy = MemoryHierarchy(small_hierarchy)
+        llc_trace = hierarchy.llc_filter(trace)
+        assert any(llc_trace.is_write)

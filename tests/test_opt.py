@@ -1,0 +1,122 @@
+"""Unit tests for Belady's OPT and the read-aware oracle."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.opt import NEVER, OPTPolicy, compute_next_use
+from repro.cache.policy import make_policy
+from repro.common.config import CacheConfig
+from repro.trace.access import Trace
+
+
+def trace_of(lines, writes=None, name="t") -> Trace:
+    writes = writes or [False] * len(lines)
+    return Trace([l * 64 for l in lines], writes, name=name)
+
+
+CONFIG = CacheConfig(size=4 * 4 * 64, ways=4, name="t")
+
+
+class TestNextUse:
+    def test_simple_chain(self):
+        trace = trace_of([1, 2, 1, 2, 3])
+        next_use = compute_next_use(trace, CONFIG)
+        assert next_use == [2, 3, NEVER, NEVER, NEVER]
+
+    def test_reads_only_skips_writes(self):
+        trace = trace_of([1, 1, 1], writes=[False, True, False])
+        next_use = compute_next_use(trace, CONFIG, reads_only=True)
+        # Position 0: the next *read* of line 1 is position 2 (the write
+        # at 1 does not count).
+        assert next_use == [2, 2, NEVER]
+
+    def test_write_only_line_never_read(self):
+        trace = trace_of([5, 5], writes=[True, True])
+        next_use = compute_next_use(trace, CONFIG, reads_only=True)
+        assert next_use == [NEVER, NEVER]
+
+    def test_different_offsets_same_line(self):
+        trace = Trace([64, 64 + 32], [False, False])
+        next_use = compute_next_use(trace, CONFIG)
+        assert next_use[0] == 1
+
+
+class TestOPTBehavior:
+    def test_evicts_farthest_future(self):
+        # 1-set cache would be easier; use lines all mapping to set 0.
+        config = CacheConfig(size=1 * 2 * 64, ways=2, name="t")
+        lines = [1, 2, 3, 1, 2]  # when 3 arrives, 1 is nearer than 2
+        trace = trace_of(lines)
+        cache = SetAssociativeCache(config, OPTPolicy(trace, config))
+        hits = [cache.access(a, w)[0] for a, w, _, _ in trace]
+        # fill 1, fill 2, 3 evicts 2 (next use of 1 is sooner), hit 1,
+        # miss 2.
+        assert hits == [False, False, False, True, False]
+
+    def test_lru_would_do_worse_on_that_pattern(self):
+        config = CacheConfig(size=1 * 2 * 64, ways=2, name="t")
+        trace = trace_of([1, 2, 3, 1, 2])
+        cache = SetAssociativeCache(config, make_policy("lru"))
+        hits = [cache.access(a, w)[0] for a, w, _, _ in trace]
+        assert hits == [False, False, False, False, False]
+
+    def test_overrun_raises(self):
+        trace = trace_of([1, 2])
+        cache = SetAssociativeCache(CONFIG, OPTPolicy(trace, CONFIG))
+        for a, w, _, _ in trace:
+            cache.access(a, w)
+        with pytest.raises(RuntimeError, match="more accesses"):
+            cache.access(64, False)
+
+    def test_bypass_skips_never_used_fills(self):
+        config = CacheConfig(size=1 * 2 * 64, ways=2, name="t")
+        trace = trace_of([1, 2, 9, 1, 2])  # 9 is never used again
+        policy = OPTPolicy(trace, config, allow_bypass=True)
+        cache = SetAssociativeCache(config, policy)
+        hits = [cache.access(a, w)[0] for a, w, _, _ in trace]
+        assert cache.bypasses == 1
+        assert hits == [False, False, False, True, True]
+
+
+class TestOptimality:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 40), min_size=20, max_size=300),
+        st.sampled_from(["lru", "random", "srrip", "dip"]),
+    )
+    def test_opt_never_worse_than_online_policies(self, lines, online):
+        trace = trace_of(lines)
+        opt_cache = SetAssociativeCache(CONFIG, OPTPolicy(trace, CONFIG))
+        online_cache = SetAssociativeCache(CONFIG, make_policy(online))
+        for a, w, _, _ in trace:
+            opt_cache.access(a, w)
+            online_cache.access(a, w)
+        assert opt_cache.misses <= online_cache.misses
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 40), st.booleans()),
+            min_size=20,
+            max_size=300,
+        )
+    )
+    def test_read_opt_minimizes_read_misses(self, ops):
+        trace = Trace(
+            [l * 64 for l, _ in ops], [w for _, w in ops], name="t"
+        )
+        plain = SetAssociativeCache(CONFIG, OPTPolicy(trace, CONFIG))
+        read_aware = SetAssociativeCache(
+            CONFIG, OPTPolicy(trace, CONFIG, reads_only=True, allow_bypass=True)
+        )
+        for a, w, _, _ in trace:
+            plain.access(a, w)
+            read_aware.access(a, w)
+        assert read_aware.read_misses <= plain.read_misses
+
+    def test_policy_names(self):
+        trace = trace_of([1])
+        assert OPTPolicy(trace, CONFIG).name == "OPT"
+        assert OPTPolicy(trace, CONFIG, reads_only=True).name == "OPT-read"

@@ -1,0 +1,75 @@
+"""Unit tests for phased workloads and RWP's re-adaptation across phases."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.common.config import CacheConfig
+from repro.core.rwp import RWPPolicy
+from repro.trace.phases import PHASE_ADDRESS_STRIDE, Phase, PhasedWorkload
+from repro.trace.spec import make_model
+
+
+class TestConstruction:
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload([])
+
+    def test_requires_positive_length(self):
+        with pytest.raises(ValueError):
+            Phase(make_model("micro_fit", 256), 0)
+
+    def test_total_and_boundaries(self):
+        workload = PhasedWorkload.of(
+            (make_model("micro_fit", 256), 100),
+            (make_model("micro_stream", 256), 200),
+        )
+        assert workload.total_accesses == 300
+        assert workload.boundaries() == [100, 300]
+
+    def test_generate_length(self):
+        workload = PhasedWorkload.of(
+            (make_model("micro_fit", 256), 500),
+            (make_model("micro_rmw", 256), 500),
+        )
+        assert len(workload.generate(seed=1)) == 1000
+
+    def test_phases_use_disjoint_addresses(self):
+        workload = PhasedWorkload.of(
+            (make_model("micro_fit", 256), 300),
+            (make_model("micro_fit", 256), 300),
+        )
+        trace = workload.generate(seed=1)
+        first = set(trace.addresses[:300])
+        second = set(trace.addresses[300:])
+        assert first.isdisjoint(second)
+        assert all(a >= PHASE_ADDRESS_STRIDE for a in trace.addresses[300:])
+
+    def test_deterministic(self):
+        workload = PhasedWorkload.of((make_model("micro_stream", 256), 200))
+        assert workload.generate(seed=5).addresses == workload.generate(seed=5).addresses
+
+
+class TestRWPReadaptation:
+    def test_partition_follows_phase_change(self):
+        """Dead-write phase -> RMW phase: the clean target must come
+        back down after the transition."""
+        llc_lines = 1024
+        per_phase = 60_000
+        workload = PhasedWorkload.of(
+            (make_model("micro_dead_writes", llc_lines), per_phase),
+            (make_model("micro_rmw", llc_lines), per_phase),
+            name="regime_change",
+        )
+        trace = workload.generate(seed=3)
+        config = CacheConfig(size=llc_lines * 64, ways=16, name="llc")
+        policy = RWPPolicy(epoch=4000)
+        cache = SetAssociativeCache(config, policy)
+        for address, is_write, pc, _ in trace:
+            cache.access(address, is_write, pc)
+
+        boundary_epoch = per_phase // 4000
+        targets = [t for _, t in policy.decision_history]
+        end_of_phase1 = targets[boundary_epoch - 1]
+        end_of_phase2 = targets[-1]
+        assert end_of_phase1 >= 11  # dead writes: clean-heavy
+        assert end_of_phase2 <= 9  # rmw: dirty partition restored

@@ -1,0 +1,219 @@
+"""Unit tests for the prefetcher subsystem and its cache integration."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import make_policy
+from repro.common.config import CacheConfig, default_hierarchy
+from repro.cpu.core import LLCRunner
+from repro.hierarchy.prefetch import (
+    LINE_SIZE,
+    NextLinePrefetcher,
+    NoPrefetcher,
+    StreamPrefetcher,
+    StridePrefetcher,
+    make_prefetcher,
+)
+from repro.trace.access import Trace
+
+
+def addr(line: int) -> int:
+    return line * LINE_SIZE
+
+
+class TestNextLine:
+    def test_prefetches_on_miss_only(self):
+        prefetcher = NextLinePrefetcher(degree=2)
+        assert prefetcher.on_access(addr(10), False, hit=True) == []
+        assert prefetcher.on_access(addr(10), False, hit=False) == [
+            addr(11),
+            addr(12),
+        ]
+
+    def test_line_aligns_inputs(self):
+        prefetcher = NextLinePrefetcher()
+        assert prefetcher.on_access(addr(10) + 17, False, hit=False) == [addr(11)]
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        prefetcher = StridePrefetcher(degree=1)
+        pc = 0x400
+        out = []
+        for k in range(5):
+            out = prefetcher.on_access_pc(addr(k * 4), False, False, pc)
+        assert out == [addr(16 + 4)]  # last access line 16, stride 4 lines
+
+    def test_no_prefetch_before_confidence(self):
+        prefetcher = StridePrefetcher(degree=1)
+        pc = 0x400
+        assert prefetcher.on_access_pc(addr(0), False, False, pc) == []
+        assert prefetcher.on_access_pc(addr(4), False, False, pc) == []
+
+    def test_stride_change_retrains(self):
+        prefetcher = StridePrefetcher(degree=1)
+        pc = 0x400
+        for k in range(4):
+            prefetcher.on_access_pc(addr(k * 4), False, False, pc)
+        # Switch to stride 7: one stale-but-still-confident prefetch is
+        # allowed, then confidence decays and the new stride is learned.
+        prefetcher.on_access_pc(addr(100), False, False, pc)
+        assert prefetcher.on_access_pc(addr(107), False, False, pc) == []
+        prefetcher.on_access_pc(addr(114), False, False, pc)
+        out = prefetcher.on_access_pc(addr(121), False, False, pc)
+        assert out == [addr(128)]
+
+    def test_distinct_pcs_tracked_separately(self):
+        prefetcher = StridePrefetcher(degree=1)
+        for k in range(5):
+            prefetcher.on_access_pc(addr(k * 2), False, False, 0x100)
+            prefetcher.on_access_pc(addr(1000 + k * 8), False, False, 0x200)
+        out_a = prefetcher.on_access_pc(addr(10), False, False, 0x100)
+        out_b = prefetcher.on_access_pc(addr(1040), False, False, 0x200)
+        assert out_a == [addr(12)]
+        assert out_b == [addr(1048)]
+
+    def test_sub_line_strides_ignored(self):
+        prefetcher = StridePrefetcher(degree=1)
+        pc = 0x300
+        for k in range(6):
+            out = prefetcher.on_access_pc(k * 8, False, False, pc)  # 8-byte stride
+        assert out == []
+
+    def test_rejects_bad_table(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(table_entries=100)
+
+
+class TestStream:
+    def test_trains_on_monotonic_misses(self):
+        prefetcher = StreamPrefetcher(depth=2)
+        assert prefetcher.on_access(addr(10), False, False) == []
+        assert prefetcher.on_access(addr(11), False, False) == []
+        out = prefetcher.on_access(addr(12), False, False)
+        assert out == [addr(13), addr(14)]
+
+    def test_downward_streams(self):
+        prefetcher = StreamPrefetcher(depth=1)
+        prefetcher.on_access(addr(40), False, False)
+        prefetcher.on_access(addr(39), False, False)
+        out = prefetcher.on_access(addr(38), False, False)
+        assert out == [addr(37)]
+
+    def test_hits_do_not_train(self):
+        prefetcher = StreamPrefetcher(depth=1)
+        for line in range(10, 14):
+            assert prefetcher.on_access(addr(line), False, hit=True) == []
+
+    def test_region_capacity_bounded(self):
+        prefetcher = StreamPrefetcher(depth=1, max_regions=2)
+        for region in range(10):
+            prefetcher.on_access(region << 12, False, False)
+        assert len(prefetcher._regions) <= 2
+
+
+class TestFactory:
+    def test_known_names(self):
+        for name in ("none", "nextline", "stride", "stream"):
+            assert make_prefetcher(name).name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_prefetcher("oracle")
+
+    def test_kwargs_forwarded(self):
+        assert make_prefetcher("nextline", degree=3).degree == 3
+
+
+class TestCacheIntegration:
+    def test_fill_prefetch_installs_line(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        assert cache.fill_prefetch(addr(5)) == -1
+        assert cache.probe(addr(5)) is not None
+        assert cache.prefetch_fills == 1
+
+    def test_duplicate_prefetch_is_noop(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        cache.fill_prefetch(addr(5))
+        cache.fill_prefetch(addr(5))
+        assert cache.prefetch_fills == 1
+
+    def test_demand_hit_credits_prefetch(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        cache.fill_prefetch(addr(5))
+        hit, _, _ = cache.access(addr(5), False)
+        assert hit
+        assert cache.prefetch_useful == 1
+        # Only the first demand hit counts.
+        cache.access(addr(5), False)
+        assert cache.prefetch_useful == 1
+
+    def test_unused_prefetch_eviction_counted(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        cache.fill_prefetch(addr(0))
+        for k in range(1, 5):
+            cache.access(addr(k * 16), False)  # same set, evicts the prefetch
+        assert cache.prefetch_unused_evictions == 1
+
+    def test_prefetch_can_evict_dirty_line(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        cache.access(addr(0), True)
+        for k in range(1, 4):
+            cache.access(addr(k * 16), False)
+        writeback = cache.fill_prefetch(addr(4 * 16))
+        assert writeback == addr(0)
+
+    def test_prefetch_not_counted_as_demand(self, tiny_config):
+        cache = SetAssociativeCache(tiny_config, make_policy("lru"))
+        cache.fill_prefetch(addr(5))
+        assert cache.accesses == 0
+
+
+class TestRunnerIntegration:
+    def _sequential_trace(self, n=8000):
+        return Trace([addr(k) for k in range(n)], [False] * n)
+
+    def test_stream_prefetcher_cuts_misses_on_sequential_reads(self):
+        config = default_hierarchy(llc_size=64 * 1024)
+        trace = self._sequential_trace()
+        plain = LLCRunner(config, "lru").run(trace)
+        prefetched = LLCRunner(
+            config, "lru", prefetcher=StreamPrefetcher(depth=4)
+        ).run(trace)
+        assert prefetched.llc_read_misses < 0.5 * plain.llc_read_misses
+        assert prefetched.ipc > plain.ipc
+
+    def test_prefetch_stats_in_result(self):
+        config = default_hierarchy(llc_size=64 * 1024)
+        result = LLCRunner(
+            config, "lru", prefetcher=NextLinePrefetcher()
+        ).run(self._sequential_trace())
+        stats = result.extra["prefetch"]
+        assert stats["fills"] > 0
+        assert stats["useful"] > 0
+
+    def test_no_prefetcher_means_no_fills(self):
+        config = default_hierarchy(llc_size=64 * 1024)
+        result = LLCRunner(config, "lru", prefetcher=NoPrefetcher()).run(
+            self._sequential_trace()
+        )
+        assert result.extra["prefetch"]["fills"] == 0
+
+    def test_random_traffic_defeats_stride_prefetcher(self):
+        """Accuracy sanity: pointer chasing yields mostly useless fills."""
+        import numpy as np
+
+        rng = np.random.default_rng(3)
+        lines = rng.integers(0, 5000, size=20_000)
+        trace = Trace([addr(int(l)) for l in lines], [False] * 20_000)
+        config = default_hierarchy(llc_size=64 * 1024)
+        result = LLCRunner(
+            config, "lru", prefetcher=StridePrefetcher(degree=2)
+        ).run(trace)
+        stats = result.extra["prefetch"]
+        if stats["fills"]:
+            assert stats["useful"] / stats["fills"] < 0.5

@@ -1,0 +1,191 @@
+"""Cross-cutting property-based tests over the whole simulator.
+
+These complement the per-module tests with invariants that must hold for
+arbitrary access streams and any policy: conservation laws of the cache
+core, equivalence of redundant code paths, and ordering properties the
+paper's argument depends on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.opt import OPTPolicy
+from repro.cache.policy import make_policy
+from repro.common.config import CacheConfig, default_hierarchy
+from repro.core.partition import best_split, split_utilities
+from repro.core.sampler import ReadWriteSampler
+from repro.cpu.core import LLCRunner
+from repro.trace.access import Trace
+
+POLICY_NAMES = ["lru", "bip", "dip", "nru", "lfu", "srrip", "brrip",
+                "drrip", "ship", "rrp", "rwp", "random"]
+
+ops_strategy = st.lists(
+    st.tuples(st.integers(0, 150), st.booleans(), st.integers(0, 63)),
+    min_size=1,
+    max_size=400,
+)
+
+
+def replay(policy_name, ops, config=None):
+    config = config or CacheConfig(size=8 * 4 * 64, ways=4, name="t")
+    cache = SetAssociativeCache(config, make_policy(policy_name))
+    for line, is_write, pc in ops:
+        cache.access(line * 64, is_write, pc * 4)
+    return cache
+
+
+class TestUniversalCacheInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(ops_strategy, st.sampled_from(POLICY_NAMES))
+    def test_occupancy_never_exceeds_capacity(self, ops, policy):
+        cache = replay(policy, ops)
+        assert sum(1 for _ in cache.resident_lines()) <= cache.config.num_lines
+        for cache_set in cache.sets:
+            assert sum(1 for l in cache_set.lines if l.valid) <= cache.ways
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops_strategy, st.sampled_from(POLICY_NAMES))
+    def test_resident_line_always_hits_next(self, ops, policy):
+        """probe() and access() must agree: a resident line hits."""
+        config = CacheConfig(size=8 * 4 * 64, ways=4, name="t")
+        cache = SetAssociativeCache(config, make_policy(policy))
+        for line, is_write, pc in ops:
+            address = line * 64
+            resident = cache.probe(address) is not None
+            hit, bypassed, _ = cache.access(address, is_write, pc * 4)
+            assert hit == resident
+            if bypassed:
+                assert not hit
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops_strategy, st.sampled_from(POLICY_NAMES))
+    def test_replay_is_deterministic(self, ops, policy):
+        a = replay(policy, ops)
+        b = replay(policy, ops)
+        assert a.snapshot() == b.snapshot()
+
+    @settings(max_examples=15, deadline=None)
+    @given(ops_strategy, st.sampled_from(POLICY_NAMES))
+    def test_dirty_iff_written_since_fill(self, ops, policy):
+        cache = replay(policy, ops)
+        for line in cache.resident_lines():
+            if line.dirty:
+                assert line.write_seen
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops_strategy)
+    def test_wider_cache_never_misses_more_under_lru(self, ops):
+        """LRU has the inclusion property: more ways, fewer misses
+        (same number of sets)."""
+        small = replay("lru", ops, CacheConfig(size=8 * 2 * 64, ways=2, name="t"))
+        big = replay("lru", ops, CacheConfig(size=8 * 8 * 64, ways=8, name="t"))
+        assert big.misses <= small.misses
+
+
+class TestReadWriteOrderings:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 100), st.booleans()),
+            min_size=50,
+            max_size=400,
+        )
+    )
+    def test_read_opt_bypass_beats_lru_on_reads(self, ops):
+        config = CacheConfig(size=4 * 4 * 64, ways=4, name="t")
+        trace = Trace([l * 64 for l, _ in ops], [w for _, w in ops])
+        lru = SetAssociativeCache(config, make_policy("lru"))
+        oracle = SetAssociativeCache(
+            config, OPTPolicy(trace, config, reads_only=True, allow_bypass=True)
+        )
+        for a, w, _, _ in trace:
+            lru.access(a, w)
+            oracle.access(a, w)
+        assert oracle.read_misses <= lru.read_misses
+
+    @settings(max_examples=10, deadline=None)
+    @given(ops_strategy)
+    def test_rwp_total_occupancy_conserved(self, ops):
+        """RWP's partitions are logical: together they always fill the
+        set like any other policy (no capacity is lost to partitioning)."""
+        lru = replay("lru", ops)
+        rwp = replay("rwp", ops)
+        assert sum(1 for _ in rwp.resident_lines()) == sum(
+            1 for _ in lru.resident_lines()
+        )
+
+
+class TestSamplerProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.booleans()),
+            min_size=1,
+            max_size=300,
+        )
+    )
+    def test_histogram_counts_bounded_by_accesses(self, ops):
+        sampler = ReadWriteSampler(ways=4, num_sets=8, sampling=1)
+        reads = 0
+        for tag, is_write in ops:
+            sampler.observe(tag % 8, tag, is_write)
+            reads += not is_write
+        assert sampler.total_read_hits() <= reads
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=16),
+        st.lists(st.integers(0, 100), min_size=1, max_size=16),
+    )
+    def test_utilities_monotone_in_histogram_mass(self, clean, dirty):
+        size = min(len(clean), len(dirty))
+        clean, dirty = clean[:size], dirty[:size]
+        utilities = split_utilities(clean, dirty)
+        # Endpoints: all-clean counts the whole clean histogram, etc.
+        assert utilities[size] == sum(clean)
+        assert utilities[0] == sum(dirty)
+        assert max(utilities) <= sum(clean) + sum(dirty)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=16),
+        st.lists(st.integers(0, 100), min_size=1, max_size=16),
+        st.floats(min_value=0.0, max_value=0.5),
+    )
+    def test_hysteresis_never_picks_worse_than_current(self, clean, dirty, h):
+        size = min(len(clean), len(dirty))
+        clean, dirty = clean[:size], dirty[:size]
+        for current in range(size + 1):
+            chosen, utilities = best_split(clean, dirty, current, h)
+            assert utilities[chosen] >= utilities[current]
+
+
+class TestEndToEndConsistency:
+    def test_runresult_cycles_decompose(self):
+        """cycles = base work + read stalls + write stalls exactly."""
+        config = default_hierarchy(llc_size=64 * 1024)
+        trace = Trace(
+            [((k * 17) % 3000) * 64 for k in range(20_000)],
+            [k % 3 == 0 for k in range(20_000)],
+            instr_gaps=[7] * 20_000,
+        )
+        runner = LLCRunner(config, "rwp")
+        result = runner.run(trace)
+        base = result.instructions * config.core.base_cpi
+        recomputed = base + result.read_stall_cycles + result.write_stall_cycles
+        assert result.cycles == pytest.approx(recomputed)
+
+    def test_llc_counters_match_trace_composition(self):
+        config = default_hierarchy(llc_size=64 * 1024)
+        n = 10_000
+        trace = Trace(
+            [(k % 500) * 64 for k in range(n)],
+            [k % 4 == 0 for k in range(n)],
+        )
+        result = LLCRunner(config, "drrip").run(trace)
+        writes = sum(trace.is_write)
+        assert result.llc_write_hits + result.llc_write_misses == writes
+        assert result.llc_read_hits + result.llc_read_misses == n - writes

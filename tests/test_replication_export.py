@@ -1,0 +1,119 @@
+"""Unit tests for multi-seed replication and result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.export import export_grid, grid_rows, write_csv, write_json
+from repro.experiments.replication import (
+    ReplicatedResult,
+    replicate_speedup,
+    replication_table,
+)
+from repro.experiments.runner import ExperimentScale, run_grid
+
+TINY = ExperimentScale(llc_lines=512, warmup_factor=6, measure_factor=12)
+
+
+class TestReplicatedResult:
+    def test_mean_and_std(self):
+        result = ReplicatedResult("rwp", (1.0, 1.2, 1.1))
+        assert result.mean == pytest.approx(1.1)
+        assert result.std == pytest.approx(0.1)
+
+    def test_single_sample_degenerate(self):
+        result = ReplicatedResult("rwp", (1.3,))
+        assert result.std == 0.0
+        assert result.confidence_interval() == (1.3, 1.3)
+
+    def test_ci_contains_mean(self):
+        result = ReplicatedResult("rwp", (1.0, 1.1, 1.2, 1.05, 1.15))
+        low, high = result.confidence_interval()
+        assert low < result.mean < high
+
+    def test_tight_samples_tight_ci(self):
+        tight = ReplicatedResult("a", (1.10, 1.11, 1.09, 1.10))
+        loose = ReplicatedResult("b", (0.8, 1.4, 1.0, 1.2))
+        t_low, t_high = tight.confidence_interval()
+        l_low, l_high = loose.confidence_interval()
+        assert (t_high - t_low) < (l_high - l_low)
+
+    def test_significantly_above(self):
+        result = ReplicatedResult("rwp", (1.30, 1.32, 1.29, 1.31))
+        assert result.significantly_above(1.0)
+        assert not result.significantly_above(1.35)
+
+
+class TestReplication:
+    def test_rwp_speedup_replicates_across_seeds(self):
+        result = replicate_speedup(
+            ["micro_dead_writes"], "rwp", seeds=(1, 2, 3), scale=TINY
+        )
+        assert len(result.samples) == 3
+        # The headline effect must clear 1.0 with statistical confidence.
+        assert result.significantly_above(1.0)
+
+    def test_lru_vs_itself_is_exactly_one(self):
+        result = replicate_speedup(
+            ["micro_fit"], "lru", seeds=(1, 2), scale=TINY
+        )
+        assert result.samples == (1.0, 1.0)
+
+    def test_needs_seeds(self):
+        with pytest.raises(ValueError):
+            replicate_speedup(["micro_fit"], "rwp", seeds=(), scale=TINY)
+
+    def test_table_shape(self):
+        rows = replication_table(
+            ["micro_fit"], ["lru", "rwp"], seeds=(1, 2), scale=TINY
+        )
+        assert len(rows) == 2
+        assert rows[0][0] == "lru"
+        assert all(len(row) == 5 for row in rows)
+
+
+class TestExport:
+    @pytest.fixture
+    def grid(self):
+        return run_grid(["micro_fit"], ["lru", "rwp"], TINY)
+
+    def test_grid_rows_shape(self, grid):
+        headers, rows = grid_rows(grid)
+        assert headers[0] == "benchmark"
+        assert len(rows) == 2
+        assert all(len(row) == len(headers) for row in rows)
+
+    def test_csv_roundtrip(self, grid, tmp_path):
+        headers, rows = grid_rows(grid)
+        path = write_csv(tmp_path / "out.csv", headers, rows)
+        with path.open() as handle:
+            read_back = list(csv.reader(handle))
+        assert read_back[0] == list(headers)
+        assert len(read_back) == len(rows) + 1
+
+    def test_json_roundtrip(self, grid, tmp_path):
+        headers, rows = grid_rows(grid)
+        path = write_json(tmp_path / "out.json", headers, rows)
+        records = json.loads(path.read_text())
+        assert len(records) == len(rows)
+        assert records[0]["benchmark"] == "micro_fit"
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])
+        with pytest.raises(ValueError):
+            write_json(tmp_path / "bad.json", ["a", "b"], [[1]])
+
+    def test_export_grid_both_formats(self, grid, tmp_path):
+        written = export_grid(
+            grid,
+            csv_path=tmp_path / "g.csv",
+            json_path=tmp_path / "g.json",
+        )
+        assert len(written) == 2
+        assert all(path.exists() for path in written)
+
+    def test_creates_parent_dirs(self, grid, tmp_path):
+        written = export_grid(grid, csv_path=tmp_path / "deep/nested/g.csv")
+        assert written[0].exists()

@@ -1,0 +1,250 @@
+"""Unit tests for the RWP policy, its sampler, and partition selection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.common.config import CacheConfig
+from repro.core.partition import best_split, predicted_read_hits, split_utilities
+from repro.core.rwp import RWPPolicy
+from repro.core.sampler import ReadWriteSampler
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestPartitionMath:
+    def test_predicted_hits_prefix_sum(self):
+        clean = [5, 4, 3, 2]
+        dirty = [10, 1, 0, 0]
+        assert predicted_read_hits(clean, dirty, 0) == 11
+        assert predicted_read_hits(clean, dirty, 2) == 9 + 11
+        assert predicted_read_hits(clean, dirty, 4) == 14
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_read_hits([1], [1, 2], 0)
+
+    def test_out_of_range_split_rejected(self):
+        with pytest.raises(ValueError):
+            predicted_read_hits([1, 2], [3, 4], 3)
+
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=16),
+        st.lists(st.integers(0, 100), min_size=1, max_size=16),
+    )
+    def test_split_utilities_match_pointwise(self, clean, dirty):
+        size = min(len(clean), len(dirty))
+        clean, dirty = clean[:size], dirty[:size]
+        utilities = split_utilities(clean, dirty)
+        assert len(utilities) == size + 1
+        for c in range(size + 1):
+            assert utilities[c] == predicted_read_hits(clean, dirty, c)
+
+    def test_best_split_prefers_all_clean_when_dirty_dead(self):
+        clean = [10] * 8
+        dirty = [0] * 8
+        best, _ = best_split(clean, dirty, current=4)
+        assert best == 8
+
+    def test_best_split_prefers_dirty_when_reads_hit_dirty(self):
+        clean = [0] * 8
+        dirty = [10] * 8
+        best, _ = best_split(clean, dirty, current=4)
+        assert best == 0
+
+    def test_hysteresis_keeps_current_on_small_gain(self):
+        clean = [100, 0, 0, 0]
+        dirty = [100, 1, 0, 0]  # moving to c=1..? tiny differences
+        best, utilities = best_split(clean, dirty, current=2, hysteresis=0.10)
+        assert best == 2  # no candidate beats current by >10%
+
+    def test_zero_hysteresis_takes_argmax(self):
+        clean = [3, 0]
+        dirty = [2, 2]
+        best, _ = best_split(clean, dirty, current=2, hysteresis=0.0)
+        assert best == 1  # clean[0] + dirty[0] = 5 beats c=2 (3) and c=0 (4)
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=2, max_size=16),
+        st.lists(st.integers(0, 50), min_size=2, max_size=16),
+        st.integers(0, 16),
+    )
+    def test_best_split_never_worse_than_current(self, clean, dirty, current):
+        size = min(len(clean), len(dirty))
+        clean, dirty = clean[:size], dirty[:size]
+        current = min(current, size)
+        best, utilities = best_split(clean, dirty, current, hysteresis=0.0)
+        assert utilities[best] >= utilities[current]
+        assert 0 <= best <= size
+
+
+class TestSampler:
+    def test_read_hit_counted_at_depth(self):
+        sampler = ReadWriteSampler(ways=4, num_sets=16, sampling=1)
+        sampler.observe(0, tag=1, is_write=False)
+        sampler.observe(0, tag=2, is_write=False)
+        sampler.observe(0, tag=1, is_write=False)
+        assert sampler.clean_hits == [0, 1, 0, 0]
+
+    def test_write_moves_clean_line_to_dirty(self):
+        sampler = ReadWriteSampler(ways=4, num_sets=16, sampling=1)
+        sampler.observe(0, tag=1, is_write=False)
+        sampler.observe(0, tag=1, is_write=True)  # clean -> dirty, no hit
+        assert sum(sampler.clean_hits) == 0
+        sampler.observe(0, tag=1, is_write=False)  # read hits DIRTY stack
+        assert sampler.dirty_hits[0] == 1
+
+    def test_read_does_not_clean_dirty_line(self):
+        sampler = ReadWriteSampler(ways=4, num_sets=16, sampling=1)
+        sampler.observe(0, tag=1, is_write=True)
+        sampler.observe(0, tag=1, is_write=False)
+        sampler.observe(0, tag=1, is_write=False)
+        assert sampler.dirty_hits[0] == 2  # stayed in the dirty stack
+
+    def test_write_hit_on_dirty_promotes(self):
+        sampler = ReadWriteSampler(ways=4, num_sets=16, sampling=1)
+        sampler.observe(0, tag=1, is_write=True)
+        sampler.observe(0, tag=2, is_write=True)
+        sampler.observe(0, tag=1, is_write=True)  # promote within dirty
+        sampler.observe(0, tag=1, is_write=False)
+        assert sampler.dirty_hits[0] == 1
+
+    def test_stacks_bounded_by_ways(self):
+        sampler = ReadWriteSampler(ways=2, num_sets=16, sampling=1)
+        for tag in range(4):
+            sampler.observe(0, tag, is_write=False)
+        sampler.observe(0, 0, is_write=False)  # long gone
+        assert sum(sampler.clean_hits) == 0
+
+    def test_sets_are_independent(self):
+        sampler = ReadWriteSampler(ways=2, num_sets=16, sampling=1)
+        sampler.observe(0, tag=1, is_write=False)
+        sampler.observe(1, tag=1, is_write=False)  # same tag, other set
+        assert sum(sampler.clean_hits) == 0
+
+    def test_decay(self):
+        sampler = ReadWriteSampler(ways=2, num_sets=16, sampling=1)
+        sampler.clean_hits = [9, 5]
+        sampler.dirty_hits = [3, 1]
+        sampler.decay()
+        assert sampler.clean_hits == [4, 2]
+        assert sampler.dirty_hits == [1, 0]
+
+    def test_sampling_clamped_to_sets(self):
+        sampler = ReadWriteSampler(ways=2, num_sets=4, sampling=64)
+        assert sampler.sampling == 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ReadWriteSampler(ways=0, num_sets=4)
+        with pytest.raises(ValueError):
+            ReadWriteSampler(ways=2, num_sets=4, sampling=0)
+
+
+class TestRWPVictimSelection:
+    def _cache(self, target_clean, ways=4):
+        config = CacheConfig(size=1 * ways * 64, ways=ways, name="t")
+        policy = RWPPolicy(epoch=1 << 30)  # never repartition in-test
+        cache = SetAssociativeCache(config, policy)
+        policy.target_clean = target_clean
+        return cache, policy
+
+    def test_over_target_dirty_partition_pays(self):
+        cache, _ = self._cache(target_clean=3)  # dirty target 1
+        cache.access(addr(0), True)
+        cache.access(addr(1), True)  # dirty count 2 > target 1
+        cache.access(addr(2), False)
+        cache.access(addr(3), False)
+        cache.access(addr(4), False)  # replacement: evicts LRU dirty (0)
+        assert cache.probe(addr(0)) is None
+        assert cache.probe(addr(1)) is not None
+
+    def test_over_target_clean_partition_pays(self):
+        cache, _ = self._cache(target_clean=1)  # dirty target 3
+        cache.access(addr(0), False)
+        cache.access(addr(1), False)
+        cache.access(addr(2), True)
+        cache.access(addr(3), True)
+        cache.access(addr(4), False)  # clean count 2 > 1: evict clean LRU
+        assert cache.probe(addr(0)) is None
+        assert cache.probe(addr(2)) is not None
+
+    def test_at_target_incoming_write_replaces_dirty(self):
+        cache, _ = self._cache(target_clean=2)
+        cache.access(addr(0), False)
+        cache.access(addr(1), False)
+        cache.access(addr(2), True)
+        cache.access(addr(3), True)  # exactly 2 clean + 2 dirty
+        cache.access(addr(4), True)  # write at target: evict dirty LRU
+        assert cache.probe(addr(2)) is None
+        assert cache.probe(addr(0)) is not None
+
+    def test_at_target_incoming_read_replaces_clean(self):
+        cache, _ = self._cache(target_clean=2)
+        cache.access(addr(0), False)
+        cache.access(addr(1), False)
+        cache.access(addr(2), True)
+        cache.access(addr(3), True)
+        cache.access(addr(4), False)  # read at target: evict clean LRU
+        assert cache.probe(addr(0)) is None
+        assert cache.probe(addr(2)) is not None
+
+    def test_fallback_no_dirty_lines(self):
+        cache, _ = self._cache(target_clean=0)  # "evict dirty" always
+        for k in range(5):
+            cache.access(addr(k), False)  # but everything is clean
+        assert cache.evictions == 1  # fell back to clean LRU
+
+    def test_fallback_no_clean_lines(self):
+        cache, _ = self._cache(target_clean=4)
+        for k in range(5):
+            cache.access(addr(k), True)
+        assert cache.evictions == 1
+
+    def test_write_hit_migrates_line_logically(self):
+        cache, _ = self._cache(target_clean=2)
+        cache.access(addr(0), False)
+        cache.access(addr(1), False)
+        cache.access(addr(2), True)
+        cache.access(addr(3), True)
+        cache.access(addr(0), True)  # clean line 0 becomes dirty (3 dirty)
+        cache.access(addr(4), True)  # dirty over target: evict dirty LRU
+        assert cache.probe(addr(2)) is None
+
+
+class TestRWPAdaptation:
+    def _run(self, model, llc_lines=512, accesses=60_000):
+        config = CacheConfig(size=llc_lines * 64, ways=16, name="llc")
+        policy = RWPPolicy(epoch=4000)
+        cache = SetAssociativeCache(config, policy)
+        trace = model.generate(accesses, seed=9)
+        for a, w, pc, _ in trace:
+            cache.access(a, w, pc)
+        return policy
+
+    def test_grows_clean_partition_for_dead_writes(self, dead_write_model):
+        # dead_write_model is sized for 1024 lines; run at 1024.
+        policy = self._run(dead_write_model, llc_lines=1024)
+        assert policy.target_clean >= 12
+
+    def test_keeps_dirty_partition_for_rmw(self, rmw_model):
+        policy = self._run(rmw_model, llc_lines=1024)
+        assert policy.target_clean <= 10
+
+    def test_decision_history_recorded(self, dead_write_model):
+        policy = self._run(dead_write_model, llc_lines=1024, accesses=20_000)
+        assert len(policy.decision_history) == 5  # 20_000 / 4000
+        assert all(0 <= t <= 16 for _, t in policy.decision_history)
+
+    def test_describe_exposes_state(self, dead_write_model):
+        policy = self._run(dead_write_model, llc_lines=1024, accesses=8000)
+        info = policy.describe()
+        assert "target_clean" in info
+        assert len(info["clean_hits"]) == 16
+
+    def test_rejects_bad_epoch(self):
+        with pytest.raises(ValueError):
+            RWPPolicy(epoch=0)

@@ -1,0 +1,106 @@
+"""Unit tests for the statistics registry and deterministic RNG plumbing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.rng import CheapLCG, make_rng, split_rng
+from repro.common.stats import Counter, StatGroup, ratio
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert int(Counter("x")) == 0
+
+    def test_add_default_one(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter("x", 7)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestStatGroup:
+    def test_lazy_counter_creation(self):
+        group = StatGroup("llc")
+        assert group.get("hits") == 0
+        group.counter("hits").add(3)
+        assert group.get("hits") == 3
+
+    def test_counter_identity_is_stable(self):
+        group = StatGroup("g")
+        assert group.counter("a") is group.counter("a")
+
+    def test_as_dict_flattens_children(self):
+        group = StatGroup("top")
+        group.counter("a").add(1)
+        group.child("sub").counter("b").add(2)
+        assert group.as_dict() == {"top.a": 1, "top.sub.b": 2}
+
+    def test_reset_recurses(self):
+        group = StatGroup("top")
+        group.counter("a").add(1)
+        group.child("sub").counter("b").add(2)
+        group.reset()
+        assert all(v == 0 for v in group.as_dict().values())
+
+    def test_iteration_yields_counters(self):
+        group = StatGroup("g")
+        group.counter("a")
+        group.counter("b")
+        assert {c.name for c in group} == {"a", "b"}
+
+
+class TestRatio:
+    def test_zero_denominator(self):
+        assert ratio(5, 0) == 0.0
+
+    def test_normal(self):
+        assert ratio(1, 4) == 0.25
+
+
+class TestRngDeterminism:
+    def test_make_rng_reproducible(self):
+        assert make_rng(42).integers(0, 1 << 30, 10).tolist() == make_rng(
+            42
+        ).integers(0, 1 << 30, 10).tolist()
+
+    def test_split_rng_labels_independent(self):
+        a = split_rng(7, "alpha").integers(0, 1 << 30, 10).tolist()
+        b = split_rng(7, "beta").integers(0, 1 << 30, 10).tolist()
+        assert a != b
+
+    def test_split_rng_same_label_same_stream(self):
+        a = split_rng(7, "x").integers(0, 1 << 30, 10).tolist()
+        b = split_rng(7, "x").integers(0, 1 << 30, 10).tolist()
+        assert a == b
+
+
+class TestCheapLCG:
+    def test_deterministic(self):
+        a = CheapLCG(3)
+        b = CheapLCG(3)
+        assert [a.next_u32() for _ in range(20)] == [
+            b.next_u32() for _ in range(20)
+        ]
+
+    def test_values_stay_32bit(self):
+        lcg = CheapLCG(1)
+        assert all(0 <= lcg.next_u32() < 2**32 for _ in range(1000))
+
+    @given(st.integers(min_value=2, max_value=64), st.integers(0, 2**31))
+    def test_chance_rate_roughly_calibrated(self, one_in, seed):
+        lcg = CheapLCG(seed)
+        trials = 4000
+        hits = sum(lcg.chance(one_in) for _ in range(trials))
+        expected = trials / one_in
+        # 5 sigma of a binomial around the expected rate.
+        sigma = (trials * (1 / one_in) * (1 - 1 / one_in)) ** 0.5
+        assert abs(hits - expected) < 5 * sigma + 1
+
+    def test_chance_one_in_one_always_true(self):
+        lcg = CheapLCG(9)
+        assert all(lcg.chance(1) for _ in range(100))

@@ -1,0 +1,154 @@
+"""Unit tests for the timing model and the single-core trace drivers."""
+
+import pytest
+
+from repro.common.config import CoreConfig, MemoryConfig, default_hierarchy
+from repro.cpu.core import HierarchyRunner, LLCRunner
+from repro.cpu.timing import TimingModel
+from repro.trace.access import Trace
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+def make_timing(base_cpi=1.0, mlp=2.0, latency=100, llc_hit=20):
+    return TimingModel(
+        CoreConfig(base_cpi=base_cpi, mlp=mlp),
+        MemoryConfig(latency=latency),
+        llc_hit_latency=llc_hit,
+    )
+
+
+class TestTimingModel:
+    def test_advance_charges_base_cpi(self):
+        timing = make_timing(base_cpi=0.5)
+        timing.advance(100)
+        assert timing.cycles == 50.0
+        assert timing.instructions == 100
+
+    def test_read_miss_stall_divided_by_mlp(self):
+        timing = make_timing(mlp=2.0, latency=100)
+        timing.read_miss()
+        assert timing.cycles == 50.0
+        assert timing.read_stall_cycles == 50.0
+
+    def test_read_hit_uses_llc_latency(self):
+        timing = make_timing(mlp=2.0, llc_hit=20)
+        timing.read_hit()
+        assert timing.cycles == 10.0
+
+    def test_writes_free_until_buffer_fills(self):
+        timing = make_timing()
+        for _ in range(CoreConfig().write_buffer_entries):
+            timing.memory_write()
+        assert timing.write_stall_cycles == 0.0
+        # The buffer is now full at cycle ~0: the next write stalls.
+        timing.memory_write()
+        assert timing.write_stall_cycles > 0
+
+    def test_ipc_cpi_inverse(self):
+        timing = make_timing(base_cpi=0.8)
+        timing.advance(1000)
+        assert timing.ipc() == pytest.approx(1 / 0.8)
+        assert timing.cpi() == pytest.approx(0.8)
+
+    def test_reset_rebuilds_write_buffer(self):
+        timing = make_timing()
+        for _ in range(40):
+            timing.memory_write()
+        timing.reset()
+        assert timing.cycles == 0.0
+        timing.memory_write()
+        assert timing.write_stall_cycles == 0.0
+
+    def test_read_criticality_asymmetry(self):
+        """The core thesis: N read misses cost far more than N writes."""
+        reads = make_timing()
+        writes = make_timing()
+        reads.advance(1000)
+        writes.advance(1000)
+        for _ in range(100):
+            reads.read_miss()
+            writes.memory_write()
+        assert reads.cycles > 2 * writes.cycles
+
+
+class TestLLCRunner:
+    def _trace(self, n=2000, ws=100):
+        lines = [(k % ws) for k in range(n)]
+        return Trace([addr(l) for l in lines], [False] * n, instr_gaps=[10] * n)
+
+    def test_runs_and_reports(self, small_hierarchy):
+        runner = LLCRunner(small_hierarchy, "lru")
+        result = runner.run(self._trace())
+        assert result.instructions == 2000 * 10
+        assert result.llc_accesses == 2000
+        assert 0 < result.ipc
+
+    def test_warmup_excluded_from_stats(self, small_hierarchy):
+        runner = LLCRunner(small_hierarchy, "lru")
+        result = runner.run(self._trace(), warmup=500)
+        assert result.llc_accesses == 1500
+        # The 100-line working set is warm: zero post-warmup misses.
+        assert result.llc_read_misses == 0
+
+    def test_warmup_must_be_shorter_than_trace(self, small_hierarchy):
+        runner = LLCRunner(small_hierarchy, "lru")
+        with pytest.raises(ValueError, match="warmup"):
+            runner.run(self._trace(n=100), warmup=100)
+
+    def test_mpki_properties(self, small_hierarchy):
+        runner = LLCRunner(small_hierarchy, "lru")
+        result = runner.run(self._trace())
+        expected = 1000 * result.llc_read_misses / result.instructions
+        assert result.read_mpki == pytest.approx(expected)
+        assert result.mpki >= result.read_mpki
+
+    def test_speedup_over(self, small_hierarchy):
+        runner = LLCRunner(small_hierarchy, "lru")
+        result = runner.run(self._trace())
+        assert result.speedup_over(result) == pytest.approx(1.0)
+
+    def test_policy_recorded(self, small_hierarchy):
+        result = LLCRunner(small_hierarchy, "rwp").run(self._trace())
+        assert result.policy == "RWPPolicy"
+        assert "policy_state" in result.extra
+
+    def test_identical_seeds_identical_results(self, small_hierarchy):
+        trace = self._trace()
+        a = LLCRunner(small_hierarchy, "dip").run(trace)
+        b = LLCRunner(small_hierarchy, "dip").run(trace)
+        assert a.cycles == b.cycles
+        assert a.llc_read_misses == b.llc_read_misses
+
+
+class TestHierarchyRunner:
+    def test_l1_filtering_reduces_llc_traffic(self, small_hierarchy):
+        trace = Trace(
+            [addr(k % 20) for k in range(5000)], [False] * 5000
+        )
+        result = HierarchyRunner(small_hierarchy, "lru").run(trace)
+        # A 20-line working set lives in L1: almost nothing reaches LLC.
+        assert result.llc_accesses < 100
+        assert result.instructions == 5000
+
+    def test_warmup_supported(self, small_hierarchy):
+        trace = Trace(
+            [addr(k % 2000) for k in range(6000)], [False] * 6000
+        )
+        result = HierarchyRunner(small_hierarchy, "lru").run(trace, warmup=2000)
+        assert result.instructions == 4000
+
+    def test_hierarchy_snapshot_in_extra(self, small_hierarchy):
+        trace = Trace([addr(0)], [False])
+        result = HierarchyRunner(small_hierarchy, "lru").run(trace)
+        assert "core0.L1D.read_misses" in result.extra["hierarchy"]
+
+    def test_memory_writes_drive_write_buffer(self, small_hierarchy):
+        # Heavy write streaming must generate memory-write events.
+        n = 30_000
+        trace = Trace([addr(k) for k in range(n)], [True] * n)
+        runner = HierarchyRunner(small_hierarchy, "lru")
+        result = runner.run(trace)
+        assert runner.timing.write_buffer.total_writes > 0

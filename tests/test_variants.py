@@ -1,0 +1,102 @@
+"""Unit tests for the RWP extension variants."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import make_policy
+from repro.common.config import CacheConfig
+from repro.core.variants import RWPBypassPolicy, RWPSRRIPPolicy
+from repro.experiments.runner import ExperimentScale, run_benchmark
+
+SCALE = ExperimentScale(llc_lines=1024, warmup_factor=8, measure_factor=20)
+
+
+def addr(line: int) -> int:
+    return line * 64
+
+
+class TestRWPSRRIP:
+    def _cache(self, target_clean, ways=4):
+        config = CacheConfig(size=1 * ways * 64, ways=ways, name="t")
+        policy = RWPSRRIPPolicy(epoch=1 << 62)
+        cache = SetAssociativeCache(config, policy)
+        policy.target_clean = target_clean
+        return cache, policy
+
+    def test_registered(self):
+        assert make_policy("rwp-srrip").name == "RWPSRRIPPolicy"
+
+    def test_partition_rule_still_enforced(self):
+        cache, _ = self._cache(target_clean=3)
+        cache.access(addr(0), True)
+        cache.access(addr(1), True)  # 2 dirty > target 1
+        cache.access(addr(2), False)
+        cache.access(addr(3), False)
+        cache.access(addr(4), False)
+        # A dirty line must have been evicted (partition over target).
+        dirty_resident = sum(1 for l in cache.resident_lines() if l.dirty)
+        assert dirty_resident == 1
+
+    def test_rrip_order_within_partition(self):
+        cache, _ = self._cache(target_clean=4)
+        for k in range(4):
+            cache.access(addr(k), False)
+        cache.access(addr(1), False)  # protect line 1 (rrpv 0)
+        cache.access(addr(9), False)  # eviction among clean: rrpv order
+        assert cache.probe(addr(1)) is not None
+
+    def test_comparable_to_rwp_on_dead_writes(self):
+        base = run_benchmark("micro_dead_writes", "lru", SCALE)
+        rwp = run_benchmark("micro_dead_writes", "rwp", SCALE)
+        variant = run_benchmark("micro_dead_writes", "rwp-srrip", SCALE)
+        assert variant.speedup_over(base) > 0.9 * rwp.speedup_over(base)
+
+
+class TestRWPBypass:
+    def test_registered(self):
+        assert make_policy("rwp-bypass").name == "RWPBypassPolicy"
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            RWPBypassPolicy(bypass_threshold=-1)
+
+    def test_bypasses_when_dirty_target_zero(self):
+        config = CacheConfig(size=4 * 4 * 64, ways=4, name="t")
+        policy = RWPBypassPolicy(epoch=1 << 62)
+        cache = SetAssociativeCache(config, policy)
+        policy.target_clean = 4  # dirty target 0
+        hit, bypassed, _ = cache.access(addr(0), True)
+        assert bypassed
+        assert cache.probe(addr(0)) is None
+
+    def test_no_bypass_when_dirty_partition_live(self):
+        config = CacheConfig(size=4 * 4 * 64, ways=4, name="t")
+        policy = RWPBypassPolicy(epoch=1 << 62)
+        cache = SetAssociativeCache(config, policy)
+        policy.target_clean = 2
+        _, bypassed, _ = cache.access(addr(0), True)
+        assert not bypassed
+
+    def test_reads_never_bypassed(self):
+        config = CacheConfig(size=4 * 4 * 64, ways=4, name="t")
+        policy = RWPBypassPolicy(epoch=1 << 62)
+        cache = SetAssociativeCache(config, policy)
+        policy.target_clean = 4
+        _, bypassed, _ = cache.access(addr(0), False)
+        assert not bypassed
+
+    def test_end_to_end_beats_or_matches_rwp(self):
+        # mcf drives target_clean to all ways (dirty target 0), which is
+        # when the bypass short-circuit engages.
+        base = run_benchmark("mcf", "lru", SCALE)
+        rwp = run_benchmark("mcf", "rwp", SCALE)
+        bypass = run_benchmark("mcf", "rwp-bypass", SCALE)
+        assert bypass.llc_bypasses > 0
+        assert bypass.speedup_over(base) >= 0.95 * rwp.speedup_over(base)
+
+    def test_sampler_keeps_learning_despite_bypass(self):
+        """Bypassed writes still feed the shadow sampler, so the policy
+        can re-grow the dirty partition when dirty reuse appears."""
+        result = run_benchmark("micro_rmw", "rwp-bypass", SCALE)
+        state = result.extra["policy_state"]
+        assert state["target_clean"] < 16  # dirty partition alive
