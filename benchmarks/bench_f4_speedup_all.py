@@ -4,13 +4,10 @@ Paper claim C1: RWP ~ +5% geomean over LRU across all of SPEC CPU2006,
 beating DIP/DRRIP/SHiP and staying close to RRP.
 """
 
+import conftest
 from conftest import SINGLE_CORE_SCALE, report
 
-from repro.experiments.runner import (
-    SINGLE_CORE_POLICIES,
-    run_grid,
-    speedups_over,
-)
+from repro.experiments.runner import SINGLE_CORE_POLICIES, speedups_over
 from repro.experiments.tables import format_percent, format_table
 from repro.multicore.metrics import geometric_mean
 from repro.trace.spec import benchmark_names
@@ -18,7 +15,7 @@ from repro.trace.spec import benchmark_names
 
 def run() -> tuple:
     benches = benchmark_names()
-    grid = run_grid(benches, SINGLE_CORE_POLICIES, SINGLE_CORE_SCALE)
+    grid = conftest.grid(benches, SINGLE_CORE_POLICIES, SINGLE_CORE_SCALE)
     speedups = speedups_over(grid, benches, SINGLE_CORE_POLICIES)
     rows = []
     for index, bench in enumerate(benches):

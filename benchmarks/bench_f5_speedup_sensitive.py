@@ -4,13 +4,10 @@ Paper claim C2: RWP ~ +14% geomean over LRU for cache-sensitive
 benchmarks.
 """
 
+import conftest
 from conftest import SINGLE_CORE_SCALE, report
 
-from repro.experiments.runner import (
-    SINGLE_CORE_POLICIES,
-    run_grid,
-    speedups_over,
-)
+from repro.experiments.runner import SINGLE_CORE_POLICIES, speedups_over
 from repro.experiments.tables import format_percent, format_table
 from repro.multicore.metrics import geometric_mean
 from repro.trace.spec import sensitive_names
@@ -18,7 +15,7 @@ from repro.trace.spec import sensitive_names
 
 def run() -> tuple:
     benches = sensitive_names()
-    grid = run_grid(benches, SINGLE_CORE_POLICIES, SINGLE_CORE_SCALE)
+    grid = conftest.grid(benches, SINGLE_CORE_POLICIES, SINGLE_CORE_SCALE)
     speedups = speedups_over(grid, benches, SINGLE_CORE_POLICIES)
     rows = [
         [bench] + [speedups[p][i] for p in SINGLE_CORE_POLICIES]

@@ -16,7 +16,7 @@ from __future__ import annotations
 import os
 import sys
 
-from repro.experiments.runner import ExperimentScale
+from repro.experiments.runner import ExperimentScale, run_grid
 
 _CAPTURE_MANAGER = None
 
@@ -41,6 +41,24 @@ PER_CORE_SCALE = ExperimentScale(
     warmup_factor=8,
     measure_factor=24,
 )
+
+#: engine knobs for the grid-shaped harnesses: REPRO_BENCH_JOBS worker
+#: processes (default serial), REPRO_BENCH_STORE an on-disk result store
+#: so repeated benchmark runs skip simulation (default off: timing runs
+#: should measure simulation, not cache reads -- opt in explicitly).
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+_BENCH_STORE_DIR = os.environ.get("REPRO_BENCH_STORE", "")
+
+
+def grid(benchmarks, policies, scale=None):
+    """Engine-backed ``run_grid`` honoring the environment knobs."""
+    return run_grid(
+        benchmarks,
+        policies,
+        scale if scale is not None else SINGLE_CORE_SCALE,
+        jobs=BENCH_JOBS,
+        store=_BENCH_STORE_DIR or None,
+    )
 
 
 def report(title: str, body: str) -> None:

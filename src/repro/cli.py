@@ -6,11 +6,15 @@ Commands
 ``run``         one benchmark under one policy; prints the full result
 ``compare``     one benchmark under several policies, as a table
 ``mix``         a 4-core mix under one or more policies
+``sweep``       a full (benchmark x policy) grid through the engine:
+                parallel (``--jobs``), persistent (``--store``), resumable
 ``overhead``    the RWP-vs-RRP state budget (paper Table 2)
 ``motivation``  read/write traffic + line-class breakdown for a benchmark
 
 All simulation commands accept ``--llc-lines`` (cache size in 64 B lines)
-and ``--accesses`` / ``--warmup-frac`` to trade fidelity for speed.
+and ``--accesses`` / ``--warmup-frac`` to trade fidelity for speed, plus
+the engine knobs ``--jobs N`` (worker processes), ``--store PATH`` /
+``--no-store`` (on-disk result cache), and ``--timeout SECONDS``.
 """
 
 from __future__ import annotations
@@ -23,8 +27,13 @@ from repro.cache.policy import policy_names
 from repro.common.config import paper_system_config
 from repro.core.overhead import overhead_report
 from repro.experiments.motivation import traffic_breakdown
-from repro.experiments.multicore_exp import run_mix
-from repro.experiments.runner import ExperimentScale, run_benchmark
+from repro.experiments.multicore_exp import run_mix_grid
+from repro.experiments.runner import (
+    SINGLE_CORE_POLICIES,
+    ExperimentScale,
+    run_benchmark,
+    speedups_over,
+)
 from repro.experiments.tables import format_percent, format_table
 from repro.trace.mixes import mix_names
 from repro.trace.spec import ALL_PARAMS, benchmark_names, sensitive_names
@@ -63,6 +72,52 @@ def _add_scale_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2014)
 
 
+def _add_engine_options(
+    parser: argparse.ArgumentParser, store_by_default: bool = False
+) -> None:
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial in-process)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="result store directory (default: ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the on-disk result store",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock limit",
+    )
+    parser.set_defaults(store_by_default=store_by_default)
+
+
+def _store_from(args: argparse.Namespace):
+    """Resolve the engine options to a ResultStore or None."""
+    if getattr(args, "no_store", False):
+        return None
+    if getattr(args, "store", None):
+        from repro.engine import ResultStore
+
+        return ResultStore(args.store)
+    if getattr(args, "store_by_default", False):
+        from repro.engine import ResultStore
+
+        return ResultStore()
+    return None
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     print("benchmarks:")
     for category in ("sensitive", "streaming", "compute"):
@@ -77,7 +132,7 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
-    result = run_benchmark(args.benchmark, args.policy, scale)
+    result = run_benchmark(args.benchmark, args.policy, scale, store=_store_from(args))
     print(f"benchmark : {args.benchmark}")
     print(f"policy    : {result.policy}")
     print(f"llc       : {scale.llc_lines} lines "
@@ -100,12 +155,22 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_grid
+
     scale = _scale_from(args)
     policies = args.policies.split(",")
-    baseline = run_benchmark(args.benchmark, policies[0], scale)
+    grid = run_grid(
+        [args.benchmark],
+        policies,
+        scale,
+        jobs=args.jobs,
+        store=_store_from(args),
+        timeout=args.timeout,
+    )
+    baseline = grid[(args.benchmark, policies[0])]
     rows = []
     for policy in policies:
-        result = run_benchmark(args.benchmark, policy, scale)
+        result = grid[(args.benchmark, policy)]
         rows.append(
             [
                 policy,
@@ -128,9 +193,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_mix(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     policies = args.policies.split(",")
+    grid = run_mix_grid(
+        [args.mix],
+        policies,
+        scale,
+        jobs=args.jobs,
+        store=_store_from(args),
+        timeout=args.timeout,
+    )
     rows = []
     for policy in policies:
-        result = run_mix(args.mix, policy, scale)
+        result = grid[(args.mix, policy)]
         rows.append(
             [
                 policy,
@@ -159,11 +232,92 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.quickreport import generate_report, write_report
 
     scale = _scale_from(args)
+    store = _store_from(args)
     if args.output:
-        path = write_report(args.output, scale)
+        path = write_report(args.output, scale, jobs=args.jobs, store=store)
         print(f"wrote {path}")
     else:
-        print(generate_report(scale))
+        print(generate_report(scale, jobs=args.jobs, store=store))
+    return 0
+
+
+def _sweep_benchmarks(selection: str) -> list:
+    if selection == "all":
+        return list(benchmark_names())
+    if selection == "sensitive":
+        return list(sensitive_names())
+    return selection.split(",")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (benchmark x policy) grid through the engine."""
+    from repro.engine import ProgressReporter, RunJob, job_key, run_jobs
+    from repro.engine.keys import scale_payload
+    from repro.experiments.export import export_grid
+    from repro.multicore.metrics import geometric_mean
+
+    scale = _scale_from(args)
+    benches = _sweep_benchmarks(args.benchmarks)
+    policies = args.policies.split(",")
+    store = _store_from(args)
+
+    job_list = [
+        RunJob(bench, policy, scale) for bench in benches for policy in policies
+    ]
+    journal = args.journal
+    if journal is None and store is not None:
+        # One journal per sweep definition: same grid -> same file, so an
+        # interrupted invocation resumes automatically.
+        sweep_id = job_key(
+            {
+                "kind": "sweep",
+                "benchmarks": benches,
+                "policies": policies,
+                "scale": scale_payload(scale),
+            }
+        )[:16]
+        journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
+
+    outcome = run_jobs(
+        job_list,
+        max_workers=args.jobs,
+        store=store,
+        journal=journal,
+        timeout=args.timeout,
+        progress=ProgressReporter(len(job_list), enabled=not args.quiet),
+    )
+    grid = {
+        (job.benchmark, job.policy): result
+        for job, result in outcome.results.items()
+    }
+
+    baseline = policies[0]
+    speedups = speedups_over(grid, benches, policies, baseline=baseline)
+    rows = [
+        [bench, *(speedups[policy][index] for policy in policies)]
+        for index, bench in enumerate(benches)
+    ]
+    rows.append(
+        ["GEOMEAN", *(geometric_mean(speedups[policy]) for policy in policies)]
+    )
+    print(
+        format_table(
+            ["benchmark", *policies],
+            rows,
+            title=f"speedup over {baseline} @ {scale.llc_lines} lines",
+        )
+    )
+
+    written = export_grid(grid, csv_path=args.csv, json_path=args.json)
+    for path in written:
+        print(f"wrote {path}")
+
+    stats = outcome.stats
+    print(
+        f"jobs: {stats.total}  simulated: {stats.simulated}  "
+        f"cache_hits: {stats.cache_hits}  resumed: {stats.resumed}  "
+        f"failed: {stats.failed}  wall: {stats.wall_seconds:.1f}s"
+    )
     return 0
 
 
@@ -204,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("benchmark")
     run_parser.add_argument("--policy", "-p", default="rwp")
     _add_scale_options(run_parser)
+    _add_engine_options(run_parser)
 
     compare_parser = sub.add_parser("compare", help="compare policies")
     compare_parser.add_argument("benchmark")
@@ -211,11 +366,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--policies", "-p", default="lru,dip,drrip,ship,rrp,rwp"
     )
     _add_scale_options(compare_parser)
+    _add_engine_options(compare_parser)
 
     mix_parser = sub.add_parser("mix", help="run a 4-core mix")
     mix_parser.add_argument("mix")
     mix_parser.add_argument("--policies", "-p", default="lru,tadrrip,ucp,rwp")
     _add_scale_options(mix_parser)
+    _add_engine_options(mix_parser)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a (benchmark x policy) grid: parallel, cached, resumable",
+    )
+    sweep_parser.add_argument(
+        "--benchmarks",
+        "-b",
+        default="all",
+        help="'all', 'sensitive', or a comma-separated list",
+    )
+    sweep_parser.add_argument(
+        "--policies", "-p", default=",".join(SINGLE_CORE_POLICIES)
+    )
+    sweep_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="JSONL run journal (default: derived from the sweep, in the store)",
+    )
+    sweep_parser.add_argument(
+        "--csv", default=None, metavar="PATH", help="export the grid as CSV"
+    )
+    sweep_parser.add_argument(
+        "--json", default=None, metavar="PATH", help="export the grid as JSON"
+    )
+    sweep_parser.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-job progress"
+    )
+    _add_scale_options(sweep_parser)
+    _add_engine_options(sweep_parser, store_by_default=True)
 
     sub.add_parser("overhead", help="RWP vs RRP state budget")
 
@@ -226,6 +414,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default=None, help="write to a file instead of stdout"
     )
     _add_scale_options(report_parser)
+    _add_engine_options(report_parser)
 
     motivation_parser = sub.add_parser(
         "motivation", help="traffic breakdown for a benchmark"
@@ -243,6 +432,7 @@ _COMMANDS = {
     "run": cmd_run,
     "compare": cmd_compare,
     "mix": cmd_mix,
+    "sweep": cmd_sweep,
     "overhead": cmd_overhead,
     "report": cmd_report,
     "motivation": cmd_motivation,
@@ -250,10 +440,12 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    from repro.engine import SweepError
+
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except KeyError as error:
+    except (KeyError, SweepError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -9,6 +9,7 @@ from repro.common.config import (
     default_hierarchy,
     paper_system_config,
 )
+from repro.common.jsonutil import from_jsonable, to_jsonable
 from repro.common.rng import make_rng, split_rng
 from repro.common.stats import Counter, StatGroup
 
@@ -21,7 +22,9 @@ __all__ = [
     "SimulationConfig",
     "StatGroup",
     "default_hierarchy",
+    "from_jsonable",
     "make_rng",
     "paper_system_config",
     "split_rng",
+    "to_jsonable",
 ]

@@ -1,0 +1,58 @@
+"""Lossless JSON encoding for result objects.
+
+JSON has no tuples and ``json.dumps(..., default=str)`` silently
+stringifies anything it does not understand, which corrupts exports the
+moment a result grows a non-primitive field.  These helpers encode the
+closed set of types that appear in results (dict / list / tuple / str /
+int / float / bool / None) *exactly*: tuples are tagged so decoding
+restores them, and anything outside the set raises ``TypeError`` instead
+of degrading to a string.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: tag key used to mark tuples inside the encoded form.
+_TUPLE_TAG = "__tuple__"
+
+
+def to_jsonable(value: Any) -> Any:
+    """Encode ``value`` into JSON-native types, tagging tuples.
+
+    Raises ``TypeError`` for any type outside the supported closed set --
+    the caller should convert explicitly rather than rely on silent
+    stringification.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [to_jsonable(item) for item in value]}
+    if isinstance(value, list):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"JSON object keys must be str, got {type(key).__name__}"
+                )
+            if key == _TUPLE_TAG:
+                raise TypeError(f"dict key {_TUPLE_TAG!r} is reserved")
+            encoded[key] = to_jsonable(item)
+        return encoded
+    raise TypeError(
+        f"cannot losslessly encode {type(value).__name__} to JSON; "
+        "convert it explicitly first"
+    )
+
+
+def from_jsonable(value: Any) -> Any:
+    """Invert :func:`to_jsonable`: restore tagged tuples."""
+    if isinstance(value, dict):
+        if set(value) == {_TUPLE_TAG}:
+            return tuple(from_jsonable(item) for item in value[_TUPLE_TAG])
+        return {key: from_jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [from_jsonable(item) for item in value]
+    return value

@@ -17,6 +17,7 @@ from typing import Dict
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.policy import ReplacementPolicy, make_policy
 from repro.common.config import HierarchyConfig
+from repro.common.jsonutil import from_jsonable, to_jsonable
 from repro.cpu.timing import TimingModel
 from repro.hierarchy.system import MemoryHierarchy
 from repro.trace.access import Trace
@@ -72,6 +73,36 @@ class RunResult:
         if baseline.ipc == 0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict that :meth:`from_dict` inverts exactly.
+
+        ``extra`` is encoded losslessly (tuples tagged, unknown types
+        rejected) instead of being silently stringified.
+        """
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "llc_read_hits": self.llc_read_hits,
+            "llc_read_misses": self.llc_read_misses,
+            "llc_write_hits": self.llc_write_hits,
+            "llc_write_misses": self.llc_write_misses,
+            "llc_writebacks": self.llc_writebacks,
+            "llc_bypasses": self.llc_bypasses,
+            "read_stall_cycles": self.read_stall_cycles,
+            "write_stall_cycles": self.write_stall_cycles,
+            "extra": to_jsonable(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        fields = dict(data)
+        fields["extra"] = from_jsonable(fields.get("extra", {}))
+        return cls(**fields)
 
 
 class LLCRunner:

@@ -1,0 +1,40 @@
+"""Execution engine: parallel sweeps, persistent results, resumability.
+
+The engine turns lists of declarative jobs (``RunJob``/``MixJob``) into
+results, fanning them out over worker processes (``max_workers``),
+serving warm keys from a content-addressed on-disk ``ResultStore``, and
+journaling completions so interrupted sweeps resume.  The experiment
+harnesses (``run_grid``, the sensitivity sweeps, ``run_mix_grid``) and
+the ``repro sweep`` CLI command are thin layers over :func:`run_jobs`.
+"""
+
+from repro.engine.executor import (
+    JobTimeoutError,
+    SweepError,
+    SweepOutcome,
+    SweepStats,
+    run_jobs,
+)
+from repro.engine.jobs import MixJob, RunJob
+from repro.engine.journal import JournalEntry, RunJournal
+from repro.engine.keys import code_version, job_key
+from repro.engine.progress import ProgressReporter
+from repro.engine.store import ResultStore, coerce_store, default_store_path
+
+__all__ = [
+    "JobTimeoutError",
+    "JournalEntry",
+    "MixJob",
+    "ProgressReporter",
+    "ResultStore",
+    "RunJob",
+    "RunJournal",
+    "SweepError",
+    "SweepOutcome",
+    "SweepStats",
+    "code_version",
+    "coerce_store",
+    "default_store_path",
+    "job_key",
+    "run_jobs",
+]

@@ -1,0 +1,137 @@
+"""Job types the sweep executor can run.
+
+A job is a frozen, picklable description of one unit of work:
+
+* :class:`RunJob` -- one (benchmark, policy) pair at an
+  :class:`~repro.experiments.runner.ExperimentScale`, optionally with a
+  cache-geometry override (the sensitivity sweeps re-size the cache
+  while keeping the reference-scale trace).
+* :class:`MixJob` -- one (mix, policy) 4-core shared-LLC run.
+
+Each job knows its content-addressed :meth:`key`, how to
+:meth:`execute` (in-process or inside a worker), and how to
+``encode``/``decode`` its result for the on-disk store.  Simulation
+modules are imported lazily inside ``execute`` so the engine package
+never creates an import cycle with ``repro.experiments``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Dict, Optional
+
+from repro.engine.keys import job_key, scale_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.core import RunResult
+    from repro.experiments.multicore_exp import MixResult
+    from repro.experiments.runner import ExperimentScale
+
+
+@dataclass(frozen=True)
+class RunJob:
+    """One single-core (benchmark, policy, scale[, geometry]) run."""
+
+    benchmark: str
+    policy: str
+    scale: "ExperimentScale"
+    llc_lines: Optional[int] = None  # geometry override (sweeps)
+    ways: Optional[int] = None
+
+    kind: ClassVar[str] = "run"
+
+    @property
+    def geometry_lines(self) -> int:
+        return self.llc_lines if self.llc_lines is not None else self.scale.llc_lines
+
+    @property
+    def geometry_ways(self) -> int:
+        return self.ways if self.ways is not None else self.scale.ways
+
+    @property
+    def label(self) -> str:
+        base = f"{self.benchmark}/{self.policy}"
+        if self.llc_lines is None and self.ways is None:
+            return base
+        return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "benchmark": self.benchmark,
+            "policy": self.policy,
+            "scale": scale_payload(self.scale),
+            "geometry": {
+                "llc_lines": self.geometry_lines,
+                "ways": self.geometry_ways,
+            },
+        }
+
+    def key(self) -> str:
+        return job_key(self.payload())
+
+    def execute(self) -> "RunResult":
+        from repro.experiments.runner import run_benchmark, run_with_geometry
+
+        if self.llc_lines is None and self.ways is None:
+            return run_benchmark(self.benchmark, self.policy, self.scale)
+        return run_with_geometry(
+            self.benchmark,
+            self.policy,
+            self.geometry_lines,
+            self.geometry_ways,
+            self.scale,
+        )
+
+    @staticmethod
+    def encode(result: "RunResult") -> Dict[str, object]:
+        return result.to_dict()
+
+    @staticmethod
+    def decode(data: Dict[str, object]) -> "RunResult":
+        from repro.cpu.core import RunResult
+
+        return RunResult.from_dict(data)
+
+
+@dataclass(frozen=True)
+class MixJob:
+    """One multiprogrammed (mix, policy) run on the shared LLC."""
+
+    mix: str
+    policy: str
+    per_core: "ExperimentScale"
+    num_cores: int = 4
+
+    kind: ClassVar[str] = "mix"
+
+    @property
+    def label(self) -> str:
+        return f"{self.mix}/{self.policy}"
+
+    def payload(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "mix": self.mix,
+            "policy": self.policy,
+            "per_core": scale_payload(self.per_core),
+            "num_cores": self.num_cores,
+        }
+
+    def key(self) -> str:
+        return job_key(self.payload())
+
+    def execute(self) -> "MixResult":
+        from repro.experiments.multicore_exp import run_mix
+
+        return run_mix(self.mix, self.policy, self.per_core, self.num_cores)
+
+    @staticmethod
+    def encode(result: "MixResult") -> Dict[str, object]:
+        return result.to_dict()
+
+    @staticmethod
+    def decode(data: Dict[str, object]) -> "MixResult":
+        from repro.experiments.multicore_exp import MixResult
+
+        return MixResult.from_dict(data)

@@ -1,0 +1,87 @@
+"""JSONL run journal: one line per completed job, so an interrupted
+sweep can pick up where it left off.
+
+Record format (one JSON object per line)::
+
+    {"key": "<64-hex job key>", "label": "mcf/rwp", "status": "ok",
+     "wall_s": 1.234567, "ts": 1754000000.0}
+
+``status`` is ``ok`` (simulated this run), ``hit`` (served from the
+result store), or ``error`` (failed after retry).  Appends are flushed
+line-by-line; a torn final line from a crash is skipped on read, so a
+journal is always safe to resume from.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Set
+
+#: statuses that mean "this job's result exists" (resume can skip it).
+COMPLETED_STATUSES = frozenset({"ok", "hit"})
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One parsed journal line."""
+
+    key: str
+    label: str
+    status: str
+    wall_seconds: float
+    timestamp: float
+
+
+class RunJournal:
+    """Append-only JSONL journal for one sweep."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path).expanduser()
+
+    def append(
+        self, key: str, label: str, status: str, wall_seconds: float
+    ) -> None:
+        """Record one finished job (flushed immediately)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "key": key,
+            "label": label,
+            "status": status,
+            "wall_s": round(wall_seconds, 6),
+            "ts": time.time(),
+        }
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+    def entries(self) -> List[JournalEntry]:
+        """Every parseable line (torn/corrupt lines are skipped)."""
+        if not self.path.is_file():
+            return []
+        parsed: List[JournalEntry] = []
+        for line in self.path.read_text().splitlines():
+            try:
+                record = json.loads(line)
+                parsed.append(
+                    JournalEntry(
+                        key=record["key"],
+                        label=record.get("label", ""),
+                        status=record["status"],
+                        wall_seconds=float(record.get("wall_s", 0.0)),
+                        timestamp=float(record.get("ts", 0.0)),
+                    )
+                )
+            except (ValueError, KeyError, TypeError):
+                continue
+        return parsed
+
+    def completed_keys(self) -> Set[str]:
+        """Keys this journal says are done (``ok`` or ``hit``)."""
+        return {
+            entry.key
+            for entry in self.entries()
+            if entry.status in COMPLETED_STATUSES
+        }

@@ -1,0 +1,64 @@
+"""Progress and summary reporting for sweeps.
+
+Everything goes to *stderr* and is flushed per line, so progress stays
+visible under pipes and never corrupts table/CSV output on stdout
+(``run_grid``'s old bare ``print`` did both wrong).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Optional
+
+
+class ProgressReporter:
+    """Per-job lines plus an end-of-sweep summary.
+
+    ``enabled=False`` silences per-job lines but still formats the
+    summary for callers that want the text.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        enabled: bool = True,
+        stream: Optional[IO[str]] = None,
+    ) -> None:
+        self.total = total
+        self.enabled = enabled
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self._started = time.perf_counter()
+
+    def _write(self, text: str) -> None:
+        if self.enabled:
+            print(text, file=self.stream, flush=True)
+
+    def job_done(
+        self, label: str, status: str, wall_seconds: float, result=None
+    ) -> None:
+        """One job finished (simulated, cache hit, or error)."""
+        self.done += 1
+        detail = ""
+        ipc = getattr(result, "ipc", None)
+        if ipc is not None:
+            detail = f" ipc={ipc:6.3f} read_mpki={result.read_mpki:7.2f}"
+        elif getattr(result, "weighted_speedup", None) is not None:
+            detail = f" WS={result.weighted_speedup:5.3f}"
+        self._write(
+            f"  [{self.done}/{self.total}] {label:<28} "
+            f"{status:<5} {wall_seconds:6.2f}s{detail}"
+        )
+
+    def summary(self, stats) -> str:
+        """Format (and, if enabled, print) the sweep summary line."""
+        elapsed = stats.wall_seconds or (time.perf_counter() - self._started)
+        rate = stats.simulated / elapsed if elapsed > 0 else 0.0
+        line = (
+            f"sweep: {stats.total} jobs | {stats.simulated} simulated | "
+            f"{stats.cache_hits} cache hits ({stats.resumed} resumed) | "
+            f"{stats.failed} failed | {elapsed:.1f}s | {rate:.2f} sims/s"
+        )
+        self._write(line)
+        return line

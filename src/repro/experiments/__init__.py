@@ -5,7 +5,13 @@ from repro.experiments.energy import (
     EnergyParams,
     evaluate_energy,
 )
-from repro.experiments.export import export_grid, grid_rows, write_csv, write_json
+from repro.experiments.export import (
+    export_grid,
+    grid_rows,
+    write_csv,
+    write_json,
+    write_results_json,
+)
 from repro.experiments.motivation import (
     ReadPotential,
     TrafficBreakdown,
@@ -32,6 +38,7 @@ from repro.experiments.runner import (
     make_llc_policy,
     run_benchmark,
     run_grid,
+    run_with_geometry,
     speedups_over,
 )
 from repro.experiments.sweeps import (
@@ -70,9 +77,11 @@ __all__ = [
     "run_grid",
     "run_mix",
     "run_mix_grid",
+    "run_with_geometry",
     "size_sweep",
     "speedups_over",
     "traffic_breakdown",
     "write_csv",
     "write_json",
+    "write_results_json",
 ]

@@ -13,6 +13,7 @@ import json
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
+from repro.common.jsonutil import to_jsonable
 from repro.cpu.core import RunResult
 
 #: RunResult fields exported per row, in order.
@@ -66,16 +67,42 @@ def write_csv(
 def write_json(
     path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
 ) -> Path:
-    """Write one table as a list of JSON objects; returns the path."""
+    """Write one table as a list of JSON objects; returns the path.
+
+    Cells go through :func:`~repro.common.jsonutil.to_jsonable`, so
+    non-JSON values raise instead of being silently stringified.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    records = [dict(zip(headers, row)) for row in rows]
     for row in rows:
         if len(row) != len(headers):
             raise ValueError(
                 f"row width {len(row)} != header width {len(headers)}"
             )
-    path.write_text(json.dumps(records, indent=2, default=str))
+    records = [
+        {header: to_jsonable(cell) for header, cell in zip(headers, row)}
+        for row in rows
+    ]
+    path.write_text(json.dumps(records, indent=2))
+    return path
+
+
+def write_results_json(
+    path: str | Path, results: Dict[Tuple[str, str], RunResult]
+) -> Path:
+    """Dump a result grid as full :meth:`RunResult.to_dict` records.
+
+    Unlike :func:`write_json` (flat plotting tables), this keeps every
+    field -- including ``extra`` -- and round-trips exactly through
+    :meth:`RunResult.from_dict`.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [
+        {"benchmark": benchmark, "policy": policy, "result": result.to_dict()}
+        for (benchmark, policy), result in sorted(results.items())
+    ]
+    path.write_text(json.dumps(records, indent=2))
     return path
 
 

@@ -46,6 +46,24 @@ class MixResult:
     fairness: float
     per_core_ipc: Tuple[float, ...]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict that :meth:`from_dict` inverts exactly."""
+        return {
+            "mix": self.mix,
+            "policy": self.policy,
+            "weighted_speedup": self.weighted_speedup,
+            "harmonic_speedup": self.harmonic_speedup,
+            "throughput": self.throughput,
+            "fairness": self.fairness,
+            "per_core_ipc": list(self.per_core_ipc),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MixResult":
+        fields = dict(data)
+        fields["per_core_ipc"] = tuple(fields["per_core_ipc"])
+        return cls(**fields)
+
 
 def _shared_scale(per_core: ExperimentScale, num_cores: int) -> ExperimentScale:
     """The shared-LLC geometry: num_cores x the per-core capacity."""
@@ -134,19 +152,34 @@ def run_mix_grid(
     policies: Sequence[str] = MULTICORE_POLICIES,
     per_core: ExperimentScale | None = None,
     progress: bool = False,
+    jobs: int = 1,
+    store=None,
+    journal=None,
+    timeout: float | None = None,
 ) -> Dict[Tuple[str, str], MixResult]:
-    """Every (mix, policy) pair."""
-    results: Dict[Tuple[str, str], MixResult] = {}
-    for mix in mixes:
-        for policy in policies:
-            results[(mix, policy)] = run_mix(mix, policy, per_core)
-            if progress:
-                r = results[(mix, policy)]
-                print(
-                    f"  {mix:<22} {policy:<8} WS={r.weighted_speedup:5.3f} "
-                    f"HS={r.harmonic_speedup:5.3f}"
-                )
-    return results
+    """Every (mix, policy) pair, fanned out through the engine.
+
+    ``jobs=1`` (default) is the serial in-process path; ``store`` and
+    ``journal`` give persistent/resumable sweeps, same as ``run_grid``.
+    """
+    from repro.engine import MixJob, run_jobs
+
+    per_core = per_core or ExperimentScale()
+    job_list = [
+        MixJob(mix, policy, per_core) for mix in mixes for policy in policies
+    ]
+    outcome = run_jobs(
+        job_list,
+        max_workers=jobs,
+        store=store,
+        journal=journal,
+        timeout=timeout,
+        progress=progress,
+    )
+    return {
+        (job.mix, job.policy): result
+        for job, result in outcome.results.items()
+    }
 
 
 def normalized_ws(

@@ -15,7 +15,7 @@ from typing import List
 
 from repro.common.config import paper_system_config
 from repro.core.overhead import overhead_ratio, rrp_state, rwp_state
-from repro.experiments.multicore_exp import run_mix
+from repro.experiments.multicore_exp import run_mix_grid
 from repro.experiments.runner import (
     ExperimentScale,
     run_grid,
@@ -44,8 +44,14 @@ def _markdown_table(headers: List[str], rows: List[List[object]]) -> str:
 def generate_report(
     scale: ExperimentScale | None = None,
     mixes: tuple = REPORT_MIXES,
+    jobs: int = 1,
+    store=None,
 ) -> str:
-    """Run the headline experiments and render markdown."""
+    """Run the headline experiments and render markdown.
+
+    ``jobs``/``store`` are forwarded to the engine: the report grid can
+    run in parallel and is served from the result store when warm.
+    """
     scale = scale or ExperimentScale(
         llc_lines=1024, warmup_factor=8, measure_factor=20
     )
@@ -60,7 +66,7 @@ def generate_report(
 
     # Single core: full suite + sensitive subset.
     benches = benchmark_names()
-    grid = run_grid(benches, HEADLINE_POLICIES, scale)
+    grid = run_grid(benches, HEADLINE_POLICIES, scale, jobs=jobs, store=store)
     speedups = speedups_over(grid, benches, HEADLINE_POLICIES)
     sensitive = sensitive_names()
     sensitive_idx = [benches.index(b) for b in sensitive]
@@ -97,12 +103,15 @@ def generate_report(
     ]
 
     # Multicore.
+    mix_grid = run_mix_grid(
+        mixes, MULTICORE_POLICIES, scale, jobs=jobs, store=store
+    )
     mc_rows = []
     for mix in mixes:
-        base = run_mix(mix, "lru", scale)
+        base = mix_grid[(mix, "lru")]
         row: List[object] = [mix]
         for policy in MULTICORE_POLICIES[1:]:
-            result = run_mix(mix, policy, scale)
+            result = mix_grid[(mix, policy)]
             row.append(result.weighted_speedup / base.weighted_speedup)
         mc_rows.append(row)
     geo_row: List[object] = ["GEOMEAN"]
@@ -122,9 +131,11 @@ def generate_report(
 def write_report(
     path: str | Path,
     scale: ExperimentScale | None = None,
+    jobs: int = 1,
+    store=None,
 ) -> Path:
     """Generate the report and write it to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(generate_report(scale))
+    path.write_text(generate_report(scale, jobs=jobs, store=store))
     return path

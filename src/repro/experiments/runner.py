@@ -123,13 +123,66 @@ def run_benchmark(
     benchmark: str,
     policy: str,
     scale: ExperimentScale | None = None,
+    store=None,
 ) -> RunResult:
     """Run one benchmark under one policy at the given scale.
 
     Runs are deterministic, so results are memoized: harnesses that share
     a baseline (every figure normalizes to LRU) never re-simulate it.
+    With a ``store`` (a :class:`~repro.engine.store.ResultStore` or a
+    path), results also persist across processes: a warm key is decoded
+    from disk instead of simulated, and fresh runs are written through.
     """
-    return _run_benchmark_cached(benchmark, policy, scale or ExperimentScale())
+    scale = scale or ExperimentScale()
+    if store is None:
+        return _run_benchmark_cached(benchmark, policy, scale)
+    from repro.engine import RunJob, coerce_store
+
+    store = coerce_store(store)
+    job = RunJob(benchmark, policy, scale)
+    key = job.key()
+    record = store.get(key)
+    if record is not None:
+        return job.decode(record["result"])
+    result = _run_benchmark_cached(benchmark, policy, scale)
+    store.put(key, job.kind, job.encode(result))
+    return result
+
+
+@lru_cache(maxsize=4096)
+def _run_geometry_cached(
+    benchmark: str,
+    policy: str,
+    llc_lines: int,
+    ways: int,
+    reference: ExperimentScale,
+) -> RunResult:
+    trace = cached_trace(
+        benchmark,
+        reference.llc_lines,
+        reference.total_accesses,
+        reference.seed,
+    )
+    hierarchy = default_hierarchy(llc_size=llc_lines * LINE_SIZE, llc_ways=ways)
+    runner = LLCRunner(hierarchy, make_llc_policy(policy, llc_lines))
+    return runner.run(trace, warmup=reference.warmup)
+
+
+def run_with_geometry(
+    benchmark: str,
+    policy: str,
+    llc_lines: int,
+    ways: int,
+    reference: ExperimentScale | None = None,
+) -> RunResult:
+    """Run a reference-scale trace against an arbitrary LLC geometry.
+
+    The sensitivity sweeps re-size the *cache* while holding the
+    *workload* fixed: the program does not change when the machine does.
+    """
+    return _run_geometry_cached(
+        benchmark, policy, llc_lines, ways, reference or ExperimentScale()
+    )
 
 
 ResultGrid = Dict[Tuple[str, str], RunResult]
@@ -140,22 +193,38 @@ def run_grid(
     policies: Sequence[str],
     scale: ExperimentScale | None = None,
     progress: bool = False,
+    jobs: int = 1,
+    store=None,
+    journal=None,
+    timeout: float | None = None,
 ) -> ResultGrid:
-    """Run every (benchmark, policy) pair; identical traces per benchmark."""
+    """Run every (benchmark, policy) pair; identical traces per benchmark.
+
+    Execution goes through the engine: ``jobs`` worker processes
+    (``jobs=1`` is the serial in-process path), an optional on-disk
+    result ``store``, and an optional JSONL ``journal`` for resumable
+    sweeps.  ``progress`` reports per-job lines to stderr.
+    """
     scale = scale or ExperimentScale()
-    results: ResultGrid = {}
-    for benchmark in benchmarks:
-        for policy in policies:
-            results[(benchmark, policy)] = run_benchmark(
-                benchmark, policy, scale
-            )
-            if progress:
-                result = results[(benchmark, policy)]
-                print(
-                    f"  {benchmark:<12} {policy:<8} "
-                    f"ipc={result.ipc:6.3f} read_mpki={result.read_mpki:7.2f}"
-                )
-    return results
+    from repro.engine import RunJob, run_jobs
+
+    job_list = [
+        RunJob(benchmark, policy, scale)
+        for benchmark in benchmarks
+        for policy in policies
+    ]
+    outcome = run_jobs(
+        job_list,
+        max_workers=jobs,
+        store=store,
+        journal=journal,
+        timeout=timeout,
+        progress=progress,
+    )
+    return {
+        (job.benchmark, job.policy): result
+        for job, result in outcome.results.items()
+    }
 
 
 def speedups_over(

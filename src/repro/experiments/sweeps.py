@@ -3,43 +3,56 @@
 Sweeps re-scale the *cache* while holding the *workload* fixed at the
 reference scale, which is what the paper's sensitivity studies do: the
 program does not change when the machine does.
+
+The size and associativity sweeps fan their (geometry, benchmark,
+policy) grids out through the execution engine, so they accept the same
+``jobs``/``store``/``journal`` knobs as ``run_grid``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.common.config import default_hierarchy
 from repro.core.rwp import RWPPolicy
 from repro.cpu.core import LLCRunner, RunResult
 from repro.experiments.runner import (
     ExperimentScale,
     cached_trace,
-    make_llc_policy,
+    run_with_geometry,
 )
 from repro.multicore.metrics import geometric_mean
-from repro.trace.generator import LINE_SIZE
 
 
-def _run_with_geometry(
-    benchmark: str,
-    policy: str,
-    llc_lines: int,
-    ways: int,
+def _geometry_grid(
+    benchmarks: Sequence[str],
+    policies: Sequence[str],
+    geometries: Sequence[Tuple[int, int]],
     reference: ExperimentScale,
-) -> RunResult:
-    """Run a reference-scale trace against an arbitrary LLC geometry."""
-    trace = cached_trace(
-        benchmark,
-        reference.llc_lines,
-        reference.total_accesses,
-        reference.seed,
+    jobs: int,
+    store,
+    journal,
+    progress: bool,
+) -> Dict[Tuple[int, int, str, str], RunResult]:
+    """Run every (geometry, benchmark, policy) cell through the engine."""
+    from repro.engine import RunJob, run_jobs
+
+    job_list = [
+        RunJob(bench, policy, reference, llc_lines=lines, ways=ways)
+        for (lines, ways) in geometries
+        for bench in benchmarks
+        for policy in dict.fromkeys(["lru", *policies])  # baseline first
+    ]
+    outcome = run_jobs(
+        job_list,
+        max_workers=jobs,
+        store=store,
+        journal=journal,
+        progress=progress,
     )
-    hierarchy = default_hierarchy(
-        llc_size=llc_lines * LINE_SIZE, llc_ways=ways
-    )
-    runner = LLCRunner(hierarchy, make_llc_policy(policy, llc_lines))
-    return runner.run(trace, warmup=reference.warmup)
+    return {
+        (job.geometry_lines, job.geometry_ways, job.benchmark, job.policy): res
+        for job, res in outcome.results.items()
+    }
 
 
 def size_sweep(
@@ -47,6 +60,10 @@ def size_sweep(
     policies: Sequence[str],
     size_factors: Sequence[float] = (0.5, 1.0, 2.0, 4.0),
     reference: ExperimentScale | None = None,
+    jobs: int = 1,
+    store=None,
+    journal=None,
+    progress: bool = False,
 ) -> Dict[Tuple[float, str], float]:
     """Geomean speedup over LRU at each cache size factor.
 
@@ -54,22 +71,29 @@ def size_sweep(
     reference scale (the paper's 2 MB point).
     """
     reference = reference or ExperimentScale()
+    lines_for = {
+        factor: max(reference.ways, int(reference.llc_lines * factor))
+        for factor in size_factors
+    }
+    grid = _geometry_grid(
+        benchmarks,
+        policies,
+        [(lines, reference.ways) for lines in lines_for.values()],
+        reference,
+        jobs,
+        store,
+        journal,
+        progress,
+    )
     results: Dict[Tuple[float, str], float] = {}
-    for factor in size_factors:
-        llc_lines = max(reference.ways, int(reference.llc_lines * factor))
-        baselines = {
-            bench: _run_with_geometry(
-                bench, "lru", llc_lines, reference.ways, reference
-            )
-            for bench in benchmarks
-        }
+    for factor, lines in lines_for.items():
         for policy in policies:
-            speedups = []
-            for bench in benchmarks:
-                run = _run_with_geometry(
-                    bench, policy, llc_lines, reference.ways, reference
+            speedups = [
+                grid[(lines, reference.ways, bench, policy)].speedup_over(
+                    grid[(lines, reference.ways, bench, "lru")]
                 )
-                speedups.append(run.speedup_over(baselines[bench]))
+                for bench in benchmarks
+            ]
             results[(factor, policy)] = geometric_mean(speedups)
     return results
 
@@ -79,24 +103,32 @@ def associativity_sweep(
     policies: Sequence[str],
     ways_list: Sequence[int] = (8, 16, 32),
     reference: ExperimentScale | None = None,
+    jobs: int = 1,
+    store=None,
+    journal=None,
+    progress: bool = False,
 ) -> Dict[Tuple[int, str], float]:
     """Geomean speedup over LRU at each associativity (capacity fixed)."""
     reference = reference or ExperimentScale()
+    grid = _geometry_grid(
+        benchmarks,
+        policies,
+        [(reference.llc_lines, ways) for ways in ways_list],
+        reference,
+        jobs,
+        store,
+        journal,
+        progress,
+    )
     results: Dict[Tuple[int, str], float] = {}
     for ways in ways_list:
-        baselines = {
-            bench: _run_with_geometry(
-                bench, "lru", reference.llc_lines, ways, reference
-            )
-            for bench in benchmarks
-        }
         for policy in policies:
-            speedups = []
-            for bench in benchmarks:
-                run = _run_with_geometry(
-                    bench, policy, reference.llc_lines, ways, reference
+            speedups = [
+                grid[(reference.llc_lines, ways, bench, policy)].speedup_over(
+                    grid[(reference.llc_lines, ways, bench, "lru")]
                 )
-                speedups.append(run.speedup_over(baselines[bench]))
+                for bench in benchmarks
+            ]
             results[(ways, policy)] = geometric_mean(speedups)
     return results
 
@@ -107,16 +139,19 @@ def rwp_parameter_sweep(
     samplings: Sequence[int] = (4, 16, 64),
     reference: ExperimentScale | None = None,
 ) -> Dict[Tuple[int, int], float]:
-    """A1 ablation: geomean RWP speedup over LRU per (epoch, sampling)."""
+    """A1 ablation: geomean RWP speedup over LRU per (epoch, sampling).
+
+    Stays on the serial path: the ablation instantiates parameterized
+    ``RWPPolicy`` objects that have no stable policy-name key.
+    """
     reference = reference or ExperimentScale()
     hierarchy = reference.hierarchy()
-    baselines: Dict[str, RunResult] = {}
-    for bench in benchmarks:
-        trace = cached_trace(
-            bench, reference.llc_lines, reference.total_accesses, reference.seed
+    baselines: Dict[str, RunResult] = {
+        bench: run_with_geometry(
+            bench, "lru", reference.llc_lines, reference.ways, reference
         )
-        runner = LLCRunner(hierarchy, make_llc_policy("lru"))
-        baselines[bench] = runner.run(trace, warmup=reference.warmup)
+        for bench in benchmarks
+    }
 
     results: Dict[Tuple[int, int], float] = {}
     for epoch in epochs:

@@ -65,3 +65,52 @@ class TestCommands:
 
     def test_unknown_benchmark_is_error(self):
         assert main(["run", "quake3", *FAST]) == 2
+
+
+class TestSweepCommand:
+    SWEEP = [
+        "sweep",
+        "--benchmarks",
+        "micro_fit,micro_stream",
+        "--policies",
+        "lru,rwp",
+        "--quiet",
+        *FAST,
+    ]
+
+    def test_cold_then_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert "GEOMEAN" in cold
+        assert "simulated: 4" in cold and "cache_hits: 0" in cold
+
+        # Warm rerun: every job served from the store, zero simulations.
+        assert main([*self.SWEEP, "--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert "simulated: 0" in warm and "cache_hits: 4" in warm
+
+    def test_no_store_runs_fresh(self, capsys):
+        assert main([*self.SWEEP, "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits: 0" in out
+
+    def test_parallel_jobs(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main([*self.SWEEP, "--store", store, "--jobs", "2"]) == 0
+        assert "failed: 0" in capsys.readouterr().out
+
+    def test_csv_export(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        csv_path = tmp_path / "grid.csv"
+        assert main([*self.SWEEP, "--store", store, "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        assert "benchmark" in csv_path.read_text().splitlines()[0]
+
+    def test_run_accepts_store(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = ["run", "micro_fit", "-p", "lru", *FAST, "--store", store]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
