@@ -1,0 +1,23 @@
+"""Regenerate the golden conformance corpus.
+
+Run after an *intentional* behavioral change to the cache core or a
+replacement policy, then review the resulting ``goldens.json`` diff like
+any other source change.  Equivalent to
+``python -m repro verify --regen-goldens``.
+
+Usage: python scripts/regen_goldens.py [output-path]
+"""
+
+import sys
+
+from repro.verify import write_goldens
+
+
+def main() -> None:
+    target = sys.argv[1] if len(sys.argv) > 1 else None
+    path = write_goldens(target)
+    print(f"regenerated golden corpus at {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ Commands
                 parallel (``--jobs``), persistent (``--store``), resumable
 ``overhead``    the RWP-vs-RRP state budget (paper Table 2)
 ``motivation``  read/write traffic + line-class breakdown for a benchmark
+``verify``      differential conformance: golden corpus check plus fuzzed
+                traces replayed against the independent oracle model
 
 All simulation commands accept ``--llc-lines`` (cache size in 64 B lines)
 and ``--accesses`` / ``--warmup-frac`` to trade fidelity for speed, plus
@@ -321,6 +323,95 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Check the golden corpus, then fan fuzz jobs through the engine."""
+    from repro.engine import ProgressReporter, run_jobs
+    from repro.verify import (
+        Divergence,
+        check_goldens,
+        plan_fuzz_jobs,
+        write_goldens,
+    )
+    from repro.verify.jobs import VERIFY_POLICIES
+
+    if args.regen_goldens:
+        path = write_goldens(args.goldens)
+        print(f"regenerated golden corpus at {path}")
+        return 0
+
+    failures = 0
+
+    if not args.skip_golden:
+        problems = check_goldens(args.goldens)
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            failures += len(problems)
+        elif not args.quiet:
+            print("golden corpus: ok")
+
+    if args.fuzz > 0:
+        policies = (
+            args.policies.split(",") if args.policies else list(VERIFY_POLICIES)
+        )
+        unknown = sorted(set(policies) - set(VERIFY_POLICIES))
+        if unknown:
+            raise KeyError(
+                f"no oracle for policies {unknown}; "
+                f"verifiable: {', '.join(VERIFY_POLICIES)}"
+            )
+        job_list = plan_fuzz_jobs(
+            args.fuzz,
+            policies=policies,
+            base_seed=args.seed,
+            length=args.length,
+        )
+        outcome = run_jobs(
+            job_list,
+            max_workers=args.jobs,
+            store=_store_from(args),
+            timeout=args.timeout,
+            progress=ProgressReporter(len(job_list), enabled=not args.quiet),
+        )
+        divergent = [
+            (job, result)
+            for job, result in outcome.results.items()
+            if not result["ok"]
+        ]
+        for job, result in divergent:
+            data = result["divergence"]
+            divergence = Divergence(
+                policy=data["policy"],
+                index=data["index"],
+                kind=data["kind"],
+                expected=data["expected"],
+                actual=data["actual"],
+                records=[(a, bool(w), p) for a, w, p in data["repro"]],
+            )
+            print(f"\n{job.label}:", file=sys.stderr)
+            print(divergence.describe(), file=sys.stderr)
+        failures += len(divergent)
+        if outcome.stats.failed:
+            failures += outcome.stats.failed
+            print(
+                f"{outcome.stats.failed} fuzz job(s) crashed or timed out",
+                file=sys.stderr,
+            )
+        if not args.quiet:
+            stats = outcome.stats
+            print(
+                f"fuzz: {stats.total} jobs over {len(policies)} policies  "
+                f"divergent: {len(divergent)}  cache_hits: {stats.cache_hits}  "
+                f"wall: {stats.wall_seconds:.1f}s"
+            )
+
+    if failures:
+        print(f"verify: FAILED ({failures} problem(s))", file=sys.stderr)
+        return 1
+    print("verify: ok")
+    return 0
+
+
 def cmd_motivation(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     benches = (
@@ -424,6 +515,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_options(motivation_parser)
 
+    verify_parser = sub.add_parser(
+        "verify",
+        help="differential conformance vs. the oracle model",
+    )
+    verify_parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=60,
+        metavar="N",
+        help="number of fuzz jobs to run (0 = golden check only)",
+    )
+    verify_parser.add_argument(
+        "--policies",
+        "-p",
+        default=None,
+        help="comma-separated policy subset (default: all verifiable)",
+    )
+    verify_parser.add_argument("--seed", type=int, default=2014)
+    verify_parser.add_argument(
+        "--length",
+        type=int,
+        default=1536,
+        metavar="N",
+        help="accesses per fuzz trace",
+    )
+    verify_parser.add_argument(
+        "--skip-golden",
+        action="store_true",
+        help="skip the golden-corpus check",
+    )
+    verify_parser.add_argument(
+        "--regen-goldens",
+        action="store_true",
+        help="regenerate the golden corpus and exit",
+    )
+    verify_parser.add_argument(
+        "--goldens",
+        default=None,
+        metavar="PATH",
+        help="golden corpus file (default: the checked-in one)",
+    )
+    verify_parser.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-job progress"
+    )
+    _add_engine_options(verify_parser, store_by_default=True)
+
     return parser
 
 
@@ -436,6 +573,7 @@ _COMMANDS = {
     "overhead": cmd_overhead,
     "report": cmd_report,
     "motivation": cmd_motivation,
+    "verify": cmd_verify,
 }
 
 
@@ -445,7 +583,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (KeyError, SweepError) as error:
+    except (KeyError, ValueError, OSError, SweepError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,57 @@
+"""Differential conformance harness.
+
+A second, independently written cache model (:mod:`repro.verify.oracle`)
+is replayed in lockstep with the production
+:class:`~repro.cache.SetAssociativeCache` over fuzzed traces
+(:mod:`repro.verify.fuzzer`); any behavioral divergence is shrunk to a
+minimal reproducing trace (:mod:`repro.verify.differ`).  A checked-in
+golden corpus (:mod:`repro.verify.golden`) pins end-state digests and
+statistics per policy so silent drift fails loudly.  The ``repro
+verify`` CLI command fans fuzz jobs out through the execution engine.
+"""
+
+from repro.verify.differ import (
+    VERIFY_RWP_EPOCH,
+    Divergence,
+    diff_policy,
+    make_oracle_cache,
+    make_sut_cache,
+    replay,
+    shrink,
+)
+from repro.verify.fuzzer import FUZZ_GEOMETRIES, SCENARIOS, fuzz_trace
+from repro.verify.golden import (
+    GOLDEN_SPECS,
+    check_goldens,
+    compute_goldens,
+    default_goldens_path,
+    load_goldens,
+    write_goldens,
+)
+from repro.verify.jobs import FuzzJob, VERIFY_POLICIES, plan_fuzz_jobs
+from repro.verify.oracle import ORACLE_POLICIES, OracleCache, make_oracle_policy
+
+__all__ = [
+    "Divergence",
+    "FUZZ_GEOMETRIES",
+    "FuzzJob",
+    "GOLDEN_SPECS",
+    "ORACLE_POLICIES",
+    "OracleCache",
+    "SCENARIOS",
+    "VERIFY_POLICIES",
+    "VERIFY_RWP_EPOCH",
+    "check_goldens",
+    "compute_goldens",
+    "default_goldens_path",
+    "diff_policy",
+    "fuzz_trace",
+    "load_goldens",
+    "make_oracle_cache",
+    "make_oracle_policy",
+    "make_sut_cache",
+    "plan_fuzz_jobs",
+    "replay",
+    "shrink",
+    "write_goldens",
+]

@@ -1,0 +1,270 @@
+"""Differential runner: production cache vs. oracle, in lockstep.
+
+``replay`` feeds one trace through a fresh
+:class:`~repro.cache.SetAssociativeCache` and a fresh
+:class:`~repro.verify.oracle.OracleCache` access by access, comparing
+every ``(hit, bypassed, writeback_address)`` outcome, then the final
+per-set ``(tag, dirty)`` contents, the statistics counters, and the
+production model's internal set invariants.  ``diff_policy`` adds
+delta-debugging: a diverging trace is shrunk to a minimal reproducing
+access sequence before being reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policy import ReplacementPolicy, make_policy
+from repro.common.config import CacheConfig
+from repro.trace.access import Trace
+from repro.verify.oracle import OracleCache, make_oracle_policy
+
+#: RWP repartitioning epoch used under verification.  The production
+#: default (25 000 accesses) would never fire inside a short fuzz trace,
+#: so verification runs both models at this much shorter epoch and
+#: exercises the repartitioning logic many times per trace.
+VERIFY_RWP_EPOCH = 512
+
+#: one trace record: (address, is_write, pc)
+AccessRecord = Tuple[int, bool, int]
+
+#: counter names compared between the two models at end of trace.
+COMPARED_STATS = (
+    "read_hits",
+    "read_misses",
+    "write_hits",
+    "write_misses",
+    "writebacks",
+    "bypasses",
+    "evictions",
+    "dirty_evictions",
+    "evicted_read_only",
+    "evicted_write_only",
+    "evicted_read_write",
+)
+
+
+@dataclass
+class Divergence:
+    """One behavioral difference between the fast model and the oracle."""
+
+    policy: str
+    index: int  # access index of the first mismatch; -1 = end-of-trace
+    kind: str  # "hit" | "bypassed" | "writeback" | "state" | "invariant"
+    #: or a statistic name
+    expected: object  # what the oracle says
+    actual: object  # what the production model did
+    records: List[AccessRecord] = field(default_factory=list)
+
+    def describe(self) -> str:
+        where = (
+            f"access #{self.index}" if self.index >= 0 else "end of trace"
+        )
+        lines = [
+            f"policy {self.policy!r} diverged at {where}: "
+            f"{self.kind} -- oracle says {self.expected!r}, "
+            f"model says {self.actual!r}",
+        ]
+        if self.records:
+            lines.append(f"repro ({len(self.records)} accesses):")
+            for i, (address, is_write, pc) in enumerate(self.records):
+                op = "W" if is_write else "R"
+                lines.append(f"  [{i:3d}] {op} 0x{address:x} pc=0x{pc:x}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "index": self.index,
+            "kind": self.kind,
+            "expected": repr(self.expected),
+            "actual": repr(self.actual),
+            "repro": [[a, int(w), p] for a, w, p in self.records],
+        }
+
+
+def make_sut_policy(name: str) -> ReplacementPolicy:
+    """The production policy under verification, by registry name."""
+    if name == "rwp":
+        from repro.core.rwp import RWPPolicy
+
+        return RWPPolicy(epoch=VERIFY_RWP_EPOCH)
+    return make_policy(name)
+
+
+def make_sut_cache(policy: str, config: CacheConfig) -> SetAssociativeCache:
+    """A fresh production cache for one verification run."""
+    return SetAssociativeCache(config, make_sut_policy(policy))
+
+
+def make_oracle_cache(policy: str, config: CacheConfig) -> OracleCache:
+    """A fresh oracle cache mirroring ``make_sut_cache``'s construction."""
+    if policy == "rwp":
+        oracle_policy = make_oracle_policy("rwp", epoch=VERIFY_RWP_EPOCH)
+    else:
+        oracle_policy = make_oracle_policy(policy)
+    return OracleCache(
+        config.num_sets, config.ways, oracle_policy, config.line_size
+    )
+
+
+SutFactory = Callable[[CacheConfig], SetAssociativeCache]
+
+
+def _sut_state(sut: SetAssociativeCache) -> List[List[Tuple[int, bool]]]:
+    return [
+        sorted((line.tag, bool(line.dirty)) for line in s.lines if line.valid)
+        for s in sut.sets
+    ]
+
+
+def _check_invariants(sut: SetAssociativeCache, policy: str) -> Optional[Divergence]:
+    """Internal consistency of the production model's bookkeeping."""
+    for index, cache_set in enumerate(sut.sets):
+        valid = sum(1 for line in cache_set.lines if line.valid)
+        if cache_set.filled != valid or len(cache_set.lookup) != valid:
+            return Divergence(
+                policy,
+                -1,
+                "invariant",
+                expected=f"set {index}: filled==lookup=={valid}",
+                actual=(
+                    f"set {index}: filled={cache_set.filled} "
+                    f"lookup={len(cache_set.lookup)} valid={valid}"
+                ),
+            )
+    return None
+
+
+def replay(
+    policy: str,
+    trace: "Trace | Sequence[AccessRecord]",
+    config: CacheConfig,
+    sut_factory: Optional[SutFactory] = None,
+) -> Optional[Divergence]:
+    """Replay one trace through both models; ``None`` means conformant."""
+    if isinstance(trace, Trace):
+        records: List[AccessRecord] = [
+            (address, bool(is_write), pc)
+            for address, is_write, pc, _gap in trace
+        ]
+    else:
+        records = list(trace)
+    sut = (
+        sut_factory(config) if sut_factory is not None
+        else make_sut_cache(policy, config)
+    )
+    oracle = make_oracle_cache(policy, config)
+
+    for index, (address, is_write, pc) in enumerate(records):
+        got = sut.access(address, is_write, pc)
+        want = oracle.access(address, is_write, pc)
+        if got != want:
+            for position, kind in enumerate(("hit", "bypassed", "writeback")):
+                if got[position] != want[position]:
+                    return Divergence(
+                        policy, index, kind,
+                        expected=want[position], actual=got[position],
+                    )
+
+    oracle_state = oracle.set_contents()
+    sut_state = _sut_state(sut)
+    if sut_state != oracle_state:
+        for index, (ours, theirs) in enumerate(zip(sut_state, oracle_state)):
+            if ours != theirs:
+                return Divergence(
+                    policy, -1, "state",
+                    expected=f"set {index}: {theirs}",
+                    actual=f"set {index}: {ours}",
+                )
+
+    oracle_stats = oracle.stats()
+    for name in COMPARED_STATS:
+        if getattr(sut, name) != oracle_stats[name]:
+            return Divergence(
+                policy, -1, name,
+                expected=oracle_stats[name], actual=getattr(sut, name),
+            )
+
+    return _check_invariants(sut, policy)
+
+
+def shrink(
+    policy: str,
+    records: Sequence[AccessRecord],
+    config: CacheConfig,
+    sut_factory: Optional[SutFactory] = None,
+) -> Tuple[List[AccessRecord], Divergence]:
+    """Delta-debug a diverging trace down to a minimal reproducer.
+
+    Truncates to the failing prefix, then removes chunks (halving the
+    chunk size down to single accesses) while *some* divergence -- not
+    necessarily the original one -- persists.  Returns the minimal
+    record list and the divergence it produces, with ``records``
+    attached.
+    """
+    records = list(records)
+
+    def probe(candidate: List[AccessRecord]) -> Optional[Divergence]:
+        if not candidate:
+            return None
+        return replay(policy, candidate, config, sut_factory)
+
+    def truncated(
+        candidate: List[AccessRecord], found: Divergence
+    ) -> List[AccessRecord]:
+        # Everything after the first mismatching access is irrelevant.
+        if 0 <= found.index < len(candidate) - 1:
+            return candidate[: found.index + 1]
+        return candidate
+
+    divergence = probe(records)
+    if divergence is None:
+        raise ValueError("shrink() called on a trace that does not diverge")
+    records = truncated(records, divergence)
+
+    chunk = max(1, len(records) // 2)
+    while True:
+        removed_any = False
+        start = 0
+        while start < len(records):
+            candidate = records[:start] + records[start + chunk:]
+            found = probe(candidate)
+            if found is not None:
+                records = truncated(candidate, found)
+                divergence = found
+                removed_any = True
+            else:
+                start += chunk
+        if chunk == 1:
+            if not removed_any:
+                break
+        else:
+            chunk = max(1, chunk // 2)
+
+    final = probe(records)
+    final.records = records
+    return records, final
+
+
+def diff_policy(
+    policy: str,
+    trace: "Trace | Sequence[AccessRecord]",
+    config: CacheConfig,
+    sut_factory: Optional[SutFactory] = None,
+) -> Optional[Divergence]:
+    """Replay and, on divergence, return a *shrunken* reproducer."""
+    if isinstance(trace, Trace):
+        records = [
+            (address, bool(is_write), pc)
+            for address, is_write, pc, _gap in trace
+        ]
+    else:
+        records = list(trace)
+    divergence = replay(policy, records, config, sut_factory)
+    if divergence is None:
+        return None
+    _, shrunk = shrink(policy, records, config, sut_factory)
+    return shrunk

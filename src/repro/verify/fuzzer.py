@@ -1,0 +1,211 @@
+"""Coverage-biased trace fuzzer for the conformance harness.
+
+Uniform random traces barely tickle the interesting machinery: victims
+are rarely contested, dirty evictions are rare, the bypass path never
+trains.  Each scenario here biases generation toward one corner of the
+cache core's state space:
+
+``conflict``      a handful of hot sets with slightly more live tags
+                  than ways -- constant victim pressure, deep recency
+                  ties, RRIP aging sweeps
+``dirty_storm``   alternating write floods and read sweeps over
+                  overlapping regions -- dirty-eviction storms,
+                  writeback addresses, clean/dirty partition churn
+``bypass_pc``     write-only streams, read-once streams, and a hot
+                  read-write loop, each from its own small PC pool --
+                  trains RRP into bypassing and SHiP into distant
+                  insertion, then checks the recovery throttle
+``phase_shift``   the working set and write ratio jump every phase --
+                  set-dueling reversals and RWP repartitioning
+``mixed``         everything above, interleaved per access
+
+Generation is deterministic: the stream is derived from
+``(seed, scenario, geometry, length)`` through
+:func:`repro.common.rng.split_rng`, so a fuzz job is fully described by
+its parameters and any divergence replays exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.rng import split_rng
+from repro.trace.access import Trace
+
+LINE = 64
+
+#: scenario names, in the order the CLI round-robins them.
+SCENARIOS = ("conflict", "dirty_storm", "bypass_pc", "phase_shift", "mixed")
+
+#: (num_sets, ways) menu for fuzz jobs.  Small sets keep conflict
+#: pressure high; the 128-set entry is the only one large enough to give
+#: DIP/DRRIP follower sets (with <= 64 sets every set is a duel leader).
+FUZZ_GEOMETRIES: Tuple[Tuple[int, int], ...] = (
+    (8, 2),
+    (16, 4),
+    (16, 8),
+    (32, 4),
+    (64, 8),
+    (128, 4),
+)
+
+
+def _address(set_index: int, tag: int, num_sets: int) -> int:
+    return (tag * num_sets + set_index) * LINE
+
+
+def _pc_pool(rng, size: int) -> List[int]:
+    return [int(pc) * 4 for pc in rng.integers(1, 1 << 20, size=size)]
+
+
+def _conflict(rng, num_sets: int, ways: int, length: int):
+    hot_sets = rng.choice(
+        num_sets, size=int(rng.integers(1, min(4, num_sets) + 1)), replace=False
+    )
+    tags = int(ways + 1 + rng.integers(0, ways + 1))
+    pcs = _pc_pool(rng, 8)
+    write_chance = float(rng.uniform(0.1, 0.5))
+    for _ in range(length):
+        set_index = int(rng.choice(hot_sets))
+        # Square the draw to bias toward low tags: a skewed popularity
+        # keeps some lines hot (contested) instead of pure round-robin.
+        tag = int(rng.uniform(0.0, 1.0) ** 2 * tags)
+        yield (
+            _address(set_index, tag, num_sets),
+            bool(rng.uniform() < write_chance),
+            pcs[tag % len(pcs)],
+        )
+
+
+def _dirty_storm(rng, num_sets: int, ways: int, length: int):
+    pcs = _pc_pool(rng, 4)
+    # Oversubscribe capacity so both the write flood and the read sweep
+    # are forced to evict each other's (dirty) lines continuously.
+    region_lines = max(2, int(num_sets * ways * float(rng.uniform(1.25, 2.5))))
+    burst = max(8, int(rng.integers(2 * ways, 6 * ways + 1)))
+    produced = 0
+    while produced < length:
+        # Write flood over the region...
+        for _ in range(min(burst, length - produced)):
+            block = int(rng.integers(0, region_lines))
+            yield (block * LINE, True, pcs[0])
+            produced += 1
+        if produced >= length:
+            return
+        # ...then a read sweep over the same region, so reads must evict
+        # dirty lines (writebacks) and re-clean the sets.
+        offset = int(rng.integers(0, region_lines))
+        for step in range(min(burst, length - produced)):
+            block = (offset + step) % region_lines
+            yield (block * LINE, bool(rng.uniform() < 0.1), pcs[1 + step % 3])
+            produced += 1
+
+
+def _bypass_pc(rng, num_sets: int, ways: int, length: int):
+    write_pcs = _pc_pool(rng, 3)  # write-only streams: never read back
+    stream_pcs = _pc_pool(rng, 3)  # read-once streams: no reuse
+    loop_pcs = _pc_pool(rng, 2)  # hot loop: genuine reuse
+    loop_lines = max(2, int(num_sets * ways * float(rng.uniform(0.3, 0.9))))
+    write_cursor = 10_000_000
+    stream_cursor = 20_000_000
+    for _ in range(length):
+        roll = rng.uniform()
+        if roll < 0.35:
+            write_cursor += 1
+            yield (write_cursor * LINE, True, write_pcs[write_cursor % 3])
+        elif roll < 0.6:
+            stream_cursor += 1
+            yield (stream_cursor * LINE, False, stream_pcs[stream_cursor % 3])
+        else:
+            block = int(rng.integers(0, loop_lines))
+            yield (block * LINE, bool(rng.uniform() < 0.3), loop_pcs[block % 2])
+
+
+def _phase_shift(rng, num_sets: int, ways: int, length: int):
+    phases = int(rng.integers(2, 5))
+    capacity = num_sets * ways
+    produced = 0
+    for phase in range(phases):
+        remaining = length - produced
+        span = remaining if phase == phases - 1 else max(1, length // phases)
+        span = min(span, remaining)
+        base = int(rng.integers(0, 8)) * capacity
+        ws_lines = max(2, int(capacity * float(rng.uniform(0.4, 2.0))))
+        write_chance = float(rng.uniform(0.0, 0.6))
+        pcs = _pc_pool(rng, 4)
+        stride = int(rng.choice([1, 1, 2, 3]))
+        cursor = 0
+        for _ in range(span):
+            if rng.uniform() < 0.8:  # mostly a strided loop...
+                cursor = (cursor + stride) % ws_lines
+                block = base + cursor
+            else:  # ...with random pokes inside the working set
+                block = base + int(rng.integers(0, ws_lines))
+            yield (
+                block * LINE,
+                bool(rng.uniform() < write_chance),
+                pcs[block % 4],
+            )
+            produced += 1
+
+
+def _mixed(rng, num_sets: int, ways: int, length: int):
+    makers = (_conflict, _dirty_storm, _bypass_pc, _phase_shift)
+    # Interleave short slices of every scenario, in a random order.
+    slices = []
+    for maker in makers:
+        slices.append(list(maker(rng, num_sets, ways, max(8, length // 4))))
+    order = rng.permutation(len(slices))
+    produced = 0
+    step = max(4, length // 32)
+    cursors = [0] * len(slices)
+    while produced < length:
+        advanced = False
+        for which in order:
+            source = slices[int(which)]
+            cursor = cursors[int(which)]
+            take = source[cursor : cursor + step]
+            cursors[int(which)] = cursor + len(take)
+            for record in take:
+                if produced >= length:
+                    return
+                yield record
+                produced += 1
+            advanced = advanced or bool(take)
+        if not advanced:  # every slice exhausted early: top up uniformly
+            block = int(rng.integers(0, 4 * num_sets * ways))
+            yield (block * LINE, bool(rng.uniform() < 0.3), 4)
+            produced += 1
+
+
+_MAKERS = {
+    "conflict": _conflict,
+    "dirty_storm": _dirty_storm,
+    "bypass_pc": _bypass_pc,
+    "phase_shift": _phase_shift,
+    "mixed": _mixed,
+}
+
+
+def fuzz_trace(
+    scenario: str,
+    seed: int,
+    num_sets: int,
+    ways: int,
+    length: int,
+) -> Trace:
+    """A deterministic coverage-biased trace for one fuzz job."""
+    try:
+        maker = _MAKERS[scenario]
+    except KeyError:
+        raise KeyError(
+            f"unknown fuzz scenario {scenario!r}; known: {sorted(_MAKERS)}"
+        ) from None
+    rng = split_rng(seed, f"verify:{scenario}:{num_sets}x{ways}:{length}")
+    records = list(maker(rng, num_sets, ways, length))
+    return Trace(
+        [address for address, _, _ in records],
+        [is_write for _, is_write, _ in records],
+        [pc for _, _, pc in records],
+        name=f"fuzz-{scenario}-s{seed}-{num_sets}x{ways}",
+    )

@@ -1,0 +1,201 @@
+"""Golden conformance corpus: pinned digests of cache behavior.
+
+For every covered policy and a fixed menu of fuzz traces
+(:data:`GOLDEN_SPECS`), the corpus records the production model's full
+statistics and a digest of its final set contents.  The corpus is
+checked into the repository (``goldens.json`` next to this module) and
+re-checked by the tier-1 suite and CI, so *any* behavioral drift in the
+cache core or a policy -- intended or not -- fails loudly with a message
+naming the policy, the trace, and the first diverging statistic.
+
+Intentional changes regenerate the corpus::
+
+    python -m repro verify --regen-goldens
+    # or: python scripts/regen_goldens.py
+
+and the regenerated file is reviewed like any other source change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.common.config import CacheConfig
+from repro.verify.differ import COMPARED_STATS, make_sut_cache
+from repro.verify.fuzzer import fuzz_trace
+from repro.verify.jobs import VERIFY_POLICIES
+
+#: corpus format version; bump when the record layout changes.
+GOLDEN_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GoldenSpec:
+    """One fixed trace of the corpus."""
+
+    name: str
+    scenario: str
+    seed: int
+    num_sets: int
+    ways: int
+    length: int
+
+    def config(self) -> CacheConfig:
+        return CacheConfig(
+            size=self.num_sets * self.ways * 64, ways=self.ways, name="golden"
+        )
+
+    def trace(self):
+        return fuzz_trace(
+            self.scenario, self.seed, self.num_sets, self.ways, self.length
+        )
+
+
+#: the corpus menu: every scenario represented, two geometries, fixed
+#: seeds.  Kept small enough that the tier-1 golden check stays fast.
+GOLDEN_SPECS = (
+    GoldenSpec("conflict_16x4", "conflict", 1101, 16, 4, 2048),
+    GoldenSpec("dirty_storm_16x8", "dirty_storm", 2202, 16, 8, 2048),
+    GoldenSpec("bypass_pc_32x4", "bypass_pc", 3303, 32, 4, 2048),
+    GoldenSpec("phase_shift_128x4", "phase_shift", 4404, 128, 4, 2048),
+    GoldenSpec("mixed_16x4", "mixed", 5505, 16, 4, 2048),
+)
+
+
+def default_goldens_path() -> Path:
+    """The checked-in corpus file, next to this module."""
+    return Path(__file__).resolve().parent / "goldens.json"
+
+
+def _state_digest(sut) -> str:
+    """SHA-256 over the canonical final (set -> sorted (tag, dirty))."""
+    state = [
+        sorted([line.tag, bool(line.dirty)] for line in s.lines if line.valid)
+        for s in sut.sets
+    ]
+    blob = json.dumps(state, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def golden_record(policy: str, spec: GoldenSpec) -> Dict[str, object]:
+    """Run one (policy, trace) cell and summarize the outcome."""
+    sut = make_sut_cache(policy, spec.config())
+    for address, is_write, pc, _gap in spec.trace():
+        sut.access(address, is_write, pc)
+    stats = {name: getattr(sut, name) for name in COMPARED_STATS}
+    return {"state_digest": _state_digest(sut), "stats": stats}
+
+
+def compute_goldens(policies=VERIFY_POLICIES) -> Dict[str, object]:
+    """The full corpus: {policy: {trace_name: record}} plus metadata."""
+    corpus: Dict[str, object] = {
+        "version": GOLDEN_VERSION,
+        "traces": {
+            spec.name: {
+                "scenario": spec.scenario,
+                "seed": spec.seed,
+                "num_sets": spec.num_sets,
+                "ways": spec.ways,
+                "length": spec.length,
+            }
+            for spec in GOLDEN_SPECS
+        },
+        "policies": {
+            policy: {
+                spec.name: golden_record(policy, spec)
+                for spec in GOLDEN_SPECS
+            }
+            for policy in policies
+        },
+    }
+    return corpus
+
+
+def write_goldens(path: "Path | str | None" = None) -> Path:
+    """Regenerate the corpus file (pretty-printed for reviewable diffs)."""
+    path = Path(path) if path is not None else default_goldens_path()
+    corpus = compute_goldens()
+    path.write_text(json.dumps(corpus, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_goldens(path: "Path | str | None" = None) -> Dict[str, object]:
+    path = Path(path) if path is not None else default_goldens_path()
+    return json.loads(path.read_text())
+
+
+def check_goldens(path: "Path | str | None" = None) -> List[str]:
+    """Compare current behavior against the corpus; [] means clean.
+
+    Each returned message is self-contained and actionable: it names the
+    policy, the trace, and the first diverging statistic (or the state
+    digest), with both values and the regeneration command.
+    """
+    try:
+        corpus = load_goldens(path)
+    except FileNotFoundError:
+        return [
+            "golden corpus not found: run `python -m repro verify "
+            "--regen-goldens` to create it"
+        ]
+    if corpus.get("version") != GOLDEN_VERSION:
+        return [
+            f"golden corpus version {corpus.get('version')!r} != "
+            f"{GOLDEN_VERSION}: regenerate with `python -m repro verify "
+            "--regen-goldens`"
+        ]
+    problems: List[str] = []
+    recorded_policies: Dict[str, Dict] = corpus.get("policies", {})
+    for policy in VERIFY_POLICIES:
+        recorded_traces = recorded_policies.get(policy)
+        if recorded_traces is None:
+            problems.append(
+                f"policy {policy!r} missing from the golden corpus: "
+                "regenerate with `python -m repro verify --regen-goldens`"
+            )
+            continue
+        for spec in GOLDEN_SPECS:
+            recorded = recorded_traces.get(spec.name)
+            if recorded is None:
+                problems.append(
+                    f"policy {policy!r} has no golden for trace "
+                    f"{spec.name!r}: regenerate with `python -m repro "
+                    "verify --regen-goldens`"
+                )
+                continue
+            problem = _compare_record(policy, spec, recorded)
+            if problem is not None:
+                problems.append(problem)
+    return problems
+
+
+def _compare_record(
+    policy: str, spec: GoldenSpec, recorded: Dict[str, object]
+) -> Optional[str]:
+    current = golden_record(policy, spec)
+    recorded_stats: Dict[str, object] = recorded.get("stats", {})
+    for name in COMPARED_STATS:
+        want = recorded_stats.get(name)
+        got = current["stats"][name]
+        if got != want:
+            return (
+                f"golden drift: policy {policy!r} on trace {spec.name!r}: "
+                f"first diverging stat {name!r} (golden {want}, current "
+                f"{got}).  If this change is intentional, regenerate with "
+                "`python -m repro verify --regen-goldens` and review the "
+                "diff; otherwise the cache core or this policy regressed."
+            )
+    if current["state_digest"] != recorded.get("state_digest"):
+        return (
+            f"golden drift: policy {policy!r} on trace {spec.name!r}: "
+            f"stats match but the final set-state digest differs (golden "
+            f"{recorded.get('state_digest')}, current "
+            f"{current['state_digest']}).  Lines ended up in different "
+            "places; regenerate with `python -m repro verify "
+            "--regen-goldens` if intentional."
+        )
+    return None

@@ -1,0 +1,695 @@
+"""The reference oracle: a dumb-but-obviously-correct cache model.
+
+This module is an *independent* re-derivation of the simulated system's
+specification -- the set-associative write-back cache with write-allocate
+fills, plus the twelve replacement policies the conformance suite
+covers.  It deliberately shares **no code** with
+:mod:`repro.cache.cache` or the policy zoo: every mechanism (recency
+tracking, set dueling, the RWP shadow sampler, the PC predictors, the
+inline LCG coin) is re-implemented here from its published description,
+in the most straightforward way available.  Where the production model
+uses bit tricks, slot dictionaries, and resolved hook pointers, the
+oracle uses plain division, linear scans, and dictionaries of lists.
+
+The contract being checked (see ``docs/VERIFY.md``):
+
+* ``access(address, is_write, pc)`` returns ``(hit, bypassed,
+  writeback_address_or_minus_1)`` with exactly the production model's
+  semantics: write-allocate fills, policy-driven victims, writebacks
+  only for dirty victims.
+* Fills claim the lowest-numbered empty way; victims are chosen among
+  the set's ways in way order (ties in any policy metric resolve to the
+  lowest way, matching the production scan order).
+* Randomized policies (BIP, BRRIP, DRRIP, RRP's retrain throttle,
+  Random) draw from the same documented LCG stream (Numerical Recipes
+  ``ranqd1`` constants, seed XORed with the golden ratio), consumed in
+  the same decision order, so runs are bit-for-bit comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# shared primitive state
+# ---------------------------------------------------------------------------
+
+
+class OracleCoin:
+    """The documented 32-bit LCG coin (Numerical Recipes ``ranqd1``).
+
+    Re-implemented here (not imported) so the oracle's stochastic
+    policies depend only on the *specified* stream, not on the
+    production helper class.
+    """
+
+    def __init__(self, seed: int = 2014) -> None:
+        self.value = (seed ^ 0x9E3779B9) % (1 << 32)
+
+    def draw(self) -> int:
+        self.value = (self.value * 1664525 + 1013904223) % (1 << 32)
+        return self.value
+
+    def one_in(self, n: int) -> bool:
+        return self.draw() % n == 0
+
+
+class OracleWay:
+    """One way of one set, as a plain record of named fields."""
+
+    def __init__(self) -> None:
+        self.present = False
+        self.tag: Optional[int] = None
+        self.dirty = False
+        self.age = 0  # recency stamp (LRU-family policies)
+        self.ref = 0  # NRU reference bit / RRIP RRPV
+        self.sig = 0  # predictor signature (SHiP / RRP)
+        self.uses = 0  # LFU frequency / SHiP+RRP "reused since fill" flag
+        self.was_read = False
+        self.was_written = False
+
+    def fill(self, tag: int, is_write: bool) -> None:
+        """Claim this way for a new line; every policy field starts at 0."""
+        self.present = True
+        self.tag = tag
+        self.dirty = is_write
+        self.age = 0
+        self.ref = 0
+        self.sig = 0
+        self.uses = 0
+        self.was_read = not is_write
+        self.was_written = is_write
+
+
+def _signature(pc: int, entries: int) -> int:
+    """The documented PC folding: drop 2 bits, Fibonacci-hash, mask."""
+    return ((pc // 4) * 2654435761) % entries
+
+
+def _oldest(ways: List[OracleWay]) -> OracleWay:
+    """Lowest-age way, lowest way index on ties (production scan order)."""
+    victim = ways[0]
+    for way in ways[1:]:
+        if way.age < victim.age:
+            victim = way
+    return victim
+
+
+def _lru_position_age(ways: List[OracleWay]) -> int:
+    """An age strictly older than every way's (empty ways count as 0)."""
+    return min(way.age for way in ways) - 1
+
+
+# ---------------------------------------------------------------------------
+# set dueling, re-derived
+# ---------------------------------------------------------------------------
+
+
+class OracleDuel:
+    """Leader-set arbitration between two teams (A and B).
+
+    Within every constituency of ``num_sets / leaders`` sets, offset 0
+    leads team A and offset 1 leads team B; the 10-bit PSEL counter
+    starts at its midpoint, counts leader misses (A-leader miss pushes
+    up, B-leader miss pushes down), and followers take team B while the
+    counter sits at or above the midpoint.
+    """
+
+    def __init__(self, num_sets: int, leaders: int = 32, bits: int = 10) -> None:
+        team_leaders = max(1, min(leaders, num_sets // 2))
+        self.period = max(2, num_sets // team_leaders)
+        self.top = (1 << bits) - 1
+        self.mid = (self.top + 1) // 2
+        self.psel = self.mid
+
+    def leader_of(self, set_index: int) -> Optional[str]:
+        offset = set_index % self.period
+        if offset == 0:
+            return "A"
+        if offset == 1:
+            return "B"
+        return None
+
+    def count_miss(self, set_index: int) -> None:
+        leader = self.leader_of(set_index)
+        if leader == "A" and self.psel < self.top:
+            self.psel += 1
+        elif leader == "B" and self.psel > 0:
+            self.psel -= 1
+
+    def plays_team_b(self, set_index: int) -> bool:
+        leader = self.leader_of(set_index)
+        if leader is not None:
+            return leader == "B"
+        return self.psel >= self.mid
+
+
+# ---------------------------------------------------------------------------
+# the twelve oracle policies
+# ---------------------------------------------------------------------------
+
+
+class OraclePolicy:
+    """Interface the oracle cache drives; hooks default to no-ops."""
+
+    observes = False  # wants see_access() before every lookup
+    may_bypass = False  # wants refuses_fill() on misses
+
+    def prepare(self, num_sets: int, num_ways: int) -> None:
+        """Learn the geometry before the first access."""
+
+    def see_access(self, set_index: int, tag: int, is_write: bool, pc: int) -> None:
+        raise NotImplementedError
+
+    def refuses_fill(self, set_index: int, tag: int, is_write: bool, pc: int) -> bool:
+        raise NotImplementedError
+
+    def choose_victim(
+        self, ways: List[OracleWay], set_index: int, is_write: bool, pc: int
+    ) -> OracleWay:
+        raise NotImplementedError
+
+    def note_fill(
+        self, ways: List[OracleWay], way: OracleWay, set_index: int,
+        is_write: bool, pc: int,
+    ) -> None:
+        pass
+
+    def note_hit(
+        self, ways: List[OracleWay], way: OracleWay, set_index: int,
+        is_write: bool, pc: int,
+    ) -> None:
+        pass
+
+    def note_eviction(self, way: OracleWay, set_index: int) -> None:
+        pass
+
+
+class OracleLRU(OraclePolicy):
+    """Textbook LRU: a global event counter stamps fills and hits."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def choose_victim(self, ways, set_index, is_write, pc):
+        return _oldest(ways)
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        way.age = self.now
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        way.age = self.now
+
+
+class OracleBIP(OracleLRU):
+    """Bimodal insertion: LRU-position fills, 1-in-epsilon at MRU."""
+
+    def __init__(self, seed: int = 2014, epsilon: int = 32) -> None:
+        super().__init__()
+        self.coin = OracleCoin(seed)
+        self.epsilon = epsilon
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        if self.coin.one_in(self.epsilon):
+            self.now += 1
+            way.age = self.now
+        else:
+            way.age = _lru_position_age(ways)
+
+
+class OracleDIP(OracleLRU):
+    """DIP: set-duel LRU (team A) against BIP (team B).
+
+    The coin is consulted only when the set actually plays BIP, matching
+    the production model's decision order.
+    """
+
+    def __init__(self, seed: int = 2014, epsilon: int = 32) -> None:
+        super().__init__()
+        self.coin = OracleCoin(seed)
+        self.epsilon = epsilon
+        self.duel: Optional[OracleDuel] = None
+
+    def prepare(self, num_sets, num_ways):
+        self.duel = OracleDuel(num_sets)
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        self.duel.count_miss(set_index)
+        plays_lru = not self.duel.plays_team_b(set_index)
+        if plays_lru or self.coin.one_in(self.epsilon):
+            self.now += 1
+            way.age = self.now
+        else:
+            way.age = _lru_position_age(ways)
+
+
+class OracleNRU(OraclePolicy):
+    """One reference bit per way; first clear way (in way order) goes."""
+
+    def choose_victim(self, ways, set_index, is_write, pc):
+        for way in ways:
+            if way.ref == 0:
+                return way
+        for way in ways:
+            way.ref = 0
+        return ways[0]
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        way.ref = 1
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        way.ref = 1
+
+
+class OracleLFU(OraclePolicy):
+    """Least-frequently-used, frequency capped at 255, LRU tie-break."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def choose_victim(self, ways, set_index, is_write, pc):
+        victim = ways[0]
+        for way in ways[1:]:
+            if (way.uses, way.age) < (victim.uses, victim.age):
+                victim = way
+        return victim
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        way.uses = 1
+        way.age = self.now
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        if way.uses < 255:
+            way.uses += 1
+        way.age = self.now
+
+
+def _rrip_choose(ways: List[OracleWay]) -> OracleWay:
+    """First way (in way order) at distant RRPV, aging all until found."""
+    while True:
+        for way in ways:
+            if way.ref >= 3:
+                return way
+        for way in ways:
+            way.ref += 1
+
+
+class OracleSRRIP(OraclePolicy):
+    """Static RRIP with 2-bit RRPVs: insert long (2), promote to 0."""
+
+    def choose_victim(self, ways, set_index, is_write, pc):
+        return _rrip_choose(ways)
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        way.ref = 2
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        way.ref = 0
+
+
+class OracleBRRIP(OracleSRRIP):
+    """Bimodal RRIP: insert distant (3) with a rare long (2)."""
+
+    def __init__(self, seed: int = 2014, epsilon: int = 32) -> None:
+        self.coin = OracleCoin(seed)
+        self.epsilon = epsilon
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        way.ref = 2 if self.coin.one_in(self.epsilon) else 3
+
+
+class OracleDRRIP(OracleSRRIP):
+    """DRRIP: set-duel SRRIP (team A) against BRRIP (team B)."""
+
+    def __init__(self, seed: int = 2014, epsilon: int = 32) -> None:
+        self.coin = OracleCoin(seed)
+        self.epsilon = epsilon
+        self.duel: Optional[OracleDuel] = None
+
+    def prepare(self, num_sets, num_ways):
+        self.duel = OracleDuel(num_sets)
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        self.duel.count_miss(set_index)
+        if self.duel.plays_team_b(set_index):
+            way.ref = 2 if self.coin.one_in(self.epsilon) else 3
+        else:
+            way.ref = 2
+
+
+class OracleSHiP(OracleSRRIP):
+    """SHiP-PC: a PC-signature table predicts reuse at fill time.
+
+    3-bit counters over 16 K entries, initialized weakly positive (4);
+    a zero counter means fills from that PC are inserted distant.
+    """
+
+    def __init__(self, entries: int = 16 * 1024) -> None:
+        self.entries = entries
+        self.table = {}  # sparse: absent means the initial value 4
+
+    def _counter(self, sig: int) -> int:
+        return self.table.get(sig, 4)
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        sig = _signature(pc, self.entries)
+        way.sig = sig
+        way.uses = 0
+        way.ref = 2 if self._counter(sig) > 0 else 3
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        way.ref = 0
+        if way.uses == 0:
+            way.uses = 1
+            if self._counter(way.sig) < 7:
+                self.table[way.sig] = self._counter(way.sig) + 1
+
+    def note_eviction(self, way, set_index):
+        if way.uses == 0 and self._counter(way.sig) > 0:
+            self.table[way.sig] = self._counter(way.sig) - 1
+
+
+class OracleRRP(OracleLRU):
+    """Read-Reference Predictor over an LRU backbone.
+
+    Write misses whose PC is predicted read-dead are bypassed (with a
+    1-in-64 sacrificial fill so the signature stays trainable); read
+    fills predicted read-dead park at the LRU position.  Only a line's
+    *first read* renews recency/trains positive; writes to a line that
+    has served no read leave its recency untouched.
+    """
+
+    may_bypass = True
+
+    def __init__(self, entries: int = 16 * 1024, seed: int = 2014) -> None:
+        super().__init__()
+        self.entries = entries
+        self.table = {}  # sparse: absent means the initial value 4
+        self.coin = OracleCoin(seed)
+
+    def _counter(self, sig: int) -> int:
+        return self.table.get(sig, 4)
+
+    def _predicts_read(self, pc: int) -> bool:
+        return self._counter(_signature(pc, self.entries)) > 0
+
+    def refuses_fill(self, set_index, tag, is_write, pc):
+        if not is_write:
+            return False
+        if self._predicts_read(pc):
+            return False
+        if self.coin.one_in(64):
+            return False  # sacrificial fill
+        return True
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        way.sig = _signature(pc, self.entries)
+        way.uses = 0
+        self.now += 1
+        if not is_write and not self._predicts_read(pc):
+            way.age = _lru_position_age(ways)
+        else:
+            way.age = self.now
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        if is_write and way.uses == 0:
+            return
+        way.age = self.now
+        if not is_write and way.uses == 0:
+            way.uses = 1
+            if self._counter(way.sig) < 7:
+                self.table[way.sig] = self._counter(way.sig) + 1
+
+    def note_eviction(self, way, set_index):
+        if way.uses == 0 and self._counter(way.sig) > 0:
+            self.table[way.sig] = self._counter(way.sig) - 1
+
+
+class OracleRWP(OraclePolicy):
+    """Read-Write Partitioning: dynamic clean/dirty way split.
+
+    A shadow sampler (two MRU tag stacks per sampled set, as deep as the
+    associativity) histograms read hits by stack depth and partition;
+    every ``epoch`` accesses the split moves to the read-hit-maximizing
+    way count, with 2% hysteresis and halving decay.  Replacement evicts
+    the LRU line of whichever partition is over its target (the incoming
+    line's own partition when both are at target).
+    """
+
+    observes = True
+
+    def __init__(self, epoch: int = 25_000, hysteresis: float = 0.02) -> None:
+        self.now = 0
+        self.epoch = epoch
+        self.hysteresis = hysteresis
+        self.accesses = 0
+        self.num_ways = 0
+        self.sampling = 1
+        self.target_clean = 0
+        self.clean_hits: List[int] = []
+        self.dirty_hits: List[int] = []
+        self.shadow: Dict[int, Tuple[List[int], List[int]]] = {}
+
+    def prepare(self, num_sets, num_ways):
+        self.num_ways = num_ways
+        # ~64 shadowed sets at any size, matching the stated budget.
+        self.sampling = min(max(1, num_sets // 64), num_sets)
+        self.target_clean = num_ways // 2
+        self.clean_hits = [0] * num_ways
+        self.dirty_hits = [0] * num_ways
+
+    # -- the shadow sampler ------------------------------------------------
+    def _shadow_observe(self, set_index: int, tag: int, is_write: bool) -> None:
+        clean, dirty = self.shadow.setdefault(set_index, ([], []))
+        if tag in clean:
+            depth = clean.index(tag)
+            clean.remove(tag)
+            if is_write:
+                dirty.insert(0, tag)
+                del dirty[self.num_ways:]
+            else:
+                self.clean_hits[depth] += 1
+                clean.insert(0, tag)
+            return
+        if tag in dirty:
+            depth = dirty.index(tag)
+            if not is_write:
+                self.dirty_hits[depth] += 1
+            dirty.remove(tag)
+            dirty.insert(0, tag)
+            return
+        stack = dirty if is_write else clean
+        stack.insert(0, tag)
+        del stack[self.num_ways:]
+
+    def see_access(self, set_index, tag, is_write, pc):
+        if set_index % self.sampling == 0:
+            self._shadow_observe(set_index, tag, is_write)
+        self.accesses += 1
+        if self.accesses % self.epoch == 0:
+            self._repartition()
+
+    def _repartition(self) -> None:
+        # Utility of giving c ways to clean lines: read hits the first c
+        # clean depths plus the first (ways - c) dirty depths produced.
+        best_c, best_utility, best_distance = 0, -1, 0
+        utilities = []
+        for c in range(self.num_ways + 1):
+            utility = sum(self.clean_hits[:c]) + sum(
+                self.dirty_hits[: self.num_ways - c]
+            )
+            utilities.append(utility)
+            distance = abs(c - self.target_clean)
+            if utility > best_utility or (
+                utility == best_utility and distance < best_distance
+            ):
+                best_c, best_utility, best_distance = c, utility, distance
+        keep_threshold = utilities[self.target_clean] * (1.0 + self.hysteresis)
+        if not (best_utility <= keep_threshold and best_c != self.target_clean):
+            self.target_clean = best_c
+        self.clean_hits = [h // 2 for h in self.clean_hits]
+        self.dirty_hits = [h // 2 for h in self.dirty_hits]
+
+    # -- replacement -------------------------------------------------------
+    def choose_victim(self, ways, set_index, is_write, pc):
+        target_dirty = self.num_ways - self.target_clean
+        dirty_ways = [w for w in ways if w.dirty]
+        clean_ways = [w for w in ways if not w.dirty]
+        if len(dirty_ways) > target_dirty:
+            from_dirty = True
+        elif len(dirty_ways) < target_dirty:
+            from_dirty = False
+        else:
+            from_dirty = is_write
+        pool = dirty_ways if from_dirty else clean_ways
+        if not pool:
+            pool = clean_ways if from_dirty else dirty_ways
+        return _oldest(pool)
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        way.age = self.now
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        way.age = self.now
+
+
+class OracleRandom(OraclePolicy):
+    """Uniform random way from the documented LCG stream."""
+
+    def __init__(self, seed: int = 2014) -> None:
+        self.coin = OracleCoin(seed)
+
+    def choose_victim(self, ways, set_index, is_write, pc):
+        return ways[self.coin.draw() % len(ways)]
+
+
+#: the policies the conformance harness covers, by registry name.
+ORACLE_POLICIES: Dict[str, Callable[[], OraclePolicy]] = {
+    "lru": OracleLRU,
+    "bip": OracleBIP,
+    "dip": OracleDIP,
+    "nru": OracleNRU,
+    "lfu": OracleLFU,
+    "srrip": OracleSRRIP,
+    "brrip": OracleBRRIP,
+    "drrip": OracleDRRIP,
+    "ship": OracleSHiP,
+    "rrp": OracleRRP,
+    "rwp": OracleRWP,
+    "random": OracleRandom,
+}
+
+
+def make_oracle_policy(name: str, **kwargs) -> OraclePolicy:
+    """Instantiate an oracle policy by its registry name."""
+    try:
+        factory = ORACLE_POLICIES[name]
+    except KeyError:
+        raise KeyError(
+            f"no oracle for policy {name!r}; covered: {sorted(ORACLE_POLICIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the oracle cache itself
+# ---------------------------------------------------------------------------
+
+
+class OracleCache:
+    """A set-associative write-back cache, written for clarity only.
+
+    Addresses are decomposed with plain integer division -- no masks, no
+    shifts: ``block = address // line_size``, ``set = block % num_sets``,
+    ``tag = block // num_sets``.  Fills claim the lowest empty way;
+    victims come from the policy.  A write miss allocates a dirty line
+    (write-allocate) unless the policy refuses the fill (bypass).
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_ways: int,
+        policy: OraclePolicy,
+        line_size: int = 64,
+    ) -> None:
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        self.line_size = line_size
+        self.policy = policy
+        self.sets: List[List[OracleWay]] = [
+            [OracleWay() for _ in range(num_ways)] for _ in range(num_sets)
+        ]
+        self.counters: Dict[str, int] = {
+            "read_hits": 0,
+            "read_misses": 0,
+            "write_hits": 0,
+            "write_misses": 0,
+            "writebacks": 0,
+            "bypasses": 0,
+            "evictions": 0,
+            "dirty_evictions": 0,
+            "evicted_read_only": 0,
+            "evicted_write_only": 0,
+            "evicted_read_write": 0,
+        }
+        policy.prepare(num_sets, num_ways)
+
+    def access(self, address: int, is_write: bool, pc: int = 0):
+        """One demand access: ``(hit, bypassed, writeback_addr | -1)``."""
+        block = address // self.line_size
+        set_index = block % self.num_sets
+        tag = block // self.num_sets
+        ways = self.sets[set_index]
+        policy = self.policy
+        count = self.counters
+
+        if policy.observes:
+            policy.see_access(set_index, tag, is_write, pc)
+
+        for way in ways:
+            if way.present and way.tag == tag:
+                if is_write:
+                    count["write_hits"] += 1
+                    way.dirty = True
+                    way.was_written = True
+                else:
+                    count["read_hits"] += 1
+                    way.was_read = True
+                policy.note_hit(ways, way, set_index, is_write, pc)
+                return (True, False, -1)
+
+        if is_write:
+            count["write_misses"] += 1
+        else:
+            count["read_misses"] += 1
+
+        if policy.may_bypass and policy.refuses_fill(set_index, tag, is_write, pc):
+            count["bypasses"] += 1
+            return (False, True, -1)
+
+        writeback = -1
+        way = None
+        for candidate in ways:
+            if not candidate.present:
+                way = candidate
+                break
+        if way is None:
+            way = policy.choose_victim(ways, set_index, is_write, pc)
+            policy.note_eviction(way, set_index)
+            count["evictions"] += 1
+            if way.dirty:
+                count["dirty_evictions"] += 1
+            if way.was_read and way.was_written:
+                count["evicted_read_write"] += 1
+            elif way.was_read:
+                count["evicted_read_only"] += 1
+            else:
+                count["evicted_write_only"] += 1
+            if way.dirty:
+                count["writebacks"] += 1
+                writeback = (way.tag * self.num_sets + set_index) * self.line_size
+
+        way.fill(tag, is_write)
+        policy.note_fill(ways, way, set_index, is_write, pc)
+        return (False, False, writeback)
+
+    # -- inspection --------------------------------------------------------
+    def set_contents(self) -> List[List[Tuple[int, bool]]]:
+        """Per set: sorted ``(tag, dirty)`` pairs for every present way."""
+        return [
+            sorted(
+                (way.tag, way.dirty) for way in ways if way.present
+            )
+            for ways in self.sets
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        return dict(self.counters)

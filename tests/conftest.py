@@ -1,12 +1,49 @@
-"""Shared fixtures: small cache geometries and deterministic traces."""
+"""Shared fixtures: small cache geometries and deterministic traces.
+
+Also the test-run policy knobs:
+
+- Hypothesis profiles: ``ci`` (no deadline, modest example count) is the
+  default; ``REPRO_DEEP_TESTS=1`` switches to ``deep`` (many more
+  examples) for nightly/thorough runs.
+- Tests marked ``slow`` or ``fuzz`` are skipped in tier-1 runs unless
+  ``REPRO_DEEP_TESTS=1`` is set or the marker is selected explicitly
+  with ``-m``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.common.config import CacheConfig, HierarchyConfig, default_hierarchy
 from repro.trace.access import Trace
 from repro.trace.generator import KernelSpec, WorkloadModel
+
+DEEP = os.environ.get("REPRO_DEEP_TESTS") == "1"
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile("ci", deadline=None, max_examples=50)
+    settings.register_profile("deep", deadline=None, max_examples=400)
+    settings.load_profile("deep" if DEEP else "ci")
+except ImportError:  # pragma: no cover - hypothesis is a dev extra
+    pass
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``slow``/``fuzz`` tests in tier-1 unless explicitly requested."""
+    if DEEP:
+        return
+    selected = config.getoption("markexpr", default="") or ""
+    skip = pytest.mark.skip(
+        reason="deep test: set REPRO_DEEP_TESTS=1 or select with -m"
+    )
+    for item in items:
+        for marker in ("slow", "fuzz"):
+            if marker in item.keywords and marker not in selected:
+                item.add_marker(skip)
 
 
 @pytest.fixture

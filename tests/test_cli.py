@@ -67,6 +67,30 @@ class TestCommands:
         assert main(["run", "quake3", *FAST]) == 2
 
 
+class TestErrorExitCodes:
+    def test_unknown_policy_exits_2(self, capsys):
+        assert main(["run", "micro_fit", "-p", "nosuch", *FAST]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_policy_in_compare_exits_2(self, capsys):
+        assert main(["compare", "micro_fit", "-p", "lru,nosuch", *FAST]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_pointing_at_file_exits_2(self, capsys, tmp_path):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        args = ["run", "micro_fit", "-p", "lru", *FAST, "--store", str(bogus)]
+        assert main(args) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_verify_unknown_policy_exits_2(self, capsys):
+        args = ["verify", "--fuzz", "2", "--policies", "lru,nosuch",
+                "--no-store", "--skip-golden", "-q"]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert "no oracle" in err and "nosuch" in err
+
+
 class TestSweepCommand:
     SWEEP = [
         "sweep",

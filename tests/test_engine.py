@@ -188,6 +188,35 @@ class TestJournal:
             handle.write('{"key": "k2", "status": "o')  # crash mid-write
         assert journal.completed_keys() == {"k1"}
 
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        journal = RunJournal(tmp_path / "never-written.jsonl")
+        assert journal.entries() == []
+        assert journal.completed_keys() == set()
+
+    def test_empty_file_reads_as_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.touch()  # crash before the first append flushed anything
+        journal = RunJournal(path)
+        assert journal.entries() == []
+        assert journal.completed_keys() == set()
+
+    def test_entirely_corrupt_journal_reads_as_empty(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("not json\n[1, 2]\n{\"status\": \"ok\"}\n")
+        journal = RunJournal(path)  # valid JSON but no "key" also skipped
+        assert journal.entries() == []
+        assert journal.completed_keys() == set()
+
+    def test_append_after_torn_line_still_recovers(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        with journal.path.parent.joinpath("j.jsonl").open("w") as handle:
+            handle.write('{"key": "k1", "status"')  # torn, no newline
+        journal.append("k2", "a/rwp", "ok", 0.1)
+        # The torn line swallows k2's record (they share a physical line),
+        # but the journal stays parseable and the next append is intact.
+        journal.append("k3", "a/lru", "hit", 0.0)
+        assert journal.completed_keys() == {"k3"}
+
     def test_resume_after_interrupt(self, tmp_path):
         """A sweep killed partway through picks up where it left off."""
         store = ResultStore(tmp_path)

@@ -1,0 +1,61 @@
+"""Unit tests for the plain-text table helpers."""
+
+import pytest
+
+from repro.experiments.tables import bar, format_percent, format_table
+
+
+class TestFormatTable:
+    def test_floats_render_to_three_decimals(self):
+        out = format_table(["policy", "ipc"], [["lru", 1.23456]])
+        assert "1.235" in out
+        assert "1.23456" not in out
+
+    def test_columns_are_aligned(self):
+        out = format_table(
+            ["name", "x"], [["a", 1.0], ["longer_name", 123456.0]]
+        )
+        lines = out.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+        # Right-justified: the short name is padded on the left.
+        assert lines[-2].startswith(" ")
+
+    def test_title_and_rule(self):
+        out = format_table(["h"], [["v"]], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_no_title_starts_with_headers(self):
+        out = format_table(["alpha", "beta"], [])
+        assert out.splitlines()[0].strip().startswith("alpha")
+
+    def test_ragged_row_is_rejected(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_non_float_cells_pass_through_str(self):
+        out = format_table(["n"], [[42], [None]])
+        assert "42" in out and "None" in out
+
+
+class TestFormatPercent:
+    def test_speedup_above_one_is_positive(self):
+        assert format_percent(1.063) == "+6.3%"
+
+    def test_slowdown_is_negative(self):
+        assert format_percent(0.95) == "-5.0%"
+
+    def test_unity_is_plus_zero(self):
+        assert format_percent(1.0) == "+0.0%"
+
+
+class TestBar:
+    def test_midpoint_is_half_scale(self):
+        assert bar(1.0, scale=40.0, maximum=2.0) == "#" * 20
+
+    def test_clamped_at_maximum(self):
+        assert bar(99.0, scale=40.0, maximum=2.0) == "#" * 40
+
+    def test_negative_clamped_to_empty(self):
+        assert bar(-1.0) == ""
