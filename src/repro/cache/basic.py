@@ -7,34 +7,40 @@ and the policy-zoo examples.
 from __future__ import annotations
 
 from repro.cache.line import CacheLine
-from repro.cache.policy import ReplacementPolicy, register_policy
+from repro.cache.policy import (
+    RecencyStampMixin,
+    ReplacementPolicy,
+    register_policy,
+)
 from repro.common.rng import CheapLCG
 
 
-class LRUPolicy(ReplacementPolicy):
+class LRUPolicy(RecencyStampMixin, ReplacementPolicy):
     """True least-recently-used via per-line timestamps."""
+
+    # ABI v2: pure recency -- never bypasses, never trains on evictions.
+    # Hit/fill stamping comes from RecencyStampMixin (inlinable), and
+    # the victim scan is declared inlinable too.
+    bypasses = False
+    trains_on_evict = False
+    victim_is_min_stamp = True
 
     def __init__(self) -> None:
         super().__init__()
         self._clock = 0
 
     def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
-        lines = cache_set.lines
-        best = lines[0]
-        best_stamp = best.stamp
-        for line in lines:
-            if line.stamp < best_stamp:
+        # First line with the smallest stamp.  A bytecode scan beats
+        # ``min(lines, key=attrgetter("stamp"))`` here: the attrgetter
+        # call per element costs more than the loop it saves.
+        best = None
+        best_stamp = 0
+        for line in cache_set.lines:
+            stamp = line.stamp
+            if best is None or stamp < best_stamp:
                 best = line
-                best_stamp = line.stamp
+                best_stamp = stamp
         return best
-
-    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
-        self._clock += 1
-        line.stamp = self._clock
-
-    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
-        self._clock += 1
-        line.stamp = self._clock
 
 
 class MRUInsertLRUPolicy(LRUPolicy):
@@ -50,6 +56,9 @@ class MRUInsertLRUPolicy(LRUPolicy):
 
 class RandomPolicy(ReplacementPolicy):
     """Uniform random victim (deterministic seeded stream)."""
+
+    bypasses = False
+    trains_on_evict = False
 
     def __init__(self, seed: int = 2014) -> None:
         super().__init__()
@@ -68,6 +77,9 @@ class NRUPolicy(ReplacementPolicy):
     the just-used convention is not needed because the upcoming fill sets
     its own bit).
     """
+
+    bypasses = False
+    trains_on_evict = False
 
     def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
         lines = cache_set.lines
@@ -91,6 +103,9 @@ class LFUPolicy(ReplacementPolicy):
     Frequency lives in ``line.outcome`` (saturating at 255 so a formerly
     hot line cannot become immortal); recency in ``line.stamp``.
     """
+
+    bypasses = False
+    trains_on_evict = False
 
     _FREQ_CAP = 255
 

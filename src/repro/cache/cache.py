@@ -9,10 +9,26 @@ read/write line-class accounting the paper's motivation figures need).
 Writes model the write-allocate path of an LLC receiving writebacks from
 the level above: a write hit dirties the line, a write miss allocates a
 dirty line (unless the policy bypasses it, modeling write-no-allocate).
+
+The access pipeline has three layers (see ``docs/ARCHITECTURE.md``):
+
+1. the decode layer (:mod:`repro.trace.decode`) splits addresses into
+   ``(set_index, tag)`` once per trace x geometry;
+2. this core either replays decoded accesses in bulk through
+   :meth:`SetAssociativeCache.run_trace` (the hot path: hoisted
+   attribute lookups, inlined hit handling, optionally fused timing) or
+   one at a time through :meth:`SetAssociativeCache.access`;
+3. the policy's ABI v2 :class:`~repro.cache.policy.DispatchPlan` tells
+   the core which hooks exist, so no-op hooks are never called.
+
+Both drivers share the cold paths (:meth:`_miss_path` / :meth:`_evict`)
+and are held bit-identical by the differential harness and the batch
+equivalence property tests.
 """
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Dict, Iterator, List, Tuple
 
 from repro.cache.line import CacheLine
@@ -22,22 +38,84 @@ from repro.common.config import CacheConfig
 #: access() return type: (hit, bypassed, writeback_address_or_minus_1)
 AccessOutcome = Tuple[bool, bool, int]
 
+#: batch-driver chunk size: big enough to amortize slicing, small enough
+#: that the four stream slices stay cache- and memory-friendly.
+RUN_TRACE_CHUNK = 1 << 16
+
 
 class CacheSet:
-    """One set: fixed ways plus a tag->line index for O(1) lookup."""
+    """One set: fixed ways plus a tag->line index for O(1) lookup.
 
-    __slots__ = ("lines", "lookup", "filled")
+    ``dirty_lines`` is maintained by the cache core at every dirty-state
+    transition (fill, first write hit, eviction, invalidation), so
+    partition-aware policies (RWP) can split a set without rescanning it.
+    """
+
+    __slots__ = ("lines", "lookup", "filled", "dirty_lines")
 
     def __init__(self, ways: int) -> None:
         self.lines: List[CacheLine] = [CacheLine() for _ in range(ways)]
         self.lookup: Dict[int, CacheLine] = {}
         self.filled = 0
+        self.dirty_lines = 0
 
     def valid_lines(self) -> List[CacheLine]:
         return [line for line in self.lines if line.valid]
 
     def dirty_count(self) -> int:
         return sum(1 for line in self.lines if line.valid and line.dirty)
+
+
+class CacheStats:
+    """All demand/prefetch counters for one cache, as one mutable struct.
+
+    Shared by the scalar and batch drivers, ``snapshot()`` and
+    ``reset()``, so the counter list exists in exactly one place.
+    """
+
+    __slots__ = (
+        "read_hits",
+        "read_misses",
+        "write_hits",
+        "write_misses",
+        "writebacks",
+        "bypasses",
+        "evictions",
+        "dirty_evictions",
+        "invalidations",
+        "evicted_read_only",
+        "evicted_write_only",
+        "evicted_read_write",
+        "prefetch_fills",
+        "prefetch_useful",
+        "prefetch_unused_evictions",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.read_hits = 0
+        self.read_misses = 0
+        self.write_hits = 0
+        self.write_misses = 0
+        self.writebacks = 0
+        self.bypasses = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+        self.invalidations = 0
+        # Line-class accounting at eviction (motivation figures F1/F2).
+        self.evicted_read_only = 0
+        self.evicted_write_only = 0
+        self.evicted_read_write = 0
+        # Prefetch statistics.
+        self.prefetch_fills = 0
+        self.prefetch_useful = 0
+        self.prefetch_unused_evictions = 0
+
+    def snapshot(self, prefix: str) -> Dict[str, int]:
+        """All counters as a flat dict keyed ``{prefix}.{counter}``."""
+        return {f"{prefix}.{name}": getattr(self, name) for name in self.__slots__}
 
 
 class SetAssociativeCache:
@@ -49,79 +127,122 @@ class SetAssociativeCache:
         self.sets = [CacheSet(config.ways) for _ in range(config.num_sets)]
         self.ways = config.ways
         self.tick = 0
+        self.stats = CacheStats()
 
         self._offset_bits = config.offset_bits
         self._index_mask = config.num_sets - 1
         self._index_bits = config.index_bits
         self._tag_shift = config.offset_bits + config.index_bits
 
-        # Resolve optional hooks once so the hot loop never calls no-ops.
-        self._policy_bypasses = (
-            type(policy).should_bypass is not ReplacementPolicy.should_bypass
-        )
-        self._policy_observes = policy.needs_observe
         #: optional callback(address, was_dirty) fired on every eviction;
         #: used by inclusive hierarchies for back-invalidation.
         self.eviction_listener = None
+        #: True once any prefetch was installed; lets the batch driver
+        #: skip the per-hit ``line.prefetched`` check for demand-only runs.
+        self._prefetch_active = False
 
-        # Demand statistics.
-        self.read_hits = 0
-        self.read_misses = 0
-        self.write_hits = 0
-        self.write_misses = 0
-        self.writebacks = 0
-        self.bypasses = 0
-        self.evictions = 0
-        self.dirty_evictions = 0
-        # Line-class accounting at eviction (motivation figures F1/F2).
-        self.evicted_read_only = 0
-        self.evicted_write_only = 0
-        self.evicted_read_write = 0
-        # Prefetch statistics.
-        self.prefetch_fills = 0
-        self.prefetch_useful = 0
-        self.prefetch_unused_evictions = 0
-
+        # ABI v2: the policy declares its capabilities after attach and
+        # the resolved plan is unpacked into per-hook attributes, so the
+        # drivers dispatch through pre-bound methods (None = hook unused).
         policy.attach(self)
+        plan = policy.dispatch_plan()
+        self.plan = plan
+        self._observe = plan.observe
+        self._on_sample = plan.on_sample
+        self._sample_stride = plan.sample_stride
+        self._on_epoch = plan.on_epoch
+        self._epoch_period = plan.epoch_period
+        self._epoch_left = plan.epoch_period
+        self._should_bypass = plan.should_bypass
+        self._victim = plan.victim
+        self._on_fill = plan.on_fill
+        self._on_hit = plan.on_hit
+        self._on_evict = plan.on_evict
+        self._needs_pc = plan.needs_pc
+        self._pre_active = (
+            plan.observe is not None
+            or plan.sample_stride > 0
+            or plan.epoch_period > 0
+        )
 
     # -- the hot path ----------------------------------------------------
     def access(
         self, address: int, is_write: bool, pc: int = 0, core: int = 0
     ) -> AccessOutcome:
         """One demand access; returns (hit, bypassed, writeback_addr|-1)."""
-        self.tick += 1
-        set_index = (address >> self._offset_bits) & self._index_mask
-        tag = address >> self._tag_shift
-        policy = self.policy
+        return self._access_decoded(
+            (address >> self._offset_bits) & self._index_mask,
+            address >> self._tag_shift,
+            is_write,
+            pc,
+            core,
+        )
 
-        if self._policy_observes:
-            policy.observe(set_index, tag, is_write, pc, core)
+    def _access_decoded(
+        self, set_index: int, tag: int, is_write: bool, pc: int, core: int
+    ) -> AccessOutcome:
+        """One demand access with the decode already done."""
+        self.tick += 1
+        if self._pre_active:
+            self._pre_observe(set_index, tag, is_write, pc, core)
 
         cache_set = self.sets[set_index]
         line = cache_set.lookup.get(tag)
         if line is not None:
+            stats = self.stats
             if line.prefetched:
-                self.prefetch_useful += 1
+                stats.prefetch_useful += 1
                 line.prefetched = False
             if is_write:
-                self.write_hits += 1
+                stats.write_hits += 1
+                if not line.dirty:
+                    cache_set.dirty_lines += 1
                 line.dirty = True
                 line.write_seen = True
             else:
-                self.read_hits += 1
+                stats.read_hits += 1
                 line.read_seen = True
-            policy.on_hit(cache_set, line, set_index, is_write, pc, core)
+            if self._on_hit is not None:
+                self._on_hit(cache_set, line, set_index, is_write, pc, core)
             return (True, False, -1)
+        return self._miss_path(cache_set, set_index, tag, is_write, pc, core)
 
+    def _pre_observe(
+        self, set_index: int, tag: int, is_write: bool, pc: int, core: int
+    ) -> None:
+        """Pre-lookup policy notification: full, sampled, and/or epoch."""
+        if self._observe is not None:
+            self._observe(set_index, tag, is_write, pc, core)
+            return
+        stride = self._sample_stride
+        if stride and not set_index % stride:
+            self._on_sample(set_index, tag, is_write, pc, core)
+        if self._epoch_period:
+            self._epoch_left -= 1
+            if not self._epoch_left:
+                self._epoch_left = self._epoch_period
+                self._on_epoch()
+
+    def _miss_path(
+        self,
+        cache_set: CacheSet,
+        set_index: int,
+        tag: int,
+        is_write: bool,
+        pc: int,
+        core: int,
+    ) -> AccessOutcome:
+        """Cold path shared by both drivers: account, bypass, fill/evict."""
+        stats = self.stats
         if is_write:
-            self.write_misses += 1
+            stats.write_misses += 1
         else:
-            self.read_misses += 1
+            stats.read_misses += 1
 
-        if self._policy_bypasses and policy.should_bypass(
+        if self._should_bypass is not None and self._should_bypass(
             set_index, tag, is_write, pc, core
         ):
-            self.bypasses += 1
+            stats.bypasses += 1
             return (False, True, -1)
 
         writeback_addr = -1
@@ -129,24 +250,674 @@ class SetAssociativeCache:
             line = next(l for l in cache_set.lines if not l.valid)
             cache_set.filled += 1
         else:
-            line = policy.victim(cache_set, set_index, is_write, pc, core)
-            policy.on_evict(line, set_index)
-            self._account_eviction(line)
-            del cache_set.lookup[line.tag]
-            if line.dirty or self.eviction_listener is not None:
-                victim_addr = (
-                    (line.tag << self._index_bits) | set_index
-                ) << self._offset_bits
-                if line.dirty:
-                    self.writebacks += 1
-                    writeback_addr = victim_addr
-                if self.eviction_listener is not None:
-                    self.eviction_listener(victim_addr, line.dirty)
+            line, writeback_addr = self._evict(
+                cache_set, set_index, is_write, pc, core
+            )
 
-        line.reset_for_fill(tag, is_write, pc, core)
+        line.reset_for_fill(tag, is_write, core)
+        if is_write:
+            cache_set.dirty_lines += 1
         cache_set.lookup[tag] = line
-        policy.on_fill(cache_set, line, set_index, is_write, pc, core)
+        if self._on_fill is not None:
+            self._on_fill(cache_set, line, set_index, is_write, pc, core)
         return (False, False, writeback_addr)
+
+    def _evict(
+        self,
+        cache_set: CacheSet,
+        set_index: int,
+        is_write: bool,
+        pc: int,
+        core: int,
+    ) -> Tuple[CacheLine, int]:
+        """Evict one line from a full set; returns (line, writeback|-1).
+
+        The single eviction path for demand misses and prefetch fills:
+        policy victim choice, training notification, class accounting,
+        writeback bookkeeping, and the hierarchy's eviction listener.
+        """
+        line = self._victim(cache_set, set_index, is_write, pc, core)
+        if self._on_evict is not None:
+            self._on_evict(line, set_index)
+        self._account_eviction(line)
+        if line.dirty:
+            cache_set.dirty_lines -= 1
+        del cache_set.lookup[line.tag]
+        writeback_addr = -1
+        if line.dirty or self.eviction_listener is not None:
+            victim_addr = (
+                (line.tag << self._index_bits) | set_index
+            ) << self._offset_bits
+            if line.dirty:
+                self.stats.writebacks += 1
+                writeback_addr = victim_addr
+            if self.eviction_listener is not None:
+                self.eviction_listener(victim_addr, line.dirty)
+        return line, writeback_addr
+
+    # -- the batch driver -------------------------------------------------
+    def run_trace(
+        self,
+        decoded,
+        start: int = 0,
+        stop: int | None = None,
+        *,
+        timing=None,
+        core: int = 0,
+        step=None,
+    ) -> int:
+        """Replay decoded accesses ``[start, stop)``; returns the count run.
+
+        ``decoded`` is a :class:`~repro.trace.decode.DecodedTrace` for
+        this cache's geometry (see ``Trace.decoded(config)``).  Produces
+        bit-identical state, statistics, and timing to calling
+        :meth:`access` in a loop; the speedup comes from hoisting
+        attribute lookups and hook checks out of the loop and inlining
+        the hit fast path.
+
+        ``timing``: optional :class:`~repro.cpu.timing.TimingModel`
+        advanced exactly as :class:`~repro.cpu.core.LLCRunner` does per
+        access (instruction gap, read hit/miss stalls, write-buffer
+        pressure for bypassed writes and writebacks).
+
+        ``step``: optional callback ``step(i, hit, bypassed, wb)`` run
+        after every access; returning truthy aborts the replay (the
+        differential harness uses this for lockstep comparison).  The
+        callback must not mutate this cache.
+
+        During a (non-``step``) batch replay the statistics counters,
+        ``tick``, and a recency-stamped policy's clock live in loop
+        locals and are flushed on return -- policy hooks fired mid-run
+        (``on_epoch`` and friends) must not read them from the cache.
+        No shipped policy does; the step path keeps per-access updates.
+        """
+        n = len(decoded.set_indices)
+        if stop is None:
+            stop = n
+        if not 0 <= start <= stop <= n:
+            raise ValueError(
+                f"invalid access range [{start}, {stop}) for {n}-access trace"
+            )
+        if not decoded.matches(self.config):
+            raise ValueError(
+                f"decoded trace geometry {decoded.geometry_key} does not "
+                f"match cache geometry ({self.config.offset_bits}, "
+                f"{self.config.index_bits})"
+            )
+        if step is not None:
+            return self._run_trace_step(decoded, start, stop, timing, core, step)
+        if (
+            timing is not None
+            and self.plan.stamp_policy is not None
+            and self._observe is None
+            and self._should_bypass is None
+            and self._on_evict is None
+            and self.eviction_listener is None
+            and not self._prefetch_active
+            and not self._needs_pc
+        ):
+            return self._run_trace_stamped(decoded, start, stop, timing, core)
+
+        # Hoist every per-access attribute chase into locals.  The miss
+        # path is inlined below with the same operation order as
+        # ``_miss_path``/``_evict`` (the batch-equivalence property tests
+        # and the differential harness pin the two paths together).
+        sets = self.sets
+        lookups = [s.lookup for s in sets]
+        stats = self.stats
+        observe = self._observe
+        on_sample = self._on_sample
+        stride = self._sample_stride
+        period = self._epoch_period
+        pre_active = self._pre_active
+        on_hit = self._on_hit
+        on_fill = self._on_fill
+        # Recency-stamped policies (see RecencyStampMixin): hoist the
+        # policy clock and stamp lines inline instead of calling the
+        # on_hit/on_fill hook pair on every access.
+        stamp = self.plan.stamp_policy
+        stamping = stamp is not None
+        clock = stamp._clock if stamping else 0
+        if stamping:
+            on_hit = None
+            on_fill = None
+        should_bypass = self._should_bypass
+        victim = self._victim
+        on_evict = self._on_evict
+        listener = self.eviction_listener
+        index_bits = self._index_bits
+        offset_bits = self._offset_bits
+        ways = self.ways
+        prefetch_active = self._prefetch_active
+        epoch_left = self._epoch_left
+        read_hits = stats.read_hits
+        write_hits = stats.write_hits
+        prefetch_useful = stats.prefetch_useful
+        read_misses = stats.read_misses
+        write_misses = stats.write_misses
+        bypasses = stats.bypasses
+        evictions = stats.evictions
+        dirty_evictions = stats.dirty_evictions
+        writebacks = stats.writebacks
+        evicted_ro = stats.evicted_read_only
+        evicted_wo = stats.evicted_write_only
+        evicted_rw = stats.evicted_read_write
+        prefetch_unused = stats.prefetch_unused_evictions
+
+        set_stream = decoded.set_indices
+        tag_stream = decoded.tags
+        write_stream = decoded.is_write
+        pc_stream = decoded.pcs if self._needs_pc else None
+        timed = timing is not None
+        if timed:
+            # Per-access cycle costs are precomputed per (trace, CPI) --
+            # same IEEE products the scalar path multiplies out per
+            # access -- and retired instructions are summed at flush.
+            cycle_stream = decoded.cycle_gaps(timing.core.base_cpi)
+            mlp = timing.core.mlp
+            # Same operands as TimingModel.read_hit/read_miss compute per
+            # call, so the hoisted constants are bit-identical floats.
+            hit_stall = timing.llc_hit_latency / mlp
+            miss_stall = timing.memory.latency / mlp
+            cycles = timing.cycles
+            read_stall = timing.read_stall_cycles
+            write_stall = timing.write_stall_cycles
+            # Write-buffer state, hoisted: the loop below inlines
+            # WriteBufferModel.issue (same arithmetic, same order) to
+            # avoid a Python call per writeback.
+            write_buffer = timing.write_buffer
+            wb_completions = write_buffer._completions
+            wb_pop = wb_completions.popleft
+            wb_append = wb_completions.append
+            wb_entries = write_buffer.entries
+            wb_drain = write_buffer.drain_cycles
+            wb_server_free = write_buffer._server_free
+            wb_stall_cycles = write_buffer.stall_cycles
+            wb_writes = write_buffer.total_writes
+        else:
+            cycle_stream = None
+
+        pos = start
+        while pos < stop:
+            end = min(pos + RUN_TRACE_CHUNK, stop)
+            chunk = zip(
+                set_stream[pos:end],
+                tag_stream[pos:end],
+                write_stream[pos:end],
+                pc_stream[pos:end] if pc_stream is not None else repeat(0),
+                cycle_stream[pos:end] if cycle_stream is not None else repeat(0),
+            )
+            pos = end
+            for si, tag, w, pc, cgap in chunk:
+                if timed:
+                    cycles += cgap
+                if pre_active:
+                    if observe is not None:
+                        observe(si, tag, w, pc, core)
+                    else:
+                        if stride and not si % stride:
+                            on_sample(si, tag, w, pc, core)
+                        if period:
+                            epoch_left -= 1
+                            if not epoch_left:
+                                epoch_left = period
+                                self._on_epoch()
+                lookup = lookups[si]
+                line = lookup.get(tag)
+                if line is not None:
+                    if prefetch_active and line.prefetched:
+                        prefetch_useful += 1
+                        line.prefetched = False
+                    if w:
+                        write_hits += 1
+                        if not line.dirty:
+                            sets[si].dirty_lines += 1
+                        line.dirty = True
+                        line.write_seen = True
+                        if stamping:
+                            clock += 1
+                            line.stamp = clock
+                        elif on_hit is not None:
+                            on_hit(sets[si], line, si, w, pc, core)
+                    else:
+                        read_hits += 1
+                        line.read_seen = True
+                        if stamping:
+                            clock += 1
+                            line.stamp = clock
+                        elif on_hit is not None:
+                            on_hit(sets[si], line, si, w, pc, core)
+                        if timed:
+                            read_stall += hit_stall
+                            cycles += hit_stall
+                    continue
+
+                # Miss: same operation order as _miss_path/_evict.
+                if w:
+                    write_misses += 1
+                else:
+                    read_misses += 1
+                if should_bypass is not None and should_bypass(
+                    si, tag, w, pc, core
+                ):
+                    bypasses += 1
+                    if timed:
+                        if w:
+                            # inlined WriteBufferModel.issue(cycles)
+                            while wb_completions and wb_completions[0] <= cycles:
+                                wb_pop()
+                            if len(wb_completions) >= wb_entries:
+                                stall = wb_pop() - cycles
+                                wb_stall_cycles += stall
+                                write_stall += stall
+                                cycles += stall
+                            wb_server_free = (
+                                cycles
+                                if cycles > wb_server_free
+                                else wb_server_free
+                            ) + wb_drain
+                            wb_append(wb_server_free)
+                            wb_writes += 1
+                        else:
+                            read_stall += miss_stall
+                            cycles += miss_stall
+                    continue
+                cache_set = sets[si]
+                wb = -1
+                if cache_set.filled < ways:
+                    for line in cache_set.lines:
+                        if not line.valid:
+                            break
+                    cache_set.filled += 1
+                else:
+                    line = victim(cache_set, si, w, pc, core)
+                    if on_evict is not None:
+                        on_evict(line, si)
+                    evictions += 1
+                    dirty = line.dirty
+                    if dirty:
+                        dirty_evictions += 1
+                        cache_set.dirty_lines -= 1
+                    if line.prefetched:
+                        prefetch_unused += 1
+                    elif line.read_seen:
+                        if line.write_seen:
+                            evicted_rw += 1
+                        else:
+                            evicted_ro += 1
+                    else:
+                        evicted_wo += 1
+                    del lookup[line.tag]
+                    if dirty or listener is not None:
+                        victim_addr = (
+                            (line.tag << index_bits) | si
+                        ) << offset_bits
+                        if dirty:
+                            writebacks += 1
+                            wb = victim_addr
+                        if listener is not None:
+                            listener(victim_addr, dirty)
+                # inlined CacheLine.reset_for_fill(tag, w, core)
+                line.tag = tag
+                line.valid = True
+                line.dirty = w
+                line.stamp = 0
+                line.rrpv = 0
+                line.signature = 0
+                line.outcome = 0
+                line.owner = core
+                line.read_seen = not w
+                line.write_seen = w
+                line.prefetched = False
+                if w:
+                    cache_set.dirty_lines += 1
+                lookup[tag] = line
+                if stamping:
+                    clock += 1
+                    line.stamp = clock
+                elif on_fill is not None:
+                    on_fill(cache_set, line, si, w, pc, core)
+                if timed:
+                    if not w:
+                        read_stall += miss_stall
+                        cycles += miss_stall
+                    if wb >= 0:
+                        # inlined WriteBufferModel.issue(cycles)
+                        while wb_completions and wb_completions[0] <= cycles:
+                            wb_pop()
+                        if len(wb_completions) >= wb_entries:
+                            stall = wb_pop() - cycles
+                            wb_stall_cycles += stall
+                            write_stall += stall
+                            cycles += stall
+                        wb_server_free = (
+                            cycles
+                            if cycles > wb_server_free
+                            else wb_server_free
+                        ) + wb_drain
+                        wb_append(wb_server_free)
+                        wb_writes += 1
+
+        self.tick += stop - start
+        if stamping:
+            stamp._clock = clock
+        stats.read_hits = read_hits
+        stats.write_hits = write_hits
+        stats.prefetch_useful = prefetch_useful
+        stats.read_misses = read_misses
+        stats.write_misses = write_misses
+        stats.bypasses = bypasses
+        stats.evictions = evictions
+        stats.dirty_evictions = dirty_evictions
+        stats.writebacks = writebacks
+        stats.evicted_read_only = evicted_ro
+        stats.evicted_write_only = evicted_wo
+        stats.evicted_read_write = evicted_rw
+        stats.prefetch_unused_evictions = prefetch_unused
+        self._epoch_left = epoch_left
+        if timed:
+            timing.cycles = cycles
+            timing.instructions += decoded.gap_total(start, stop)
+            timing.read_stall_cycles = read_stall
+            timing.write_stall_cycles = write_stall
+            write_buffer._server_free = wb_server_free
+            write_buffer.stall_cycles = wb_stall_cycles
+            write_buffer.total_writes = wb_writes
+        return stop - start
+
+    def _run_trace_stamped(
+        self, decoded, start: int, stop: int, timing, core: int
+    ) -> int:
+        """Batch loop specialized for recency-stamped demand-only replay.
+
+        Taken when the plan proves the common bench/sweep shape: a
+        :class:`~repro.cache.policy.RecencyStampMixin` policy (LRU, RWP)
+        with no full observe, no bypass, no evict training, no eviction
+        listener, no prefetches in flight, and no PC consumers.  Every
+        branch the generic loop re-checks per access is dead here, and
+        the stamp clock and statistics live in locals.
+
+        For ``victim_is_min_stamp`` / ``victim_is_partition_min_stamp``
+        policies the per-set lookup dict is additionally kept in
+        recency (= stamp) order: it is rebuilt stamp-sorted once at
+        entry, every hit moves its line to the dict tail, and every
+        fill inserts at the tail with a fresh maximal stamp.  The LRU
+        line is then always the *first* dict entry, so victim selection
+        is O(1) for LRU and an early-exit partition probe for RWP
+        instead of a full way scan.  Stamps stay authoritative (the
+        scalar path still scans them), and stamps are unique per
+        policy clock, so dict order and stamp order cannot disagree.
+        Operation order matches the generic loop exactly -- the
+        batch-equivalence property tests hold the two together.
+        """
+        sets = self.sets
+        lookups = [s.lookup for s in sets]
+        # Pre-bound dict.get per set: the hit path pays one subscript +
+        # call instead of subscript + attribute load + call.
+        getters = [lookup.get for lookup in lookups]
+        stats = self.stats
+        plan = self.plan
+        stamp = plan.stamp_policy
+        clock = stamp._clock
+        on_sample = self._on_sample
+        stride = self._sample_stride
+        period = self._epoch_period
+        victim = self._victim
+        min_stamp_victim = plan.min_stamp_victim
+        partition_victim = plan.partition_min_stamp_victim
+        reorder = min_stamp_victim or partition_victim
+        if reorder:
+            # Establish the recency-order invariant: rebuild each
+            # set's lookup sorted by stamp (unique per policy clock,
+            # so the order is total).  The loop below maintains it.
+            for i, lookup in enumerate(lookups):
+                if len(lookup) > 1:
+                    ordered = dict(
+                        sorted(lookup.items(), key=lambda kv: kv[1].stamp)
+                    )
+                    sets[i].lookup = ordered
+                    lookups[i] = ordered
+                    getters[i] = ordered.get
+        ways = self.ways
+        index_bits = self._index_bits
+        offset_bits = self._offset_bits
+        epoch_left = self._epoch_left
+        read_hits = stats.read_hits
+        write_hits = stats.write_hits
+        read_misses = stats.read_misses
+        write_misses = stats.write_misses
+        evictions = stats.evictions
+        dirty_evictions = stats.dirty_evictions
+        writebacks = stats.writebacks
+        evicted_ro = stats.evicted_read_only
+        evicted_wo = stats.evicted_write_only
+        evicted_rw = stats.evicted_read_write
+
+        set_stream = decoded.set_indices
+        tag_stream = decoded.tags
+        write_stream = decoded.is_write
+        # Per-access derived quantities that never feed back into the
+        # loop are precomputed (cycle_gaps) or summed at flush time
+        # (gap_total, tick) instead of being accumulated per access.
+        cycle_stream = decoded.cycle_gaps(timing.core.base_cpi)
+        mlp = timing.core.mlp
+        hit_stall = timing.llc_hit_latency / mlp
+        miss_stall = timing.memory.latency / mlp
+        cycles = timing.cycles
+        read_stall = timing.read_stall_cycles
+        write_stall = timing.write_stall_cycles
+        write_buffer = timing.write_buffer
+        wb_completions = write_buffer._completions
+        wb_pop = wb_completions.popleft
+        wb_append = wb_completions.append
+        wb_entries = write_buffer.entries
+        wb_drain = write_buffer.drain_cycles
+        wb_server_free = write_buffer._server_free
+        wb_stall_cycles = write_buffer.stall_cycles
+        wb_writes = write_buffer.total_writes
+
+        pos = start
+        while pos < stop:
+            if pos == 0 and stop == len(set_stream):
+                # Full-range replay: zip the streams directly instead of
+                # paying four list copies per chunk.
+                end = stop
+                chunk = zip(set_stream, tag_stream, write_stream, cycle_stream)
+            else:
+                end = min(pos + RUN_TRACE_CHUNK, stop)
+                chunk = zip(
+                    set_stream[pos:end],
+                    tag_stream[pos:end],
+                    write_stream[pos:end],
+                    cycle_stream[pos:end],
+                )
+            pos = end
+            for si, tag, w, cgap in chunk:
+                cycles += cgap
+                if stride and not si % stride:
+                    on_sample(si, tag, w, 0, core)
+                if period:
+                    epoch_left -= 1
+                    if not epoch_left:
+                        epoch_left = period
+                        self._on_epoch()
+                line = getters[si](tag)
+                if line is not None:
+                    if reorder:
+                        # move-to-end keeps dict order == stamp order
+                        lookup = lookups[si]
+                        del lookup[tag]
+                        lookup[tag] = line
+                    if w:
+                        write_hits += 1
+                        if not line.dirty:
+                            sets[si].dirty_lines += 1
+                        line.dirty = True
+                        line.write_seen = True
+                        clock += 1
+                        line.stamp = clock
+                    else:
+                        read_hits += 1
+                        line.read_seen = True
+                        clock += 1
+                        line.stamp = clock
+                        read_stall += hit_stall
+                        cycles += hit_stall
+                    continue
+
+                # Miss (never bypassed here): fill an invalid way or evict.
+                if w:
+                    write_misses += 1
+                else:
+                    read_misses += 1
+                cache_set = sets[si]
+                lookup = lookups[si]
+                wb = -1
+                if cache_set.filled < ways:
+                    for line in cache_set.lines:
+                        if not line.valid:
+                            break
+                    cache_set.filled += 1
+                else:
+                    if min_stamp_victim:
+                        # recency-ordered dict: the first entry IS the
+                        # LRU (minimal-stamp) line.
+                        line = next(iter(lookup.values()))
+                    elif partition_victim:
+                        # inlined RWP victim (victim_is_partition_min_stamp
+                        # promises this exact selection): partition choice
+                        # from the maintained dirty count, then the first
+                        # dict entry in that partition -- dict order is
+                        # stamp order, so that is the partition's LRU
+                        # line (first entry overall when the chosen
+                        # partition is empty).
+                        dc = cache_set.dirty_lines
+                        td = ways - stamp.target_clean
+                        if dc > td:
+                            evict_dirty = True
+                        elif dc < td:
+                            evict_dirty = False
+                        else:
+                            evict_dirty = w
+                        values = iter(lookup.values())
+                        if evict_dirty:
+                            if not dc:
+                                line = next(values)
+                            else:
+                                for line in values:
+                                    if line.dirty:
+                                        break
+                        elif dc == ways:
+                            line = next(values)
+                        else:
+                            for line in values:
+                                if not line.dirty:
+                                    break
+                    else:
+                        line = victim(cache_set, si, w, 0, core)
+                    evictions += 1
+                    dirty = line.dirty
+                    if dirty:
+                        dirty_evictions += 1
+                        cache_set.dirty_lines -= 1
+                    # No prefetched lines can exist on this path.
+                    if line.read_seen:
+                        if line.write_seen:
+                            evicted_rw += 1
+                        else:
+                            evicted_ro += 1
+                    else:
+                        evicted_wo += 1
+                    del lookup[line.tag]
+                    if dirty:
+                        writebacks += 1
+                        wb = ((line.tag << index_bits) | si) << offset_bits
+                # inlined CacheLine.reset_for_fill + recency stamp
+                line.tag = tag
+                line.valid = True
+                line.dirty = w
+                line.rrpv = 0
+                line.signature = 0
+                line.outcome = 0
+                line.owner = core
+                line.read_seen = not w
+                line.write_seen = w
+                line.prefetched = False
+                if w:
+                    cache_set.dirty_lines += 1
+                clock += 1
+                line.stamp = clock
+                lookup[tag] = line
+                if not w:
+                    read_stall += miss_stall
+                    cycles += miss_stall
+                if wb >= 0:
+                    # inlined WriteBufferModel.issue(cycles)
+                    while wb_completions and wb_completions[0] <= cycles:
+                        wb_pop()
+                    if len(wb_completions) >= wb_entries:
+                        stall = wb_pop() - cycles
+                        wb_stall_cycles += stall
+                        write_stall += stall
+                        cycles += stall
+                    wb_server_free = (
+                        cycles if cycles > wb_server_free else wb_server_free
+                    ) + wb_drain
+                    wb_append(wb_server_free)
+                    wb_writes += 1
+
+        self.tick += stop - start
+        stamp._clock = clock
+        self._epoch_left = epoch_left
+        stats.read_hits = read_hits
+        stats.write_hits = write_hits
+        stats.read_misses = read_misses
+        stats.write_misses = write_misses
+        stats.evictions = evictions
+        stats.dirty_evictions = dirty_evictions
+        stats.writebacks = writebacks
+        stats.evicted_read_only = evicted_ro
+        stats.evicted_write_only = evicted_wo
+        stats.evicted_read_write = evicted_rw
+        timing.cycles = cycles
+        timing.instructions += decoded.gap_total(start, stop)
+        timing.read_stall_cycles = read_stall
+        timing.write_stall_cycles = write_stall
+        write_buffer._server_free = wb_server_free
+        write_buffer.stall_cycles = wb_stall_cycles
+        write_buffer.total_writes = wb_writes
+        return stop - start
+
+    def _run_trace_step(
+        self, decoded, start: int, stop: int, timing, core: int, step
+    ) -> int:
+        """run_trace with a per-access callback (lockstep verification)."""
+        set_stream = decoded.set_indices
+        tag_stream = decoded.tags
+        write_stream = decoded.is_write
+        pc_stream = decoded.pcs
+        gap_stream = decoded.instr_gaps
+        access_decoded = self._access_decoded
+        for i in range(start, stop):
+            is_write = write_stream[i]
+            if timing is not None:
+                timing.advance(gap_stream[i])
+            hit, bypassed, wb = access_decoded(
+                set_stream[i], tag_stream[i], is_write, pc_stream[i], core
+            )
+            if timing is not None:
+                if is_write:
+                    if bypassed:
+                        timing.memory_write()
+                elif hit:
+                    timing.read_hit()
+                else:
+                    timing.read_miss()
+                if wb >= 0:
+                    timing.memory_write()
+            if step(i, hit, bypassed, wb):
+                return i + 1 - start
+        return stop - start
 
     def fill_prefetch(self, address: int, core: int = 0) -> int:
         """Install a prefetched line; returns the writeback address or -1.
@@ -162,29 +933,22 @@ class SetAssociativeCache:
         cache_set = self.sets[set_index]
         if tag in cache_set.lookup:
             return -1
-        policy = self.policy
-        if self._policy_observes:
-            policy.observe(set_index, tag, False, 0, core)
+        if self._pre_active:
+            self._pre_observe(set_index, tag, False, 0, core)
         writeback_addr = -1
         if cache_set.filled < self.ways:
             line = next(l for l in cache_set.lines if not l.valid)
             cache_set.filled += 1
         else:
-            line = policy.victim(cache_set, set_index, False, 0, core)
-            policy.on_evict(line, set_index)
-            self._account_eviction(line)
-            del cache_set.lookup[line.tag]
-            if line.dirty:
-                self.writebacks += 1
-                writeback_addr = (
-                    (line.tag << self._index_bits) | set_index
-                ) << self._offset_bits
-        line.reset_for_fill(tag, False, 0, core)
+            line, writeback_addr = self._evict(cache_set, set_index, False, 0, core)
+        line.reset_for_fill(tag, False, core)
         line.read_seen = False  # a prefetch is not a demand read
         line.prefetched = True
         cache_set.lookup[tag] = line
-        policy.on_fill(cache_set, line, set_index, False, 0, core)
-        self.prefetch_fills += 1
+        if self._on_fill is not None:
+            self._on_fill(cache_set, line, set_index, False, 0, core)
+        self.stats.prefetch_fills += 1
+        self._prefetch_active = True
         return writeback_addr
 
     # -- maintenance operations -------------------------------------------
@@ -195,67 +959,132 @@ class SetAssociativeCache:
         return self.sets[set_index].lookup.get(tag)
 
     def invalidate(self, address: int) -> bool:
-        """Drop a line if present (no writeback); True if it was present."""
+        """Drop a line if present (no writeback); True if it was present.
+
+        The policy sees the line leave through its ``on_evict`` training
+        hook (an invalidation ends a line's life exactly like an
+        eviction does), but the line does not count as an eviction --
+        it counts in the ``invalidations`` stat instead.
+        """
         set_index = (address >> self._offset_bits) & self._index_mask
         tag = address >> self._tag_shift
         cache_set = self.sets[set_index]
         line = cache_set.lookup.get(tag)
         if line is None:
             return False
+        if self._on_evict is not None:
+            self._on_evict(line, set_index)
+        self.stats.invalidations += 1
+        if line.dirty:
+            cache_set.dirty_lines -= 1
         del cache_set.lookup[tag]
         line.invalidate()
         cache_set.filled -= 1
         return True
 
     def _account_eviction(self, line: CacheLine) -> None:
-        self.evictions += 1
+        stats = self.stats
+        stats.evictions += 1
         if line.dirty:
-            self.dirty_evictions += 1
+            stats.dirty_evictions += 1
         if line.prefetched:
             # Fetched but never demanded: pure pollution, tracked apart
             # from the demand line classes.
-            self.prefetch_unused_evictions += 1
+            stats.prefetch_unused_evictions += 1
             return
         if line.read_seen and line.write_seen:
-            self.evicted_read_write += 1
+            stats.evicted_read_write += 1
         elif line.read_seen:
-            self.evicted_read_only += 1
+            stats.evicted_read_only += 1
         else:
-            self.evicted_write_only += 1
+            stats.evicted_write_only += 1
 
     # -- statistics --------------------------------------------------------
     def reset_stats(self) -> None:
         """Zero all counters (typically after warmup)."""
-        self.read_hits = 0
-        self.read_misses = 0
-        self.write_hits = 0
-        self.write_misses = 0
-        self.writebacks = 0
-        self.bypasses = 0
-        self.evictions = 0
-        self.dirty_evictions = 0
-        self.evicted_read_only = 0
-        self.evicted_write_only = 0
-        self.evicted_read_write = 0
-        self.prefetch_fills = 0
-        self.prefetch_useful = 0
-        self.prefetch_unused_evictions = 0
+        self.stats.reset()
+
+    @property
+    def read_hits(self) -> int:
+        return self.stats.read_hits
+
+    @property
+    def read_misses(self) -> int:
+        return self.stats.read_misses
+
+    @property
+    def write_hits(self) -> int:
+        return self.stats.write_hits
+
+    @property
+    def write_misses(self) -> int:
+        return self.stats.write_misses
+
+    @property
+    def writebacks(self) -> int:
+        return self.stats.writebacks
+
+    @property
+    def bypasses(self) -> int:
+        return self.stats.bypasses
+
+    @property
+    def evictions(self) -> int:
+        return self.stats.evictions
+
+    @property
+    def dirty_evictions(self) -> int:
+        return self.stats.dirty_evictions
+
+    @property
+    def invalidations(self) -> int:
+        return self.stats.invalidations
+
+    @property
+    def evicted_read_only(self) -> int:
+        return self.stats.evicted_read_only
+
+    @property
+    def evicted_write_only(self) -> int:
+        return self.stats.evicted_write_only
+
+    @property
+    def evicted_read_write(self) -> int:
+        return self.stats.evicted_read_write
+
+    @property
+    def prefetch_fills(self) -> int:
+        return self.stats.prefetch_fills
+
+    @property
+    def prefetch_useful(self) -> int:
+        return self.stats.prefetch_useful
+
+    @property
+    def prefetch_unused_evictions(self) -> int:
+        return self.stats.prefetch_unused_evictions
 
     @property
     def accesses(self) -> int:
-        return self.read_hits + self.read_misses + self.write_hits + self.write_misses
+        stats = self.stats
+        return (
+            stats.read_hits
+            + stats.read_misses
+            + stats.write_hits
+            + stats.write_misses
+        )
 
     @property
     def misses(self) -> int:
-        return self.read_misses + self.write_misses
+        return self.stats.read_misses + self.stats.write_misses
 
     @property
     def read_accesses(self) -> int:
-        return self.read_hits + self.read_misses
+        return self.stats.read_hits + self.stats.read_misses
 
     def read_miss_rate(self) -> float:
         reads = self.read_accesses
-        return self.read_misses / reads if reads else 0.0
+        return self.stats.read_misses / reads if reads else 0.0
 
     def miss_rate(self) -> float:
         total = self.accesses
@@ -263,23 +1092,7 @@ class SetAssociativeCache:
 
     def snapshot(self) -> Dict[str, int]:
         """All counters as a flat dict keyed by the cache's name."""
-        prefix = self.config.name
-        return {
-            f"{prefix}.read_hits": self.read_hits,
-            f"{prefix}.read_misses": self.read_misses,
-            f"{prefix}.write_hits": self.write_hits,
-            f"{prefix}.write_misses": self.write_misses,
-            f"{prefix}.writebacks": self.writebacks,
-            f"{prefix}.bypasses": self.bypasses,
-            f"{prefix}.evictions": self.evictions,
-            f"{prefix}.dirty_evictions": self.dirty_evictions,
-            f"{prefix}.evicted_read_only": self.evicted_read_only,
-            f"{prefix}.evicted_write_only": self.evicted_write_only,
-            f"{prefix}.evicted_read_write": self.evicted_read_write,
-            f"{prefix}.prefetch_fills": self.prefetch_fills,
-            f"{prefix}.prefetch_useful": self.prefetch_useful,
-            f"{prefix}.prefetch_unused_evictions": self.prefetch_unused_evictions,
-        }
+        return self.stats.snapshot(self.config.name)
 
     # -- introspection ------------------------------------------------------
     def resident_lines(self) -> Iterator[CacheLine]:

@@ -22,7 +22,6 @@ class CacheLine:
     signature    fill signature (SHiP) or predictor index (RRP)
     outcome      per-line flag/counter: reuse bit (SHiP), frequency (LFU)
     owner        core id that filled the line (UCP, TA-DRRIP, shared LLC)
-    fill_pc      program counter of the filling access (RRP training)
     read_seen    line served at least one read (including a read fill)
     write_seen   line absorbed at least one write (including a write fill)
     prefetched   line was filled by a prefetch and not yet demand-hit
@@ -37,7 +36,6 @@ class CacheLine:
         "signature",
         "outcome",
         "owner",
-        "fill_pc",
         "read_seen",
         "write_seen",
         "prefetched",
@@ -52,12 +50,11 @@ class CacheLine:
         self.signature = 0
         self.outcome = 0
         self.owner = 0
-        self.fill_pc = 0
         self.read_seen = False
         self.write_seen = False
         self.prefetched = False
 
-    def reset_for_fill(self, tag: int, is_write: bool, pc: int, core: int) -> None:
+    def reset_for_fill(self, tag: int, is_write: bool, core: int) -> None:
         """Reinitialize all state for a fresh fill of ``tag``."""
         self.tag = tag
         self.valid = True
@@ -67,7 +64,6 @@ class CacheLine:
         self.signature = 0
         self.outcome = 0
         self.owner = core
-        self.fill_pc = pc
         self.read_seen = not is_write
         self.write_seen = is_write
         self.prefetched = False

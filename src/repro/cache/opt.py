@@ -69,6 +69,9 @@ class OPTPolicy(ReplacementPolicy):
         self._next_use = compute_next_use(trace, config, reads_only)
         self._reads_only = reads_only
         self._allow_bypass = allow_bypass
+        # ABI v2: position tracking needs the full observe hook; bypass
+        # capability depends on how this oracle was configured.
+        self.bypasses = allow_bypass
         self._position = -1
 
     def observe(self, set_index, tag, is_write, pc, core) -> None:

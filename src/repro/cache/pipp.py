@@ -32,7 +32,10 @@ PROMOTION_DEN = 4
 class PIPPPolicy(ReplacementPolicy):
     """Pseudo-partitioning by insertion position + single-step promotion."""
 
-    needs_observe = True
+    # ABI v2: same UMON shadowing as UCP -- sampled sets plus an epoch
+    # tick, no full observe hook.
+    bypasses = False
+    trains_on_evict = False
 
     def __init__(
         self,
@@ -63,18 +66,20 @@ class PIPPPolicy(ReplacementPolicy):
         base = ways // self.num_cores
         self.allocation = [base] * self.num_cores
         self.allocation[0] += ways - base * self.num_cores
+        self.sample_stride = self._sampling
+        self.epoch_period = self._epoch
 
     # -- monitoring (same UMON as UCP) -------------------------------------
-    def observe(self, set_index, tag, is_write, pc, core) -> None:
-        self._accesses += 1
-        if set_index % self._sampling == 0:
-            self._monitors[core % self.num_cores].observe(set_index, tag)
-        if self._accesses % self._epoch == 0:
-            self.allocation = lookahead_partition(
-                self._monitors, self.cache.config.ways
-            )
-            for monitor in self._monitors:
-                monitor.decay()
+    def on_sample(self, set_index, tag, is_write, pc, core) -> None:
+        self._monitors[core % self.num_cores].observe(set_index, tag)
+
+    def on_epoch(self) -> None:
+        self._accesses += self._epoch
+        self.allocation = lookahead_partition(
+            self._monitors, self.cache.config.ways
+        )
+        for monitor in self._monitors:
+            monitor.decay()
 
     # -- replacement --------------------------------------------------------
     def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:

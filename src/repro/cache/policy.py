@@ -1,11 +1,16 @@
-"""Replacement-policy interface and registry.
+"""Replacement-policy interface (ABI v2) and registry.
 
 A policy is a small strategy object attached to one cache.  The cache core
-drives it through five hooks:
+drives it through these hooks:
 
 ``observe``      every access (before lookup); only called when the policy
-                 sets ``needs_observe`` -- used by set-dueling monitors and
-                 shadow samplers (DIP, DRRIP, UCP, RWP, RRP)
+                 sets ``needs_observe`` -- used by set-dueling monitors
+                 (DIP, DRRIP) and position trackers (OPT)
+``on_sample``    sampled alternative to ``observe``: called only for sets
+                 where ``set_index % sample_stride == 0`` (shadow samplers:
+                 RWP, UCP, PIPP)
+``on_epoch``     called once every ``epoch_period`` accesses (partition
+                 recomputation: RWP, UCP, PIPP)
 ``should_bypass``on a miss, before victim selection: return True to skip
                  allocation entirely
 ``victim``       on a non-bypassed miss with no invalid way: pick the line
@@ -14,6 +19,26 @@ drives it through five hooks:
 ``on_hit``       on every hit
 ``on_evict``     just before a valid line's contents are dropped (training
                  hook: SHiP outcome updates, RRP negative samples)
+
+ABI v2: instead of the cache calling every hook on every access and
+paying for no-ops, each policy declares capability flags (class
+attributes, overridable per instance in ``attach``):
+
+``needs_observe``   policy must see every access pre-lookup
+``sample_stride``   >0: replace ``observe`` with ``on_sample`` on sets
+                    where ``set_index % sample_stride == 0`` (set it in
+                    ``attach`` when it depends on geometry)
+``epoch_period``    >0: call ``on_epoch`` every that-many accesses
+``needs_pc``        policy reads the ``pc`` argument (False lets batch
+                    drivers skip streaming PCs entirely)
+``bypasses``        policy may return True from ``should_bypass``; None
+                    (default) auto-detects from a method override
+``trains_on_evict`` policy needs ``on_evict``; None auto-detects
+
+After ``attach``, :meth:`ReplacementPolicy.dispatch_plan` resolves the
+flags into a :class:`DispatchPlan` of bound methods (or None for hooks
+the policy does not need); the cache core stores the plan's entries as
+instance attributes so the hot loop never calls a no-op.
 
 Policies are registered by name in :data:`POLICY_REGISTRY` so experiment
 harnesses can be driven by strings.
@@ -29,11 +54,141 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cache.cache import CacheSet, SetAssociativeCache
 
 
+class DispatchPlan:
+    """Resolved per-cache hook table: bound methods, or None when unused.
+
+    Built once per (policy, cache) pair by
+    :meth:`ReplacementPolicy.dispatch_plan` after ``attach``; the cache
+    core unpacks it into instance attributes so every per-access branch
+    is a cheap ``is not None`` check on a pre-bound callable.
+    """
+
+    __slots__ = (
+        "observe",
+        "on_sample",
+        "sample_stride",
+        "on_epoch",
+        "epoch_period",
+        "should_bypass",
+        "victim",
+        "on_fill",
+        "on_hit",
+        "on_evict",
+        "needs_pc",
+        "stamp_policy",
+        "min_stamp_victim",
+        "partition_min_stamp_victim",
+    )
+
+    def __init__(
+        self,
+        observe,
+        on_sample,
+        sample_stride: int,
+        on_epoch,
+        epoch_period: int,
+        should_bypass,
+        victim,
+        on_fill,
+        on_hit,
+        on_evict,
+        needs_pc: bool,
+        stamp_policy=None,
+        min_stamp_victim: bool = False,
+        partition_min_stamp_victim: bool = False,
+    ) -> None:
+        self.observe = observe
+        self.on_sample = on_sample
+        self.sample_stride = sample_stride
+        self.on_epoch = on_epoch
+        self.epoch_period = epoch_period
+        self.should_bypass = should_bypass
+        self.victim = victim
+        self.on_fill = on_fill
+        self.on_hit = on_hit
+        self.on_evict = on_evict
+        self.needs_pc = needs_pc
+        self.stamp_policy = stamp_policy
+        self.min_stamp_victim = min_stamp_victim
+        self.partition_min_stamp_victim = partition_min_stamp_victim
+
+    def describe(self) -> Dict[str, object]:
+        """Which hooks are live (diagnostics / tests)."""
+        return {
+            "observe": self.observe is not None,
+            "on_sample": self.on_sample is not None,
+            "sample_stride": self.sample_stride,
+            "on_epoch": self.on_epoch is not None,
+            "epoch_period": self.epoch_period,
+            "should_bypass": self.should_bypass is not None,
+            "on_fill": self.on_fill is not None,
+            "on_hit": self.on_hit is not None,
+            "on_evict": self.on_evict is not None,
+            "needs_pc": self.needs_pc,
+            "recency_stamped": self.stamp_policy is not None,
+            "min_stamp_victim": self.min_stamp_victim,
+            "partition_min_stamp_victim": self.partition_min_stamp_victim,
+        }
+
+
+class RecencyStampMixin:
+    """The canonical recency idiom: a policy-wide clock stamped per touch.
+
+    Half the policy zoo (LRU, RWP and its variants, UCP's within-
+    partition order) orders lines by a monotone clock bumped on every
+    hit and fill.  Policies that inherit this mixin *and leave both
+    hooks untouched* advertise that fact through the dispatch plan's
+    ``stamp_policy``, letting the batch driver hoist the clock into a
+    local and stamp lines inline instead of paying two Python calls per
+    access.  Overriding either hook (LIP's LRU-position insert, the
+    SRRIP-ordered RWP variant) disables the fast path automatically --
+    the plan then binds the overridden hooks like any other policy's.
+
+    Requires ``self._clock`` (an int) on the inheriting policy.
+    """
+
+    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
+        self._clock += 1
+        line.stamp = self._clock
+
+
 class ReplacementPolicy:
     """Base policy: the no-op hooks every policy inherits."""
 
     #: set True in subclasses that need the per-access ``observe`` hook
     needs_observe = False
+    #: set True in subclasses that read the ``pc`` hook argument
+    needs_pc = False
+    #: True/False: policy can/cannot bypass; None: auto-detect from a
+    #: ``should_bypass`` override (instances may also set this in attach)
+    bypasses: "bool | None" = None
+    #: True/False: policy does/does not train on evictions; None:
+    #: auto-detect from an ``on_evict`` override
+    trains_on_evict: "bool | None" = None
+    #: >0: call ``on_sample`` instead of ``observe``, only for sets with
+    #: ``set_index % sample_stride == 0`` (set in ``attach`` if it
+    #: depends on geometry)
+    sample_stride = 0
+    #: >0: call ``on_epoch`` once every ``epoch_period`` accesses
+    epoch_period = 0
+    #: True: ``victim`` returns exactly the first line with the smallest
+    #: ``stamp`` (true LRU eviction), so batch drivers may inline the
+    #: scan.  A subclass that overrides ``victim`` with anything else
+    #: MUST reset this to False.
+    victim_is_min_stamp = False
+    #: True: ``victim`` implements the paper's clean/dirty-partitioned
+    #: LRU: compare ``cache_set.dirty_lines`` against
+    #: ``ways - self.target_clean`` (ties go to the incoming access's
+    #: own partition), then evict the first minimal-stamp line of the
+    #: chosen partition, falling back to a whole-set min-stamp scan when
+    #: that partition is empty.  Requires a ``target_clean`` attribute;
+    #: batch drivers may inline the whole selection.  A subclass that
+    #: overrides ``victim`` with anything else MUST reset this to False.
+    victim_is_partition_min_stamp = False
 
     def __init__(self) -> None:
         self.cache: "SetAssociativeCache | None" = None
@@ -43,11 +198,67 @@ class ReplacementPolicy:
         """Bind to a cache; geometry is available from ``cache.config``."""
         self.cache = cache
 
+    def dispatch_plan(self) -> DispatchPlan:
+        """Resolve capability flags into bound hooks; call after attach.
+
+        ``bypasses`` / ``trains_on_evict`` left at None fall back to
+        method-override detection, so ad-hoc subclasses that just
+        override ``should_bypass`` or ``on_evict`` keep working without
+        declaring anything.  A nonzero ``sample_stride``/``epoch_period``
+        replaces the full ``observe`` hook with the sampled/epoch pair.
+        """
+        cls = type(self)
+        base = ReplacementPolicy
+        stride = int(self.sample_stride or 0)
+        period = int(self.epoch_period or 0)
+        observe = None
+        if self.needs_observe and not stride and not period:
+            observe = self.observe
+        bypasses = self.bypasses
+        if bypasses is None:
+            bypasses = cls.should_bypass is not base.should_bypass
+        trains = self.trains_on_evict
+        if trains is None:
+            trains = cls.on_evict is not base.on_evict
+        stamp = None
+        if (
+            isinstance(self, RecencyStampMixin)
+            and cls.on_hit is RecencyStampMixin.on_hit
+            and cls.on_fill is RecencyStampMixin.on_fill
+        ):
+            stamp = self
+        return DispatchPlan(
+            observe=observe,
+            on_sample=self.on_sample if stride else None,
+            sample_stride=stride,
+            on_epoch=self.on_epoch if period else None,
+            epoch_period=period,
+            should_bypass=self.should_bypass if bypasses else None,
+            victim=self.victim,
+            on_fill=self.on_fill if cls.on_fill is not base.on_fill else None,
+            on_hit=self.on_hit if cls.on_hit is not base.on_hit else None,
+            on_evict=self.on_evict if trains else None,
+            needs_pc=bool(self.needs_pc),
+            stamp_policy=stamp,
+            min_stamp_victim=bool(self.victim_is_min_stamp),
+            partition_min_stamp_victim=bool(
+                self.victim_is_partition_min_stamp
+            ),
+        )
+
     # -- hooks -----------------------------------------------------------
     def observe(
         self, set_index: int, tag: int, is_write: bool, pc: int, core: int
     ) -> None:
         """See every access before lookup (only if ``needs_observe``)."""
+
+    def on_sample(
+        self, set_index: int, tag: int, is_write: bool, pc: int, core: int
+    ) -> None:
+        """See accesses to sampled sets (only if ``sample_stride`` > 0)."""
+
+    def on_epoch(self) -> None:
+        """Run once every ``epoch_period`` accesses."""
 
     def should_bypass(
         self, set_index: int, tag: int, is_write: bool, pc: int, core: int

@@ -36,6 +36,11 @@ def _rrip_victim(cache_set) -> CacheLine:
 class SRRIPPolicy(ReplacementPolicy):
     """Static RRIP: every fill predicted 'long' re-reference."""
 
+    # ABI v2: the whole RRIP family allocates every miss; SHiP overrides
+    # trains_on_evict for its outcome training.
+    bypasses = False
+    trains_on_evict = False
+
     def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
         return _rrip_victim(cache_set)
 

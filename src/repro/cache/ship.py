@@ -25,6 +25,11 @@ def pc_signature(pc: int, entries: int = SHCT_ENTRIES) -> int:
 class SHiPPolicy(SRRIPPolicy):
     """SHiP-PC over an SRRIP backbone."""
 
+    # ABI v2: fills are signed by the filling PC, and the SHCT trains
+    # down on reuse-free evictions.
+    needs_pc = True
+    trains_on_evict = True
+
     def __init__(
         self, entries: int = SHCT_ENTRIES, counter_bits: int = SHCT_BITS
     ) -> None:

@@ -93,7 +93,10 @@ def lookahead_partition(monitors: List[UtilityMonitor], total_ways: int) -> List
 class UCPPolicy(ReplacementPolicy):
     """Way-partitioned LRU driven by UMON lookahead."""
 
-    needs_observe = True
+    # ABI v2: UMON shadows every `sampling`-th set and repartitions once
+    # per epoch, so the sampled/epoch hooks replace a full observe.
+    bypasses = False
+    trains_on_evict = False
 
     def __init__(
         self,
@@ -123,13 +126,15 @@ class UCPPolicy(ReplacementPolicy):
         base = ways // self.num_cores
         self.allocation = [base] * self.num_cores
         self.allocation[0] += ways - base * self.num_cores
+        self.sample_stride = self._sampling
+        self.epoch_period = self._epoch
 
-    def observe(self, set_index, tag, is_write, pc, core) -> None:
-        self._accesses += 1
-        if set_index % self._sampling == 0:
-            self._monitors[core % self.num_cores].observe(set_index, tag)
-        if self._accesses % self._epoch == 0:
-            self._repartition()
+    def on_sample(self, set_index, tag, is_write, pc, core) -> None:
+        self._monitors[core % self.num_cores].observe(set_index, tag)
+
+    def on_epoch(self) -> None:
+        self._accesses += self._epoch
+        self._repartition()
 
     def _repartition(self) -> None:
         self.allocation = lookahead_partition(

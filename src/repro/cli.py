@@ -10,6 +10,8 @@ Commands
                 parallel (``--jobs``), persistent (``--store``), resumable
 ``overhead``    the RWP-vs-RRP state budget (paper Table 2)
 ``motivation``  read/write traffic + line-class breakdown for a benchmark
+``bench``       hot-path throughput (accesses/sec per policy), with JSON
+                export and regression checks against a pinned baseline
 ``verify``      differential conformance: golden corpus check plus fuzzed
                 traces replayed against the independent oracle model
 
@@ -412,6 +414,64 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Time the simulation hot path; optionally guard against a baseline."""
+    from repro.experiments.bench import (
+        bench_payload,
+        compare_to_baseline,
+        format_bench,
+        load_bench_json,
+        run_bench,
+        write_bench_json,
+        DEFAULT_ACCESSES,
+        DEFAULT_LLC_LINES,
+        DEFAULT_REPEATS,
+        QUICK_ACCESSES,
+        QUICK_REPEATS,
+    )
+
+    llc_lines = args.llc_lines if args.llc_lines else DEFAULT_LLC_LINES
+    accesses = args.accesses if args.accesses else (
+        QUICK_ACCESSES if args.quick else DEFAULT_ACCESSES
+    )
+    repeats = args.repeats if args.repeats else (
+        QUICK_REPEATS if args.quick else DEFAULT_REPEATS
+    )
+    policies = args.policies.split(",")
+    results = run_bench(
+        policies,
+        benchmark=args.benchmark,
+        llc_lines=llc_lines,
+        accesses=accesses,
+        repeats=repeats,
+        seed=args.seed,
+    )
+    print(
+        format_bench(
+            results,
+            title=(
+                f"{args.benchmark} @ {llc_lines} lines, "
+                f"{accesses:,} accesses, best of {repeats}"
+            ),
+        )
+    )
+    payload = bench_payload(results, args.benchmark, llc_lines)
+    if args.json:
+        path = write_bench_json(args.json, payload)
+        print(f"wrote {path}")
+    if args.baseline:
+        problems = compare_to_baseline(
+            payload, load_bench_json(args.baseline), tolerance=args.tolerance
+        )
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            print("bench: FAILED", file=sys.stderr)
+            return 1
+        print(f"bench: ok (within {args.tolerance:.0%} of baseline)")
+    return 0
+
+
 def cmd_motivation(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     benches = (
@@ -507,6 +567,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_options(report_parser)
     _add_engine_options(report_parser)
 
+    bench_parser = sub.add_parser(
+        "bench",
+        help="time the hot path (accesses/sec per policy)",
+    )
+    bench_parser.add_argument(
+        "--policies", "-p", default="lru,rwp", help="comma-separated policies"
+    )
+    bench_parser.add_argument(
+        "--benchmark", "-b", default="mcf", help="workload model for the trace"
+    )
+    bench_parser.add_argument(
+        "--llc-lines",
+        type=int,
+        default=0,
+        help="LLC size in lines (default: the pinned bench geometry)",
+    )
+    bench_parser.add_argument(
+        "--accesses",
+        type=int,
+        default=0,
+        help="trace length (default: 262144, or 65536 with --quick)",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=0,
+        help="timing repetitions, best taken (default: 3, or 2 with --quick)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true", help="smaller trace, fewer repeats"
+    )
+    bench_parser.add_argument("--seed", type=int, default=2014)
+    bench_parser.add_argument(
+        "--json", default=None, metavar="PATH", help="export results as JSON"
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="compare against a pinned bench JSON; exit 1 on regression",
+    )
+    bench_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="fail when rate < tolerance * baseline (default 0.2)",
+    )
+
     motivation_parser = sub.add_parser(
         "motivation", help="traffic breakdown for a benchmark"
     )
@@ -572,6 +680,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "overhead": cmd_overhead,
     "report": cmd_report,
+    "bench": cmd_bench,
     "motivation": cmd_motivation,
     "verify": cmd_verify,
 }

@@ -41,6 +41,12 @@ def pc_signature(pc: int, entries: int = TABLE_ENTRIES) -> int:
 class RRPPolicy(LRUPolicy):
     """PC-indexed read-reference prediction over an LRU backbone."""
 
+    # ABI v2: the predictor is PC-indexed and trains on evictions;
+    # whether write misses may bypass is an instance decision (set in
+    # __init__ from ``bypass_writes``).
+    needs_pc = True
+    trains_on_evict = True
+
     def __init__(
         self,
         entries: int = TABLE_ENTRIES,
@@ -56,6 +62,7 @@ class RRPPolicy(LRUPolicy):
         # Start weakly "will be read" so cold signatures are cached.
         self._table = [self._max_count // 2 + 1] * entries
         self._bypass_writes = bypass_writes
+        self.bypasses = bypass_writes
         self._coin = CheapLCG(seed)
         self.bypassed_writes = 0
 

@@ -23,22 +23,36 @@ Within each partition replacement is true LRU.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import List
 
 from repro.cache.line import CacheLine
-from repro.cache.policy import ReplacementPolicy, register_policy
+from repro.cache.policy import (
+    RecencyStampMixin,
+    ReplacementPolicy,
+    register_policy,
+)
 from repro.core.partition import best_split
 from repro.core.sampler import ReadWriteSampler
+
+_BY_STAMP = attrgetter("stamp")
 
 DEFAULT_EPOCH = 25_000  # LLC accesses between repartitioning decisions
 TARGET_SAMPLED_SETS = 64  # hardware budget: ~64 shadowed sets regardless of size
 DEFAULT_HYSTERESIS = 0.02
 
 
-class RWPPolicy(ReplacementPolicy):
+class RWPPolicy(RecencyStampMixin, ReplacementPolicy):
     """Dynamic clean/dirty cache partitioning."""
 
-    needs_observe = True
+    # ABI v2: RWP needs no full observe hook -- it samples shadow sets
+    # (sample_stride, set in attach once geometry is known) and
+    # repartitions every epoch_period accesses.
+    bypasses = False
+    trains_on_evict = False
+    # ``victim`` below is exactly the partitioned min-stamp selection the
+    # ABI v2 flag promises, so batch drivers may inline it.
+    victim_is_partition_min_stamp = True
 
     def __init__(
         self,
@@ -68,17 +82,18 @@ class RWPPolicy(ReplacementPolicy):
         if sampling is None:
             sampling = max(1, config.num_sets // TARGET_SAMPLED_SETS)
         self.sampler = ReadWriteSampler(config.ways, config.num_sets, sampling)
+        self.sample_stride = sampling
+        self.epoch_period = self._epoch
+        # Hooks resolve on the instance, so the sampler's own observe can
+        # be the on_sample hook directly -- no forwarding frame per sample.
+        self.on_sample = self.sampler.observe
         # Start balanced; the first epoch corrects this from evidence.
         self.target_clean = config.ways // 2
 
     # -- sampling & repartitioning ----------------------------------------
-    def observe(self, set_index, tag, is_write, pc, core) -> None:
-        sampler = self.sampler
-        if set_index % sampler.sampling == 0:
-            sampler.observe(set_index, tag, is_write)
-        self._accesses += 1
-        if self._accesses % self._epoch == 0:
-            self._repartition()
+    def on_epoch(self) -> None:
+        self._accesses += self._epoch
+        self._repartition()
 
     def _repartition(self) -> None:
         sampler = self.sampler
@@ -93,19 +108,15 @@ class RWPPolicy(ReplacementPolicy):
 
     # -- replacement -------------------------------------------------------
     def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
-        ways = len(cache_set.lines)
-        target_dirty = ways - self.target_clean
-        dirty_count = 0
-        lru_dirty: CacheLine | None = None
-        lru_clean: CacheLine | None = None
-        for line in cache_set.lines:
-            if line.dirty:
-                dirty_count += 1
-                if lru_dirty is None or line.stamp < lru_dirty.stamp:
-                    lru_dirty = line
-            else:
-                if lru_clean is None or line.stamp < lru_clean.stamp:
-                    lru_clean = line
+        # The core maintains ``cache_set.dirty_lines`` at every dirty
+        # transition, so the partition decision needs no scan and the
+        # single remaining pass only compares stamps *within* the chosen
+        # partition (the pre-counter version tracked both partitions'
+        # LRU candidates on every call).  An empty partition falls back
+        # to the other one, i.e. to a whole-set LRU scan.
+        lines = cache_set.lines
+        dirty_count = cache_set.dirty_lines
+        target_dirty = len(lines) - self.target_clean
 
         if dirty_count > target_dirty:
             evict_dirty = True
@@ -116,16 +127,28 @@ class RWPPolicy(ReplacementPolicy):
             evict_dirty = is_write
 
         if evict_dirty:
-            return lru_dirty if lru_dirty is not None else lru_clean
-        return lru_clean if lru_clean is not None else lru_dirty
-
-    def on_fill(self, cache_set, line, set_index, is_write, pc, core) -> None:
-        self._clock += 1
-        line.stamp = self._clock
-
-    def on_hit(self, cache_set, line, set_index, is_write, pc, core) -> None:
-        self._clock += 1
-        line.stamp = self._clock
+            if not dirty_count:
+                return min(lines, key=_BY_STAMP)
+            best = None
+            best_stamp = 0
+            for line in lines:
+                if line.dirty:
+                    stamp = line.stamp
+                    if best is None or stamp < best_stamp:
+                        best = line
+                        best_stamp = stamp
+            return best
+        if dirty_count == len(lines):
+            return min(lines, key=_BY_STAMP)
+        best = None
+        best_stamp = 0
+        for line in lines:
+            if not line.dirty:
+                stamp = line.stamp
+                if best is None or stamp < best_stamp:
+                    best = line
+                    best_stamp = stamp
+        return best
 
     def describe(self):
         info = super().describe()

@@ -51,19 +51,25 @@ class ReadWriteSampler:
     def is_sampled(self, set_index: int) -> bool:
         return set_index % self.sampling == 0
 
-    def observe(self, set_index: int, tag: int, is_write: bool) -> None:
-        """Feed one access to a sampled set into the shadow stacks."""
+    def observe(
+        self, set_index: int, tag: int, is_write: bool, pc: int = 0, core: int = 0
+    ) -> None:
+        """Feed one access to a sampled set into the shadow stacks.
+
+        ``pc``/``core`` are unused; accepting them lets this method serve
+        directly as a policy's ``on_sample`` hook.
+        """
         shadow = self._sets.get(set_index)
         if shadow is None:
             shadow = ShadowSet()
             self._sets[set_index] = shadow
         clean, dirty = shadow.clean, shadow.dirty
 
-        try:
+        # Membership tests instead of try/index: shadow misses are the
+        # common case and raising ValueError per miss costs more than a
+        # second C-level scan on the (rarer) hits.
+        if tag in clean:
             position = clean.index(tag)
-        except ValueError:
-            position = -1
-        if position >= 0:
             del clean[position]
             if is_write:
                 dirty.insert(0, tag)
@@ -74,11 +80,8 @@ class ReadWriteSampler:
                 clean.insert(0, tag)
             return
 
-        try:
+        if tag in dirty:
             position = dirty.index(tag)
-        except ValueError:
-            position = -1
-        if position >= 0:
             if not is_write:
                 self.dirty_hits[position] += 1
             del dirty[position]

@@ -29,6 +29,9 @@ from repro.core.rwp import RWPPolicy
 class RWPSRRIPPolicy(RWPPolicy):
     """RWP partition sizing with SRRIP ordering inside each partition."""
 
+    # Within-partition order is RRPV-based, not min-stamp.
+    victim_is_partition_min_stamp = False
+
     def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
         ways = len(cache_set.lines)
         target_dirty = ways - self.target_clean
@@ -68,6 +71,8 @@ class RWPBypassPolicy(RWPPolicy):
     misses stop allocating: 0 is the conservative setting (only bypass
     when the sampler says dirty lines produce *no* read hits at all).
     """
+
+    bypasses = True
 
     def __init__(self, bypass_threshold: int = 0, **kwargs) -> None:
         super().__init__(**kwargs)

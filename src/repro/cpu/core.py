@@ -137,6 +137,24 @@ class LLCRunner:
             raise ValueError(
                 f"warmup ({warmup}) must be smaller than the trace ({len(trace)})"
             )
+        if self.prefetcher is None:
+            return self._run_batched(trace, warmup)
+        return self._run_with_prefetcher(trace, warmup)
+
+    def _run_batched(self, trace: Trace, warmup: int) -> RunResult:
+        """Demand-only runs go through the cache's batch driver."""
+        llc = self.llc
+        timing = self.timing
+        decoded = trace.decoded(llc.config)
+        if warmup:
+            llc.run_trace(decoded, 0, warmup, timing=timing)
+        llc.reset_stats()
+        timing.reset()
+        llc.run_trace(decoded, warmup, len(trace), timing=timing)
+        return self._result(trace.name)
+
+    def _run_with_prefetcher(self, trace: Trace, warmup: int) -> RunResult:
+        """Scalar loop: prefetch issue interleaves with every access."""
         llc = self.llc
         timing = self.timing
         access = llc.access
@@ -159,16 +177,15 @@ class LLCRunner:
                 timing.read_miss()
             if writeback >= 0:
                 timing.memory_write()
-            if prefetcher is not None:
-                if prefetch_by_pc is not None:
-                    targets = prefetch_by_pc(address, is_write, hit, pc)
-                else:
-                    targets = prefetcher.on_access(address, is_write, hit)
-                for target in targets:
-                    prefetch_writeback = llc.fill_prefetch(target)
-                    timing.memory_write()  # channel slot for the fill
-                    if prefetch_writeback >= 0:
-                        timing.memory_write()
+            if prefetch_by_pc is not None:
+                targets = prefetch_by_pc(address, is_write, hit, pc)
+            else:
+                targets = prefetcher.on_access(address, is_write, hit)
+            for target in targets:
+                prefetch_writeback = llc.fill_prefetch(target)
+                timing.memory_write()  # channel slot for the fill
+                if prefetch_writeback >= 0:
+                    timing.memory_write()
         return self._result(trace.name)
 
     def _result(self, name: str) -> RunResult:

@@ -1,0 +1,179 @@
+"""Hot-path microbenchmark: per-policy simulated accesses per second.
+
+``repro bench`` times :class:`~repro.cpu.core.LLCRunner` (the execution
+path every engine job funnels through) replaying a fixed, cached trace
+under each requested policy, and reports the throughput in LLC accesses
+per wall-clock second.  Timing is best-of-``repeats`` so one garbage
+collection or scheduler hiccup cannot mark a fast build slow.
+
+Results export as JSON so a run can be pinned as a baseline
+(``benchmarks/baseline_bench.json``) and later runs compared against it
+with a tolerance -- the CI ``bench`` job does exactly that.  Absolute
+rates are machine-dependent, which is why the comparison tolerance is
+deliberately generous: the guard exists to catch order-of-magnitude hot
+path regressions, not 10% noise.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import cached_trace, make_llc_policy
+from repro.trace.generator import LINE_SIZE
+
+#: bench file format version; bump when the record layout changes.
+BENCH_VERSION = 1
+
+#: the default policy pair: the baseline everything normalizes to, and
+#: the paper's contribution (a needs-sampling policy, so both the plain
+#: and the observed hot paths are measured).
+DEFAULT_POLICIES = ("lru", "rwp")
+
+#: default workload: read/write mixed and large enough to keep the
+#: cache under replacement pressure (misses exercise the evict path).
+DEFAULT_BENCHMARK = "mcf"
+
+#: 16384 lines x 64 B = 1 MiB, the smallest LLC size the paper
+#: evaluates; it also gives the shadow sampler a realistic duty cycle
+#: (64 of 1024 sets) instead of the 50% it would cover on a toy cache.
+DEFAULT_LLC_LINES = 16384
+DEFAULT_ACCESSES = 1 << 18
+DEFAULT_REPEATS = 3
+QUICK_ACCESSES = 1 << 16
+QUICK_REPEATS = 2
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """Throughput of one policy over the bench trace."""
+
+    policy: str
+    accesses: int
+    best_seconds: float
+    accesses_per_sec: float
+    repeats: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "accesses": self.accesses,
+            "best_seconds": round(self.best_seconds, 6),
+            "accesses_per_sec": round(self.accesses_per_sec, 1),
+            "repeats": self.repeats,
+        }
+
+
+def run_bench(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    benchmark: str = DEFAULT_BENCHMARK,
+    llc_lines: int = DEFAULT_LLC_LINES,
+    accesses: int = DEFAULT_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2014,
+) -> List[BenchResult]:
+    """Time each policy over one shared trace; returns per-policy rates."""
+    from repro.common.config import default_hierarchy
+    from repro.cpu.core import LLCRunner
+
+    trace = cached_trace(benchmark, llc_lines, accesses, seed)
+    hierarchy = default_hierarchy(llc_size=llc_lines * LINE_SIZE, llc_ways=16)
+    results: List[BenchResult] = []
+    for policy in policies:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            runner = LLCRunner(hierarchy, make_llc_policy(policy, llc_lines))
+            start = time.perf_counter()
+            runner.run(trace, warmup=0)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+        results.append(
+            BenchResult(
+                policy=policy,
+                accesses=len(trace),
+                best_seconds=best,
+                accesses_per_sec=len(trace) / best,
+                repeats=max(1, repeats),
+            )
+        )
+    return results
+
+
+def bench_payload(
+    results: Sequence[BenchResult],
+    benchmark: str,
+    llc_lines: int,
+) -> Dict[str, object]:
+    """The JSON document for one bench run."""
+    return {
+        "version": BENCH_VERSION,
+        "config": {
+            "benchmark": benchmark,
+            "llc_lines": llc_lines,
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+        },
+        "results": {result.policy: result.to_dict() for result in results},
+    }
+
+
+def write_bench_json(
+    path: "Path | str", payload: Dict[str, object]
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench_json(path: "Path | str") -> Dict[str, object]:
+    return json.loads(Path(path).read_text())
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.2,
+) -> List[str]:
+    """Regression check: [] means every shared policy is fast enough.
+
+    A policy regresses when its rate drops below ``tolerance`` times the
+    baseline rate.  Policies present on only one side are skipped (the
+    guard compares hot paths, not configuration drift), but an empty
+    intersection is itself reported.
+    """
+    if not 0.0 < tolerance <= 1.0:
+        raise ValueError("tolerance must be in (0, 1]")
+    problems: List[str] = []
+    current_results: Dict[str, Dict] = current.get("results", {})
+    baseline_results: Dict[str, Dict] = baseline.get("results", {})
+    shared = sorted(set(current_results) & set(baseline_results))
+    if not shared:
+        return ["bench baseline and current run share no policies"]
+    for policy in shared:
+        rate = float(current_results[policy]["accesses_per_sec"])
+        base = float(baseline_results[policy]["accesses_per_sec"])
+        if base <= 0:
+            continue
+        if rate < tolerance * base:
+            problems.append(
+                f"bench regression: policy {policy!r} at {rate:,.0f} "
+                f"accesses/s is below {tolerance:.0%} of the baseline "
+                f"{base:,.0f} accesses/s"
+            )
+    return problems
+
+
+def format_bench(results: Sequence[BenchResult], title: str) -> str:
+    from repro.experiments.tables import format_table
+
+    rows = [
+        [r.policy, r.accesses, f"{r.best_seconds:.3f}", f"{r.accesses_per_sec:,.0f}"]
+        for r in results
+    ]
+    return format_table(
+        ["policy", "accesses", "best_s", "accesses/s"], rows, title=title
+    )

@@ -104,6 +104,45 @@ class MemoryHierarchy:
         self.memory.read(address)
         return (MEMORY, config.memory.latency)
 
+    def run_trace(self, trace: Trace, core: int = 0) -> dict:
+        """Replay a whole demand trace through the stack in one call.
+
+        Batched counterpart of calling :meth:`access` per record (same
+        access sequence, so identical cache state and statistics), with
+        the per-level entry points hoisted out of the loop.  Returns the
+        per-service-level access counts.
+        """
+        l1_access = self.l1s[core].access
+        l2_access = self.l2s[core].access
+        llc_access = self.llc.access
+        memory_read = self.memory.read
+        memory_write = self.memory.write
+        write_l2 = self._write_l2
+        write_llc = self._write_llc
+        l1_hits = l2_hits = llc_hits = memory_reads = 0
+        for address, is_write, pc in zip(trace.addresses, trace.is_write, trace.pcs):
+            hit, _, wb = l1_access(address, is_write, pc, core)
+            if wb >= 0:
+                write_l2(wb, pc, core)
+            if hit:
+                l1_hits += 1
+                continue
+            hit, _, wb = l2_access(address, False, pc, core)
+            if wb >= 0:
+                write_llc(wb, pc, core)
+            if hit:
+                l2_hits += 1
+                continue
+            hit, _, wb = llc_access(address, False, pc, core)
+            if wb >= 0:
+                memory_write(wb)
+            if hit:
+                llc_hits += 1
+                continue
+            memory_read(address)
+            memory_reads += 1
+        return {L1: l1_hits, L2: l2_hits, LLC: llc_hits, MEMORY: memory_reads}
+
     def _write_l2(self, address: int, pc: int, core: int) -> None:
         """Absorb an L1 dirty eviction into L2 (write-allocate)."""
         _, _, wb = self.l2s[core].access(address, True, pc, core)

@@ -2,6 +2,7 @@
 
 from repro.trace.access import Access, Trace
 from repro.trace.champsim import read_champsim, write_champsim
+from repro.trace.decode import DecodedTrace, decode_addresses, decode_trace
 from repro.trace.file_io import load_npz, load_text, save_npz, save_text
 from repro.trace.generator import (
     LINE_SIZE,
@@ -23,6 +24,7 @@ from repro.trace.spec import (
 
 __all__ = [
     "Access",
+    "DecodedTrace",
     "FOUR_CORE_MIXES",
     "KernelSpec",
     "LINE_SIZE",
@@ -34,6 +36,8 @@ __all__ = [
     "WorkloadModel",
     "all_models",
     "benchmark_names",
+    "decode_addresses",
+    "decode_trace",
     "describe",
     "load_npz",
     "load_text",

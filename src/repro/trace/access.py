@@ -43,7 +43,7 @@ class Trace:
     :class:`Access` objects for code that prefers names over positions.
     """
 
-    __slots__ = ("addresses", "is_write", "pcs", "instr_gaps", "name")
+    __slots__ = ("addresses", "is_write", "pcs", "instr_gaps", "name", "_decoded")
 
     def __init__(
         self,
@@ -67,6 +67,7 @@ class Trace:
             list(instr_gaps) if instr_gaps is not None else [1] * n
         )
         self.name = name
+        self._decoded: dict = {}
 
     @classmethod
     def from_arrays(
@@ -87,6 +88,7 @@ class Trace:
             instr_gaps.astype(np.int64).tolist() if instr_gaps is not None else [1] * n
         )
         trace.name = name
+        trace._decoded = {}
         return trace
 
     @classmethod
@@ -99,11 +101,34 @@ class Trace:
             name=name,
         )
 
+    def __getstate__(self):
+        # The decode cache is per-process scratch; keep pickles lean.
+        return (self.addresses, self.is_write, self.pcs, self.instr_gaps, self.name)
+
+    def __setstate__(self, state) -> None:
+        self.addresses, self.is_write, self.pcs, self.instr_gaps, self.name = state
+        self._decoded = {}
+
     def __len__(self) -> int:
         return len(self.addresses)
 
     def __iter__(self) -> Iterator[tuple]:
         return zip(self.addresses, self.is_write, self.pcs, self.instr_gaps)
+
+    def decoded(self, config):
+        """This trace pre-decoded for ``config``'s geometry, cached.
+
+        Returns a :class:`~repro.trace.decode.DecodedTrace`; repeat calls
+        with the same ``(offset_bits, index_bits)`` geometry reuse the
+        cached decode, so a policy sweep splits each address exactly once.
+        """
+        from repro.trace.decode import decode_trace, geometry_key
+
+        key = geometry_key(config)
+        cached = self._decoded.get(key)
+        if cached is None:
+            cached = self._decoded[key] = decode_trace(self, config)
+        return cached
 
     def accesses(self) -> Iterator[Access]:
         """Yield :class:`Access` objects (slower, named view)."""

@@ -1,0 +1,167 @@
+"""Trace decode layer: per-geometry ``(set_index, tag)`` precomputation.
+
+Address decoding -- two shifts and a mask per access -- is pure function
+of (address, geometry), yet the scalar hot loop used to redo it for
+every access of every run.  A :class:`DecodedTrace` hoists the whole
+decode out of the loop: the set indices and tags for one trace x one
+geometry are computed once, vectorized through numpy when the addresses
+fit in int64 (they essentially always do), and then handed to the batch
+driver as plain Python lists, which CPython indexes faster than numpy
+arrays inside an interpreted loop.
+
+:meth:`~repro.trace.access.Trace.decoded` caches the result per
+geometry, so a sweep replaying one trace under many policies decodes it
+exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+#: decode cache key: everything address decoding depends on.
+GeometryKey = Tuple[int, int]
+
+
+class DecodedTrace:
+    """One trace pre-decoded for one cache geometry.
+
+    ``set_indices`` and ``tags`` are fresh per-geometry lists; the
+    ``is_write`` / ``pcs`` / ``instr_gaps`` streams are shared with (not
+    copied from) the source :class:`~repro.trace.access.Trace`.
+    """
+
+    __slots__ = (
+        "set_indices",
+        "tags",
+        "is_write",
+        "pcs",
+        "instr_gaps",
+        "offset_bits",
+        "index_bits",
+        "name",
+        "_cycle_gaps",
+        "_gap_cumsum",
+    )
+
+    def __init__(
+        self,
+        set_indices: List[int],
+        tags: List[int],
+        is_write: List[bool],
+        pcs: List[int],
+        instr_gaps: List[int],
+        offset_bits: int,
+        index_bits: int,
+        name: str = "trace",
+    ) -> None:
+        self.set_indices = set_indices
+        self.tags = tags
+        self.is_write = is_write
+        self.pcs = pcs
+        self.instr_gaps = instr_gaps
+        self.offset_bits = offset_bits
+        self.index_bits = index_bits
+        self.name = name
+        self._cycle_gaps: dict = {}
+        self._gap_cumsum = None
+
+    def __len__(self) -> int:
+        return len(self.set_indices)
+
+    def cycle_gaps(self, base_cpi: float) -> List[float]:
+        """Memoized ``gap * base_cpi`` stream (cycle cost per access).
+
+        Each element is the same IEEE product the timing model computes
+        per access, hoisted out of the replay loop; the batch driver
+        adds it to the cycle counter directly.
+        """
+        cached = self._cycle_gaps.get(base_cpi)
+        if cached is None:
+            try:
+                cached = (
+                    np.asarray(self.instr_gaps, dtype=np.int64)
+                    * float(base_cpi)
+                ).tolist()
+            except (OverflowError, TypeError, ValueError):
+                cached = [gap * base_cpi for gap in self.instr_gaps]
+            self._cycle_gaps[base_cpi] = cached
+        return cached
+
+    def gap_total(self, start: int, stop: int) -> int:
+        """Instructions retired in ``[start, stop)`` (memoized cumsum)."""
+        cum = self._gap_cumsum
+        if cum is None:
+            try:
+                cum = np.cumsum(
+                    np.asarray(self.instr_gaps, dtype=np.int64)
+                )
+            except (OverflowError, TypeError, ValueError):
+                total = 0
+                cum = []
+                for gap in self.instr_gaps:
+                    total += gap
+                    cum.append(total)
+            self._gap_cumsum = cum
+        total = int(cum[stop - 1]) if stop else 0
+        return total - (int(cum[start - 1]) if start else 0)
+
+    @property
+    def geometry_key(self) -> GeometryKey:
+        return (self.offset_bits, self.index_bits)
+
+    def matches(self, config) -> bool:
+        """True when this decode is valid for ``config``'s geometry."""
+        return (
+            self.offset_bits == config.offset_bits
+            and self.index_bits == config.index_bits
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodedTrace({self.name!r}, {len(self)} accesses, "
+            f"offset={self.offset_bits}, index={self.index_bits})"
+        )
+
+
+def geometry_key(config) -> GeometryKey:
+    """The decode-cache key for a :class:`~repro.common.config.CacheConfig`."""
+    return (config.offset_bits, config.index_bits)
+
+
+def decode_addresses(
+    addresses: List[int], offset_bits: int, index_bits: int
+) -> Tuple[List[int], List[int]]:
+    """Split addresses into (set_indices, tags) for one geometry."""
+    index_mask = (1 << index_bits) - 1
+    tag_shift = offset_bits + index_bits
+    try:
+        array = np.asarray(addresses, dtype=np.int64)
+    except (OverflowError, TypeError, ValueError):
+        # Addresses beyond int64 (never produced by our generators, but
+        # legal in hand-written tests): decode in pure Python.
+        return (
+            [(address >> offset_bits) & index_mask for address in addresses],
+            [address >> tag_shift for address in addresses],
+        )
+    set_indices = ((array >> offset_bits) & index_mask).tolist()
+    tags = (array >> tag_shift).tolist()
+    return set_indices, tags
+
+
+def decode_trace(trace, config) -> DecodedTrace:
+    """Decode one trace for one geometry (uncached; prefer ``trace.decoded``)."""
+    set_indices, tags = decode_addresses(
+        trace.addresses, config.offset_bits, config.index_bits
+    )
+    return DecodedTrace(
+        set_indices,
+        tags,
+        trace.is_write,
+        trace.pcs,
+        trace.instr_gaps,
+        config.offset_bits,
+        config.index_bits,
+        name=trace.name,
+    )

@@ -135,6 +135,15 @@ def _check_invariants(sut: SetAssociativeCache, policy: str) -> Optional[Diverge
                     f"lookup={len(cache_set.lookup)} valid={valid}"
                 ),
             )
+        dirty = cache_set.dirty_count()
+        if cache_set.dirty_lines != dirty:
+            return Divergence(
+                policy,
+                -1,
+                "invariant",
+                expected=f"set {index}: dirty_lines=={dirty}",
+                actual=f"set {index}: dirty_lines={cache_set.dirty_lines}",
+            )
     return None
 
 
@@ -158,16 +167,37 @@ def replay(
     )
     oracle = make_oracle_cache(policy, config)
 
-    for index, (address, is_write, pc) in enumerate(records):
-        got = sut.access(address, is_write, pc)
-        want = oracle.access(address, is_write, pc)
+    # The production side replays through the batch driver -- the same
+    # code path the experiment runners use -- with a step callback doing
+    # the per-access lockstep comparison (and aborting on the first
+    # mismatch).
+    decoded = Trace(
+        [address for address, _, _ in records],
+        [is_write for _, is_write, _ in records],
+        [pc for _, _, pc in records],
+    ).decoded(config)
+    oracle_access = oracle.access
+    first: List[Divergence] = []
+
+    def step(index: int, hit: bool, bypassed: bool, writeback: int) -> bool:
+        address, is_write, pc = records[index]
+        got = (hit, bypassed, writeback)
+        want = oracle_access(address, is_write, pc)
         if got != want:
             for position, kind in enumerate(("hit", "bypassed", "writeback")):
                 if got[position] != want[position]:
-                    return Divergence(
-                        policy, index, kind,
-                        expected=want[position], actual=got[position],
+                    first.append(
+                        Divergence(
+                            policy, index, kind,
+                            expected=want[position], actual=got[position],
+                        )
                     )
+                    return True
+        return False
+
+    sut.run_trace(decoded, step=step)
+    if first:
+        return first[0]
 
     oracle_state = oracle.set_contents()
     sut_state = _sut_state(sut)

@@ -192,7 +192,11 @@ class TestBypass:
 
     def test_default_policies_skip_bypass_call(self, tiny_config):
         cache = make_cache(tiny_config, "lru")
-        assert not cache._policy_bypasses
+        assert cache.plan.should_bypass is None
+
+    def test_adhoc_override_is_autodetected(self, tiny_config):
+        cache = make_cache(tiny_config, self.AlwaysBypassWrites())
+        assert cache.plan.should_bypass is not None
 
 
 class TestStatInvariants:
