@@ -29,6 +29,7 @@ equivalence property tests.
 from __future__ import annotations
 
 from itertools import repeat
+from math import inf
 from typing import Dict, Iterator, List, Tuple
 
 from repro.cache.line import CacheLine
@@ -140,6 +141,17 @@ class SetAssociativeCache:
         #: True once any prefetch was installed; lets the batch driver
         #: skip the per-hit ``line.prefetched`` check for demand-only runs.
         self._prefetch_active = False
+        #: True while every set's lookup dict is known to be in recency
+        #: (stamp) order -- the invariant `_run_trace_stamped` maintains.
+        #: When it holds across calls, the per-call stamp-sorted rebuild
+        #: is skipped, which is what makes many small batched runs (the
+        #: multicore epoch driver) as cheap per access as one big run.
+        self._lookup_ordered = False
+        # Cached [set.lookup] / [set.lookup.get] tables for the batch
+        # drivers; dict objects are only ever replaced by the stamped
+        # rebuild, which updates these lists in place.
+        self._lookups: List[Dict[int, CacheLine]] | None = None
+        self._getters: list | None = None
 
         # ABI v2: the policy declares its capabilities after attach and
         # the resolved plan is unpacked into per-hook attributes, so the
@@ -178,11 +190,21 @@ class SetAssociativeCache:
             core,
         )
 
+    def _lookup_tables(self) -> Tuple[List[Dict[int, CacheLine]], list]:
+        """The cached per-set lookup dicts and their bound ``.get``s."""
+        if self._lookups is None:
+            self._lookups = [s.lookup for s in self.sets]
+            self._getters = [lookup.get for lookup in self._lookups]
+        return self._lookups, self._getters
+
     def _access_decoded(
         self, set_index: int, tag: int, is_write: bool, pc: int, core: int
     ) -> AccessOutcome:
         """One demand access with the decode already done."""
         self.tick += 1
+        # A scalar hit bumps the stamp without moving the dict entry,
+        # so the recency-order invariant no longer holds.
+        self._lookup_ordered = False
         if self._pre_active:
             self._pre_observe(set_index, tag, is_write, pc, core)
 
@@ -305,6 +327,7 @@ class SetAssociativeCache:
         timing=None,
         core: int = 0,
         step=None,
+        cycle_limit: float | None = None,
     ) -> int:
         """Replay decoded accesses ``[start, stop)``; returns the count run.
 
@@ -325,6 +348,15 @@ class SetAssociativeCache:
         differential harness uses this for lockstep comparison).  The
         callback must not mutate this cache.
 
+        ``cycle_limit``: optional exclusive bound on ``timing.cycles``,
+        checked *before* each access advances the clock -- the replay
+        stops at the first access whose pre-advance cycle count is
+        ``>= cycle_limit`` and returns how many accesses actually ran.
+        This mirrors the scalar multicore loop, which selects a core by
+        its current cycle count and only then advances it, so the epoch
+        driver can hand a whole bounded run to this loop.  Requires
+        ``timing``.
+
         During a (non-``step``) batch replay the statistics counters,
         ``tick``, and a recency-stamped policy's clock live in loop
         locals and are flushed on return -- policy hooks fired mid-run
@@ -344,8 +376,12 @@ class SetAssociativeCache:
                 f"match cache geometry ({self.config.offset_bits}, "
                 f"{self.config.index_bits})"
             )
+        if cycle_limit is not None and timing is None:
+            raise ValueError("cycle_limit requires a timing model")
         if step is not None:
-            return self._run_trace_step(decoded, start, stop, timing, core, step)
+            return self._run_trace_step(
+                decoded, start, stop, timing, core, step, cycle_limit
+            )
         if (
             timing is not None
             and self.plan.stamp_policy is not None
@@ -356,14 +392,19 @@ class SetAssociativeCache:
             and not self._prefetch_active
             and not self._needs_pc
         ):
-            return self._run_trace_stamped(decoded, start, stop, timing, core)
+            return self._run_trace_stamped(
+                decoded, start, stop, timing, core, cycle_limit
+            )
+        # The generic loop's hits bump stamps without moving dict
+        # entries, so the stamped loop's recency-order invariant dies.
+        self._lookup_ordered = False
 
         # Hoist every per-access attribute chase into locals.  The miss
         # path is inlined below with the same operation order as
         # ``_miss_path``/``_evict`` (the batch-equivalence property tests
         # and the differential harness pin the two paths together).
         sets = self.sets
-        lookups = [s.lookup for s in sets]
+        lookups, _ = self._lookup_tables()
         stats = self.stats
         observe = self._observe
         on_sample = self._on_sample
@@ -436,7 +477,10 @@ class SetAssociativeCache:
             wb_writes = write_buffer.total_writes
         else:
             cycle_stream = None
+            cycles = 0.0
 
+        limit = inf if cycle_limit is None else cycle_limit
+        ran = 0
         pos = start
         while pos < stop:
             end = min(pos + RUN_TRACE_CHUNK, stop)
@@ -449,6 +493,9 @@ class SetAssociativeCache:
             )
             pos = end
             for si, tag, w, pc, cgap in chunk:
+                if cycles >= limit:
+                    break
+                ran += 1
                 if timed:
                     cycles += cgap
                 if pre_active:
@@ -597,8 +644,11 @@ class SetAssociativeCache:
                         ) + wb_drain
                         wb_append(wb_server_free)
                         wb_writes += 1
+            else:
+                continue
+            break  # cycle_limit reached mid-chunk
 
-        self.tick += stop - start
+        self.tick += ran
         if stamping:
             stamp._clock = clock
         stats.read_hits = read_hits
@@ -617,16 +667,22 @@ class SetAssociativeCache:
         self._epoch_left = epoch_left
         if timed:
             timing.cycles = cycles
-            timing.instructions += decoded.gap_total(start, stop)
+            timing.instructions += decoded.gap_total(start, start + ran)
             timing.read_stall_cycles = read_stall
             timing.write_stall_cycles = write_stall
             write_buffer._server_free = wb_server_free
             write_buffer.stall_cycles = wb_stall_cycles
             write_buffer.total_writes = wb_writes
-        return stop - start
+        return ran
 
     def _run_trace_stamped(
-        self, decoded, start: int, stop: int, timing, core: int
+        self,
+        decoded,
+        start: int,
+        stop: int,
+        timing,
+        core: int,
+        cycle_limit: float | None = None,
     ) -> int:
         """Batch loop specialized for recency-stamped demand-only replay.
 
@@ -651,10 +707,12 @@ class SetAssociativeCache:
         batch-equivalence property tests hold the two together.
         """
         sets = self.sets
-        lookups = [s.lookup for s in sets]
         # Pre-bound dict.get per set: the hit path pays one subscript +
-        # call instead of subscript + attribute load + call.
-        getters = [lookup.get for lookup in lookups]
+        # call instead of subscript + attribute load + call.  Both
+        # tables are cached on the cache object: small bounded runs
+        # (the multicore epoch driver issues thousands of them) must
+        # not pay an O(num_sets) rebuild per call.
+        lookups, getters = self._lookup_tables()
         stats = self.stats
         plan = self.plan
         stamp = plan.stamp_policy
@@ -666,10 +724,12 @@ class SetAssociativeCache:
         min_stamp_victim = plan.min_stamp_victim
         partition_victim = plan.partition_min_stamp_victim
         reorder = min_stamp_victim or partition_victim
-        if reorder:
+        if reorder and not self._lookup_ordered:
             # Establish the recency-order invariant: rebuild each
             # set's lookup sorted by stamp (unique per policy clock,
-            # so the order is total).  The loop below maintains it.
+            # so the order is total).  The loop below maintains it,
+            # and `_lookup_ordered` keeps it across back-to-back
+            # batched runs until a scalar-path access breaks it.
             for i, lookup in enumerate(lookups):
                 if len(lookup) > 1:
                     ordered = dict(
@@ -716,6 +776,8 @@ class SetAssociativeCache:
         wb_stall_cycles = write_buffer.stall_cycles
         wb_writes = write_buffer.total_writes
 
+        limit = inf if cycle_limit is None else cycle_limit
+        ran = 0
         pos = start
         while pos < stop:
             if pos == 0 and stop == len(set_stream):
@@ -733,6 +795,9 @@ class SetAssociativeCache:
                 )
             pos = end
             for si, tag, w, cgap in chunk:
+                if cycles >= limit:
+                    break
+                ran += 1
                 cycles += cgap
                 if stride and not si % stride:
                     on_sample(si, tag, w, 0, core)
@@ -865,9 +930,13 @@ class SetAssociativeCache:
                     ) + wb_drain
                     wb_append(wb_server_free)
                     wb_writes += 1
+            else:
+                continue
+            break  # cycle_limit reached mid-chunk
 
-        self.tick += stop - start
+        self.tick += ran
         stamp._clock = clock
+        self._lookup_ordered = bool(reorder)
         self._epoch_left = epoch_left
         stats.read_hits = read_hits
         stats.write_hits = write_hits
@@ -880,16 +949,23 @@ class SetAssociativeCache:
         stats.evicted_write_only = evicted_wo
         stats.evicted_read_write = evicted_rw
         timing.cycles = cycles
-        timing.instructions += decoded.gap_total(start, stop)
+        timing.instructions += decoded.gap_total(start, start + ran)
         timing.read_stall_cycles = read_stall
         timing.write_stall_cycles = write_stall
         write_buffer._server_free = wb_server_free
         write_buffer.stall_cycles = wb_stall_cycles
         write_buffer.total_writes = wb_writes
-        return stop - start
+        return ran
 
     def _run_trace_step(
-        self, decoded, start: int, stop: int, timing, core: int, step
+        self,
+        decoded,
+        start: int,
+        stop: int,
+        timing,
+        core: int,
+        step,
+        cycle_limit: float | None = None,
     ) -> int:
         """run_trace with a per-access callback (lockstep verification)."""
         set_stream = decoded.set_indices
@@ -899,6 +975,8 @@ class SetAssociativeCache:
         gap_stream = decoded.instr_gaps
         access_decoded = self._access_decoded
         for i in range(start, stop):
+            if cycle_limit is not None and timing.cycles >= cycle_limit:
+                return i - start
             is_write = write_stream[i]
             if timing is not None:
                 timing.advance(gap_stream[i])
@@ -918,6 +996,571 @@ class SetAssociativeCache:
             if step(i, hit, bypassed, wb):
                 return i + 1 - start
         return stop - start
+
+    def run_trace_session(self, decoded, timing, core: int = 0):
+        """Resumable batched replay: bounded epochs over one decoded trace.
+
+        Returns a primed generator.  Each
+        ``send((start, stop, cycle_limit, reset))`` replays decoded
+        accesses from ``start`` until ``stop`` or until the first access
+        whose pre-advance ``timing.cycles`` is ``>= cycle_limit``
+        (pass ``math.inf`` for unbounded), then yields
+        ``(ran, cycles)``.  The first access of every epoch runs
+        unconditionally -- the caller selected this core, mirroring the
+        scalar interleave which always issues for the core it picked --
+        so ``ran >= 1`` whenever ``start < stop``.  A true ``reset``
+        runs ``timing.reset()`` before the epoch (the multicore warmup
+        boundary).  ``send(None)`` runs nothing, flushes
+        ``timing.cycles`` / ``timing.instructions``, and yields the
+        session's cumulative per-core ``(read_hits, read_misses,
+        write_hits, write_misses)`` tallies.  ``close()`` flushes
+        everything; until a sync the cache-wide statistics, ``tick``
+        and the ``timing`` attributes lag by this session's deltas
+        (each epoch's cycle count comes back through the yield), while
+        cache *state* (lines, stamps, policy) is always current.
+        Per-access semantics and operation order are exactly
+        :meth:`run_trace`'s.
+
+        The point is amortization: the multicore epoch driver issues
+        tens of thousands of 1-2 access epochs, and a :meth:`run_trace`
+        call per epoch would pay the full hoist/flush prologue every
+        time.  A session pays it once and keeps the loop state alive in
+        generator locals between epochs.
+        """
+        if timing is None:
+            raise ValueError("run_trace_session requires a timing model")
+        if not decoded.matches(self.config):
+            raise ValueError(
+                f"decoded trace geometry {decoded.geometry_key} does not "
+                f"match cache geometry ({self.config.offset_bits}, "
+                f"{self.config.index_bits})"
+            )
+        if (
+            self.plan.stamp_policy is not None
+            and self._observe is None
+            and self._should_bypass is None
+            and self._on_evict is None
+            and self.eviction_listener is None
+            and not self._prefetch_active
+            and not self._needs_pc
+        ):
+            session = self._session_stamped(decoded, timing, core)
+        else:
+            session = self._session_generic(decoded, timing, core)
+        next(session)
+        return session
+
+    def _session_stamped(self, decoded, timing, core: int):
+        """Session loop specialized exactly like ``_run_trace_stamped``.
+
+        Same eligibility gate, same inlined hit/miss/timing bodies, but
+        indexed access into the streams (epochs are too small for chunk
+        slicing to pay) and all flushable counters buffered in locals
+        until ``close()``.  Cross-session shared state -- the policy
+        stamp clock and the sampler epoch countdown -- is re-read at
+        every epoch and written back at every yield, so N interleaved
+        per-core sessions observe each other exactly like consecutive
+        scalar accesses would.
+        """
+        sets = self.sets
+        lookups, getters = self._lookup_tables()
+        stats = self.stats
+        plan = self.plan
+        stamp = plan.stamp_policy
+        on_sample = self._on_sample
+        stride = self._sample_stride
+        period = self._epoch_period
+        victim = self._victim
+        min_stamp_victim = plan.min_stamp_victim
+        partition_victim = plan.partition_min_stamp_victim
+        reorder = min_stamp_victim or partition_victim
+        if reorder and not self._lookup_ordered:
+            for i, lookup in enumerate(lookups):
+                if len(lookup) > 1:
+                    ordered = dict(
+                        sorted(lookup.items(), key=lambda kv: kv[1].stamp)
+                    )
+                    sets[i].lookup = ordered
+                    lookups[i] = ordered
+                    getters[i] = ordered.get
+        if reorder:
+            # Every live session maintains move-to-end, so the invariant
+            # holds across the whole interleaved run.
+            self._lookup_ordered = True
+        ways = self.ways
+        index_bits = self._index_bits
+        offset_bits = self._offset_bits
+
+        # Per-core tallies and buffered cache-wide deltas (flushed on
+        # close; addition commutes across sessions).
+        rh = rm = wh = wm = 0
+        ticks = 0
+        evictions = dirty_evictions = writebacks = 0
+        evicted_ro = evicted_wo = evicted_rw = 0
+
+        set_stream = decoded.set_indices
+        tag_stream = decoded.tags
+        write_stream = decoded.is_write
+        cycle_stream = decoded.cycle_gaps(timing.core.base_cpi)
+        gap_cumsum = decoded.gap_cumsum()
+        instructions = timing.instructions
+        mlp = timing.core.mlp
+        hit_stall = timing.llc_hit_latency / mlp
+        miss_stall = timing.memory.latency / mlp
+        cycles = timing.cycles
+        read_stall = timing.read_stall_cycles
+        write_stall = timing.write_stall_cycles
+        write_buffer = timing.write_buffer
+        wb_completions = write_buffer._completions
+        wb_pop = wb_completions.popleft
+        wb_append = wb_completions.append
+        wb_entries = write_buffer.entries
+        wb_drain = write_buffer.drain_cycles
+        wb_server_free = write_buffer._server_free
+        wb_stall_cycles = write_buffer.stall_cycles
+        wb_writes = write_buffer.total_writes
+
+        try:
+            request = yield None
+            while True:
+                if request is None:
+                    timing.cycles = cycles
+                    timing.instructions = instructions
+                    request = yield (rh, rm, wh, wm)
+                    continue
+                start, stop, limit, reset = request
+                if reset:
+                    timing.reset()
+                    cycles = 0.0
+                    read_stall = 0.0
+                    write_stall = 0.0
+                    instructions = 0
+                    write_buffer = timing.write_buffer
+                    wb_completions = write_buffer._completions
+                    wb_pop = wb_completions.popleft
+                    wb_append = wb_completions.append
+                    wb_server_free = write_buffer._server_free
+                    wb_stall_cycles = 0.0
+                    wb_writes = 0
+                clock = stamp._clock
+                epoch_left = self._epoch_left
+                ran = 0
+                for i in range(start, stop):
+                    # The first access is unconditional: the caller's
+                    # selection already committed it (scalar semantics).
+                    if ran and cycles >= limit:
+                        break
+                    ran += 1
+                    cycles += cycle_stream[i]
+                    si = set_stream[i]
+                    tag = tag_stream[i]
+                    w = write_stream[i]
+                    if stride and not si % stride:
+                        on_sample(si, tag, w, 0, core)
+                    if period:
+                        epoch_left -= 1
+                        if not epoch_left:
+                            epoch_left = period
+                            self._on_epoch()
+                    line = getters[si](tag)
+                    if line is not None:
+                        if reorder:
+                            lookup = lookups[si]
+                            del lookup[tag]
+                            lookup[tag] = line
+                        if w:
+                            wh += 1
+                            if not line.dirty:
+                                sets[si].dirty_lines += 1
+                            line.dirty = True
+                            line.write_seen = True
+                            clock += 1
+                            line.stamp = clock
+                        else:
+                            rh += 1
+                            line.read_seen = True
+                            clock += 1
+                            line.stamp = clock
+                            read_stall += hit_stall
+                            cycles += hit_stall
+                        continue
+
+                    if w:
+                        wm += 1
+                    else:
+                        rm += 1
+                    cache_set = sets[si]
+                    lookup = lookups[si]
+                    wb = -1
+                    if cache_set.filled < ways:
+                        for line in cache_set.lines:
+                            if not line.valid:
+                                break
+                        cache_set.filled += 1
+                    else:
+                        if min_stamp_victim:
+                            line = next(iter(lookup.values()))
+                        elif partition_victim:
+                            dc = cache_set.dirty_lines
+                            td = ways - stamp.target_clean
+                            if dc > td:
+                                evict_dirty = True
+                            elif dc < td:
+                                evict_dirty = False
+                            else:
+                                evict_dirty = w
+                            values = iter(lookup.values())
+                            if evict_dirty:
+                                if not dc:
+                                    line = next(values)
+                                else:
+                                    for line in values:
+                                        if line.dirty:
+                                            break
+                            elif dc == ways:
+                                line = next(values)
+                            else:
+                                for line in values:
+                                    if not line.dirty:
+                                        break
+                        else:
+                            line = victim(cache_set, si, w, 0, core)
+                        evictions += 1
+                        dirty = line.dirty
+                        if dirty:
+                            dirty_evictions += 1
+                            cache_set.dirty_lines -= 1
+                        if line.read_seen:
+                            if line.write_seen:
+                                evicted_rw += 1
+                            else:
+                                evicted_ro += 1
+                        else:
+                            evicted_wo += 1
+                        del lookup[line.tag]
+                        if dirty:
+                            writebacks += 1
+                            wb = ((line.tag << index_bits) | si) << offset_bits
+                    line.tag = tag
+                    line.valid = True
+                    line.dirty = w
+                    line.rrpv = 0
+                    line.signature = 0
+                    line.outcome = 0
+                    line.owner = core
+                    line.read_seen = not w
+                    line.write_seen = w
+                    line.prefetched = False
+                    if w:
+                        cache_set.dirty_lines += 1
+                    clock += 1
+                    line.stamp = clock
+                    lookup[tag] = line
+                    if not w:
+                        read_stall += miss_stall
+                        cycles += miss_stall
+                    if wb >= 0:
+                        while wb_completions and wb_completions[0] <= cycles:
+                            wb_pop()
+                        if len(wb_completions) >= wb_entries:
+                            stall = wb_pop() - cycles
+                            wb_stall_cycles += stall
+                            write_stall += stall
+                            cycles += stall
+                        wb_server_free = (
+                            cycles
+                            if cycles > wb_server_free
+                            else wb_server_free
+                        ) + wb_drain
+                        wb_append(wb_server_free)
+                        wb_writes += 1
+
+                stamp._clock = clock
+                if period:
+                    self._epoch_left = epoch_left
+                ticks += ran
+                if ran:
+                    base = gap_cumsum[start - 1] if start else 0
+                    instructions += gap_cumsum[start + ran - 1] - base
+                request = yield (ran, cycles)
+        finally:
+            self.tick += ticks
+            self._lookup_ordered = bool(reorder)
+            stats.read_hits += rh
+            stats.write_hits += wh
+            stats.read_misses += rm
+            stats.write_misses += wm
+            stats.evictions += evictions
+            stats.dirty_evictions += dirty_evictions
+            stats.writebacks += writebacks
+            stats.evicted_read_only += evicted_ro
+            stats.evicted_write_only += evicted_wo
+            stats.evicted_read_write += evicted_rw
+            timing.cycles = cycles
+            timing.instructions = instructions
+            timing.read_stall_cycles = read_stall
+            timing.write_stall_cycles = write_stall
+            write_buffer._server_free = wb_server_free
+            write_buffer.stall_cycles = wb_stall_cycles
+            write_buffer.total_writes = wb_writes
+
+    def _session_generic(self, decoded, timing, core: int):
+        """Session loop for plans the stamped specialization rejects.
+
+        Every access goes through ``_access_decoded`` and the public
+        timing methods -- the scalar semantics by construction, with
+        the address decode and call dispatch hoisted.  Cache-wide
+        statistics stay current per access on this path; only the
+        per-core tallies live in the generator.
+        """
+        set_stream = decoded.set_indices
+        tag_stream = decoded.tags
+        write_stream = decoded.is_write
+        pc_stream = decoded.pcs
+        gap_stream = decoded.instr_gaps
+        access_decoded = self._access_decoded
+        advance = timing.advance
+        read_hit = timing.read_hit
+        read_miss = timing.read_miss
+        memory_write = timing.memory_write
+        rh = rm = wh = wm = 0
+
+        request = yield None
+        while True:
+            if request is None:
+                request = yield (rh, rm, wh, wm)
+                continue
+            start, stop, limit, reset = request
+            if reset:
+                timing.reset()
+            ran = 0
+            for i in range(start, stop):
+                if ran and timing.cycles >= limit:
+                    break
+                ran += 1
+                w = write_stream[i]
+                advance(gap_stream[i])
+                hit, bypassed, wb = access_decoded(
+                    set_stream[i], tag_stream[i], w, pc_stream[i], core
+                )
+                if w:
+                    if hit:
+                        wh += 1
+                    else:
+                        wm += 1
+                    if bypassed:
+                        memory_write()
+                elif hit:
+                    rh += 1
+                    read_hit()
+                else:
+                    rm += 1
+                    read_miss()
+                if wb >= 0:
+                    memory_write()
+            request = yield (ran, timing.cycles)
+
+    # -- the hierarchy filter stage ---------------------------------------
+    def lru_filter_eligible(self) -> bool:
+        """True when :meth:`run_lru_filter` may replay this cache.
+
+        The filter inlines exactly the pure-LRU stamped plan (the shape
+        every private L1/L2 uses): recency-stamp hooks, min-stamp
+        victim, and none of the optional machinery -- no observers or
+        samplers, no bypass, no evict training, no eviction listener,
+        no prefetches in flight, no PC consumers.
+        """
+        plan = self.plan
+        return (
+            plan.stamp_policy is not None
+            and plan.min_stamp_victim
+            and self._observe is None
+            and self._on_sample is None
+            and self._on_epoch is None
+            and self._should_bypass is None
+            and self._on_evict is None
+            and self.eviction_listener is None
+            and not self._prefetch_active
+            and not self._needs_pc
+        )
+
+    def run_lru_filter(
+        self,
+        set_stream,
+        tag_stream,
+        write_stream,
+        start: int,
+        stop: int,
+        out_blocks,
+        out_write,
+        out_origin,
+        origins=None,
+        levels=None,
+        level: int = 0,
+        core: int = 0,
+    ) -> int:
+        """Replay one private-cache stage and emit its downstream stream.
+
+        Batched building block of the hierarchy replay: runs accesses
+        ``[start, stop)`` of the (pre-decoded) input op stream against
+        this cache with the pure-LRU loop inlined, appending the ops
+        the next level would see -- each dirty eviction first (a block
+        written back, emitted as a write), then the demand miss
+        (forwarded as a read, exactly like the scalar hierarchy's
+        miss walk) -- to ``out_blocks`` / ``out_write`` /
+        ``out_origin``.  Blocks are line addresses (``address >>
+        offset_bits``), which is what makes one stage's output
+        decodable by the next level's geometry.
+
+        Two input shapes share the loop:
+
+        * demand mode (``origins is None``, the L1): every input op is
+          a demand access ``i``; misses are forwarded regardless of
+          type (a write miss allocates here and walks down as a read),
+          with origin ``i``.
+        * forwarded mode (the L2): ``origins[i]`` names the demand
+          access each op descends from; write ops are upstream
+          writebacks and are absorbed (only their own evictions walk
+          down), read ops are forwarded on miss.  A read hit records
+          ``levels[origin] = level`` when ``levels`` is given.
+
+        Returns the number of demand reads forwarded.  Caller must
+        check :meth:`lru_filter_eligible` first; state and statistics
+        are bit-identical to the scalar walk (the conformance suite
+        holds the two together).
+        """
+        sets = self.sets
+        lookups, getters = self._lookup_tables()
+        stats = self.stats
+        stamp = self.plan.stamp_policy
+        clock = stamp._clock
+        if not self._lookup_ordered:
+            for i, lookup in enumerate(lookups):
+                if len(lookup) > 1:
+                    ordered = dict(
+                        sorted(lookup.items(), key=lambda kv: kv[1].stamp)
+                    )
+                    sets[i].lookup = ordered
+                    lookups[i] = ordered
+                    getters[i] = ordered.get
+        ways = self.ways
+        index_bits = self._index_bits
+        read_hits = stats.read_hits
+        write_hits = stats.write_hits
+        read_misses = stats.read_misses
+        write_misses = stats.write_misses
+        evictions = stats.evictions
+        dirty_evictions = stats.dirty_evictions
+        writebacks = stats.writebacks
+        evicted_ro = stats.evicted_read_only
+        evicted_wo = stats.evicted_write_only
+        evicted_rw = stats.evicted_read_write
+        emit_block = out_blocks.append
+        emit_write = out_write.append
+        emit_origin = out_origin.append
+        demand_mode = origins is None
+        forwarded = 0
+
+        if start == 0 and stop == len(set_stream):
+            ops = zip(set_stream, tag_stream, write_stream)
+        else:
+            ops = zip(
+                set_stream[start:stop],
+                tag_stream[start:stop],
+                write_stream[start:stop],
+            )
+        i = start - 1
+        for si, tag, w in ops:
+            i += 1
+            line = getters[si](tag)
+            if line is not None:
+                # move-to-end keeps dict order == stamp order
+                lookup = lookups[si]
+                del lookup[tag]
+                lookup[tag] = line
+                clock += 1
+                line.stamp = clock
+                if w:
+                    write_hits += 1
+                    if not line.dirty:
+                        sets[si].dirty_lines += 1
+                    line.dirty = True
+                    line.write_seen = True
+                else:
+                    read_hits += 1
+                    line.read_seen = True
+                    if levels is not None:
+                        levels[origins[i]] = level
+                continue
+
+            if w:
+                write_misses += 1
+            else:
+                read_misses += 1
+            origin = i if demand_mode else origins[i]
+            cache_set = sets[si]
+            lookup = lookups[si]
+            if cache_set.filled < ways:
+                for line in cache_set.lines:
+                    if not line.valid:
+                        break
+                cache_set.filled += 1
+            else:
+                line = next(iter(lookup.values()))
+                evictions += 1
+                dirty = line.dirty
+                if dirty:
+                    dirty_evictions += 1
+                    cache_set.dirty_lines -= 1
+                if line.read_seen:
+                    if line.write_seen:
+                        evicted_rw += 1
+                    else:
+                        evicted_ro += 1
+                else:
+                    evicted_wo += 1
+                del lookup[line.tag]
+                if dirty:
+                    writebacks += 1
+                    emit_block((line.tag << index_bits) | si)
+                    emit_write(True)
+                    emit_origin(origin)
+            # inlined CacheLine.reset_for_fill(tag, w, core)
+            line.tag = tag
+            line.valid = True
+            line.dirty = w
+            line.rrpv = 0
+            line.signature = 0
+            line.outcome = 0
+            line.owner = core
+            line.read_seen = not w
+            line.write_seen = w
+            line.prefetched = False
+            if w:
+                cache_set.dirty_lines += 1
+            clock += 1
+            line.stamp = clock
+            lookup[tag] = line
+            if demand_mode or not w:
+                emit_block((tag << index_bits) | si)
+                emit_write(False)
+                emit_origin(origin)
+                forwarded += 1
+
+        self.tick += stop - start
+        self._lookup_ordered = True
+        stamp._clock = clock
+        stats.read_hits = read_hits
+        stats.write_hits = write_hits
+        stats.read_misses = read_misses
+        stats.write_misses = write_misses
+        stats.evictions = evictions
+        stats.dirty_evictions = dirty_evictions
+        stats.writebacks = writebacks
+        stats.evicted_read_only = evicted_ro
+        stats.evicted_write_only = evicted_wo
+        stats.evicted_read_write = evicted_rw
+        return forwarded
 
     def fill_prefetch(self, address: int, core: int = 0) -> int:
         """Install a prefetched line; returns the writeback address or -1.
@@ -945,6 +1588,7 @@ class SetAssociativeCache:
         line.read_seen = False  # a prefetch is not a demand read
         line.prefetched = True
         cache_set.lookup[tag] = line
+        self._lookup_ordered = False
         if self._on_fill is not None:
             self._on_fill(cache_set, line, set_index, False, 0, core)
         self.stats.prefetch_fills += 1
@@ -980,6 +1624,7 @@ class SetAssociativeCache:
         del cache_set.lookup[tag]
         line.invalidate()
         cache_set.filled -= 1
+        self._lookup_ordered = False
         return True
 
     def _account_eviction(self, line: CacheLine) -> None:

@@ -136,8 +136,15 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
-    result = run_benchmark(args.benchmark, args.policy, scale, store=_store_from(args))
+    result = run_benchmark(
+        args.benchmark,
+        args.policy,
+        scale,
+        store=_store_from(args),
+        mode=args.mode,
+    )
     print(f"benchmark : {args.benchmark}")
+    print(f"mode      : {args.mode}")
     print(f"policy    : {result.policy}")
     print(f"llc       : {scale.llc_lines} lines "
           f"({scale.llc_lines * 64 >> 10} KiB), {scale.ways}-way")
@@ -407,6 +414,49 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 f"wall: {stats.wall_seconds:.1f}s"
             )
 
+    if args.system_fuzz > 0:
+        from repro.verify.system import plan_system_jobs
+
+        job_list = plan_system_jobs(
+            args.system_fuzz, base_seed=args.seed, length=args.length
+        )
+        outcome = run_jobs(
+            job_list,
+            max_workers=args.jobs,
+            store=_store_from(args),
+            timeout=args.timeout,
+            progress=ProgressReporter(len(job_list), enabled=not args.quiet),
+        )
+        divergent = [
+            (job, result)
+            for job, result in outcome.results.items()
+            if not result["ok"]
+        ]
+        for job, result in divergent:
+            data = result["divergence"]
+            print(f"\n{job.label}:", file=sys.stderr)
+            print(
+                f"{data['target']} batched replay diverged from the scalar "
+                f"walk for policy {data['policy']!r}: {data['kind']} -- "
+                f"scalar says {data['expected']}, batched says "
+                f"{data['actual']}",
+                file=sys.stderr,
+            )
+        failures += len(divergent)
+        if outcome.stats.failed:
+            failures += outcome.stats.failed
+            print(
+                f"{outcome.stats.failed} system job(s) crashed or timed out",
+                file=sys.stderr,
+            )
+        if not args.quiet:
+            stats = outcome.stats
+            print(
+                f"system: {stats.total} hierarchy/multicore jobs  "
+                f"divergent: {len(divergent)}  cache_hits: {stats.cache_hits}  "
+                f"wall: {stats.wall_seconds:.1f}s"
+            )
+
     if failures:
         print(f"verify: FAILED ({failures} problem(s))", file=sys.stderr)
         return 1
@@ -422,6 +472,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         format_bench,
         load_bench_json,
         run_bench,
+        run_system_bench,
         write_bench_json,
         DEFAULT_ACCESSES,
         DEFAULT_LLC_LINES,
@@ -446,6 +497,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=repeats,
         seed=args.seed,
     )
+    if not args.llc_only:
+        results = results + run_system_bench(
+            policies,
+            quick=args.quick,
+            repeats=args.repeats or None,
+            seed=args.seed,
+        )
     print(
         format_bench(
             results,
@@ -508,6 +566,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one benchmark+policy")
     run_parser.add_argument("benchmark")
     run_parser.add_argument("--policy", "-p", default="rwp")
+    run_parser.add_argument(
+        "--mode",
+        choices=("llc", "hierarchy"),
+        default="llc",
+        help="LLC-level replay (default) or the full L1/L2/LLC stack",
+    )
     _add_scale_options(run_parser)
     _add_engine_options(run_parser)
 
@@ -598,6 +662,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--quick", action="store_true", help="smaller trace, fewer repeats"
     )
+    bench_parser.add_argument(
+        "--llc-only",
+        action="store_true",
+        help="skip the hierarchy and 4-core system benches",
+    )
     bench_parser.add_argument("--seed", type=int, default=2014)
     bench_parser.add_argument(
         "--json", default=None, metavar="PATH", help="export results as JSON"
@@ -633,6 +702,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=60,
         metavar="N",
         help="number of fuzz jobs to run (0 = golden check only)",
+    )
+    verify_parser.add_argument(
+        "--system-fuzz",
+        type=int,
+        default=12,
+        metavar="N",
+        help=(
+            "hierarchy/multicore batched-vs-scalar differential jobs "
+            "(0 = skip)"
+        ),
     )
     verify_parser.add_argument(
         "--policies",

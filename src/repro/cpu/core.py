@@ -231,31 +231,49 @@ class HierarchyRunner:
         )
 
     def run(self, trace: Trace, warmup: int = 0) -> RunResult:
+        """Two-phase batched replay: warm the stack, then measure.
+
+        The hierarchy replays level by level (see
+        :meth:`~repro.hierarchy.system.MemoryHierarchy.run_trace`) and
+        reports each access's service level and memory-write count;
+        the timing model then replays those outcomes in one cheap
+        pass.  Both phases are bit-identical to the old per-access
+        loop: the warmup boundary falls between accesses, reads stall
+        on their service level, and every memory write the access
+        triggered is charged to it, exactly as the scalar walk
+        interleaved them.
+        """
         if warmup >= len(trace):
             raise ValueError(
                 f"warmup ({warmup}) must be smaller than the trace ({len(trace)})"
             )
         hierarchy = self.hierarchy
         timing = self.timing
-        memory = hierarchy.memory
-        seen_memory_writes = memory.writes
-        position = 0
-        for address, is_write, pc, gap in trace:
-            if position == warmup:
-                hierarchy.reset_stats()
-                timing.reset()
-                seen_memory_writes = 0
-            position += 1
-            timing.advance(gap)
-            level, _ = hierarchy.access(address, is_write, pc)
-            if not is_write:
-                if level == "llc":
-                    timing.read_hit()
-                elif level == "memory":
-                    timing.read_miss()
-            while seen_memory_writes < memory.writes:
-                timing.memory_write()
-                seen_memory_writes += 1
+        if warmup:
+            hierarchy.run_trace(trace, stop=warmup)
+        hierarchy.reset_stats()
+        timing.reset()
+        _, levels, mem = hierarchy.run_trace(
+            trace, start=warmup, collect=True
+        )
+        gaps = trace.instr_gaps
+        is_write = trace.is_write
+        advance = timing.advance
+        read_hit = timing.read_hit
+        read_miss = timing.read_miss
+        memory_write = timing.memory_write
+        for i in range(warmup, len(trace)):
+            advance(gaps[i])
+            if not is_write[i]:
+                level = levels[i]
+                if level == 2:
+                    read_hit()
+                elif level == 3:
+                    read_miss()
+            count = mem[i]
+            while count:
+                memory_write()
+                count -= 1
         llc = hierarchy.llc
         return RunResult(
             name=trace.name,

@@ -30,13 +30,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 @dataclass(frozen=True)
 class RunJob:
-    """One single-core (benchmark, policy, scale[, geometry]) run."""
+    """One single-core (benchmark, policy, scale[, geometry]) run.
+
+    ``mode`` selects the simulation front-end mode: ``"llc"`` (default)
+    or ``"hierarchy"`` (full L1/L2/LLC stack).  Multicore mixes are
+    :class:`MixJob`'s business.
+    """
 
     benchmark: str
     policy: str
     scale: "ExperimentScale"
     llc_lines: Optional[int] = None  # geometry override (sweeps)
     ways: Optional[int] = None
+    mode: str = "llc"
 
     kind: ClassVar[str] = "run"
 
@@ -51,12 +57,14 @@ class RunJob:
     @property
     def label(self) -> str:
         base = f"{self.benchmark}/{self.policy}"
+        if self.mode != "llc":
+            base = f"{self.mode}:{base}"
         if self.llc_lines is None and self.ways is None:
             return base
         return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
 
     def payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "kind": self.kind,
             "benchmark": self.benchmark,
             "policy": self.policy,
@@ -66,21 +74,27 @@ class RunJob:
                 "ways": self.geometry_ways,
             },
         }
+        # Only non-default modes contribute to the key, so every result
+        # stored before the mode field existed stays warm.
+        if self.mode != "llc":
+            payload["mode"] = self.mode
+        return payload
 
     def key(self) -> str:
         return job_key(self.payload())
 
     def execute(self) -> "RunResult":
-        from repro.experiments.runner import run_benchmark, run_with_geometry
+        from repro.sim import SimulationSpec, simulate_cached
 
-        if self.llc_lines is None and self.ways is None:
-            return run_benchmark(self.benchmark, self.policy, self.scale)
-        return run_with_geometry(
-            self.benchmark,
-            self.policy,
-            self.geometry_lines,
-            self.geometry_ways,
-            self.scale,
+        return simulate_cached(
+            SimulationSpec(
+                self.benchmark,
+                self.policy,
+                mode=self.mode,
+                scale=self.scale,
+                llc_lines=self.llc_lines,
+                ways=self.ways,
+            )
         )
 
     @staticmethod

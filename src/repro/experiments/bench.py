@@ -47,6 +47,19 @@ DEFAULT_REPEATS = 3
 QUICK_ACCESSES = 1 << 16
 QUICK_REPEATS = 2
 
+#: system-bench shapes.  The hierarchy bench replays a raw trace through
+#: the full L1/L2/LLC stack; the multicore bench runs the standard 4-core
+#: all-sensitive mix geometry (``bench_f9_multicore``: 1024 lines per
+#: core, 4-core shared LLC).  Both time the exact entry points the
+#: experiments call, so the guard covers the full-stack hot paths.
+SYSTEM_MIX = ("mcf", "omnetpp", "soplex", "sphinx3")
+HIER_ACCESSES = 1 << 16
+HIER_QUICK_ACCESSES = 1 << 14
+MC_CORES = 4
+MC_PER_CORE_LINES = 1024
+MC_ACCESSES = 1 << 14
+MC_QUICK_ACCESSES = 1 << 12
+
 
 @dataclass(frozen=True)
 class BenchResult:
@@ -100,6 +113,118 @@ def run_bench(
             )
         )
     return results
+
+
+def run_hierarchy_bench(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    benchmark: str = DEFAULT_BENCHMARK,
+    accesses: int = HIER_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2014,
+) -> List[BenchResult]:
+    """Time the full L1/L2/LLC stack replaying one raw trace per policy.
+
+    Results are keyed ``hierarchy:<policy>`` so they coexist with the
+    LLC-level rates in one baseline file.
+    """
+    from repro.common.config import default_hierarchy
+    from repro.hierarchy.system import MemoryHierarchy
+
+    trace = cached_trace(benchmark, DEFAULT_LLC_LINES, accesses, seed)
+    config = default_hierarchy(
+        llc_size=DEFAULT_LLC_LINES * LINE_SIZE, llc_ways=16
+    )
+    results: List[BenchResult] = []
+    for policy in policies:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            hierarchy = MemoryHierarchy(
+                config, make_llc_policy(policy, DEFAULT_LLC_LINES)
+            )
+            start = time.perf_counter()
+            hierarchy.run_trace(trace)
+            best = min(best, time.perf_counter() - start)
+        results.append(
+            BenchResult(
+                policy=f"hierarchy:{policy}",
+                accesses=len(trace),
+                best_seconds=best,
+                accesses_per_sec=len(trace) / best,
+                repeats=max(1, repeats),
+            )
+        )
+    return results
+
+
+def run_multicore_bench(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    accesses_per_core: int = MC_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2014,
+) -> List[BenchResult]:
+    """Time the 4-core shared-LLC run at the ``bench_f9`` geometry.
+
+    Results are keyed ``multicore4:<policy>``; the rate is normalized to
+    the nominal ``cores * accesses_per_core`` issue count (the wrapping
+    replay issues more, identically on every run, so rates compare).
+    """
+    from repro.common.config import default_hierarchy
+    from repro.multicore.shared import SharedLLCSystem
+
+    traces = [
+        cached_trace(bench, MC_PER_CORE_LINES, accesses_per_core, seed)
+        for bench in SYSTEM_MIX
+    ]
+    shared_lines = MC_PER_CORE_LINES * MC_CORES
+    config = default_hierarchy(
+        llc_size=shared_lines * LINE_SIZE, llc_ways=16
+    )
+    warmup = accesses_per_core // 8
+    nominal = MC_CORES * accesses_per_core
+    results: List[BenchResult] = []
+    for policy in policies:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            system = SharedLLCSystem(
+                config,
+                MC_CORES,
+                make_llc_policy(policy, shared_lines, MC_CORES),
+            )
+            start = time.perf_counter()
+            system.run(traces, warmup=warmup)
+            best = min(best, time.perf_counter() - start)
+        results.append(
+            BenchResult(
+                policy=f"multicore4:{policy}",
+                accesses=nominal,
+                best_seconds=best,
+                accesses_per_sec=nominal / best,
+                repeats=max(1, repeats),
+            )
+        )
+    return results
+
+
+def run_system_bench(
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    quick: bool = False,
+    repeats: int | None = None,
+    seed: int = 2014,
+) -> List[BenchResult]:
+    """The hierarchy + multicore bench pair with quick/full sizing."""
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    return run_hierarchy_bench(
+        policies,
+        accesses=HIER_QUICK_ACCESSES if quick else HIER_ACCESSES,
+        repeats=repeats,
+        seed=seed,
+    ) + run_multicore_bench(
+        policies,
+        accesses_per_core=MC_QUICK_ACCESSES if quick else MC_ACCESSES,
+        repeats=repeats,
+        seed=seed,
+    )
 
 
 def bench_payload(

@@ -18,6 +18,21 @@ from repro.cache.policy import make_policy
 from repro.experiments.runner import ExperimentScale, cached_trace
 
 
+def _replay_two_phase(cache: SetAssociativeCache, trace, warmup: int) -> None:
+    """Warm, reset, measure -- all through the batched driver.
+
+    Bit-identical to the old scalar loop (``reset_stats`` at the warmup
+    boundary, then one ``access`` per record): the warmup boundary falls
+    between accesses, so the replay splits into two ``run_trace`` calls
+    around the reset.
+    """
+    decoded = trace.decoded(cache.config)
+    if warmup:
+        cache.run_trace(decoded, 0, warmup)
+    cache.reset_stats()
+    cache.run_trace(decoded, warmup, len(decoded))
+
+
 @dataclass(frozen=True)
 class TrafficBreakdown:
     """F1/F2 numbers for one benchmark."""
@@ -56,10 +71,7 @@ def _traffic_breakdown_cached(
         benchmark, scale.llc_lines, scale.total_accesses, scale.seed
     )
     cache = SetAssociativeCache(scale.llc_config(), make_policy("lru"))
-    for index, (address, is_write, pc, _) in enumerate(trace):
-        if index == scale.warmup:
-            cache.reset_stats()
-        cache.access(address, is_write, pc)
+    _replay_two_phase(cache, trace, scale.warmup)
     return TrafficBreakdown(
         benchmark=benchmark,
         reads=cache.read_hits + cache.read_misses,
@@ -104,13 +116,16 @@ def _read_potential_cached(
 
     def read_misses_with(policy) -> int:
         cache = SetAssociativeCache(config, policy)
-        for index, (address, is_write, pc, _) in enumerate(trace):
-            if index == scale.warmup:
-                cache.reset_stats()
-            cache.access(address, is_write, pc)
+        _replay_two_phase(cache, trace, scale.warmup)
         return cache.read_misses
 
-    lru = read_misses_with(make_policy("lru"))
+    # The LRU leg is exactly the front-end's llc-mode run; going through
+    # it shares the memoized result with the F4/F5 grids.
+    from repro.sim import SimulationSpec, simulate_cached
+
+    lru = simulate_cached(
+        SimulationSpec(benchmark, "lru", scale=scale)
+    ).llc_read_misses
     opt = read_misses_with(OPTPolicy(trace, config))
     read_opt = read_misses_with(
         OPTPolicy(trace, config, reads_only=True, allow_bypass=True)

@@ -17,17 +17,15 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
-from repro.common.config import default_hierarchy
-from repro.cpu.core import LLCRunner
-from repro.experiments.runner import ExperimentScale, cached_trace, make_llc_policy
+from repro.experiments.runner import ExperimentScale
 from repro.multicore.metrics import (
     fairness,
     harmonic_speedup,
     throughput,
     weighted_speedup,
 )
-from repro.multicore.shared import SharedLLCSystem, SharedRunResult
-from repro.trace.generator import LINE_SIZE
+from repro.multicore.shared import SharedRunResult
+from repro.sim import SimulationSpec, simulate, simulate_cached
 from repro.trace.mixes import mix_benchmarks
 
 #: baseline LRU + state-of-the-art comparators + RWP
@@ -79,20 +77,22 @@ def _shared_scale(per_core: ExperimentScale, num_cores: int) -> ExperimentScale:
 @lru_cache(maxsize=64)
 def _alone_ipc(
     benchmark: str,
-    per_core_llc_lines: int,
+    per_core: ExperimentScale,
     shared_llc_lines: int,
-    ways: int,
-    total_accesses: int,
-    warmup: int,
-    seed: int,
 ) -> float:
-    """IPC of one benchmark alone on the full shared LLC under LRU."""
-    trace = cached_trace(benchmark, per_core_llc_lines, total_accesses, seed)
-    hierarchy = default_hierarchy(
-        llc_size=shared_llc_lines * LINE_SIZE, llc_ways=ways
+    """IPC of one benchmark alone on the full shared LLC under LRU.
+
+    An ``llc``-mode spec with the shared capacity as a geometry override:
+    the per-core trace does not change because the cache grew.
+    """
+    spec = SimulationSpec(
+        benchmark,
+        "lru",
+        scale=per_core,
+        llc_lines=shared_llc_lines,
+        ways=per_core.ways,
     )
-    runner = LLCRunner(hierarchy, make_llc_policy("lru"))
-    return runner.run(trace, warmup=warmup).ipc
+    return simulate_cached(spec).ipc
 
 
 def run_mix(
@@ -104,36 +104,21 @@ def run_mix(
     """Run one named mix under one policy and compute all metrics."""
     per_core = per_core or ExperimentScale()
     benchmarks = mix_benchmarks(mix)
-    if len(benchmarks) != num_cores:
-        raise ValueError(
-            f"mix {mix} has {len(benchmarks)} benchmarks, need {num_cores}"
-        )
     shared = _shared_scale(per_core, num_cores)
 
-    traces = [
-        cached_trace(
-            bench, per_core.llc_lines, per_core.total_accesses, per_core.seed
+    result: SharedRunResult = simulate(
+        SimulationSpec(
+            mix,
+            policy,
+            mode="multicore",
+            scale=per_core,
+            num_cores=num_cores,
         )
-        for bench in benchmarks
-    ]
-    system = SharedLLCSystem(
-        shared.hierarchy(),
-        num_cores,
-        make_llc_policy(policy, shared.llc_lines, num_cores),
     )
-    result: SharedRunResult = system.run(traces, warmup=per_core.warmup)
 
     shared_ipcs = result.ipcs()
     alone_ipcs = [
-        _alone_ipc(
-            bench,
-            per_core.llc_lines,
-            shared.llc_lines,
-            per_core.ways,
-            per_core.total_accesses,
-            per_core.warmup,
-            per_core.seed,
-        )
+        _alone_ipc(bench, per_core, shared.llc_lines)
         for bench in benchmarks
     ]
     return MixResult(

@@ -22,7 +22,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.cache.policy import ReplacementPolicy, make_policy
 from repro.common.config import CacheConfig, HierarchyConfig, default_hierarchy
 from repro.core.rwp import RWPPolicy
-from repro.cpu.core import LLCRunner, RunResult
+from repro.cpu.core import RunResult
 from repro.trace.access import Trace
 from repro.trace.generator import LINE_SIZE
 from repro.trace.spec import make_model
@@ -108,15 +108,13 @@ def make_llc_policy(
 
 @lru_cache(maxsize=4096)
 def _run_benchmark_cached(
-    benchmark: str, policy: str, scale: ExperimentScale
+    benchmark: str, policy: str, scale: ExperimentScale, mode: str = "llc"
 ) -> RunResult:
-    trace = cached_trace(
-        benchmark, scale.llc_lines, scale.total_accesses, scale.seed
+    from repro.sim import SimulationSpec, simulate
+
+    return simulate(
+        SimulationSpec(benchmark, policy, mode=mode, scale=scale)
     )
-    runner = LLCRunner(
-        scale.hierarchy(), make_llc_policy(policy, scale.llc_lines)
-    )
-    return runner.run(trace, warmup=scale.warmup)
 
 
 def run_benchmark(
@@ -124,48 +122,33 @@ def run_benchmark(
     policy: str,
     scale: ExperimentScale | None = None,
     store=None,
+    mode: str = "llc",
 ) -> RunResult:
     """Run one benchmark under one policy at the given scale.
 
-    Runs are deterministic, so results are memoized: harnesses that share
-    a baseline (every figure normalizes to LRU) never re-simulate it.
+    ``mode`` selects LLC-level replay (default) or the full
+    ``"hierarchy"`` stack; both go through the
+    :class:`~repro.sim.SimulationSpec` front-end.  Runs are
+    deterministic, so results are memoized: harnesses that share a
+    baseline (every figure normalizes to LRU) never re-simulate it.
     With a ``store`` (a :class:`~repro.engine.store.ResultStore` or a
     path), results also persist across processes: a warm key is decoded
     from disk instead of simulated, and fresh runs are written through.
     """
     scale = scale or ExperimentScale()
     if store is None:
-        return _run_benchmark_cached(benchmark, policy, scale)
+        return _run_benchmark_cached(benchmark, policy, scale, mode)
     from repro.engine import RunJob, coerce_store
 
     store = coerce_store(store)
-    job = RunJob(benchmark, policy, scale)
+    job = RunJob(benchmark, policy, scale, mode=mode)
     key = job.key()
     record = store.get(key)
     if record is not None:
         return job.decode(record["result"])
-    result = _run_benchmark_cached(benchmark, policy, scale)
+    result = _run_benchmark_cached(benchmark, policy, scale, mode)
     store.put(key, job.kind, job.encode(result))
     return result
-
-
-@lru_cache(maxsize=4096)
-def _run_geometry_cached(
-    benchmark: str,
-    policy: str,
-    llc_lines: int,
-    ways: int,
-    reference: ExperimentScale,
-) -> RunResult:
-    trace = cached_trace(
-        benchmark,
-        reference.llc_lines,
-        reference.total_accesses,
-        reference.seed,
-    )
-    hierarchy = default_hierarchy(llc_size=llc_lines * LINE_SIZE, llc_ways=ways)
-    runner = LLCRunner(hierarchy, make_llc_policy(policy, llc_lines))
-    return runner.run(trace, warmup=reference.warmup)
 
 
 def run_with_geometry(
@@ -180,8 +163,16 @@ def run_with_geometry(
     The sensitivity sweeps re-size the *cache* while holding the
     *workload* fixed: the program does not change when the machine does.
     """
-    return _run_geometry_cached(
-        benchmark, policy, llc_lines, ways, reference or ExperimentScale()
+    from repro.sim import SimulationSpec, simulate_cached
+
+    return simulate_cached(
+        SimulationSpec(
+            benchmark,
+            policy,
+            scale=reference or ExperimentScale(),
+            llc_lines=llc_lines,
+            ways=ways,
+        )
     )
 
 
@@ -197,19 +188,22 @@ def run_grid(
     store=None,
     journal=None,
     timeout: float | None = None,
+    mode: str = "llc",
 ) -> ResultGrid:
     """Run every (benchmark, policy) pair; identical traces per benchmark.
 
     Execution goes through the engine: ``jobs`` worker processes
     (``jobs=1`` is the serial in-process path), an optional on-disk
     result ``store``, and an optional JSONL ``journal`` for resumable
-    sweeps.  ``progress`` reports per-job lines to stderr.
+    sweeps.  ``progress`` reports per-job lines to stderr.  ``mode``
+    (``"llc"`` or ``"hierarchy"``) picks the simulation front-end mode
+    for every cell.
     """
     scale = scale or ExperimentScale()
     from repro.engine import RunJob, run_jobs
 
     job_list = [
-        RunJob(benchmark, policy, scale)
+        RunJob(benchmark, policy, scale, mode=mode)
         for benchmark in benchmarks
         for policy in policies
     ]

@@ -27,6 +27,31 @@ from repro.trace.access import Trace
 L1, L2, LLC, MEMORY, BYPASSED = "l1", "l2", "llc", "memory", "bypassed"
 
 
+def _decode_blocks(blocks, index_mask, index_bits):
+    """Split block addresses into (set_indices, tags) for one level.
+
+    Vectorized when the blocks provably fit int64 (hierarchy traces
+    always do); numpy's wrapping arithmetic is never allowed to decode
+    silently wrong.
+    """
+    if blocks:
+        try:
+            import numpy as np
+
+            array = np.asarray(blocks, dtype=np.int64)
+            if int(array.max()) < (1 << 62):
+                return (
+                    (array & index_mask).tolist(),
+                    (array >> index_bits).tolist(),
+                )
+        except (OverflowError, TypeError, ValueError):
+            pass
+    return (
+        [block & index_mask for block in blocks],
+        [block >> index_bits for block in blocks],
+    )
+
+
 class MemoryHierarchy:
     """An L1D + L2 + LLC + memory stack for one (or more) cores."""
 
@@ -104,44 +129,250 @@ class MemoryHierarchy:
         self.memory.read(address)
         return (MEMORY, config.memory.latency)
 
-    def run_trace(self, trace: Trace, core: int = 0) -> dict:
-        """Replay a whole demand trace through the stack in one call.
+    def run_trace(
+        self,
+        trace: Trace,
+        core: int = 0,
+        start: int = 0,
+        stop: int | None = None,
+        collect: bool = False,
+    ):
+        """Replay demand accesses ``[start, stop)`` through the stack.
 
-        Batched counterpart of calling :meth:`access` per record (same
-        access sequence, so identical cache state and statistics), with
-        the per-level entry points hoisted out of the loop.  Returns the
-        per-service-level access counts.
+        Batched counterpart of calling :meth:`access` per record: the
+        replay runs level by level instead of access by access.  The L1
+        replays the whole (pre-decoded) demand stream and emits the op
+        stream the L2 would have seen -- each dirty eviction as a
+        write, each demand miss forwarded as a read, in the scalar
+        walk's order -- the L2 filters that down again, and the LLC
+        stage replays the residue.  Every level's input sequence is
+        exactly the scalar walk's, so cache state, statistics, and
+        memory counters are bit-identical (the conformance suite holds
+        the two together); the win is that the pure-LRU L1/L2 loops
+        run fully inlined and each level's machinery is hoisted once
+        per run instead of consulted once per access.
+
+        Returns the per-service-level access counts dict; with
+        ``collect=True`` returns ``(counts, levels, mem_writes)`` where
+        ``levels[i]`` is the service level of access ``i`` (0=L1, 1=L2,
+        2=LLC, 3=memory) and ``mem_writes[i]`` counts the memory
+        writes access ``i`` triggered -- everything a timing replay
+        needs (see :class:`~repro.cpu.core.HierarchyRunner`).
+
+        Configurations the staged filters cannot express -- an
+        inclusive LLC (back-invalidation re-enters upper levels
+        mid-access), an eviction listener, prefetches in flight,
+        non-LRU private caches, or mismatched line sizes -- fall back
+        to the scalar walk, same results, scalar speed.
         """
+        if stop is None:
+            stop = len(trace)
+        if not self._batch_supported(core):
+            return self._run_trace_scalar(trace, core, start, stop, collect)
+
+        l1 = self.l1s[core]
+        l2 = self.l2s[core]
+        llc = self.llc
+        decoded = trace.decoded(self.config.l1)
+        levels = [0] * stop if collect else None
+        mem = [0] * stop if collect else None
+
+        # Stage 1: L1 over the demand stream.
+        l2_blocks: List[int] = []
+        l2_write: List[bool] = []
+        l2_origin: List[int] = []
+        fwd1 = l1.run_lru_filter(
+            decoded.set_indices,
+            decoded.tags,
+            decoded.is_write,
+            start,
+            stop,
+            l2_blocks,
+            l2_write,
+            l2_origin,
+            core=core,
+        )
+        l1_hits = (stop - start) - fwd1
+
+        # Stage 2: L2 over the L1 residue (decode blocks to L2 geometry).
+        set2, tag2 = _decode_blocks(
+            l2_blocks, l2.config.num_sets - 1, l2.config.index_bits
+        )
+        llc_blocks: List[int] = []
+        llc_write: List[bool] = []
+        llc_origin: List[int] = []
+        fwd2 = l2.run_lru_filter(
+            set2,
+            tag2,
+            l2_write,
+            0,
+            len(l2_blocks),
+            llc_blocks,
+            llc_write,
+            llc_origin,
+            origins=l2_origin,
+            levels=levels,
+            level=1,
+            core=core,
+        )
+        l2_hits = fwd1 - fwd2
+
+        # Stage 3: the LLC (any policy) over the L2 residue.
+        set3, tag3 = _decode_blocks(
+            llc_blocks, llc.config.num_sets - 1, llc.config.index_bits
+        )
+        memory = self.memory
+        ob = llc.config.offset_bits
+        pcs = trace.pcs
+
+        if not collect and llc._should_bypass is None:
+            # No per-access attribution needed and no bypass decisions
+            # possible: replay the residue through the LLC's own batch
+            # loop and derive the memory traffic from the statistics
+            # deltas (every read miss is one memory read, every
+            # writeback one memory write -- exact precisely because
+            # nothing can bypass).
+            from repro.trace.decode import DecodedTrace
+
+            count = len(llc_blocks)
+            pcs3 = (
+                [pcs[origin] for origin in llc_origin]
+                if llc._needs_pc
+                else [0] * count
+            )
+            decoded3 = DecodedTrace(
+                set3,
+                tag3,
+                llc_write,
+                pcs3,
+                [0] * count,
+                ob,
+                llc.config.index_bits,
+                name=f"{trace.name}@llc-residue",
+            )
+            stats = llc.stats
+            base_rh = stats.read_hits
+            base_rm = stats.read_misses
+            base_wb = stats.writebacks
+            llc.run_trace(decoded3, core=core)
+            llc_hits = stats.read_hits - base_rh
+            memory_reads = stats.read_misses - base_rm
+            memory.reads += memory_reads
+            memory.writes += stats.writebacks - base_wb
+            return {
+                L1: l1_hits,
+                L2: l2_hits,
+                LLC: llc_hits,
+                MEMORY: memory_reads,
+            }
+
+        access = llc._access_decoded
+        llc_hits = memory_reads = 0
+        for si, tag, block, w, origin in zip(
+            set3, tag3, llc_blocks, llc_write, llc_origin
+        ):
+            hit, bypassed, wb = access(si, tag, w, pcs[origin], core)
+            if w:
+                if bypassed:
+                    memory.write(block << ob)
+                    if mem is not None:
+                        mem[origin] += 1
+                if wb >= 0:
+                    memory.write(wb)
+                    if mem is not None:
+                        mem[origin] += 1
+            else:
+                if wb >= 0:
+                    memory.write(wb)
+                    if mem is not None:
+                        mem[origin] += 1
+                if hit:
+                    llc_hits += 1
+                    if levels is not None:
+                        levels[origin] = 2
+                else:
+                    memory.read(block << ob)
+                    memory_reads += 1
+                    if levels is not None:
+                        levels[origin] = 3
+        counts = {L1: l1_hits, L2: l2_hits, LLC: llc_hits, MEMORY: memory_reads}
+        return (counts, levels, mem) if collect else counts
+
+    def _batch_supported(self, core: int) -> bool:
+        """True when the staged level-by-level replay is exact here."""
+        if self.inclusive or self.llc.eviction_listener is not None:
+            return False
+        if self.llc._prefetch_active:
+            return False
+        config = self.config
+        if not (
+            config.l1.offset_bits
+            == config.l2.offset_bits
+            == config.llc.offset_bits
+        ):
+            return False
+        return (
+            self.l1s[core].lru_filter_eligible()
+            and self.l2s[core].lru_filter_eligible()
+        )
+
+    def _run_trace_scalar(
+        self,
+        trace: Trace,
+        core: int,
+        start: int,
+        stop: int,
+        collect: bool,
+    ):
+        """Per-access walk: the executable specification and fallback."""
         l1_access = self.l1s[core].access
         l2_access = self.l2s[core].access
         llc_access = self.llc.access
-        memory_read = self.memory.read
-        memory_write = self.memory.write
+        memory = self.memory
+        memory_read = memory.read
+        memory_write = memory.write
         write_l2 = self._write_l2
         write_llc = self._write_llc
+        addresses = trace.addresses
+        is_write = trace.is_write
+        pcs = trace.pcs
+        levels = [0] * stop if collect else None
+        mem = [0] * stop if collect else None
         l1_hits = l2_hits = llc_hits = memory_reads = 0
-        for address, is_write, pc in zip(trace.addresses, trace.is_write, trace.pcs):
-            hit, _, wb = l1_access(address, is_write, pc, core)
+        for i in range(start, stop):
+            address = addresses[i]
+            w = is_write[i]
+            pc = pcs[i]
+            seen_writes = memory.writes
+            level = 0
+            hit, _, wb = l1_access(address, w, pc, core)
             if wb >= 0:
                 write_l2(wb, pc, core)
             if hit:
                 l1_hits += 1
-                continue
-            hit, _, wb = l2_access(address, False, pc, core)
-            if wb >= 0:
-                write_llc(wb, pc, core)
-            if hit:
-                l2_hits += 1
-                continue
-            hit, _, wb = llc_access(address, False, pc, core)
-            if wb >= 0:
-                memory_write(wb)
-            if hit:
-                llc_hits += 1
-                continue
-            memory_read(address)
-            memory_reads += 1
-        return {L1: l1_hits, L2: l2_hits, LLC: llc_hits, MEMORY: memory_reads}
+            else:
+                hit, _, wb = l2_access(address, False, pc, core)
+                if wb >= 0:
+                    write_llc(wb, pc, core)
+                if hit:
+                    l2_hits += 1
+                    level = 1
+                else:
+                    hit, _, wb = llc_access(address, False, pc, core)
+                    if wb >= 0:
+                        memory_write(wb)
+                    if hit:
+                        llc_hits += 1
+                        level = 2
+                    else:
+                        memory_read(address)
+                        memory_reads += 1
+                        level = 3
+            if collect:
+                levels[i] = level
+                mem[i] = memory.writes - seen_writes
+        counts = {L1: l1_hits, L2: l2_hits, LLC: llc_hits, MEMORY: memory_reads}
+        return (counts, levels, mem) if collect else counts
 
     def _write_l2(self, address: int, pc: int, core: int) -> None:
         """Absorb an L1 dirty eviction into L2 (write-allocate)."""

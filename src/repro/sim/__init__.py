@@ -1,0 +1,21 @@
+"""Simulation front-end: :class:`SimulationSpec` in, results out.
+
+Every way of launching a simulation -- the experiment harnesses, the
+engine's jobs, the CLI -- builds a spec and calls :func:`simulate` (or
+its memoized twin :func:`simulate_cached`).  See
+:mod:`repro.sim.spec` for the mode catalogue.
+"""
+
+from repro.sim.spec import (
+    SIMULATION_MODES,
+    SimulationSpec,
+    simulate,
+    simulate_cached,
+)
+
+__all__ = [
+    "SIMULATION_MODES",
+    "SimulationSpec",
+    "simulate",
+    "simulate_cached",
+]

@@ -1,0 +1,174 @@
+"""One front-end for every simulation mode.
+
+A :class:`SimulationSpec` is a frozen, hashable, picklable description
+of one run -- which **mode** (LLC-level replay, full L1/L2/LLC
+hierarchy, or the epoch-interleaved multicore system), which workload,
+which policy, at which :class:`~repro.experiments.runner.ExperimentScale`
+and geometry.  :func:`simulate` executes it; :func:`simulate_cached`
+memoizes it.  Every harness in ``repro.experiments`` and every engine
+job routes through here, so there is exactly one place that knows how
+to turn a spec into traces, caches, runners, and results.
+
+Modes
+-----
+``llc``        the workhorse: one benchmark trace replayed against the
+               LLC under study through the batched driver
+               (:class:`~repro.cpu.core.LLCRunner`).  ``llc_lines`` /
+               ``ways`` override the geometry while keeping the
+               reference-scale trace (the sensitivity sweeps).
+``hierarchy``  the same benchmark trace pushed through the full
+               L1/L2/LLC stack (:class:`~repro.cpu.core.HierarchyRunner`,
+               staged batched replay).
+``multicore``  ``workload`` names a 4-core mix; each core replays its
+               benchmark through the shared LLC under the
+               epoch-interleaved batched driver
+               (:class:`~repro.multicore.shared.SharedLLCSystem`).
+               Returns a ``SharedRunResult`` (per-core ``RunResult``
+               list); metric math (weighted speedup etc.) stays in
+               ``repro.experiments.multicore_exp``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Union
+
+from repro.common.config import default_hierarchy
+from repro.experiments.runner import (
+    ExperimentScale,
+    cached_trace,
+    make_llc_policy,
+)
+from repro.trace.generator import LINE_SIZE
+
+#: the recognized simulation modes, in documentation order.
+SIMULATION_MODES = ("llc", "hierarchy", "multicore")
+
+
+@dataclass(frozen=True)
+class SimulationSpec:
+    """Everything needed to reproduce one simulation run.
+
+    ``workload`` is a benchmark name for ``llc``/``hierarchy`` modes and
+    a mix name (see :func:`repro.trace.mixes.mix_names`) for
+    ``multicore``.  ``llc_lines``/``ways`` override the LLC geometry
+    while the trace stays at the reference scale; in multicore mode
+    ``llc_lines`` overrides the *shared* capacity (default:
+    ``num_cores * scale.llc_lines``).
+    """
+
+    workload: str
+    policy: str = "lru"
+    mode: str = "llc"
+    scale: ExperimentScale = ExperimentScale()
+    llc_lines: Optional[int] = None
+    ways: Optional[int] = None
+    num_cores: int = 4  # multicore mode only
+
+    def __post_init__(self) -> None:
+        if self.mode not in SIMULATION_MODES:
+            raise ValueError(
+                f"unknown simulation mode {self.mode!r}; "
+                f"known: {', '.join(SIMULATION_MODES)}"
+            )
+
+    @property
+    def geometry_lines(self) -> int:
+        """The simulated LLC capacity in lines, override applied."""
+        if self.llc_lines is not None:
+            return self.llc_lines
+        if self.mode == "multicore":
+            return self.num_cores * self.scale.llc_lines
+        return self.scale.llc_lines
+
+    @property
+    def geometry_ways(self) -> int:
+        return self.ways if self.ways is not None else self.scale.ways
+
+    @property
+    def label(self) -> str:
+        base = f"{self.mode}:{self.workload}/{self.policy}"
+        if self.llc_lines is None and self.ways is None:
+            return base
+        return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
+
+    def hierarchy_config(self):
+        """The :class:`~repro.common.config.HierarchyConfig` to simulate."""
+        return default_hierarchy(
+            llc_size=self.geometry_lines * LINE_SIZE,
+            llc_ways=self.geometry_ways,
+        )
+
+
+def simulate(spec: SimulationSpec):
+    """Execute one spec; the one place simulations are launched.
+
+    Returns a :class:`~repro.cpu.core.RunResult` for ``llc`` and
+    ``hierarchy`` modes, a :class:`~repro.multicore.shared.SharedRunResult`
+    for ``multicore``.  Deterministic: equal specs produce bit-identical
+    results (which is what :func:`simulate_cached` and the engine's
+    content-addressed store rely on).
+    """
+    if spec.mode == "multicore":
+        return _simulate_multicore(spec)
+    scale = spec.scale
+    trace = cached_trace(
+        spec.workload, scale.llc_lines, scale.total_accesses, scale.seed
+    )
+    policy = make_llc_policy(spec.policy, spec.geometry_lines)
+    if spec.mode == "hierarchy":
+        from repro.cpu.core import HierarchyRunner
+
+        runner: "Union[HierarchyRunner, object]" = HierarchyRunner(
+            spec.hierarchy_config(), policy
+        )
+    else:
+        from repro.cpu.core import LLCRunner
+
+        runner = LLCRunner(spec.hierarchy_config(), policy)
+    return runner.run(trace, warmup=scale.warmup)
+
+
+def _simulate_multicore(spec: SimulationSpec):
+    """One mix through the epoch-interleaved shared-LLC system."""
+    from repro.multicore.shared import SharedLLCSystem
+    from repro.trace.mixes import mix_benchmarks
+
+    scale = spec.scale
+    benchmarks = mix_benchmarks(spec.workload)
+    if len(benchmarks) != spec.num_cores:
+        raise ValueError(
+            f"mix {spec.workload} has {len(benchmarks)} benchmarks, "
+            f"need {spec.num_cores}"
+        )
+    traces = [
+        cached_trace(
+            bench, scale.llc_lines, scale.total_accesses, scale.seed
+        )
+        for bench in benchmarks
+    ]
+    system = SharedLLCSystem(
+        spec.hierarchy_config(),
+        spec.num_cores,
+        make_llc_policy(spec.policy, spec.geometry_lines, spec.num_cores),
+    )
+    return system.run(traces, warmup=scale.warmup)
+
+
+@lru_cache(maxsize=4096)
+def simulate_cached(spec: SimulationSpec):
+    """Memoized :func:`simulate` for single-result modes.
+
+    Runs are deterministic, so harnesses that share a baseline (every
+    figure normalizes to LRU) never re-simulate it.  Multicore specs are
+    excluded: a ``SharedRunResult`` carries per-core mutable state and
+    the mix harness caches at the :class:`~repro.engine.MixJob` level
+    instead.
+    """
+    if spec.mode == "multicore":
+        raise ValueError(
+            "multicore specs are not memoized here; call simulate() "
+            "(MixJob/the result store provide caching)"
+        )
+    return simulate(spec)

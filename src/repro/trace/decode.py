@@ -89,14 +89,19 @@ class DecodedTrace:
             self._cycle_gaps[base_cpi] = cached
         return cached
 
-    def gap_total(self, start: int, stop: int) -> int:
-        """Instructions retired in ``[start, stop)`` (memoized cumsum)."""
+    def gap_cumsum(self) -> List[int]:
+        """Memoized inclusive cumsum of ``instr_gaps`` as a plain list.
+
+        A plain Python list (not a numpy array) so per-epoch consumers
+        -- the multicore session flushes retired instructions at every
+        epoch -- index native ints with no scalar boxing.
+        """
         cum = self._gap_cumsum
         if cum is None:
             try:
                 cum = np.cumsum(
                     np.asarray(self.instr_gaps, dtype=np.int64)
-                )
+                ).tolist()
             except (OverflowError, TypeError, ValueError):
                 total = 0
                 cum = []
@@ -104,8 +109,58 @@ class DecodedTrace:
                     total += gap
                     cum.append(total)
             self._gap_cumsum = cum
-        total = int(cum[stop - 1]) if stop else 0
-        return total - (int(cum[start - 1]) if start else 0)
+        return cum
+
+    def gap_total(self, start: int, stop: int) -> int:
+        """Instructions retired in ``[start, stop)`` (memoized cumsum)."""
+        cum = self.gap_cumsum()
+        total = cum[stop - 1] if stop else 0
+        return total - (cum[start - 1] if start else 0)
+
+    def with_core_offset(
+        self, core: int, address_stride: int, pc_stride: int
+    ) -> "DecodedTrace":
+        """A per-core view of this decode with offset address/PC spaces.
+
+        Multicore runs place each core's working set in a disjoint
+        address region (``address + core * address_stride``).  When the
+        stride is a multiple of the tag granularity
+        (``1 << (offset_bits + index_bits)`` -- true for
+        ``CORE_ADDRESS_STRIDE`` at every geometry we simulate), the
+        offset touches only the tag bits: set indices, write flags and
+        instruction gaps are *shared* with this decode (same list
+        objects), only the tag (and PC) streams are re-materialized.
+        The memoized ``cycle_gaps`` cache and the gap cumsum are shared
+        too, so N cores replaying one trace decode and derive it once.
+        """
+        tag_granularity = 1 << (self.offset_bits + self.index_bits)
+        if address_stride % tag_granularity:
+            raise ValueError(
+                f"address stride {address_stride:#x} is not a multiple of "
+                f"the tag granularity {tag_granularity:#x}; per-core views "
+                "would change set indices"
+            )
+        tag_offset = core * (address_stride >> (self.offset_bits + self.index_bits))
+        pc_offset = core * pc_stride
+        if not tag_offset and not pc_offset:
+            return self
+        tags = _offset_stream(self.tags, tag_offset)
+        pcs = _offset_stream(self.pcs, pc_offset) if pc_offset else self.pcs
+        view = DecodedTrace(
+            self.set_indices,
+            tags,
+            self.is_write,
+            pcs,
+            self.instr_gaps,
+            self.offset_bits,
+            self.index_bits,
+            name=f"{self.name}@core{core}",
+        )
+        # Share the derived-stream memoization: the gap streams are the
+        # same objects, so the cached products/cumsum stay valid.
+        view._cycle_gaps = self._cycle_gaps
+        view._gap_cumsum = self.gap_cumsum()
+        return view
 
     @property
     def geometry_key(self) -> GeometryKey:
@@ -123,6 +178,22 @@ class DecodedTrace:
             f"DecodedTrace({self.name!r}, {len(self)} accesses, "
             f"offset={self.offset_bits}, index={self.index_bits})"
         )
+
+
+def _offset_stream(values: List[int], offset: int) -> List[int]:
+    """``[v + offset for v in values]``, vectorized when int64-safe.
+
+    numpy int64 addition wraps silently on overflow, so the vector path
+    is only taken when the result provably fits.
+    """
+    if values and offset < (1 << 62):
+        try:
+            array = np.asarray(values, dtype=np.int64)
+            if int(array.max()) + offset < (1 << 62):
+                return (array + offset).tolist()
+        except (OverflowError, TypeError, ValueError):
+            pass
+    return [value + offset for value in values]
 
 
 def geometry_key(config) -> GeometryKey:

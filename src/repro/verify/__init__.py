@@ -30,9 +30,25 @@ from repro.verify.golden import (
 )
 from repro.verify.jobs import FuzzJob, VERIFY_POLICIES, plan_fuzz_jobs
 from repro.verify.oracle import ORACLE_POLICIES, OracleCache, make_oracle_policy
+from repro.verify.system import (
+    HIERARCHY_VERIFY_POLICIES,
+    MULTICORE_VERIFY_POLICIES,
+    SystemDivergence,
+    SystemFuzzJob,
+    diff_hierarchy,
+    diff_multicore,
+    plan_system_jobs,
+)
 
 __all__ = [
     "Divergence",
+    "HIERARCHY_VERIFY_POLICIES",
+    "MULTICORE_VERIFY_POLICIES",
+    "SystemDivergence",
+    "SystemFuzzJob",
+    "diff_hierarchy",
+    "diff_multicore",
+    "plan_system_jobs",
     "FUZZ_GEOMETRIES",
     "FuzzJob",
     "GOLDEN_SPECS",

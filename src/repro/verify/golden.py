@@ -30,7 +30,9 @@ from repro.verify.fuzzer import fuzz_trace
 from repro.verify.jobs import VERIFY_POLICIES
 
 #: corpus format version; bump when the record layout changes.
-GOLDEN_VERSION = 1
+#: v2 added the ``hierarchy`` and ``multicore`` system sections (the
+#: per-policy single-cache records are unchanged from v1).
+GOLDEN_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -66,6 +68,41 @@ GOLDEN_SPECS = (
 )
 
 
+@dataclass(frozen=True)
+class SystemGoldenSpec:
+    """One fixed system-level (hierarchy or multicore) corpus trace.
+
+    ``geometry`` indexes the menus in :mod:`repro.verify.system`; the
+    resolved geometry is recorded alongside the results, so a menu
+    reshuffle shows up as golden drift instead of silently re-keying.
+    """
+
+    name: str
+    target: str  # "hierarchy" | "multicore"
+    scenario: str
+    seed: int
+    geometry: int
+    length: int
+
+
+#: LLC policies pinned at the system level.  A subset of the verified
+#: single-cache set (plus UCP, which only exists multicore) -- enough to
+#: cover the stamp-LRU fast path, RRIP machinery, partitioning, and RWP.
+HIERARCHY_GOLDEN_POLICIES = ("lru", "drrip", "rwp")
+MULTICORE_GOLDEN_POLICIES = ("lru", "ucp", "rwp")
+
+SYSTEM_GOLDEN_SPECS = (
+    SystemGoldenSpec("hier_mixed_g1", "hierarchy", "mixed", 6606, 1, 2048),
+    SystemGoldenSpec(
+        "hier_dirty_storm_g0", "hierarchy", "dirty_storm", 7707, 0, 2048
+    ),
+    SystemGoldenSpec("mc4_mixed_g2", "multicore", "mixed", 8808, 2, 1024),
+    SystemGoldenSpec(
+        "mc2_conflict_g1", "multicore", "conflict", 9909, 1, 1024
+    ),
+)
+
+
 def default_goldens_path() -> Path:
     """The checked-in corpus file, next to this module."""
     return Path(__file__).resolve().parent / "goldens.json"
@@ -81,17 +118,150 @@ def _state_digest(sut) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
-def golden_record(policy: str, spec: GoldenSpec) -> Dict[str, object]:
-    """Run one (policy, trace) cell and summarize the outcome."""
+def golden_record(
+    policy: str, spec: GoldenSpec, check_batched: bool = False
+) -> Dict[str, object]:
+    """Run one (policy, trace) cell and summarize the outcome.
+
+    Deliberately the *scalar* replay -- one ``access()`` per record --
+    so the corpus stays independent of the batch driver it also guards.
+    With ``check_batched`` (regeneration time), a second fresh cache
+    replays the same trace through ``run_trace`` and must agree exactly;
+    a golden is never written from a driver that disagrees with its own
+    scalar path.
+    """
+    trace = spec.trace()
     sut = make_sut_cache(policy, spec.config())
-    for address, is_write, pc, _gap in spec.trace():
+    for address, is_write, pc, _gap in trace:
         sut.access(address, is_write, pc)
     stats = {name: getattr(sut, name) for name in COMPARED_STATS}
-    return {"state_digest": _state_digest(sut), "stats": stats}
+    record = {"state_digest": _state_digest(sut), "stats": stats}
+    if check_batched:
+        batched = make_sut_cache(policy, spec.config())
+        batched.run_trace(trace.decoded(spec.config()))
+        batched_stats = {
+            name: getattr(batched, name) for name in COMPARED_STATS
+        }
+        if batched_stats != stats or _state_digest(batched) != record[
+            "state_digest"
+        ]:
+            raise AssertionError(
+                f"scalar and batched replay disagree for policy "
+                f"{policy!r} on trace {spec.name!r}: scalar {stats} / "
+                f"{record['state_digest']}, batched {batched_stats} / "
+                f"{_state_digest(batched)} -- refusing to regenerate "
+                "goldens from an inconsistent driver"
+            )
+    return record
+
+
+def _jsonify(record: Dict[str, object]) -> Dict[str, object]:
+    """Normalize a record through a JSON round trip (tuples -> lists),
+    so comparisons against the loaded corpus are apples-to-apples."""
+    return json.loads(json.dumps(record))
+
+
+def system_golden_record(
+    policy: str, spec: SystemGoldenSpec, check_scalar: bool = False
+) -> Dict[str, object]:
+    """Run one system-level cell (production batched path) and pin it.
+
+    With ``check_scalar`` (regeneration time), the batched-vs-scalar
+    system differ must pass first: a golden is never written from a
+    driver that disagrees with its own scalar specification.
+    """
+    from repro.verify.system import (
+        HIERARCHY_GEOMETRIES,
+        MULTICORE_GEOMETRIES,
+        _system_policy,
+        diff_hierarchy,
+        diff_multicore,
+        small_hierarchy,
+    )
+    from repro.verify.fuzzer import SCENARIOS
+
+    if spec.target == "hierarchy":
+        from repro.hierarchy.system import MemoryHierarchy
+
+        geometry = HIERARCHY_GEOMETRIES[spec.geometry]
+        config = small_hierarchy(geometry)
+        llc_sets, llc_ways = geometry[2]
+        trace = fuzz_trace(
+            spec.scenario, spec.seed, llc_sets, llc_ways, spec.length
+        )
+        if check_scalar:
+            divergence = diff_hierarchy(policy, trace, config)
+            if divergence is not None:
+                raise AssertionError(divergence.describe())
+        hierarchy = MemoryHierarchy(config, _system_policy(policy))
+        counts = hierarchy.run_trace(trace)
+        blob = json.dumps(
+            {
+                "stats": hierarchy.snapshot(),
+                "state": [
+                    sorted(
+                        [line.tag, bool(line.dirty)]
+                        for line in s.lines
+                        if line.valid
+                    )
+                    for cache in hierarchy.all_caches()
+                    for s in cache.sets
+                ],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return {
+            "geometry": [list(row) for row in geometry],
+            "counts": counts,
+            "memory_reads": hierarchy.memory.reads,
+            "memory_writes": hierarchy.memory.writes,
+            "state_digest": hashlib.sha256(
+                blob.encode("utf-8")
+            ).hexdigest()[:16],
+        }
+
+    from repro.multicore.shared import SharedLLCSystem
+
+    num_cores, llc_sets, ways = MULTICORE_GEOMETRIES[spec.geometry]
+    config = small_hierarchy(((4, 2), (8, 4), (llc_sets, ways)))
+    traces = [
+        fuzz_trace(
+            SCENARIOS[(SCENARIOS.index(spec.scenario) + core) % len(SCENARIOS)],
+            spec.seed + core,
+            llc_sets,
+            ways,
+            spec.length,
+        )
+        for core in range(num_cores)
+    ]
+    warmup = spec.length // 4
+    if check_scalar:
+        divergence = diff_multicore(policy, traces, config, num_cores, warmup)
+        if divergence is not None:
+            raise AssertionError(divergence.describe())
+    system = SharedLLCSystem(config, num_cores, _system_policy(policy, num_cores))
+    result = system.run(traces, warmup=warmup)
+    return {
+        "geometry": [num_cores, llc_sets, ways],
+        "cores": [
+            {
+                "instructions": core.instructions,
+                "cycles": core.cycles,
+                "read_hits": core.read_hits,
+                "read_misses": core.read_misses,
+                "write_hits": core.write_hits,
+                "write_misses": core.write_misses,
+            }
+            for core in result.cores
+        ],
+        "llc_digest": _state_digest(system.llc),
+    }
 
 
 def compute_goldens(policies=VERIFY_POLICIES) -> Dict[str, object]:
-    """The full corpus: {policy: {trace_name: record}} plus metadata."""
+    """The full corpus: per-policy single-cache records plus the
+    hierarchy and multicore system sections, with trace metadata."""
     corpus: Dict[str, object] = {
         "version": GOLDEN_VERSION,
         "traces": {
@@ -106,10 +276,36 @@ def compute_goldens(policies=VERIFY_POLICIES) -> Dict[str, object]:
         },
         "policies": {
             policy: {
-                spec.name: golden_record(policy, spec)
+                spec.name: golden_record(policy, spec, check_batched=True)
                 for spec in GOLDEN_SPECS
             }
             for policy in policies
+        },
+        "system_traces": {
+            spec.name: {
+                "target": spec.target,
+                "scenario": spec.scenario,
+                "seed": spec.seed,
+                "geometry": spec.geometry,
+                "length": spec.length,
+            }
+            for spec in SYSTEM_GOLDEN_SPECS
+        },
+        "hierarchy": {
+            policy: {
+                spec.name: system_golden_record(policy, spec, check_scalar=True)
+                for spec in SYSTEM_GOLDEN_SPECS
+                if spec.target == "hierarchy"
+            }
+            for policy in HIERARCHY_GOLDEN_POLICIES
+        },
+        "multicore": {
+            policy: {
+                spec.name: system_golden_record(policy, spec, check_scalar=True)
+                for spec in SYSTEM_GOLDEN_SPECS
+                if spec.target == "multicore"
+            }
+            for policy in MULTICORE_GOLDEN_POLICIES
         },
     }
     return corpus
@@ -170,6 +366,54 @@ def check_goldens(path: "Path | str | None" = None) -> List[str]:
             problem = _compare_record(policy, spec, recorded)
             if problem is not None:
                 problems.append(problem)
+    problems.extend(_check_system_section(corpus, "hierarchy"))
+    problems.extend(_check_system_section(corpus, "multicore"))
+    return problems
+
+
+def _check_system_section(corpus: Dict[str, object], target: str) -> List[str]:
+    """Re-run and compare one system section of the corpus."""
+    problems: List[str] = []
+    policies = (
+        HIERARCHY_GOLDEN_POLICIES
+        if target == "hierarchy"
+        else MULTICORE_GOLDEN_POLICIES
+    )
+    recorded_section: Dict[str, Dict] = corpus.get(target, {})
+    for policy in policies:
+        recorded_traces = recorded_section.get(policy)
+        if recorded_traces is None:
+            problems.append(
+                f"{target} policy {policy!r} missing from the golden "
+                "corpus: regenerate with `python -m repro verify "
+                "--regen-goldens`"
+            )
+            continue
+        for spec in SYSTEM_GOLDEN_SPECS:
+            if spec.target != target:
+                continue
+            recorded = recorded_traces.get(spec.name)
+            if recorded is None:
+                problems.append(
+                    f"{target} policy {policy!r} has no golden for trace "
+                    f"{spec.name!r}: regenerate with `python -m repro "
+                    "verify --regen-goldens`"
+                )
+                continue
+            current = _jsonify(system_golden_record(policy, spec))
+            if current != recorded:
+                keys = [
+                    key for key in current if current[key] != recorded.get(key)
+                ]
+                problems.append(
+                    f"golden drift: {target} policy {policy!r} on trace "
+                    f"{spec.name!r}: diverging field(s) {keys} (golden "
+                    f"{ {k: recorded.get(k) for k in keys} }, current "
+                    f"{ {k: current[k] for k in keys} }).  If this change "
+                    "is intentional, regenerate with `python -m repro "
+                    "verify --regen-goldens` and review the diff; "
+                    "otherwise the batched system drivers regressed."
+                )
     return problems
 
 
