@@ -1,0 +1,56 @@
+"""F9b -- core-aware RWP on the shared LLC (4-core and 8-core mixes).
+
+Extension of F9: the per-core read-write partitioner (``rwp-core``)
+against global RWP and LRU, at two system scales.  The core-aware
+arbiter should hold RWP's single-partition gains while redistributing
+ways between cores of unequal read-hit utility, so its geomean weighted
+speedup over LRU should stay competitive with global RWP on both the
+4-core and the 8-core mix sets.
+"""
+
+from conftest import PER_CORE_SCALE, report
+
+from repro.experiments.multicore_exp import normalized_ws, run_mix_grid
+from repro.experiments.tables import format_percent, format_table
+from repro.multicore.metrics import geometric_mean
+from repro.trace.mixes import mix_names
+
+POLICIES = ("lru", "rwp", "rwp-core")
+
+
+def run_core_count(core_count: int) -> tuple:
+    mixes = mix_names(core_count)
+    grid = run_mix_grid(mixes, POLICIES, PER_CORE_SCALE)
+    normalized = normalized_ws(grid, mixes, POLICIES)
+    rows = [
+        [mix] + [normalized[p][i] for p in POLICIES]
+        for i, mix in enumerate(mixes)
+    ]
+    geo = {p: geometric_mean(normalized[p]) for p in POLICIES}
+    rows.append(["GEOMEAN"] + [geo[p] for p in POLICIES])
+    table = format_table(["mix", *POLICIES], rows)
+    summary = "  ".join(f"{p}={format_percent(geo[p])}" for p in POLICIES)
+    return table + f"\n\nnormalized weighted speedup: {summary}", geo
+
+
+def run() -> tuple:
+    table4, geo4 = run_core_count(4)
+    table8, geo8 = run_core_count(8)
+    body = f"--- 4-core mixes ---\n{table4}\n\n--- 8-core mixes ---\n{table8}"
+    return body, geo4, geo8
+
+
+def test_f9b_core_rwp_weighted_speedup(benchmark):
+    body, geo4, geo8 = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "F9b: core-aware RWP weighted speedup normalized to LRU "
+        "(4-core and 8-core mixes)",
+        body,
+    )
+    for geo in (geo4, geo8):
+        # Improves on the LRU baseline at both scales...
+        assert geo["rwp-core"] > 1.02
+        # ...and stays within a small margin of global RWP (the arbiter
+        # must not squander the single-partition gains; on homogeneous
+        # mixes the per-core floors cost a little way-allocation slack).
+        assert geo["rwp-core"] > geo["rwp"] - 0.05

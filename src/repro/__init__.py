@@ -23,6 +23,7 @@ Layers (see DESIGN.md):
 
 from repro.cache import (
     OPTPolicy,
+    PolicySpec,
     ReadOPTPolicy,
     ReplacementPolicy,
     SetAssociativeCache,
@@ -49,12 +50,14 @@ from repro.cpu import HierarchyRunner, LLCRunner, RunResult
 from repro.hierarchy import MemoryHierarchy
 from repro.multicore import SharedLLCSystem, weighted_speedup
 from repro.trace import (
+    MixSpec,
     Trace,
     WorkloadModel,
     all_models,
     benchmark_names,
     make_model,
     mix_names,
+    mix_specs,
     sensitive_names,
 )
 
@@ -68,7 +71,9 @@ __all__ = [
     "LLCRunner",
     "MemoryConfig",
     "MemoryHierarchy",
+    "MixSpec",
     "OPTPolicy",
+    "PolicySpec",
     "RRPPolicy",
     "RWPPolicy",
     "ReadOPTPolicy",
@@ -84,6 +89,7 @@ __all__ = [
     "make_model",
     "make_policy",
     "mix_names",
+    "mix_specs",
     "overhead_ratio",
     "overhead_report",
     "paper_system_config",

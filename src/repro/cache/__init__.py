@@ -27,6 +27,7 @@ from repro.cache.policy import (
     policy_names,
     register_policy,
 )
+from repro.cache.policyspec import PolicySpec
 
 __all__ = [
     "AccessOutcome",
@@ -35,6 +36,7 @@ __all__ = [
     "NEVER",
     "OPTPolicy",
     "POLICY_REGISTRY",
+    "PolicySpec",
     "ReadOPTPolicy",
     "ReplacementPolicy",
     "SaturatingCounter",

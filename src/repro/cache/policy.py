@@ -326,19 +326,30 @@ def register_policy(name: str, factory: PolicyFactory) -> None:
     POLICY_REGISTRY[name] = factory
 
 
-def make_policy(name: str) -> ReplacementPolicy:
-    """Instantiate a registered policy by name."""
+def make_policy(name) -> ReplacementPolicy:
+    """Instantiate a registered policy by name, spec string, or PolicySpec.
+
+    Accepts a bare registry name (``"rwp"``), a canonical spec string
+    (``"rwp-core:epoch=512"``), or a
+    :class:`~repro.cache.policyspec.PolicySpec`; spec kwargs are passed
+    to the policy constructor.
+    """
     # Importing the zoo lazily avoids import cycles while keeping
     # string-driven construction a one-liner for harnesses.
     from repro.cache import _ensure_policies_loaded
+    from repro.cache.policyspec import PolicySpec
 
     _ensure_policies_loaded()
-    factory = POLICY_REGISTRY.get(name)
+    spec = PolicySpec.coerce(name)
+    factory = POLICY_REGISTRY.get(spec.name)
     if factory is None:
         raise KeyError(
-            f"unknown policy {name!r}; known: {sorted(POLICY_REGISTRY)}"
+            f"unknown policy {spec.name!r}; known: {sorted(POLICY_REGISTRY)}"
         )
-    return factory()
+    try:
+        return factory(**spec.kwargs_dict())
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for policy {spec}: {exc}") from None
 
 
 def policy_names() -> List[str]:

@@ -56,38 +56,84 @@ class UtilityMonitor:
         self.position_hits = [count // 2 for count in self.position_hits]
 
 
+def lookahead_allocate(
+    curves: List[List[int]], total_ways: int, floors: List[int]
+) -> List[int]:
+    """Qureshi's lookahead allocation over arbitrary utility curves.
+
+    ``curves[i][k]`` is the cumulative utility of giving ``k`` ways to
+    claimant ``i`` (``k`` ranges over ``0..len(curve)-1``); ``floors[i]``
+    is the minimum allocation claimant ``i`` must receive.  Ways beyond
+    the floors go, one bundle at a time, to the claimant with the highest
+    marginal utility per way over its best lookahead window.  Ties keep
+    the earlier claimant and the first (smallest) span -- comparisons are
+    strict -- so the result is deterministic in curve order.
+
+    UCP calls this with one LRU hit curve per core and a floor of one
+    way each; core-aware RWP calls it with a clean curve and a dirty
+    curve per core, so the same greedy arbitrates 2N partitions.
+    """
+    if len(floors) != len(curves):
+        raise ValueError("floors must match curves")
+    if sum(floors) > total_ways:
+        raise ValueError("floors exceed total ways")
+    allocation = list(floors)
+    remaining = total_ways - sum(floors)
+    while remaining > 0:
+        best_index = -1
+        best_rate = -1.0
+        best_span = 1
+        for index, curve in enumerate(curves):
+            current = allocation[index]
+            max_span = min(remaining, len(curve) - 1 - current)
+            base = curve[current]
+            for span in range(1, max_span + 1):
+                gain = curve[current + span] - base
+                rate = gain / span
+                if rate > best_rate:
+                    best_rate = rate
+                    best_index = index
+                    best_span = span
+        if best_index < 0:
+            # Every curve saturated: give the remainder to the first
+            # claimant that can still hold more ways.
+            for index, curve in enumerate(curves):
+                if allocation[index] < len(curve) - 1:
+                    best_index, best_span = index, 1
+                    break
+            else:
+                break
+        allocation[best_index] += best_span
+        remaining -= best_span
+    return allocation
+
+
+def _hit_curve(monitor: UtilityMonitor, total_ways: int) -> List[int]:
+    """Cumulative LRU hit curve of one UMON, length ``total_ways + 1``."""
+    curve = [0] * (total_ways + 1)
+    running = 0
+    hits = monitor.position_hits
+    for position in range(total_ways):
+        if position < len(hits):
+            running += hits[position]
+        curve[position + 1] = running
+    return curve
+
+
 def lookahead_partition(monitors: List[UtilityMonitor], total_ways: int) -> List[int]:
     """Qureshi's lookahead allocation: maximize summed marginal utility.
 
     Every core is guaranteed at least one way.  Remaining ways go, one
     bundle at a time, to the core with the highest marginal utility per
-    way over its best lookahead window.
+    way over its best lookahead window.  Thin wrapper over
+    :func:`lookahead_allocate` with one hit curve and a floor of one way
+    per core.
     """
     num_cores = len(monitors)
     if total_ways < num_cores:
         raise ValueError("need at least one way per core")
-    allocation = [1] * num_cores
-    remaining = total_ways - num_cores
-    while remaining > 0:
-        best_core = -1
-        best_rate = -1.0
-        best_span = 1
-        for core, monitor in enumerate(monitors):
-            current = allocation[core]
-            max_span = min(remaining, total_ways - current)
-            base = monitor.utility(current)
-            for span in range(1, max_span + 1):
-                gain = monitor.utility(current + span) - base
-                rate = gain / span
-                if rate > best_rate:
-                    best_rate = rate
-                    best_core = core
-                    best_span = span
-        if best_core < 0:
-            best_core, best_span = 0, 1
-        allocation[best_core] += best_span
-        remaining -= best_span
-    return allocation
+    curves = [_hit_curve(monitor, total_ways) for monitor in monitors]
+    return lookahead_allocate(curves, total_ways, [1] * num_cores)
 
 
 class UCPPolicy(ReplacementPolicy):

@@ -5,9 +5,10 @@ Commands
 ``list``        available benchmarks (by category) and policies
 ``run``         one benchmark under one policy; prints the full result
 ``compare``     one benchmark under several policies, as a table
-``mix``         a 4-core mix under one or more policies
+``mix``         a multicore mix (2/4/8/16-core) under one or more policies
 ``sweep``       a full (benchmark x policy) grid through the engine:
-                parallel (``--jobs``), persistent (``--store``), resumable
+                parallel (``--jobs``), persistent (``--store``), resumable;
+                ``--mode multicore`` sweeps (mix x policy) over core counts
 ``overhead``    the RWP-vs-RRP state budget (paper Table 2)
 ``motivation``  read/write traffic + line-class breakdown for a benchmark
 ``bench``       hot-path throughput (accesses/sec per policy), with JSON
@@ -19,6 +20,11 @@ All simulation commands accept ``--llc-lines`` (cache size in 64 B lines)
 and ``--accesses`` / ``--warmup-frac`` to trade fidelity for speed, plus
 the engine knobs ``--jobs N`` (worker processes), ``--store PATH`` /
 ``--no-store`` (on-disk result cache), and ``--timeout SECONDS``.
+
+Everywhere a policy is named, a :class:`~repro.cache.PolicySpec` string
+is accepted too: ``name:key=value:key=value`` (for example
+``rwp:epoch=4096`` or ``rwp-core:num_cores=8``), so parameterized
+variants can be swept without code changes.
 """
 
 from __future__ import annotations
@@ -39,7 +45,7 @@ from repro.experiments.runner import (
     speedups_over,
 )
 from repro.experiments.tables import format_percent, format_table
-from repro.trace.mixes import mix_names
+from repro.trace.mixes import get_mix, mix_names, mix_specs
 from repro.trace.spec import ALL_PARAMS, benchmark_names, sensitive_names
 
 
@@ -129,7 +135,11 @@ def cmd_list(args: argparse.Namespace) -> int:
         print(f"  {category:10} {', '.join(names)}")
     micro = sorted(n for n in ALL_PARAMS if n.startswith("micro_"))
     print(f"  {'micro':10} {', '.join(micro)}")
-    print(f"\nmixes:      {', '.join(mix_names())}")
+    print("\nmixes:")
+    core_counts = sorted({spec.core_count for spec in mix_specs()})
+    for count in core_counts:
+        names = mix_names(count)
+        print(f"  {f'{count}-core':10} {', '.join(names)}")
     print(f"\npolicies:   {', '.join(policy_names())}")
     return 0
 
@@ -224,11 +234,15 @@ def cmd_mix(args: argparse.Namespace) -> int:
                 result.fairness,
             ]
         )
+    cores = get_mix(args.mix).core_count
     print(
         format_table(
             ["policy", "weighted_speedup", "harmonic", "throughput", "fairness"],
             rows,
-            title=f"{args.mix} (4 cores, shared {4 * scale.llc_lines} lines)",
+            title=(
+                f"{args.mix} ({cores} cores, "
+                f"shared {cores * scale.llc_lines} lines)"
+            ),
         )
     )
     return 0
@@ -260,6 +274,96 @@ def _sweep_benchmarks(selection: str) -> list:
     return selection.split(",")
 
 
+def _sweep_multicore(args: argparse.Namespace) -> int:
+    """Run a (mix x policy) grid over the requested core counts."""
+    from repro.engine import MixJob, ProgressReporter, job_key, run_jobs
+    from repro.engine.keys import scale_payload
+    from repro.experiments.multicore_exp import (
+        MULTICORE_POLICIES,
+        normalized_ws,
+    )
+    from repro.multicore.metrics import geometric_mean
+
+    per_core = _scale_from(args)
+    core_counts = [int(count) for count in args.cores.split(",")]
+    if args.mixes == "all":
+        mixes = [
+            name for count in core_counts for name in mix_names(count)
+        ]
+    else:
+        mixes = args.mixes.split(",")
+    if not mixes:
+        raise ValueError(
+            f"no mixes registered for core counts {core_counts}"
+        )
+    policies = (
+        args.policies.split(",") if args.policies
+        else list(MULTICORE_POLICIES)
+    )
+    store = _store_from(args)
+
+    job_list = [
+        MixJob(mix, policy, per_core, num_cores=get_mix(mix).core_count)
+        for mix in mixes
+        for policy in policies
+    ]
+    journal = args.journal
+    if journal is None and store is not None:
+        sweep_id = job_key(
+            {
+                "kind": "sweep-multicore",
+                "mixes": mixes,
+                "policies": policies,
+                "scale": scale_payload(per_core),
+            }
+        )[:16]
+        journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
+
+    outcome = run_jobs(
+        job_list,
+        max_workers=args.jobs,
+        store=store,
+        journal=journal,
+        timeout=args.timeout,
+        progress=ProgressReporter(len(job_list), enabled=not args.quiet),
+    )
+    grid = {
+        (job.mix, job.policy): result
+        for job, result in outcome.results.items()
+    }
+
+    baseline = policies[0]
+    normalized = normalized_ws(grid, mixes, policies, baseline=baseline)
+    rows = [
+        [
+            f"{mix} ({get_mix(mix).core_count}c)",
+            *(normalized[policy][index] for policy in policies),
+        ]
+        for index, mix in enumerate(mixes)
+    ]
+    rows.append(
+        ["GEOMEAN", *(geometric_mean(normalized[policy]) for policy in policies)]
+    )
+    print(
+        format_table(
+            ["mix", *policies],
+            rows,
+            title=(
+                f"weighted speedup over {baseline} "
+                f"@ {per_core.llc_lines} lines/core"
+            ),
+        )
+    )
+
+    stats = outcome.stats
+    print(
+        f"jobs: {stats.total}  simulated: {stats.simulated}  "
+        f"cache_hits: {stats.cache_hits}  resumed: {stats.resumed}  "
+        f"failed: {stats.failed}  wall: {stats.wall_seconds:.1f}s"
+    )
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     """Run a (benchmark x policy) grid through the engine."""
     from repro.engine import ProgressReporter, RunJob, job_key, run_jobs
@@ -267,9 +371,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.export import export_grid
     from repro.multicore.metrics import geometric_mean
 
+    if args.mode == "multicore":
+        return _sweep_multicore(args)
+
     scale = _scale_from(args)
     benches = _sweep_benchmarks(args.benchmarks)
-    policies = args.policies.split(",")
+    policies = (
+        args.policies.split(",") if args.policies
+        else list(SINGLE_CORE_POLICIES)
+    )
     store = _store_from(args)
 
     job_list = [
@@ -565,7 +675,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one benchmark+policy")
     run_parser.add_argument("benchmark")
-    run_parser.add_argument("--policy", "-p", default="rwp")
+    run_parser.add_argument(
+        "--policy",
+        "-p",
+        default="rwp",
+        help="policy name or PolicySpec string like 'rwp:epoch=4096'",
+    )
     run_parser.add_argument(
         "--mode",
         choices=("llc", "hierarchy"),
@@ -583,9 +698,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_options(compare_parser)
     _add_engine_options(compare_parser)
 
-    mix_parser = sub.add_parser("mix", help="run a 4-core mix")
+    mix_parser = sub.add_parser("mix", help="run a multicore mix")
     mix_parser.add_argument("mix")
-    mix_parser.add_argument("--policies", "-p", default="lru,tadrrip,ucp,rwp")
+    mix_parser.add_argument(
+        "--policies",
+        "-p",
+        default="lru,tadrrip,ucp,rwp,rwp-core",
+        help="comma-separated policy names or PolicySpec strings",
+    )
     _add_scale_options(mix_parser)
     _add_engine_options(mix_parser)
 
@@ -594,13 +714,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a (benchmark x policy) grid: parallel, cached, resumable",
     )
     sweep_parser.add_argument(
+        "--mode",
+        choices=("single", "multicore"),
+        default="single",
+        help=(
+            "'single' (default): benchmark x policy grid; 'multicore': "
+            "mix x policy grid over --cores core counts"
+        ),
+    )
+    sweep_parser.add_argument(
         "--benchmarks",
         "-b",
         default="all",
-        help="'all', 'sensitive', or a comma-separated list",
+        help="'all', 'sensitive', or a comma-separated list (single mode)",
     )
     sweep_parser.add_argument(
-        "--policies", "-p", default=",".join(SINGLE_CORE_POLICIES)
+        "--cores",
+        default="2,4,8",
+        help="comma-separated core counts to sweep (multicore mode)",
+    )
+    sweep_parser.add_argument(
+        "--mixes",
+        default="all",
+        help=(
+            "'all' (every mix at the swept core counts) or a "
+            "comma-separated mix list (multicore mode)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--policies",
+        "-p",
+        default=None,
+        help=(
+            "comma-separated policy names or PolicySpec strings like "
+            "'rwp:epoch=4096' (default: the mode's standard roster)"
+        ),
     )
     sweep_parser.add_argument(
         "--journal",

@@ -32,8 +32,9 @@ from repro.cache.policy import (
     ReplacementPolicy,
     register_policy,
 )
+from repro.cache.ucp import lookahead_allocate
 from repro.core.partition import best_split
-from repro.core.sampler import ReadWriteSampler
+from repro.core.sampler import CoreReadWriteSampler, ReadWriteSampler
 
 _BY_STAMP = attrgetter("stamp")
 
@@ -159,4 +160,183 @@ class RWPPolicy(RecencyStampMixin, ReplacementPolicy):
         return info
 
 
+def _prefix_curve(hits: List[int], ways: int) -> List[int]:
+    """Cumulative read-hit curve: ``curve[k]`` = hits in the top ``k`` ways."""
+    curve = [0] * (ways + 1)
+    running = 0
+    for position in range(ways):
+        if position < len(hits):
+            running += hits[position]
+        curve[position + 1] = running
+    return curve
+
+
+def core_rwp_targets(
+    clean_curves: List[List[int]],
+    dirty_curves: List[List[int]],
+    total_ways: int,
+) -> List[tuple]:
+    """Arbitrate per-core clean/dirty way budgets by marginal read-hit utility.
+
+    Each core contributes two claimants to Qureshi's lookahead greedy --
+    its clean curve and its dirty curve -- so one pass over 2N curves
+    jointly decides both the inter-core shares and each core's
+    clean/dirty split.  Every core is guaranteed one way, placed on
+    whichever of its partitions earns more read hits at depth one (ties
+    keep clean: a clean way never owes a writeback).
+
+    Returns one ``(clean_ways, dirty_ways)`` tuple per core.
+    """
+    num_cores = len(clean_curves)
+    if total_ways < num_cores:
+        raise ValueError("need at least one way per core")
+    curves: List[List[int]] = []
+    floors: List[int] = []
+    for core in range(num_cores):
+        clean, dirty = clean_curves[core], dirty_curves[core]
+        prefer_clean = clean[1] >= dirty[1]
+        curves.append(clean)
+        floors.append(1 if prefer_clean else 0)
+        curves.append(dirty)
+        floors.append(0 if prefer_clean else 1)
+    allocation = lookahead_allocate(curves, total_ways, floors)
+    return [
+        (allocation[2 * core], allocation[2 * core + 1])
+        for core in range(num_cores)
+    ]
+
+
+class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
+    """Per-core read-write partitioning for a shared LLC.
+
+    The global :class:`RWPPolicy` sizes one chip-wide clean/dirty split
+    from an aggregate sampler, so a write-heavy co-runner dilutes the
+    signal of a read-sensitive one.  This variant attributes the shadow
+    sampler's read-hit histograms per ``(core, partition,
+    recency-position)`` and, each epoch, runs the UCP lookahead greedy
+    over all ``2 * num_cores`` utility curves at once: every core
+    receives a clean way budget and a dirty way budget whose marginal
+    read-hit utility is maximized under the shared associativity
+    constraint.
+
+    ``victim`` enforces the targets softly, like UCP: lines of
+    ``(core, partition)`` groups at or above budget are eviction
+    candidates (LRU among them); under-budget groups are protected.  If
+    every occupied group is under budget -- a core under-occupying its
+    share -- the set falls back to whole-set LRU, so no way is ever
+    held idle.
+    """
+
+    bypasses = False
+    trains_on_evict = False
+
+    def __init__(
+        self,
+        num_cores: int = 4,
+        epoch: int = DEFAULT_EPOCH,
+        sampling: int | None = None,
+    ) -> None:
+        super().__init__()
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        if epoch < 1:
+            raise ValueError("epoch must be >= 1")
+        self.num_cores = num_cores
+        self._epoch = epoch
+        self._sampling = sampling
+        self._clock = 0
+        self._accesses = 0
+        self.sampler: CoreReadWriteSampler | None = None
+        self.clean_targets: List[int] = []
+        self.dirty_targets: List[int] = []
+        #: (access_count, ((clean, dirty), ...)) decision log
+        self.decision_history: List[tuple] = []
+
+    def attach(self, cache) -> None:
+        super().attach(cache)
+        config = cache.config
+        ways = config.ways
+        if ways < self.num_cores:
+            raise ValueError(
+                f"core-aware RWP needs ways >= cores ({ways} < {self.num_cores})"
+            )
+        sampling = self._sampling
+        if sampling is None:
+            sampling = max(1, config.num_sets // TARGET_SAMPLED_SETS)
+        self.sampler = CoreReadWriteSampler(
+            ways, config.num_sets, sampling, self.num_cores
+        )
+        self.sample_stride = sampling
+        self.epoch_period = self._epoch
+        self.on_sample = self.sampler.observe
+        # Start from an even inter-core split, each share balanced
+        # clean/dirty; the first epoch corrects this from evidence.
+        base = ways // self.num_cores
+        shares = [base] * self.num_cores
+        shares[0] += ways - base * self.num_cores
+        self.clean_targets = [share // 2 for share in shares]
+        self.dirty_targets = [share - share // 2 for share in shares]
+
+    # -- sampling & repartitioning ----------------------------------------
+    def on_epoch(self) -> None:
+        self._accesses += self._epoch
+        self._repartition()
+
+    def _repartition(self) -> None:
+        sampler = self.sampler
+        ways = self.cache.config.ways
+        clean_curves = [
+            _prefix_curve(sampler.clean_hits_of(core), ways)
+            for core in range(self.num_cores)
+        ]
+        dirty_curves = [
+            _prefix_curve(sampler.dirty_hits_of(core), ways)
+            for core in range(self.num_cores)
+        ]
+        targets = core_rwp_targets(clean_curves, dirty_curves, ways)
+        self.clean_targets = [clean for clean, _ in targets]
+        self.dirty_targets = [dirty for _, dirty in targets]
+        self.decision_history.append((self._accesses, tuple(targets)))
+        sampler.decay()
+
+    # -- replacement -------------------------------------------------------
+    def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
+        # Soft enforcement over (core, partition) groups: count this
+        # set's occupancy per group, then evict LRU among lines whose
+        # group is at or above its way budget.  Under-budget groups are
+        # protected; if every occupied group is under budget (a core
+        # under-occupies its share), fall back to whole-set LRU.
+        num_cores = self.num_cores
+        clean_occ = [0] * num_cores
+        dirty_occ = [0] * num_cores
+        lines = cache_set.lines
+        for line in lines:
+            owner = line.owner % num_cores
+            if line.dirty:
+                dirty_occ[owner] += 1
+            else:
+                clean_occ[owner] += 1
+        clean_targets = self.clean_targets
+        dirty_targets = self.dirty_targets
+        pool = []
+        for line in lines:
+            owner = line.owner % num_cores
+            if line.dirty:
+                if dirty_occ[owner] >= dirty_targets[owner]:
+                    pool.append(line)
+            elif clean_occ[owner] >= clean_targets[owner]:
+                pool.append(line)
+        if not pool:
+            pool = lines
+        return min(pool, key=_BY_STAMP)
+
+    def describe(self):
+        info = super().describe()
+        info["num_cores"] = self.num_cores
+        info["clean_targets"] = list(self.clean_targets)
+        info["dirty_targets"] = list(self.dirty_targets)
+        return info
+
+
 register_policy("rwp", RWPPolicy)
+register_policy("rwp-core", CoreAwareRWPPolicy)

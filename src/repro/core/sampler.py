@@ -105,3 +105,61 @@ class ReadWriteSampler:
     @property
     def sampled_set_count(self) -> int:
         return len(self._sets)
+
+
+class CoreReadWriteSampler:
+    """Core-attributed clean/dirty read-hit histograms.
+
+    One :class:`ReadWriteSampler` per core; accesses are routed by the
+    issuing core so each core's shadow stacks measure only its own
+    reuse.  In the shared LLC the per-core address spaces are disjoint
+    (cores are offset by ``CORE_ADDRESS_STRIDE``), so routing by core
+    keeps the same tags in the same stacks while attributing every read
+    hit to the core that would have enjoyed it.
+
+    The per-core histograms are the signal for the UCP-style lookahead
+    arbiter in :class:`~repro.core.rwp.CoreAwareRWPPolicy`: each core
+    contributes one clean and one dirty utility curve.
+    """
+
+    def __init__(
+        self, ways: int, num_sets: int, sampling: int = 16, num_cores: int = 1
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be >= 1")
+        self.num_cores = num_cores
+        self.samplers = [
+            ReadWriteSampler(ways, num_sets, sampling) for _ in range(num_cores)
+        ]
+        self.ways = ways
+        self.sampling = self.samplers[0].sampling
+
+    def is_sampled(self, set_index: int) -> bool:
+        return set_index % self.sampling == 0
+
+    def observe(
+        self, set_index: int, tag: int, is_write: bool, pc: int = 0, core: int = 0
+    ) -> None:
+        """Route one sampled access to the issuing core's shadow stacks.
+
+        Signature-compatible with a policy's ``on_sample`` hook (the
+        batch drivers call it as ``(set_index, tag, is_write, pc, core)``).
+        """
+        self.samplers[core % self.num_cores].observe(set_index, tag, is_write)
+
+    def clean_hits_of(self, core: int) -> List[int]:
+        return self.samplers[core % self.num_cores].clean_hits
+
+    def dirty_hits_of(self, core: int) -> List[int]:
+        return self.samplers[core % self.num_cores].dirty_hits
+
+    def decay(self) -> None:
+        for sampler in self.samplers:
+            sampler.decay()
+
+    def total_read_hits(self) -> int:
+        return sum(sampler.total_read_hits() for sampler in self.samplers)
+
+    @property
+    def sampled_set_count(self) -> int:
+        return sum(sampler.sampled_set_count for sampler in self.samplers)

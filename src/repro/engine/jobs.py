@@ -18,9 +18,19 @@ never creates an import cycle with ``repro.experiments``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, ClassVar, Dict, Optional
+from typing import TYPE_CHECKING, ClassVar, Dict, Optional, Union
 
+from repro.cache.policyspec import PolicySpec
 from repro.engine.keys import job_key, scale_payload
+
+
+def _policy_key(policy: Union[str, PolicySpec]) -> str:
+    """Canonical policy string for payloads/labels.
+
+    A bare name (or kwarg-free spec) keys as the plain string, so every
+    result stored before :class:`PolicySpec` existed stays warm.
+    """
+    return PolicySpec.coerce(policy).key()
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.core import RunResult
@@ -38,7 +48,7 @@ class RunJob:
     """
 
     benchmark: str
-    policy: str
+    policy: Union[str, PolicySpec]
     scale: "ExperimentScale"
     llc_lines: Optional[int] = None  # geometry override (sweeps)
     ways: Optional[int] = None
@@ -56,7 +66,7 @@ class RunJob:
 
     @property
     def label(self) -> str:
-        base = f"{self.benchmark}/{self.policy}"
+        base = f"{self.benchmark}/{_policy_key(self.policy)}"
         if self.mode != "llc":
             base = f"{self.mode}:{base}"
         if self.llc_lines is None and self.ways is None:
@@ -67,7 +77,7 @@ class RunJob:
         payload: Dict[str, object] = {
             "kind": self.kind,
             "benchmark": self.benchmark,
-            "policy": self.policy,
+            "policy": _policy_key(self.policy),
             "scale": scale_payload(self.scale),
             "geometry": {
                 "llc_lines": self.geometry_lines,
@@ -113,7 +123,7 @@ class MixJob:
     """One multiprogrammed (mix, policy) run on the shared LLC."""
 
     mix: str
-    policy: str
+    policy: Union[str, PolicySpec]
     per_core: "ExperimentScale"
     num_cores: int = 4
 
@@ -121,13 +131,13 @@ class MixJob:
 
     @property
     def label(self) -> str:
-        return f"{self.mix}/{self.policy}"
+        return f"{self.mix}/{_policy_key(self.policy)}"
 
     def payload(self) -> Dict[str, object]:
         return {
             "kind": self.kind,
             "mix": self.mix,
-            "policy": self.policy,
+            "policy": _policy_key(self.policy),
             "per_core": scale_payload(self.per_core),
             "num_cores": self.num_cores,
         }

@@ -211,17 +211,26 @@ def run_system_bench(
     repeats: int | None = None,
     seed: int = 2014,
 ) -> List[BenchResult]:
-    """The hierarchy + multicore bench pair with quick/full sizing."""
+    """The hierarchy + multicore bench pair with quick/full sizing.
+
+    The core-aware partitioner has its own victim path on the shared
+    LLC, so a ``multicore4:rwp-core`` row is always included even when
+    the caller benches the default policy pair.
+    """
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    accesses_per_core = MC_QUICK_ACCESSES if quick else MC_ACCESSES
+    multicore_policies = list(policies)
+    if "rwp-core" not in multicore_policies:
+        multicore_policies.append("rwp-core")
     return run_hierarchy_bench(
         policies,
         accesses=HIER_QUICK_ACCESSES if quick else HIER_ACCESSES,
         repeats=repeats,
         seed=seed,
     ) + run_multicore_bench(
-        policies,
-        accesses_per_core=MC_QUICK_ACCESSES if quick else MC_ACCESSES,
+        multicore_policies,
+        accesses_per_core=accesses_per_core,
         repeats=repeats,
         seed=seed,
     )

@@ -1,6 +1,7 @@
-"""The 4-core evaluation harness (figure F9).
+"""The multicore evaluation harness (figure F9; 2/4/8/16-core mixes).
 
-Methodology (mirrors the paper's):
+Methodology (mirrors the paper's 4-core setup, generalized to the
+mix's core count):
 
 * The shared LLC is ``num_cores`` x the per-core reference size.
 * Each core runs one SPEC-like model, generated at the *per-core* scale
@@ -17,6 +18,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
+from repro.cache.policyspec import PolicySpec
 from repro.experiments.runner import ExperimentScale
 from repro.multicore.metrics import (
     fairness,
@@ -26,10 +28,10 @@ from repro.multicore.metrics import (
 )
 from repro.multicore.shared import SharedRunResult
 from repro.sim import SimulationSpec, simulate, simulate_cached
-from repro.trace.mixes import mix_benchmarks
+from repro.trace.mixes import get_mix
 
-#: baseline LRU + state-of-the-art comparators + RWP
-MULTICORE_POLICIES = ("lru", "dip", "tadrrip", "ucp", "pipp", "rwp")
+#: baseline LRU + state-of-the-art comparators + RWP (global + core-aware)
+MULTICORE_POLICIES = ("lru", "dip", "tadrrip", "ucp", "pipp", "rwp", "rwp-core")
 
 
 @dataclass(frozen=True)
@@ -97,13 +99,21 @@ def _alone_ipc(
 
 def run_mix(
     mix: str,
-    policy: str,
+    policy: str | PolicySpec,
     per_core: ExperimentScale | None = None,
-    num_cores: int = 4,
+    num_cores: int | None = None,
 ) -> MixResult:
-    """Run one named mix under one policy and compute all metrics."""
+    """Run one named mix under one policy and compute all metrics.
+
+    ``num_cores`` defaults to the mix's own core count (one benchmark
+    per core); passing a different value is an error caught by the
+    simulation front-end.
+    """
     per_core = per_core or ExperimentScale()
-    benchmarks = mix_benchmarks(mix)
+    spec = get_mix(mix)
+    benchmarks = spec.benchmarks
+    if num_cores is None:
+        num_cores = spec.core_count
     shared = _shared_scale(per_core, num_cores)
 
     result: SharedRunResult = simulate(
@@ -123,7 +133,7 @@ def run_mix(
     ]
     return MixResult(
         mix=mix,
-        policy=policy,
+        policy=PolicySpec.coerce(policy).key(),
         weighted_speedup=weighted_speedup(shared_ipcs, alone_ipcs),
         harmonic_speedup=harmonic_speedup(shared_ipcs, alone_ipcs),
         throughput=throughput(shared_ipcs),
@@ -151,7 +161,9 @@ def run_mix_grid(
 
     per_core = per_core or ExperimentScale()
     job_list = [
-        MixJob(mix, policy, per_core) for mix in mixes for policy in policies
+        MixJob(mix, policy, per_core, num_cores=get_mix(mix).core_count)
+        for mix in mixes
+        for policy in policies
     ]
     outcome = run_jobs(
         job_list,

@@ -20,6 +20,7 @@ from functools import lru_cache
 from typing import Dict, List, Sequence, Tuple
 
 from repro.cache.policy import ReplacementPolicy, make_policy
+from repro.cache.policyspec import PolicySpec
 from repro.common.config import CacheConfig, HierarchyConfig, default_hierarchy
 from repro.core.rwp import RWPPolicy
 from repro.cpu.core import RunResult
@@ -71,39 +72,60 @@ def cached_trace(
 
 
 def make_llc_policy(
-    name: str, llc_lines: int = DEFAULT_LLC_LINES, num_cores: int = 1
+    policy, llc_lines: int = DEFAULT_LLC_LINES, num_cores: int = 1
 ) -> ReplacementPolicy:
     """Instantiate a policy with scale-appropriate parameters.
 
-    RWP's repartitioning epoch scales with cache size (the paper's epoch
-    is fixed in instructions for a fixed-size cache; scaling keeps the
-    number of fills per epoch comparable across scales).  UCP and
-    TA-DRRIP need the core count.
+    Accepts a registry name, a canonical spec string, or a
+    :class:`~repro.cache.policyspec.PolicySpec`.  RWP's repartitioning
+    epoch scales with cache size (the paper's epoch is fixed in
+    instructions for a fixed-size cache; scaling keeps the number of
+    fills per epoch comparable across scales); UCP, TA-DRRIP, PIPP, and
+    core-aware RWP need the core count.  Spec kwargs override these
+    defaults.
     """
+    spec = PolicySpec.coerce(policy)
+    name = spec.name
+    kwargs = spec.kwargs_dict()
     rwp_epoch = max(4000, 2 * llc_lines)
-    if name == "rwp":
-        return RWPPolicy(epoch=rwp_epoch)
-    if name == "rwp-srrip":
-        from repro.core.variants import RWPSRRIPPolicy
+    try:
+        if name == "rwp":
+            kwargs.setdefault("epoch", rwp_epoch)
+            return RWPPolicy(**kwargs)
+        if name == "rwp-core":
+            from repro.core.rwp import CoreAwareRWPPolicy
 
-        return RWPSRRIPPolicy(epoch=rwp_epoch)
-    if name == "rwp-bypass":
-        from repro.core.variants import RWPBypassPolicy
+            kwargs.setdefault("epoch", rwp_epoch)
+            kwargs.setdefault("num_cores", num_cores)
+            return CoreAwareRWPPolicy(**kwargs)
+        if name == "rwp-srrip":
+            from repro.core.variants import RWPSRRIPPolicy
 
-        return RWPBypassPolicy(epoch=rwp_epoch)
-    if name == "ucp":
-        from repro.cache.ucp import UCPPolicy
+            kwargs.setdefault("epoch", rwp_epoch)
+            return RWPSRRIPPolicy(**kwargs)
+        if name == "rwp-bypass":
+            from repro.core.variants import RWPBypassPolicy
 
-        return UCPPolicy(num_cores=num_cores)
-    if name == "tadrrip":
-        from repro.cache.rrip import TADRRIPPolicy
+            kwargs.setdefault("epoch", rwp_epoch)
+            return RWPBypassPolicy(**kwargs)
+        if name == "ucp":
+            from repro.cache.ucp import UCPPolicy
 
-        return TADRRIPPolicy(num_cores=num_cores)
-    if name == "pipp":
-        from repro.cache.pipp import PIPPPolicy
+            kwargs.setdefault("num_cores", num_cores)
+            return UCPPolicy(**kwargs)
+        if name == "tadrrip":
+            from repro.cache.rrip import TADRRIPPolicy
 
-        return PIPPPolicy(num_cores=num_cores)
-    return make_policy(name)
+            kwargs.setdefault("num_cores", num_cores)
+            return TADRRIPPolicy(**kwargs)
+        if name == "pipp":
+            from repro.cache.pipp import PIPPPolicy
+
+            kwargs.setdefault("num_cores", num_cores)
+            return PIPPPolicy(**kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for policy {spec}: {exc}") from None
+    return make_policy(spec)
 
 
 @lru_cache(maxsize=4096)

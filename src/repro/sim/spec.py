@@ -19,7 +19,8 @@ Modes
 ``hierarchy``  the same benchmark trace pushed through the full
                L1/L2/LLC stack (:class:`~repro.cpu.core.HierarchyRunner`,
                staged batched replay).
-``multicore``  ``workload`` names a 4-core mix; each core replays its
+``multicore``  ``workload`` names a registered mix (one benchmark per
+               core, any core count); each core replays its
                benchmark through the shared LLC under the
                epoch-interleaved batched driver
                (:class:`~repro.multicore.shared.SharedLLCSystem`).
@@ -34,6 +35,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional, Union
 
+from repro.cache.policyspec import PolicySpec
 from repro.common.config import default_hierarchy
 from repro.experiments.runner import (
     ExperimentScale,
@@ -52,19 +54,23 @@ class SimulationSpec:
 
     ``workload`` is a benchmark name for ``llc``/``hierarchy`` modes and
     a mix name (see :func:`repro.trace.mixes.mix_names`) for
-    ``multicore``.  ``llc_lines``/``ways`` override the LLC geometry
-    while the trace stays at the reference scale; in multicore mode
-    ``llc_lines`` overrides the *shared* capacity (default:
-    ``num_cores * scale.llc_lines``).
+    ``multicore``.  ``policy`` is a registry name, a canonical spec
+    string, or a :class:`~repro.cache.policyspec.PolicySpec` (all
+    hashable, so the spec stays cacheable).  ``llc_lines``/``ways``
+    override the LLC geometry while the trace stays at the reference
+    scale; in multicore mode ``llc_lines`` overrides the *shared*
+    capacity (default: ``num_cores * scale.llc_lines``).  ``num_cores``
+    defaults to the named mix's own core count (one benchmark per
+    core); setting it explicitly to a different value is an error.
     """
 
     workload: str
-    policy: str = "lru"
+    policy: Union[str, PolicySpec] = "lru"
     mode: str = "llc"
     scale: ExperimentScale = ExperimentScale()
     llc_lines: Optional[int] = None
     ways: Optional[int] = None
-    num_cores: int = 4  # multicore mode only
+    num_cores: Optional[int] = None  # multicore mode; None = mix's count
 
     def __post_init__(self) -> None:
         if self.mode not in SIMULATION_MODES:
@@ -74,12 +80,23 @@ class SimulationSpec:
             )
 
     @property
+    def core_count(self) -> int:
+        """The core count to simulate: explicit, or the mix's own."""
+        if self.num_cores is not None:
+            return self.num_cores
+        if self.mode == "multicore":
+            from repro.trace.mixes import get_mix
+
+            return get_mix(self.workload).core_count
+        return 1
+
+    @property
     def geometry_lines(self) -> int:
         """The simulated LLC capacity in lines, override applied."""
         if self.llc_lines is not None:
             return self.llc_lines
         if self.mode == "multicore":
-            return self.num_cores * self.scale.llc_lines
+            return self.core_count * self.scale.llc_lines
         return self.scale.llc_lines
 
     @property
@@ -87,8 +104,13 @@ class SimulationSpec:
         return self.ways if self.ways is not None else self.scale.ways
 
     @property
+    def policy_key(self) -> str:
+        """Canonical string form of the policy (store/label friendly)."""
+        return PolicySpec.coerce(self.policy).key()
+
+    @property
     def label(self) -> str:
-        base = f"{self.mode}:{self.workload}/{self.policy}"
+        base = f"{self.mode}:{self.workload}/{self.policy_key}"
         if self.llc_lines is None and self.ways is None:
             return base
         return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
@@ -137,10 +159,11 @@ def _simulate_multicore(spec: SimulationSpec):
 
     scale = spec.scale
     benchmarks = mix_benchmarks(spec.workload)
-    if len(benchmarks) != spec.num_cores:
+    num_cores = spec.core_count
+    if len(benchmarks) != num_cores:
         raise ValueError(
             f"mix {spec.workload} has {len(benchmarks)} benchmarks, "
-            f"need {spec.num_cores}"
+            f"need {num_cores}"
         )
     traces = [
         cached_trace(
@@ -150,8 +173,8 @@ def _simulate_multicore(spec: SimulationSpec):
     ]
     system = SharedLLCSystem(
         spec.hierarchy_config(),
-        spec.num_cores,
-        make_llc_policy(spec.policy, spec.geometry_lines, spec.num_cores),
+        num_cores,
+        make_llc_policy(spec.policy, spec.geometry_lines, num_cores),
     )
     return system.run(traces, warmup=scale.warmup)
 

@@ -12,7 +12,16 @@ from repro.trace.generator import (
     describe,
     merge_models,
 )
-from repro.trace.mixes import FOUR_CORE_MIXES, mix_benchmarks, mix_names
+from repro.trace.mixes import (
+    FOUR_CORE_MIXES,
+    MIXES,
+    MixSpec,
+    get_mix,
+    mix_benchmarks,
+    mix_names,
+    mix_specs,
+    register_mix,
+)
 from repro.trace.phases import Phase, PhasedWorkload
 from repro.trace.spec import (
     PAPER_LLC_LINES,
@@ -28,6 +37,8 @@ __all__ = [
     "FOUR_CORE_MIXES",
     "KernelSpec",
     "LINE_SIZE",
+    "MIXES",
+    "MixSpec",
     "MixtureGenerator",
     "PAPER_LLC_LINES",
     "Phase",
@@ -39,12 +50,15 @@ __all__ = [
     "decode_addresses",
     "decode_trace",
     "describe",
+    "get_mix",
     "load_npz",
     "load_text",
     "make_model",
     "merge_models",
     "mix_benchmarks",
     "mix_names",
+    "mix_specs",
+    "register_mix",
     "read_champsim",
     "save_npz",
     "save_text",

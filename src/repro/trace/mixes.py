@@ -1,46 +1,147 @@
 """Multiprogrammed workload mixes for the multicore evaluation.
 
 The paper evaluates RWP on a 4-core system running multiprogrammed SPEC
-mixes.  We define ten named 4-benchmark mixes spanning the standard design
-points: all-sensitive (maximum contention for the shared LLC), mixed
-sensitive/streaming (a polluter next to victims), and lighter mixes with
-compute-bound fillers.
+mixes.  The registry below defines named :class:`MixSpec` entries at
+2, 4, 8, and 16 cores: the paper's ten 4-benchmark mixes spanning the
+standard design points -- all-sensitive (maximum contention for the
+shared LLC), mixed sensitive/streaming (a polluter next to victims),
+and lighter mixes with compute-bound fillers -- plus pair mixes for
+quick 2-core studies and wider 8/16-core mixes for the core-count
+scaling sweeps.
+
+``FOUR_CORE_MIXES`` / ``mix_names()`` / ``mix_benchmarks()`` are kept
+as thin compatibility shims over the registry.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.trace.spec import SPEC2006_PARAMS
 
-#: name -> 4 benchmark names run together on a shared LLC.
-FOUR_CORE_MIXES: Dict[str, Tuple[str, str, str, str]] = {
-    "mix01_all_sensitive": ("mcf", "omnetpp", "soplex", "sphinx3"),
-    "mix02_all_sensitive": ("xalancbmk", "astar", "bzip2", "gcc"),
-    "mix03_sens_heavy": ("mcf", "xalancbmk", "sphinx3", "libquantum"),
-    "mix04_sens_stream": ("omnetpp", "soplex", "lbm", "milc"),
-    "mix05_sens_stream": ("astar", "sphinx3", "libquantum", "bwaves"),
-    "mix06_rmw_mix": ("cactusADM", "dealII", "mcf", "leslie3d"),
-    "mix07_balanced": ("mcf", "lbm", "povray", "gcc"),
-    "mix08_balanced": ("soplex", "GemsFDTD", "namd", "omnetpp"),
-    "mix09_light": ("bzip2", "hmmer", "gobmk", "sphinx3"),
-    "mix10_stream_heavy": ("libquantum", "lbm", "milc", "mcf"),
+
+@dataclass(frozen=True)
+class MixSpec:
+    """One named multiprogrammed mix: which benchmarks share the LLC.
+
+    ``core_count`` is derived from the benchmark tuple -- one benchmark
+    per core -- and validated at registration, so a spec can never
+    disagree with its own workload list.
+    """
+
+    name: str
+    benchmarks: Tuple[str, ...]
+    description: str = ""
+
+    @property
+    def core_count(self) -> int:
+        return len(self.benchmarks)
+
+    def __post_init__(self) -> None:
+        if not self.benchmarks:
+            raise ValueError(f"mix {self.name!r} has no benchmarks")
+        for bench in self.benchmarks:
+            if bench not in SPEC2006_PARAMS:
+                raise ValueError(
+                    f"mix {self.name} references unknown benchmark {bench!r}"
+                )
+
+
+#: name -> MixSpec; the one registry every mix consumer reads.
+MIXES: Dict[str, MixSpec] = {}
+
+
+def register_mix(name: str, benchmarks: Tuple[str, ...], description: str = "") -> MixSpec:
+    """Add one mix to the registry (benchmarks validated eagerly)."""
+    if name in MIXES:
+        raise ValueError(f"duplicate mix {name!r}")
+    spec = MixSpec(name, tuple(benchmarks), description)
+    MIXES[name] = spec
+    return spec
+
+
+# -- the paper's ten 4-core mixes -----------------------------------------
+register_mix("mix01_all_sensitive", ("mcf", "omnetpp", "soplex", "sphinx3"))
+register_mix("mix02_all_sensitive", ("xalancbmk", "astar", "bzip2", "gcc"))
+register_mix("mix03_sens_heavy", ("mcf", "xalancbmk", "sphinx3", "libquantum"))
+register_mix("mix04_sens_stream", ("omnetpp", "soplex", "lbm", "milc"))
+register_mix("mix05_sens_stream", ("astar", "sphinx3", "libquantum", "bwaves"))
+register_mix("mix06_rmw_mix", ("cactusADM", "dealII", "mcf", "leslie3d"))
+register_mix("mix07_balanced", ("mcf", "lbm", "povray", "gcc"))
+register_mix("mix08_balanced", ("soplex", "GemsFDTD", "namd", "omnetpp"))
+register_mix("mix09_light", ("bzip2", "hmmer", "gobmk", "sphinx3"))
+register_mix("mix10_stream_heavy", ("libquantum", "lbm", "milc", "mcf"))
+
+# -- 2-core pairs (contention studies at minimal scale) -------------------
+register_mix(
+    "mix2c01_sens_pair", ("mcf", "omnetpp"),
+    "two cache-sensitive benchmarks fighting over the LLC",
+)
+register_mix(
+    "mix2c02_sens_stream", ("xalancbmk", "libquantum"),
+    "a sensitive victim next to a streaming polluter",
+)
+register_mix(
+    "mix2c03_balanced", ("soplex", "povray"),
+    "one sensitive benchmark with a compute-bound filler",
+)
+
+# -- 8-core mixes (core-count scaling) ------------------------------------
+register_mix(
+    "mix8c01_all_sensitive",
+    ("mcf", "omnetpp", "soplex", "sphinx3", "xalancbmk", "astar", "bzip2", "gcc"),
+    "eight cache-sensitive benchmarks: maximum shared-LLC contention",
+)
+register_mix(
+    "mix8c02_mixed",
+    ("mcf", "soplex", "sphinx3", "dealII", "lbm", "milc", "hmmer", "povray"),
+    "four sensitive, two streaming, two compute-bound",
+)
+
+# -- 16-core stress mix ---------------------------------------------------
+register_mix(
+    "mix16c01_stress",
+    (
+        "mcf", "omnetpp", "soplex", "sphinx3", "xalancbmk", "astar",
+        "bzip2", "gcc", "cactusADM", "dealII", "libquantum", "lbm",
+        "milc", "leslie3d", "hmmer", "namd",
+    ),
+    "all ten sensitive benchmarks plus streaming and compute fillers",
+)
+
+
+#: Compatibility shim: name -> 4 benchmark names (4-core mixes only).
+FOUR_CORE_MIXES: Dict[str, Tuple[str, ...]] = {
+    name: spec.benchmarks
+    for name, spec in MIXES.items()
+    if spec.core_count == 4
 }
 
 
-def mix_names() -> List[str]:
-    return sorted(FOUR_CORE_MIXES)
+def mix_specs(core_count: Optional[int] = None) -> List[MixSpec]:
+    """All registered mixes (sorted by name), optionally one core count."""
+    return [
+        MIXES[name]
+        for name in sorted(MIXES)
+        if core_count is None or MIXES[name].core_count == core_count
+    ]
 
 
-def mix_benchmarks(mix_name: str) -> Tuple[str, ...]:
-    """The benchmark names of one mix, validated against the registry."""
+def get_mix(mix_name: str) -> MixSpec:
+    """Look up one mix, with a helpful error naming the known mixes."""
     try:
-        benchmarks = FOUR_CORE_MIXES[mix_name]
+        return MIXES[mix_name]
     except KeyError:
         raise KeyError(
             f"unknown mix {mix_name!r}; known: {mix_names()}"
         ) from None
-    for bench in benchmarks:
-        if bench not in SPEC2006_PARAMS:
-            raise ValueError(f"mix {mix_name} references unknown benchmark {bench!r}")
-    return benchmarks
+
+
+def mix_names(core_count: Optional[int] = None) -> List[str]:
+    return [spec.name for spec in mix_specs(core_count)]
+
+
+def mix_benchmarks(mix_name: str) -> Tuple[str, ...]:
+    """The benchmark names of one mix (compatibility shim over MIXES)."""
+    return get_mix(mix_name).benchmarks

@@ -91,6 +91,12 @@ def make_sut_policy(name: str) -> ReplacementPolicy:
         from repro.core.rwp import RWPPolicy
 
         return RWPPolicy(epoch=VERIFY_RWP_EPOCH)
+    if name == "rwp-core":
+        from repro.core.rwp import CoreAwareRWPPolicy
+
+        # A single-cache replay issues everything from core 0, so the
+        # conformance run pins the one-core configuration.
+        return CoreAwareRWPPolicy(num_cores=1, epoch=VERIFY_RWP_EPOCH)
     return make_policy(name)
 
 
@@ -101,8 +107,8 @@ def make_sut_cache(policy: str, config: CacheConfig) -> SetAssociativeCache:
 
 def make_oracle_cache(policy: str, config: CacheConfig) -> OracleCache:
     """A fresh oracle cache mirroring ``make_sut_cache``'s construction."""
-    if policy == "rwp":
-        oracle_policy = make_oracle_policy("rwp", epoch=VERIFY_RWP_EPOCH)
+    if policy in ("rwp", "rwp-core"):
+        oracle_policy = make_oracle_policy(policy, epoch=VERIFY_RWP_EPOCH)
     else:
         oracle_policy = make_oracle_policy(policy)
     return OracleCache(

@@ -89,7 +89,7 @@ class SystemGoldenSpec:
 #: single-cache set (plus UCP, which only exists multicore) -- enough to
 #: cover the stamp-LRU fast path, RRIP machinery, partitioning, and RWP.
 HIERARCHY_GOLDEN_POLICIES = ("lru", "drrip", "rwp")
-MULTICORE_GOLDEN_POLICIES = ("lru", "ucp", "rwp")
+MULTICORE_GOLDEN_POLICIES = ("lru", "ucp", "rwp", "rwp-core")
 
 SYSTEM_GOLDEN_SPECS = (
     SystemGoldenSpec("hier_mixed_g1", "hierarchy", "mixed", 6606, 1, 2048),

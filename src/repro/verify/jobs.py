@@ -31,6 +31,7 @@ VERIFY_POLICIES = (
     "ship",
     "rrp",
     "rwp",
+    "rwp-core",
     "random",
 )
 

@@ -540,6 +540,129 @@ class OracleRWP(OraclePolicy):
         way.age = self.now
 
 
+class OracleCoreRWP(OraclePolicy):
+    """Core-aware RWP, as seen by a single-cache replay (one core).
+
+    The production policy arbitrates per-core clean/dirty way budgets
+    with Qureshi's lookahead greedy over ``2 * num_cores`` cumulative
+    read-hit curves.  A single-cache replay issues every access from
+    core 0, so this oracle re-derives the degenerate one-core case: the
+    same shadow sampler as RWP's, but the split chosen each epoch by the
+    lookahead greedy over the clean and dirty curves (floor of one way
+    on whichever partition earns more read hits at depth one, ties
+    clean), and replacement evicting the oldest line of any partition
+    at or above its budget (whole-set LRU when both are under).
+    """
+
+    observes = True
+
+    def __init__(self, epoch: int = 25_000) -> None:
+        self.now = 0
+        self.epoch = epoch
+        self.accesses = 0
+        self.num_ways = 0
+        self.sampling = 1
+        self.clean_target = 0
+        self.dirty_target = 0
+        self.clean_hits: List[int] = []
+        self.dirty_hits: List[int] = []
+        self.shadow: Dict[int, Tuple[List[int], List[int]]] = {}
+
+    def prepare(self, num_sets, num_ways):
+        self.num_ways = num_ways
+        self.sampling = min(max(1, num_sets // 64), num_sets)
+        # Even initial split, clean ways rounded down (one core owns all).
+        self.clean_target = num_ways // 2
+        self.dirty_target = num_ways - self.clean_target
+        self.clean_hits = [0] * num_ways
+        self.dirty_hits = [0] * num_ways
+
+    # -- the shadow sampler (identical life cycle to RWP's) ----------------
+    def _shadow_observe(self, set_index: int, tag: int, is_write: bool) -> None:
+        clean, dirty = self.shadow.setdefault(set_index, ([], []))
+        if tag in clean:
+            depth = clean.index(tag)
+            clean.remove(tag)
+            if is_write:
+                dirty.insert(0, tag)
+                del dirty[self.num_ways:]
+            else:
+                self.clean_hits[depth] += 1
+                clean.insert(0, tag)
+            return
+        if tag in dirty:
+            depth = dirty.index(tag)
+            if not is_write:
+                self.dirty_hits[depth] += 1
+            dirty.remove(tag)
+            dirty.insert(0, tag)
+            return
+        stack = dirty if is_write else clean
+        stack.insert(0, tag)
+        del stack[self.num_ways:]
+
+    def see_access(self, set_index, tag, is_write, pc):
+        if set_index % self.sampling == 0:
+            self._shadow_observe(set_index, tag, is_write)
+        self.accesses += 1
+        if self.accesses % self.epoch == 0:
+            self._repartition()
+
+    def _repartition(self) -> None:
+        ways = self.num_ways
+        clean_curve = [0] * (ways + 1)
+        dirty_curve = [0] * (ways + 1)
+        for depth in range(ways):
+            clean_curve[depth + 1] = clean_curve[depth] + self.clean_hits[depth]
+            dirty_curve[depth + 1] = dirty_curve[depth] + self.dirty_hits[depth]
+        # Floor: the core's one guaranteed way sits on the partition with
+        # more read hits at depth one; ties keep clean.
+        prefer_clean = clean_curve[1] >= dirty_curve[1]
+        allocation = [1, 0] if prefer_clean else [0, 1]
+        curves = [clean_curve, dirty_curve]
+        remaining = ways - 1
+        while remaining > 0:
+            best_index, best_rate, best_span = -1, -1.0, 1
+            for index, curve in enumerate(curves):
+                current = allocation[index]
+                max_span = min(remaining, ways - current)
+                base = curve[current]
+                for span in range(1, max_span + 1):
+                    rate = (curve[current + span] - base) / span
+                    if rate > best_rate:
+                        best_index, best_rate, best_span = index, rate, span
+            allocation[best_index] += best_span
+            remaining -= best_span
+        self.clean_target, self.dirty_target = allocation
+        self.clean_hits = [h // 2 for h in self.clean_hits]
+        self.dirty_hits = [h // 2 for h in self.dirty_hits]
+
+    # -- replacement -------------------------------------------------------
+    def choose_victim(self, ways, set_index, is_write, pc):
+        dirty_count = sum(1 for way in ways if way.dirty)
+        clean_count = len(ways) - dirty_count
+        pool = [
+            way
+            for way in ways
+            if (
+                dirty_count >= self.dirty_target
+                if way.dirty
+                else clean_count >= self.clean_target
+            )
+        ]
+        if not pool:
+            pool = ways
+        return _oldest(pool)
+
+    def note_fill(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        way.age = self.now
+
+    def note_hit(self, ways, way, set_index, is_write, pc):
+        self.now += 1
+        way.age = self.now
+
+
 class OracleRandom(OraclePolicy):
     """Uniform random way from the documented LCG stream."""
 
@@ -563,6 +686,7 @@ ORACLE_POLICIES: Dict[str, Callable[[], OraclePolicy]] = {
     "ship": OracleSHiP,
     "rrp": OracleRRP,
     "rwp": OracleRWP,
+    "rwp-core": OracleCoreRWP,
     "random": OracleRandom,
 }
 

@@ -54,6 +54,7 @@ MULTICORE_VERIFY_POLICIES = (
     "drrip",
     "ship",
     "rwp",
+    "rwp-core",
     "ucp",
     "tadrrip",
     "pipp",
@@ -78,6 +79,7 @@ MULTICORE_GEOMETRIES: Tuple[Tuple[int, int, int], ...] = (
     (4, 32, 4),
     (4, 64, 8),
     (6, 32, 8),
+    (8, 64, 16),  # appended: golden specs index into this tuple
 )
 
 SYSTEM_TRACE_LENGTH = 1024
@@ -132,6 +134,10 @@ def _system_policy(name: str, num_cores: int = 1):
         from repro.core.rwp import RWPPolicy
 
         return RWPPolicy(epoch=VERIFY_RWP_EPOCH)
+    if name == "rwp-core":
+        from repro.core.rwp import CoreAwareRWPPolicy
+
+        return CoreAwareRWPPolicy(num_cores=num_cores, epoch=VERIFY_RWP_EPOCH)
     if name == "ucp":
         from repro.cache.ucp import UCPPolicy
 

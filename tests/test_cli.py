@@ -138,3 +138,54 @@ class TestSweepCommand:
         first = capsys.readouterr().out
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+    def test_run_accepts_policyspec_string(self, capsys):
+        args = ["run", "micro_fit", "-p", "rwp:epoch=2048", *FAST,
+                "--no-store"]
+        assert main(args) == 0
+        assert "RWPPolicy" in capsys.readouterr().out
+
+
+class TestMulticoreSweep:
+    SWEEP = [
+        "sweep",
+        "--mode",
+        "multicore",
+        "--mixes",
+        "mix2c01_sens_pair",
+        "--policies",
+        "lru,rwp-core",
+        "--quiet",
+        *FAST,
+    ]
+
+    def test_cold_then_warm(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        assert main([*self.SWEEP, "--store", store]) == 0
+        cold = capsys.readouterr().out
+        assert "GEOMEAN" in cold
+        assert "mix2c01_sens_pair (2c)" in cold
+        assert "simulated: 2" in cold and "cache_hits: 0" in cold
+
+        assert main([*self.SWEEP, "--store", store]) == 0
+        warm = capsys.readouterr().out
+        assert "simulated: 0" in warm and "cache_hits: 2" in warm
+
+    def test_core_count_filter(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = [
+            "sweep", "--mode", "multicore", "--cores", "2",
+            "--policies", "lru", "--quiet", *FAST, "--store", store,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "(2c)" in out
+        assert "(4c)" not in out
+
+    def test_unknown_mix_is_error(self, capsys):
+        args = [
+            "sweep", "--mode", "multicore", "--mixes", "mix99",
+            "--policies", "lru", "--quiet", *FAST, "--no-store",
+        ]
+        assert main(args) == 2
+        assert "unknown mix" in capsys.readouterr().err

@@ -1,0 +1,290 @@
+"""Core-aware RWP: arbiter, sampler routing, victim enforcement, specs."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cache.line import CacheLine
+from repro.cache.policy import make_policy
+from repro.cache.policyspec import PolicySpec
+from repro.cache.ucp import lookahead_allocate
+from repro.common.config import default_hierarchy
+from repro.core.rwp import CoreAwareRWPPolicy, core_rwp_targets, _prefix_curve
+from repro.core.sampler import CoreReadWriteSampler
+from repro.experiments.runner import make_llc_policy
+
+
+def curves(*hits_lists, ways):
+    return [_prefix_curve(list(hits), ways) for hits in hits_lists]
+
+
+class TestLookaheadAllocate:
+    def test_floors_validated(self):
+        curve = [0, 1, 2]
+        with pytest.raises(ValueError, match="floors must match"):
+            lookahead_allocate([curve, curve], 4, [1])
+        with pytest.raises(ValueError, match="floors exceed"):
+            lookahead_allocate([curve, curve], 1, [1, 1])
+
+    def test_highest_marginal_rate_wins(self):
+        # Claimant 0 earns 10 hits/way, claimant 1 earns 1/way.
+        allocation = lookahead_allocate(
+            [[0, 10, 20, 30, 40], [0, 1, 2, 3, 4]], 4, [0, 0]
+        )
+        assert allocation == [4, 0]
+
+    def test_lookahead_sees_past_a_plateau(self):
+        # Claimant 0's curve is flat for two ways then jumps by 9: the
+        # 3-way window rate (3/way) beats claimant 1's steady 2/way.
+        allocation = lookahead_allocate(
+            [[0, 0, 0, 9], [0, 2, 4, 6]], 3, [0, 0]
+        )
+        assert allocation == [3, 0]
+
+    def test_saturated_curves_absorb_remainder(self):
+        # Both curves saturate at 2 ways of capacity; the remainder
+        # lands on the first claimant with room rather than being lost.
+        allocation = lookahead_allocate([[0, 5, 5], [0, 5, 5]], 4, [0, 0])
+        assert sum(allocation) == 4
+        assert allocation == [2, 2]
+
+
+class TestCoreRwpArbiter:
+    WAYS = 5
+
+    def test_needs_one_way_per_core(self):
+        zero = curves([0], [0], ways=1)
+        with pytest.raises(ValueError, match="one way per core"):
+            core_rwp_targets(zero, zero, total_ways=1)
+
+    def test_idle_core_gets_only_its_floor(self):
+        clean = curves([4, 3, 2, 1, 0], [0, 0, 0, 0, 0], ways=self.WAYS)
+        dirty = curves([0, 0, 0, 0, 0], [0, 0, 0, 0, 0], ways=self.WAYS)
+        targets = core_rwp_targets(clean, dirty, self.WAYS)
+        # Core 1 shows no read hits anywhere: it keeps exactly the
+        # guaranteed single way (on clean, the tie-break partition).
+        assert targets == [(4, 0), (1, 0)]
+
+    def test_all_read_cores_get_no_dirty_ways(self):
+        clean = curves([6, 4, 2, 1, 0], [3, 2, 1, 0, 0], ways=self.WAYS)
+        dirty = curves([0, 0, 0, 0, 0], [0, 0, 0, 0, 0], ways=self.WAYS)
+        targets = core_rwp_targets(clean, dirty, self.WAYS)
+        assert all(dirty_ways == 0 for _, dirty_ways in targets)
+        assert sum(clean_ways for clean_ways, _ in targets) == self.WAYS
+
+    def test_all_write_cores_degenerate_to_floors(self):
+        # Pure write streams produce zero read hits in either partition:
+        # every core keeps its clean floor (ties prefer clean) and the
+        # signal-free remainder pools on the first claimant.
+        zero = curves([0] * self.WAYS, [0] * self.WAYS, ways=self.WAYS)
+        targets = core_rwp_targets(zero, zero, self.WAYS)
+        assert targets == [(4, 0), (1, 0)]
+
+    def test_dirty_heavy_core_earns_dirty_ways(self):
+        clean = curves([0, 0, 0, 0, 0], [5, 4, 0, 0, 0], ways=self.WAYS)
+        dirty = curves([9, 8, 7, 0, 0], [0, 0, 0, 0, 0], ways=self.WAYS)
+        targets = core_rwp_targets(clean, dirty, self.WAYS)
+        # Core 0 reads its dirty lines; core 1 reads clean ones.
+        assert targets[0][1] == 3
+        assert targets[1][0] == 2
+        assert targets[0][0] == 0 and targets[1][1] == 0
+
+    def test_budgets_always_fill_the_cache(self):
+        clean = curves([1, 1, 0, 0], [7, 0, 0, 0], [0, 2, 2, 0], ways=4)
+        dirty = curves([0, 3, 0, 0], [0, 0, 0, 0], [1, 0, 0, 0], ways=4)
+        targets = core_rwp_targets(clean, dirty, 4)
+        assert sum(c + d for c, d in targets) == 4
+
+
+class TestCoreSampler:
+    def test_routes_by_core(self):
+        sampler = CoreReadWriteSampler(4, 64, sampling=1, num_cores=2)
+        # Core 1 fills then re-reads a clean line; core 0 sees nothing.
+        sampler.observe(0, 0xA, False, core=1)
+        sampler.observe(0, 0xA, False, core=1)
+        assert sum(sampler.clean_hits_of(1)) == 1
+        assert sum(sampler.clean_hits_of(0)) == 0
+        assert sampler.total_read_hits() == 1
+
+    def test_dirty_attribution_per_core(self):
+        sampler = CoreReadWriteSampler(4, 64, sampling=1, num_cores=2)
+        sampler.observe(0, 0xB, True, core=0)   # fill dirty
+        sampler.observe(0, 0xB, False, core=0)  # read hit on dirty
+        assert sampler.dirty_hits_of(0)[0] == 1
+        assert sum(sampler.dirty_hits_of(1)) == 0
+
+    def test_core_ids_wrap(self):
+        sampler = CoreReadWriteSampler(4, 64, sampling=1, num_cores=2)
+        sampler.observe(0, 0xC, False, core=3)  # 3 % 2 == 1
+        sampler.observe(0, 0xC, False, core=1)
+        assert sum(sampler.clean_hits_of(1)) == 1
+
+    def test_validates_num_cores(self):
+        with pytest.raises(ValueError, match="num_cores"):
+            CoreReadWriteSampler(4, 64, num_cores=0)
+
+    def test_decay_halves_every_core(self):
+        sampler = CoreReadWriteSampler(4, 64, sampling=1, num_cores=2)
+        for _ in range(3):
+            sampler.observe(0, 0xD, False, core=0)
+        sampler.decay()
+        assert sum(sampler.clean_hits_of(0)) == 1  # (3 - 1 fill) // 2
+
+
+def _line(owner, dirty, stamp):
+    line = CacheLine()
+    line.reset_for_fill(tag=stamp, is_write=dirty, core=owner)
+    line.stamp = stamp
+    return line
+
+
+def _attached_policy(num_cores=2, ways=4, sets=32, epoch=512):
+    policy = CoreAwareRWPPolicy(num_cores=num_cores, epoch=epoch)
+    config = default_hierarchy(llc_size=sets * ways * 64, llc_ways=ways)
+    from repro.cache.cache import SetAssociativeCache
+
+    cache = SetAssociativeCache(config.llc, policy)
+    return policy, cache
+
+
+class TestVictimEnforcement:
+    def test_protects_under_budget_groups(self):
+        policy, _ = _attached_policy(num_cores=2, ways=4)
+        policy.clean_targets = [2, 1]
+        policy.dirty_targets = [0, 1]
+        lines = [
+            _line(owner=0, dirty=False, stamp=1),  # global LRU, protected
+            _line(owner=1, dirty=False, stamp=2),
+            _line(owner=1, dirty=False, stamp=3),
+            _line(owner=1, dirty=False, stamp=4),
+        ]
+        chosen = policy.victim(SimpleNamespace(lines=lines), 0, False, 0, 0)
+        # Core 0's single clean line is under its 2-way budget; core 1's
+        # clean group (3 >= 1) supplies the victim, LRU within the group.
+        assert chosen is lines[1]
+
+    def test_falls_back_to_whole_set_lru(self):
+        policy, _ = _attached_policy(num_cores=2, ways=4)
+        policy.clean_targets = [4, 4]
+        policy.dirty_targets = [4, 4]
+        lines = [
+            _line(owner=0, dirty=False, stamp=7),
+            _line(owner=1, dirty=True, stamp=3),
+        ]
+        chosen = policy.victim(SimpleNamespace(lines=lines), 0, False, 0, 0)
+        assert chosen is lines[1]  # every group under budget: plain LRU
+
+    def test_dirty_and_clean_groups_tracked_separately(self):
+        policy, _ = _attached_policy(num_cores=2, ways=4)
+        policy.clean_targets = [2, 1]
+        policy.dirty_targets = [1, 0]
+        lines = [
+            _line(owner=0, dirty=True, stamp=1),   # dirty occ 1 >= 1: pool
+            _line(owner=0, dirty=False, stamp=2),  # clean occ 1 < 2: safe
+            _line(owner=1, dirty=False, stamp=3),  # clean occ 1 >= 1: pool
+        ]
+        chosen = policy.victim(SimpleNamespace(lines=lines), 0, False, 0, 0)
+        assert chosen is lines[0]
+
+
+class TestCoreAwarePolicy:
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError, match="num_cores"):
+            CoreAwareRWPPolicy(num_cores=0)
+        with pytest.raises(ValueError, match="epoch"):
+            CoreAwareRWPPolicy(epoch=0)
+
+    def test_attach_requires_enough_ways(self):
+        policy = CoreAwareRWPPolicy(num_cores=8)
+        config = default_hierarchy(llc_size=32 * 4 * 64, llc_ways=4)
+        from repro.cache.cache import SetAssociativeCache
+
+        with pytest.raises(ValueError, match="ways >= cores"):
+            SetAssociativeCache(config.llc, policy)
+
+    def test_initial_targets_cover_all_ways(self):
+        policy, cache = _attached_policy(num_cores=3, ways=16)
+        assert sum(policy.clean_targets) + sum(policy.dirty_targets) == 16
+        assert len(policy.clean_targets) == 3
+
+    def test_epoch_repartitions_from_sampled_evidence(self):
+        policy, cache = _attached_policy(num_cores=2, ways=4, epoch=64)
+        # Core 0 re-reads a small clean working set; core 1 only writes.
+        for round_number in range(256):
+            for tag in range(3):
+                cache.access(tag * 64 * 32, is_write=False, core=0)
+            cache.access((100 + round_number) * 64 * 32, is_write=True, core=1)
+        assert policy.decision_history
+        _, targets = policy.decision_history[-1]
+        assert targets[0][0] > targets[1][0]  # reader out-earns the writer
+
+    def test_describe_reports_targets(self):
+        policy, _ = _attached_policy(num_cores=2, ways=4)
+        info = policy.describe()
+        assert info["num_cores"] == 2
+        assert len(info["clean_targets"]) == 2
+        assert len(info["dirty_targets"]) == 2
+
+
+class TestPolicySpec:
+    def test_parse_round_trip(self):
+        spec = PolicySpec.parse("rwp-core:epoch=512:num_cores=8")
+        assert spec.name == "rwp-core"
+        assert spec.kwargs_dict() == {"epoch": 512, "num_cores": 8}
+        assert PolicySpec.parse(str(spec)) == spec
+
+    def test_kwarg_free_spec_keys_as_bare_name(self):
+        assert PolicySpec.make("rwp").key() == "rwp"
+        assert str(PolicySpec.parse("lru")) == "lru"
+
+    def test_kwargs_canonically_sorted(self):
+        a = PolicySpec.parse("p:z=1:b=2")
+        b = PolicySpec.parse("p:b=2:z=1")
+        assert a == b
+        assert str(a) == "p:b=2:z=1"
+
+    def test_value_types(self):
+        spec = PolicySpec.parse("p:flag=true:n=3:ratio=0.5:tag=abc")
+        assert spec.kwargs_dict() == {
+            "flag": True, "n": 3, "ratio": 0.5, "tag": "abc",
+        }
+        assert str(spec) == "p:flag=true:n=3:ratio=0.5:tag=abc"
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            PolicySpec("")
+        with pytest.raises(ValueError, match="reserved"):
+            PolicySpec("a,b")
+        with pytest.raises(ValueError, match="identifier"):
+            PolicySpec.make("p", **{"2x": 1})
+        with pytest.raises(ValueError, match="key=value"):
+            PolicySpec.parse("p:oops")
+        with pytest.raises(TypeError, match="str or PolicySpec"):
+            PolicySpec.coerce(42)
+
+    def test_json_round_trip(self):
+        spec = PolicySpec.make("rwp-core", epoch=512, sampling=4)
+        assert PolicySpec.from_dict(spec.to_dict()) == spec
+
+    def test_make_policy_accepts_spec_strings(self):
+        policy = make_policy("rwp:epoch=4096")
+        assert policy.name == "RWPPolicy"
+        assert policy._epoch == 4096
+
+    def test_make_policy_rejects_bad_kwargs(self):
+        with pytest.raises(ValueError, match="bad parameters"):
+            make_policy("lru:epoch=4096")
+
+    def test_make_llc_policy_rwp_core(self):
+        policy = make_llc_policy("rwp-core", llc_lines=1024, num_cores=4)
+        assert isinstance(policy, CoreAwareRWPPolicy)
+        assert policy.num_cores == 4
+
+    def test_make_llc_policy_spec_overrides_win(self):
+        policy = make_llc_policy(
+            "rwp-core:num_cores=2:epoch=128", llc_lines=1024, num_cores=4
+        )
+        assert policy.num_cores == 2
+        assert policy._epoch == 128

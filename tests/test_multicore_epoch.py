@@ -53,7 +53,7 @@ def core_traces(num_cores, seed, length):
 
 
 @pytest.mark.parametrize(
-    "policy", ["lru", "drrip", "ship", "rwp", "ucp", "tadrrip", "pipp"]
+    "policy", ["lru", "drrip", "ship", "rwp", "rwp-core", "ucp", "tadrrip", "pipp"]
 )
 def test_epoch_driver_equals_scalar(policy):
     traces = core_traces(4, 2101, 768)
@@ -101,7 +101,7 @@ if HAVE_HYPOTHESIS:
             min_size=1,
             max_size=4,
         ),
-        policy=st.sampled_from(["lru", "rwp", "ucp"]),
+        policy=st.sampled_from(["lru", "rwp", "rwp-core", "ucp"]),
         warmup_frac=st.integers(0, 3),
     )
     def test_property_epoch_equals_scalar(cores, policy, warmup_frac):

@@ -40,7 +40,9 @@ class TestPublicSurface:
         assert len(repro.benchmark_names()) == 29
 
     def test_mix_names_count(self):
-        assert len(repro.mix_names()) == 10
+        assert len(repro.mix_names(4)) == 10
+        assert len(repro.mix_names()) >= 16
+        assert {spec.core_count for spec in repro.mix_specs()} >= {2, 4, 8, 16}
 
     def test_policy_registry_via_package(self):
         assert "rwp" in repro.policy_names()

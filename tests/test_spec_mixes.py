@@ -3,7 +3,15 @@
 import pytest
 
 from repro.trace.generator import LINE_SIZE
-from repro.trace.mixes import FOUR_CORE_MIXES, mix_benchmarks, mix_names
+from repro.trace.mixes import (
+    FOUR_CORE_MIXES,
+    MixSpec,
+    get_mix,
+    mix_benchmarks,
+    mix_names,
+    mix_specs,
+    register_mix,
+)
 from repro.trace.spec import (
     ALL_PARAMS,
     MICRO_PARAMS,
@@ -98,7 +106,7 @@ class TestModelConstruction:
 class TestMixes:
     def test_ten_mixes_of_four(self):
         assert len(FOUR_CORE_MIXES) == 10
-        for name in mix_names():
+        for name in mix_names(4):
             assert len(mix_benchmarks(name)) == 4
 
     def test_all_mix_members_registered(self):
@@ -113,3 +121,33 @@ class TestMixes:
     def test_sensitive_mixes_are_sensitive(self):
         for bench in mix_benchmarks("mix01_all_sensitive"):
             assert SPEC2006_PARAMS[bench].category == "sensitive"
+
+
+class TestMixSpecRegistry:
+    def test_core_count_derived_from_benchmarks(self):
+        for spec in mix_specs():
+            assert spec.core_count == len(spec.benchmarks)
+
+    def test_core_counts_covered(self):
+        counts = {spec.core_count for spec in mix_specs()}
+        assert {2, 4, 8, 16} <= counts
+
+    def test_core_count_filter(self):
+        assert len(mix_names(4)) == 10
+        for name in mix_names(8):
+            assert get_mix(name).core_count == 8
+        assert len(mix_names()) >= 16
+
+    def test_four_core_compat_dict_matches_registry(self):
+        for name, benches in FOUR_CORE_MIXES.items():
+            assert get_mix(name).benchmarks == benches
+
+    def test_register_duplicate_raises(self):
+        with pytest.raises(ValueError, match="duplicate mix"):
+            register_mix("mix01_all_sensitive", ("mcf", "omnetpp"))
+
+    def test_spec_validates_benchmarks(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            MixSpec("bad", ("mcf", "quake3"))
+        with pytest.raises(ValueError, match="no benchmarks"):
+            MixSpec("empty", ())
