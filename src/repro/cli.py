@@ -24,7 +24,11 @@ the engine knobs ``--jobs N`` (worker processes), ``--store PATH`` /
 Everywhere a policy is named, a :class:`~repro.cache.PolicySpec` string
 is accepted too: ``name:key=value:key=value`` (for example
 ``rwp:epoch=4096`` or ``rwp-core:num_cores=8``), so parameterized
-variants can be swept without code changes.
+variants can be swept without code changes.  The same grammar names
+main-memory backends via ``--memory``: ``dram`` (default),
+``pcm:write_mult=4`` (asymmetric writes, partition-level parallelism),
+or ``nvm:write_mult=4`` (simple fixed asymmetry) -- see
+:class:`~repro.mem.spec.BackendSpec`.
 """
 
 from __future__ import annotations
@@ -113,6 +117,18 @@ def _add_engine_options(
     parser.set_defaults(store_by_default=store_by_default)
 
 
+def _add_memory_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory",
+        "-m",
+        default="dram",
+        help=(
+            "main-memory backend name or BackendSpec string like "
+            "'pcm:write_mult=4' (default: dram)"
+        ),
+    )
+
+
 def _store_from(args: argparse.Namespace):
     """Resolve the engine options to a ResultStore or None."""
     if getattr(args, "no_store", False):
@@ -141,6 +157,9 @@ def cmd_list(args: argparse.Namespace) -> int:
         names = mix_names(count)
         print(f"  {f'{count}-core':10} {', '.join(names)}")
     print(f"\npolicies:   {', '.join(policy_names())}")
+    from repro.mem import backend_names
+
+    print(f"\nbackends:   {', '.join(backend_names())}")
     return 0
 
 
@@ -152,10 +171,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         scale,
         store=_store_from(args),
         mode=args.mode,
+        memory=args.memory,
     )
     print(f"benchmark : {args.benchmark}")
     print(f"mode      : {args.mode}")
     print(f"policy    : {result.policy}")
+    print(f"memory    : {args.memory}")
     print(f"llc       : {scale.llc_lines} lines "
           f"({scale.llc_lines * 64 >> 10} KiB), {scale.ways}-way")
     print(f"accesses  : {result.llc_accesses:,} measured "
@@ -172,6 +193,11 @@ def cmd_run(args: argparse.Namespace) -> int:
                    if k not in ("policy", "clean_hits", "dirty_hits")}
     if interesting:
         print(f"policy state: {interesting}")
+    backend_stats = result.extra.get("backend", {})
+    if backend_stats:
+        print("backend stats:")
+        for key in sorted(backend_stats):
+            print(f"  {key:28} {backend_stats[key]:,.0f}")
     return 0
 
 
@@ -187,6 +213,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         store=_store_from(args),
         timeout=args.timeout,
+        memory=args.memory,
     )
     baseline = grid[(args.benchmark, policies[0])]
     rows = []
@@ -221,6 +248,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         store=_store_from(args),
         timeout=args.timeout,
+        memory=args.memory,
     )
     rows = []
     for policy in policies:
@@ -303,20 +331,27 @@ def _sweep_multicore(args: argparse.Namespace) -> int:
     store = _store_from(args)
 
     job_list = [
-        MixJob(mix, policy, per_core, num_cores=get_mix(mix).core_count)
+        MixJob(
+            mix,
+            policy,
+            per_core,
+            num_cores=get_mix(mix).core_count,
+            memory=args.memory,
+        )
         for mix in mixes
         for policy in policies
     ]
     journal = args.journal
     if journal is None and store is not None:
-        sweep_id = job_key(
-            {
-                "kind": "sweep-multicore",
-                "mixes": mixes,
-                "policies": policies,
-                "scale": scale_payload(per_core),
-            }
-        )[:16]
+        sweep_payload = {
+            "kind": "sweep-multicore",
+            "mixes": mixes,
+            "policies": policies,
+            "scale": scale_payload(per_core),
+        }
+        if args.memory != "dram":
+            sweep_payload["memory"] = args.memory
+        sweep_id = job_key(sweep_payload)[:16]
         journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
 
     outcome = run_jobs(
@@ -383,20 +418,23 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     store = _store_from(args)
 
     job_list = [
-        RunJob(bench, policy, scale) for bench in benches for policy in policies
+        RunJob(bench, policy, scale, memory=args.memory)
+        for bench in benches
+        for policy in policies
     ]
     journal = args.journal
     if journal is None and store is not None:
         # One journal per sweep definition: same grid -> same file, so an
         # interrupted invocation resumes automatically.
-        sweep_id = job_key(
-            {
-                "kind": "sweep",
-                "benchmarks": benches,
-                "policies": policies,
-                "scale": scale_payload(scale),
-            }
-        )[:16]
+        sweep_payload = {
+            "kind": "sweep",
+            "benchmarks": benches,
+            "policies": policies,
+            "scale": scale_payload(scale),
+        }
+        if args.memory != "dram":
+            sweep_payload["memory"] = args.memory
+        sweep_id = job_key(sweep_payload)[:16]
         journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
 
     outcome = run_jobs(
@@ -685,8 +723,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode",
         choices=("llc", "hierarchy"),
         default="llc",
-        help="LLC-level replay (default) or the full L1/L2/LLC stack",
+        help=(
+            "simulation mode: 'llc' (default) replays the trace against "
+            "the LLC alone; 'hierarchy' runs the full L1/L2/LLC stack "
+            "with write buffer and DRAM timing.  ('multicore' mode "
+            "exists on SimulationSpec but is driven by the mix/sweep "
+            "commands, which set mix and num_cores.)"
+        ),
     )
+    _add_memory_option(run_parser)
     _add_scale_options(run_parser)
     _add_engine_options(run_parser)
 
@@ -695,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument(
         "--policies", "-p", default="lru,dip,drrip,ship,rrp,rwp"
     )
+    _add_memory_option(compare_parser)
     _add_scale_options(compare_parser)
     _add_engine_options(compare_parser)
 
@@ -706,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="lru,tadrrip,ucp,rwp,rwp-core",
         help="comma-separated policy names or PolicySpec strings",
     )
+    _add_memory_option(mix_parser)
     _add_scale_options(mix_parser)
     _add_engine_options(mix_parser)
 
@@ -765,6 +812,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", "-q", action="store_true", help="suppress per-job progress"
     )
+    _add_memory_option(sweep_parser)
     _add_scale_options(sweep_parser)
     _add_engine_options(sweep_parser, store_by_default=True)
 

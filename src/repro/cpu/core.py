@@ -120,14 +120,16 @@ class LLCRunner:
         config: HierarchyConfig,
         policy: ReplacementPolicy | str = "lru",
         prefetcher=None,
+        backend=None,
     ) -> None:
         if isinstance(policy, str):
             policy = make_policy(policy)
         self.config = config
         self.llc = SetAssociativeCache(config.llc, policy)
         self.prefetcher = prefetcher
+        self.backend = backend
         self.timing = TimingModel(
-            config.core, config.memory, config.llc.hit_latency
+            config.core, config.memory, config.llc.hit_latency, backend=backend
         )
 
     def run(self, trace: Trace, warmup: int = 0) -> RunResult:
@@ -137,9 +139,9 @@ class LLCRunner:
             raise ValueError(
                 f"warmup ({warmup}) must be smaller than the trace ({len(trace)})"
             )
-        if self.prefetcher is None:
+        if self.prefetcher is None and self.backend is None:
             return self._run_batched(trace, warmup)
-        return self._run_with_prefetcher(trace, warmup)
+        return self._run_scalar(trace, warmup)
 
     def _run_batched(self, trace: Trace, warmup: int) -> RunResult:
         """Demand-only runs go through the cache's batch driver."""
@@ -153,8 +155,10 @@ class LLCRunner:
         llc.run_trace(decoded, warmup, len(trace), timing=timing)
         return self._result(trace.name)
 
-    def _run_with_prefetcher(self, trace: Trace, warmup: int) -> RunResult:
-        """Scalar loop: prefetch issue interleaves with every access."""
+    def _run_scalar(self, trace: Trace, warmup: int) -> RunResult:
+        """Scalar loop: prefetch issue and/or a request-level memory
+        backend interleave with every access (both need per-access
+        addresses and the live cycle count)."""
         llc = self.llc
         timing = self.timing
         access = llc.access
@@ -170,22 +174,24 @@ class LLCRunner:
             hit, bypassed, writeback = access(address, is_write, pc)
             if is_write:
                 if bypassed:
-                    timing.memory_write()
+                    timing.memory_write(address)
             elif hit:
                 timing.read_hit()
             else:
-                timing.read_miss()
+                timing.read_miss(address)
             if writeback >= 0:
-                timing.memory_write()
+                timing.memory_write(writeback)
+            if prefetcher is None:
+                continue
             if prefetch_by_pc is not None:
                 targets = prefetch_by_pc(address, is_write, hit, pc)
             else:
                 targets = prefetcher.on_access(address, is_write, hit)
             for target in targets:
                 prefetch_writeback = llc.fill_prefetch(target)
-                timing.memory_write()  # channel slot for the fill
+                timing.memory_write(target)  # channel slot for the fill
                 if prefetch_writeback >= 0:
-                    timing.memory_write()
+                    timing.memory_write(prefetch_writeback)
         return self._result(trace.name)
 
     def _result(self, name: str) -> RunResult:
@@ -205,15 +211,22 @@ class LLCRunner:
             llc_bypasses=llc.bypasses,
             read_stall_cycles=timing.read_stall_cycles,
             write_stall_cycles=timing.write_stall_cycles,
-            extra={
-                "policy_state": llc.policy.describe(),
-                "prefetch": {
+            extra=self._extra(
+                policy_state=llc.policy.describe(),
+                prefetch={
                     "fills": llc.prefetch_fills,
                     "useful": llc.prefetch_useful,
                     "unused_evictions": llc.prefetch_unused_evictions,
                 },
-            },
+            ),
         )
+
+    def _extra(self, **entries) -> Dict[str, object]:
+        """Common ``extra`` payload: write-path counters + backend stats."""
+        entries["writebuffer"] = self.timing.write_buffer.snapshot()
+        if self.backend is not None:
+            entries["backend"] = self.backend.stats()
+        return entries
 
 
 class HierarchyRunner:
@@ -223,11 +236,13 @@ class HierarchyRunner:
         self,
         config: HierarchyConfig,
         llc_policy: ReplacementPolicy | str = "lru",
+        backend=None,
     ) -> None:
         self.config = config
-        self.hierarchy = MemoryHierarchy(config, llc_policy)
+        self.backend = backend
+        self.hierarchy = MemoryHierarchy(config, llc_policy, backend=backend)
         self.timing = TimingModel(
-            config.core, config.memory, config.llc.hit_latency
+            config.core, config.memory, config.llc.hit_latency, backend=backend
         )
 
     def run(self, trace: Trace, warmup: int = 0) -> RunResult:
@@ -249,10 +264,15 @@ class HierarchyRunner:
             )
         hierarchy = self.hierarchy
         timing = self.timing
+        backend = self.backend
         if warmup:
             hierarchy.run_trace(trace, stop=warmup)
         hierarchy.reset_stats()
         timing.reset()
+        if backend is not None:
+            # Record each memory write's address so the timing replay can
+            # hand real addresses to the backend (partition mapping).
+            hierarchy.memory.write_log = []
         _, levels, mem = hierarchy.run_trace(
             trace, start=warmup, collect=True
         )
@@ -262,18 +282,37 @@ class HierarchyRunner:
         read_hit = timing.read_hit
         read_miss = timing.read_miss
         memory_write = timing.memory_write
-        for i in range(warmup, len(trace)):
-            advance(gaps[i])
-            if not is_write[i]:
-                level = levels[i]
-                if level == 2:
-                    read_hit()
-                elif level == 3:
-                    read_miss()
-            count = mem[i]
-            while count:
-                memory_write()
-                count -= 1
+        if backend is None:
+            for i in range(warmup, len(trace)):
+                advance(gaps[i])
+                if not is_write[i]:
+                    level = levels[i]
+                    if level == 2:
+                        read_hit()
+                    elif level == 3:
+                        read_miss()
+                count = mem[i]
+                while count:
+                    memory_write()
+                    count -= 1
+        else:
+            addresses = trace.addresses
+            write_log = hierarchy.memory.write_log
+            hierarchy.memory.write_log = None
+            cursor = 0
+            for i in range(warmup, len(trace)):
+                advance(gaps[i])
+                if not is_write[i]:
+                    level = levels[i]
+                    if level == 2:
+                        read_hit()
+                    elif level == 3:
+                        read_miss(addresses[i])
+                count = mem[i]
+                while count:
+                    memory_write(write_log[cursor])
+                    cursor += 1
+                    count -= 1
         llc = hierarchy.llc
         return RunResult(
             name=trace.name,
@@ -292,6 +331,12 @@ class HierarchyRunner:
             extra={
                 "hierarchy": hierarchy.snapshot(),
                 "policy_state": llc.policy.describe(),
+                "writebuffer": timing.write_buffer.snapshot(),
+                **(
+                    {"backend": backend.stats()}
+                    if backend is not None
+                    else {}
+                ),
             },
         )
 
@@ -363,9 +408,5 @@ class DRAMLLCRunner(LLCRunner):
             **dram.snapshot(),
         }
         if scheduler is not None:
-            result.extra["write_queue"] = {
-                "enqueued": scheduler.enqueued,
-                "forwarded_reads": scheduler.forwarded_reads,
-                "drain_batches": scheduler.drain_batches,
-            }
+            result.extra["write_queue"] = scheduler.snapshot()
         return result

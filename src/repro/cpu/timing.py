@@ -12,14 +12,24 @@ The model encodes exactly the asymmetry the paper exploits:
   occupies the write buffer, and a full buffer stalls the core
   (:class:`~repro.hierarchy.writebuffer.WriteBufferModel`).
 
+When a :class:`~repro.mem.backend.MemoryBackend` is installed, memory
+reads and writes route through it instead of the flat
+latency/write-buffer pair: the backend sees the request address and the
+current cycle, returns a read latency (MLP overlap still applies) or a
+write stall, and keeps its own occupancy state.  The flat path is what
+the default ``dram`` backend reproduces bit-for-bit.
+
 The output is cycles, hence IPC, hence every speedup number in the
 evaluation.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.common.config import CoreConfig, MemoryConfig
 from repro.hierarchy.writebuffer import WriteBufferModel
+from repro.mem.backend import MemoryBackend
 
 
 class TimingModel:
@@ -30,6 +40,7 @@ class TimingModel:
         "memory",
         "llc_hit_latency",
         "write_buffer",
+        "backend",
         "cycles",
         "instructions",
         "read_stall_cycles",
@@ -41,10 +52,12 @@ class TimingModel:
         core: CoreConfig,
         memory: MemoryConfig,
         llc_hit_latency: int,
+        backend: Optional[MemoryBackend] = None,
     ) -> None:
         self.core = core
         self.memory = memory
         self.llc_hit_latency = llc_hit_latency
+        self.backend = backend
         self.write_buffer = WriteBufferModel(
             core.write_buffer_entries, memory.writeback_cost
         )
@@ -65,9 +78,12 @@ class TimingModel:
         self.read_stall_cycles += stall
         self.cycles += stall
 
-    def read_miss(self) -> None:
-        """A demand read served by main memory (flat latency)."""
-        self.read_stall(self.memory.latency)
+    def read_miss(self, address: int = 0) -> None:
+        """A demand read served by main memory."""
+        if self.backend is not None:
+            self.read_stall(self.backend.read(address, self.cycles))
+        else:
+            self.read_stall(self.memory.latency)
 
     def read_stall(self, latency: float) -> None:
         """A demand read with an explicit service latency (DRAM mode)."""
@@ -75,9 +91,12 @@ class TimingModel:
         self.read_stall_cycles += stall
         self.cycles += stall
 
-    def memory_write(self) -> None:
+    def memory_write(self, address: int = 0) -> None:
         """A line headed to memory (writeback or bypassed store)."""
-        stall = self.write_buffer.issue(self.cycles)
+        if self.backend is not None:
+            stall = self.backend.write(address, self.cycles)
+        else:
+            stall = self.write_buffer.issue(self.cycles)
         self.write_stall_cycles += stall
         self.cycles += stall
 
@@ -91,8 +110,9 @@ class TimingModel:
     def reset(self) -> None:
         """Zero accumulated time (after warmup).
 
-        The write buffer is rebuilt rather than kept: its drain horizon
-        is expressed in absolute cycles, which just restarted at zero.
+        The write buffer (and any installed backend) is rebuilt rather
+        than kept: drain horizons are expressed in absolute cycles, which
+        just restarted at zero.
         """
         self.cycles = 0.0
         self.instructions = 0
@@ -101,3 +121,5 @@ class TimingModel:
         self.write_buffer = WriteBufferModel(
             self.core.write_buffer_entries, self.memory.writeback_cost
         )
+        if self.backend is not None:
+            self.backend.reset()

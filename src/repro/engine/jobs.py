@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, ClassVar, Dict, Optional, Union
 
 from repro.cache.policyspec import PolicySpec
 from repro.engine.keys import job_key, scale_payload
+from repro.mem.spec import BackendSpec
 
 
 def _policy_key(policy: Union[str, PolicySpec]) -> str:
@@ -31,6 +32,15 @@ def _policy_key(policy: Union[str, PolicySpec]) -> str:
     result stored before :class:`PolicySpec` existed stays warm.
     """
     return PolicySpec.coerce(policy).key()
+
+
+def _memory_key(memory: Union[str, BackendSpec]) -> str:
+    """Canonical memory-backend string for payloads/labels."""
+    return BackendSpec.coerce(memory).key()
+
+
+def _memory_is_default(memory: Union[str, BackendSpec]) -> bool:
+    return BackendSpec.coerce(memory).is_default
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.core import RunResult
@@ -53,6 +63,7 @@ class RunJob:
     llc_lines: Optional[int] = None  # geometry override (sweeps)
     ways: Optional[int] = None
     mode: str = "llc"
+    memory: Union[str, BackendSpec] = "dram"
 
     kind: ClassVar[str] = "run"
 
@@ -69,6 +80,8 @@ class RunJob:
         base = f"{self.benchmark}/{_policy_key(self.policy)}"
         if self.mode != "llc":
             base = f"{self.mode}:{base}"
+        if not _memory_is_default(self.memory):
+            base = f"{base}+{_memory_key(self.memory)}"
         if self.llc_lines is None and self.ways is None:
             return base
         return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
@@ -84,10 +97,12 @@ class RunJob:
                 "ways": self.geometry_ways,
             },
         }
-        # Only non-default modes contribute to the key, so every result
-        # stored before the mode field existed stays warm.
+        # Only non-default modes/backends contribute to the key, so every
+        # result stored before those fields existed stays warm.
         if self.mode != "llc":
             payload["mode"] = self.mode
+        if not _memory_is_default(self.memory):
+            payload["memory"] = _memory_key(self.memory)
         return payload
 
     def key(self) -> str:
@@ -104,6 +119,7 @@ class RunJob:
                 scale=self.scale,
                 llc_lines=self.llc_lines,
                 ways=self.ways,
+                memory=BackendSpec.coerce(self.memory),
             )
         )
 
@@ -126,21 +142,29 @@ class MixJob:
     policy: Union[str, PolicySpec]
     per_core: "ExperimentScale"
     num_cores: int = 4
+    memory: Union[str, BackendSpec] = "dram"
 
     kind: ClassVar[str] = "mix"
 
     @property
     def label(self) -> str:
-        return f"{self.mix}/{_policy_key(self.policy)}"
+        base = f"{self.mix}/{_policy_key(self.policy)}"
+        if not _memory_is_default(self.memory):
+            base = f"{base}+{_memory_key(self.memory)}"
+        return base
 
     def payload(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "kind": self.kind,
             "mix": self.mix,
             "policy": _policy_key(self.policy),
             "per_core": scale_payload(self.per_core),
             "num_cores": self.num_cores,
         }
+        # Default backend is omitted so pre-backend store entries stay warm.
+        if not _memory_is_default(self.memory):
+            payload["memory"] = _memory_key(self.memory)
+        return payload
 
     def key(self) -> str:
         return job_key(self.payload())
@@ -148,7 +172,13 @@ class MixJob:
     def execute(self) -> "MixResult":
         from repro.experiments.multicore_exp import run_mix
 
-        return run_mix(self.mix, self.policy, self.per_core, self.num_cores)
+        return run_mix(
+            self.mix,
+            self.policy,
+            self.per_core,
+            self.num_cores,
+            memory=self.memory,
+        )
 
     @staticmethod
     def encode(result: "MixResult") -> Dict[str, object]:

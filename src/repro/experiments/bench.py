@@ -156,6 +156,53 @@ def run_hierarchy_bench(
     return results
 
 
+def run_hierarchy_pcm_bench(
+    policies: Sequence[str] = ("rwp",),
+    benchmark: str = DEFAULT_BENCHMARK,
+    accesses: int = HIER_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2014,
+) -> List[BenchResult]:
+    """Time the writeback-filter (F10b) hot path: the full hierarchy
+    replay plus the per-access timing walk over the ``pcm`` backend.
+
+    This is the extra work ``--memory pcm:...`` adds on top of the
+    staged replay -- write-log collection and the address-carrying
+    scalar timing loop -- so the guard notices when that path slows
+    down.  Results are keyed ``hierarchy_pcm:<policy>``.
+    """
+    from repro.common.config import default_hierarchy
+    from repro.cpu.core import HierarchyRunner
+    from repro.mem import make_backend
+
+    trace = cached_trace(benchmark, DEFAULT_LLC_LINES, accesses, seed)
+    config = default_hierarchy(
+        llc_size=DEFAULT_LLC_LINES * LINE_SIZE, llc_ways=16
+    )
+    results: List[BenchResult] = []
+    for policy in policies:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            runner = HierarchyRunner(
+                config,
+                make_llc_policy(policy, DEFAULT_LLC_LINES),
+                backend=make_backend("pcm:write_mult=4", config),
+            )
+            start = time.perf_counter()
+            runner.run(trace, warmup=len(trace) // 8)
+            best = min(best, time.perf_counter() - start)
+        results.append(
+            BenchResult(
+                policy=f"hierarchy_pcm:{policy}",
+                accesses=len(trace),
+                best_seconds=best,
+                accesses_per_sec=len(trace) / best,
+                repeats=max(1, repeats),
+            )
+        )
+    return results
+
+
 def run_multicore_bench(
     policies: Sequence[str] = DEFAULT_POLICIES,
     accesses_per_core: int = MC_ACCESSES,
@@ -211,11 +258,13 @@ def run_system_bench(
     repeats: int | None = None,
     seed: int = 2014,
 ) -> List[BenchResult]:
-    """The hierarchy + multicore bench pair with quick/full sizing.
+    """The hierarchy + multicore bench set with quick/full sizing.
 
     The core-aware partitioner has its own victim path on the shared
     LLC, so a ``multicore4:rwp-core`` row is always included even when
-    the caller benches the default policy pair.
+    the caller benches the default policy pair; likewise a
+    ``hierarchy_pcm:rwp`` row always covers the F10b backend replay
+    path.
     """
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
@@ -225,6 +274,10 @@ def run_system_bench(
         multicore_policies.append("rwp-core")
     return run_hierarchy_bench(
         policies,
+        accesses=HIER_QUICK_ACCESSES if quick else HIER_ACCESSES,
+        repeats=repeats,
+        seed=seed,
+    ) + run_hierarchy_pcm_bench(
         accesses=HIER_QUICK_ACCESSES if quick else HIER_ACCESSES,
         repeats=repeats,
         seed=seed,

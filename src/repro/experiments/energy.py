@@ -32,6 +32,40 @@ class EnergyParams:
     frequency_ghz: float = 3.2
 
 
+#: per-backend (read_nj, write_nj) coefficients.  DRAM transfers cost
+#: about the same in either direction; PCM's RESET/SET pulses make a
+#: line write an order of magnitude costlier than a read (MAC,
+#: arXiv:1606.03248, gives ~2 pJ/bit read vs ~20-30 pJ/bit write);
+#: generic NVM sits between.  A ``write_mult`` kwarg on the backend spec
+#: does not change the energy table -- energy asymmetry is a property of
+#: the cell, latency asymmetry of the timing model.
+BACKEND_ENERGY = {
+    "dram": (15.0, 15.0),
+    "pcm": (10.0, 120.0),
+    "nvm": (12.0, 60.0),
+}
+
+
+def energy_params_for(memory, base: EnergyParams | None = None) -> EnergyParams:
+    """Energy parameters matching a memory backend spec.
+
+    ``memory`` is a backend name, canonical spec string, or
+    :class:`~repro.mem.spec.BackendSpec`; its read/write coefficients
+    come from :data:`BACKEND_ENERGY` (unknown names keep the DRAM
+    defaults).  The remaining fields are taken from ``base``.
+    """
+    from dataclasses import replace
+
+    from repro.mem.spec import BackendSpec
+
+    base = base or EnergyParams()
+    name = BackendSpec.coerce(memory).name
+    read_nj, write_nj = BACKEND_ENERGY.get(
+        name, (base.dram_read_nj, base.dram_write_nj)
+    )
+    return replace(base, dram_read_nj=read_nj, dram_write_nj=write_nj)
+
+
 @dataclass(frozen=True)
 class EnergyBreakdown:
     """Energy totals (millijoules) for one run."""

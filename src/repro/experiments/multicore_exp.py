@@ -81,11 +81,14 @@ def _alone_ipc(
     benchmark: str,
     per_core: ExperimentScale,
     shared_llc_lines: int,
+    memory: str = "dram",
 ) -> float:
     """IPC of one benchmark alone on the full shared LLC under LRU.
 
     An ``llc``-mode spec with the shared capacity as a geometry override:
-    the per-core trace does not change because the cache grew.
+    the per-core trace does not change because the cache grew.  The
+    memory backend matches the shared run's, so the weighted-speedup
+    denominators see the same write costs.
     """
     spec = SimulationSpec(
         benchmark,
@@ -93,6 +96,7 @@ def _alone_ipc(
         scale=per_core,
         llc_lines=shared_llc_lines,
         ways=per_core.ways,
+        memory=memory,
     )
     return simulate_cached(spec).ipc
 
@@ -102,12 +106,14 @@ def run_mix(
     policy: str | PolicySpec,
     per_core: ExperimentScale | None = None,
     num_cores: int | None = None,
+    memory: str = "dram",
 ) -> MixResult:
     """Run one named mix under one policy and compute all metrics.
 
     ``num_cores`` defaults to the mix's own core count (one benchmark
     per core); passing a different value is an error caught by the
-    simulation front-end.
+    simulation front-end.  ``memory`` names the main-memory backend
+    (shared run and ``alone`` denominators both use it).
     """
     per_core = per_core or ExperimentScale()
     spec = get_mix(mix)
@@ -115,6 +121,9 @@ def run_mix(
     if num_cores is None:
         num_cores = spec.core_count
     shared = _shared_scale(per_core, num_cores)
+    from repro.mem.spec import BackendSpec
+
+    memory_spec = BackendSpec.coerce(memory)
 
     result: SharedRunResult = simulate(
         SimulationSpec(
@@ -123,12 +132,13 @@ def run_mix(
             mode="multicore",
             scale=per_core,
             num_cores=num_cores,
+            memory=memory_spec,
         )
     )
 
     shared_ipcs = result.ipcs()
     alone_ipcs = [
-        _alone_ipc(bench, per_core, shared.llc_lines)
+        _alone_ipc(bench, per_core, shared.llc_lines, memory_spec)
         for bench in benchmarks
     ]
     return MixResult(
@@ -151,6 +161,7 @@ def run_mix_grid(
     store=None,
     journal=None,
     timeout: float | None = None,
+    memory: str = "dram",
 ) -> Dict[Tuple[str, str], MixResult]:
     """Every (mix, policy) pair, fanned out through the engine.
 
@@ -161,7 +172,13 @@ def run_mix_grid(
 
     per_core = per_core or ExperimentScale()
     job_list = [
-        MixJob(mix, policy, per_core, num_cores=get_mix(mix).core_count)
+        MixJob(
+            mix,
+            policy,
+            per_core,
+            num_cores=get_mix(mix).core_count,
+            memory=memory,
+        )
         for mix in mixes
         for policy in policies
     ]

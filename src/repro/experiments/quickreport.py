@@ -91,6 +91,38 @@ def generate_report(
         "",
     ]
 
+    # Write path: every result now carries its write-buffer counters in
+    # ``extra["writebuffer"]`` (the same ``prefix.name`` convention the
+    # ``dram.*`` / ``pcm.*`` backend stats use), so the report can show
+    # what the speedup table costs in write traffic and drain stalls.
+    wb_rows = []
+    for policy in ("lru", "rwp"):
+        counters = [
+            grid[(bench, policy)].extra.get("writebuffer", {})
+            for bench in sensitive
+        ]
+        wb_rows.append(
+            [
+                policy,
+                int(sum(c.get("writebuffer.writes", 0) for c in counters)),
+                int(
+                    sum(c.get("writebuffer.stall_cycles", 0) for c in counters)
+                ),
+            ]
+        )
+    sections += [
+        "## Write-buffer counters (sensitive-subset totals)",
+        "",
+        "Memory writes issued through the core write buffer and the",
+        "cycles the core stalled waiting for a free entry.",
+        "",
+        _markdown_table(
+            ["policy", "writebuffer.writes", "writebuffer.stall_cycles"],
+            wb_rows,
+        ),
+        "",
+    ]
+
     # State budget.
     llc = paper_system_config().hierarchy.llc
     sections += [

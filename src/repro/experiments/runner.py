@@ -130,12 +130,16 @@ def make_llc_policy(
 
 @lru_cache(maxsize=4096)
 def _run_benchmark_cached(
-    benchmark: str, policy: str, scale: ExperimentScale, mode: str = "llc"
+    benchmark: str,
+    policy: str,
+    scale: ExperimentScale,
+    mode: str = "llc",
+    memory: str = "dram",
 ) -> RunResult:
     from repro.sim import SimulationSpec, simulate
 
     return simulate(
-        SimulationSpec(benchmark, policy, mode=mode, scale=scale)
+        SimulationSpec(benchmark, policy, mode=mode, scale=scale, memory=memory)
     )
 
 
@@ -145,30 +149,33 @@ def run_benchmark(
     scale: ExperimentScale | None = None,
     store=None,
     mode: str = "llc",
+    memory: str = "dram",
 ) -> RunResult:
     """Run one benchmark under one policy at the given scale.
 
     ``mode`` selects LLC-level replay (default) or the full
-    ``"hierarchy"`` stack; both go through the
-    :class:`~repro.sim.SimulationSpec` front-end.  Runs are
-    deterministic, so results are memoized: harnesses that share a
-    baseline (every figure normalizes to LRU) never re-simulate it.
-    With a ``store`` (a :class:`~repro.engine.store.ResultStore` or a
-    path), results also persist across processes: a warm key is decoded
-    from disk instead of simulated, and fresh runs are written through.
+    ``"hierarchy"`` stack; ``memory`` names the main-memory backend
+    (``"dram"`` default, ``"pcm:..."``/``"nvm:..."`` for asymmetric
+    writes); both go through the :class:`~repro.sim.SimulationSpec`
+    front-end.  Runs are deterministic, so results are memoized:
+    harnesses that share a baseline (every figure normalizes to LRU)
+    never re-simulate it.  With a ``store`` (a
+    :class:`~repro.engine.store.ResultStore` or a path), results also
+    persist across processes: a warm key is decoded from disk instead of
+    simulated, and fresh runs are written through.
     """
     scale = scale or ExperimentScale()
     if store is None:
-        return _run_benchmark_cached(benchmark, policy, scale, mode)
+        return _run_benchmark_cached(benchmark, policy, scale, mode, memory)
     from repro.engine import RunJob, coerce_store
 
     store = coerce_store(store)
-    job = RunJob(benchmark, policy, scale, mode=mode)
+    job = RunJob(benchmark, policy, scale, mode=mode, memory=memory)
     key = job.key()
     record = store.get(key)
     if record is not None:
         return job.decode(record["result"])
-    result = _run_benchmark_cached(benchmark, policy, scale, mode)
+    result = _run_benchmark_cached(benchmark, policy, scale, mode, memory)
     store.put(key, job.kind, job.encode(result))
     return result
 
@@ -211,6 +218,7 @@ def run_grid(
     journal=None,
     timeout: float | None = None,
     mode: str = "llc",
+    memory: str = "dram",
 ) -> ResultGrid:
     """Run every (benchmark, policy) pair; identical traces per benchmark.
 
@@ -219,13 +227,13 @@ def run_grid(
     result ``store``, and an optional JSONL ``journal`` for resumable
     sweeps.  ``progress`` reports per-job lines to stderr.  ``mode``
     (``"llc"`` or ``"hierarchy"``) picks the simulation front-end mode
-    for every cell.
+    and ``memory`` the main-memory backend for every cell.
     """
     scale = scale or ExperimentScale()
     from repro.engine import RunJob, run_jobs
 
     job_list = [
-        RunJob(benchmark, policy, scale, mode=mode)
+        RunJob(benchmark, policy, scale, mode=mode, memory=memory)
         for benchmark in benchmarks
         for policy in policies
     ]

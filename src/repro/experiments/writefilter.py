@@ -1,0 +1,261 @@
+"""Experiment family F10b: replacement policies as *writeback filters*.
+
+The paper motivates clean/dirty partitioning with the cost of writes,
+but evaluates on a DRAM-like memory where writes are cheap and buffered.
+This family re-asks the headline question on asymmetric-write memory:
+how much of a policy's win comes from the reads it saves, and how does
+that win scale as each write the LLC fails to filter becomes 1x / 3x /
+5x / 10x as expensive as a read?
+
+Methodology
+-----------
+* **Single-core rows** run in ``hierarchy`` mode: with private L1/L2 in
+  front, RWP's clean-partition preference cuts memory *reads* sharply
+  while the L1/L2 absorb the re-dirty churn, so memory *writes* stay
+  roughly flat -- RWP acts as a read-saving filter, and every write it
+  does send costs PCM partition time that delays later demand reads
+  (the ``pcm`` backend's pause-wait term).  That interference grows
+  linearly with ``write_mult``, which is why the speedup-over-LRU
+  column grows monotonically down the grid.  (In bare LLC-level replay
+  RWP *inflates* writebacks 4-5x and the trend inverts -- measured,
+  and worth knowing, but that mode mismatches the paper's system
+  model, which always has private caches in front.)
+* **Multicore rows** run the shared-LLC mixes where writes matter
+  (read-modify-write and balanced mixes); ``rwp-core`` reduces both
+  memory reads and writes there.  The 4-core memory system gets
+  ``partitions=16`` (twice the single-core 8): more ranks/chips behind
+  a shared controller, as in PALP's multi-partition organization.
+* Every cell uses the ``pcm`` backend with only ``write_mult`` (and the
+  multicore partition count) varying, so the 1x column is the
+  symmetric-cost control, not a different machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cpu.core import RunResult
+from repro.experiments.energy import energy_params_for, evaluate_energy
+from repro.experiments.runner import ExperimentScale, run_grid
+from repro.multicore.metrics import geometric_mean
+
+#: write-cost multipliers: DRAM-like parity up to PCM-class 10x.
+WRITE_COST_GRID = (1, 3, 5, 10)
+
+#: single-core benchmarks: the read-sensitive set where RWP filters
+#: reads (mcf/omnetpp/soplex/gcc) plus cactusADM as an honest
+#: write-heavy control where RWP is roughly speedup-neutral.
+WRITEFILTER_BENCHMARKS = ("mcf", "omnetpp", "soplex", "gcc", "cactusADM")
+
+#: single-core comparison set (baseline first).
+WRITEFILTER_POLICIES = ("lru", "drrip", "rwp")
+
+#: 4-core mixes where write filtering is live: the RMW mix and the two
+#: balanced mixes.  (Purely read-sensitive mixes are *worse* for
+#: rwp-core under expensive writes -- shedding dirty lines inflates
+#: shared-LLC writebacks there; F9b covers those.)
+WRITEFILTER_MIXES = ("mix06_rmw_mix", "mix07_balanced", "mix08_balanced")
+
+#: multicore comparison set (baseline first).
+WRITEFILTER_MIX_POLICIES = ("lru", "drrip", "rwp", "rwp-core")
+
+#: PCM partition count for the shared 4-core memory system.
+MULTICORE_PCM_PARTITIONS = 16
+
+
+def pcm_spec(write_mult: float, partitions: int | None = None) -> str:
+    """Canonical ``pcm`` backend spec string for one grid point."""
+    spec = f"pcm:write_mult={write_mult}"
+    if partitions is not None:
+        spec = f"{spec}:partitions={partitions}"
+    return spec
+
+
+GridResults = Dict[Tuple[float, str, str], RunResult]
+
+
+def writeback_filter_grid(
+    benchmarks: Sequence[str] = WRITEFILTER_BENCHMARKS,
+    policies: Sequence[str] = WRITEFILTER_POLICIES,
+    write_costs: Sequence[float] = WRITE_COST_GRID,
+    scale: ExperimentScale | None = None,
+    progress: bool = False,
+    jobs: int = 1,
+    store=None,
+    journal=None,
+) -> GridResults:
+    """Every (write_cost, benchmark, policy) cell, hierarchy mode.
+
+    Returns ``{(write_mult, benchmark, policy): RunResult}``; execution
+    fans out through the engine with the same ``jobs``/``store``/
+    ``journal`` knobs as ``run_grid``.
+    """
+    scale = scale or ExperimentScale()
+    results: GridResults = {}
+    for mult in write_costs:
+        grid = run_grid(
+            benchmarks,
+            list(dict.fromkeys(["lru", *policies])),
+            scale=scale,
+            progress=progress,
+            jobs=jobs,
+            store=store,
+            journal=journal,
+            mode="hierarchy",
+            memory=pcm_spec(mult),
+        )
+        for (bench, policy), result in grid.items():
+            results[(mult, bench, policy)] = result
+    return results
+
+
+def writeback_filter_speedups(
+    results: GridResults,
+    benchmarks: Sequence[str] = WRITEFILTER_BENCHMARKS,
+    policies: Sequence[str] = WRITEFILTER_POLICIES,
+    write_costs: Sequence[float] = WRITE_COST_GRID,
+    baseline: str = "lru",
+) -> Dict[Tuple[float, str], float]:
+    """Geomean speedup over the baseline at each write-cost point."""
+    speedups: Dict[Tuple[float, str], float] = {}
+    for mult in write_costs:
+        for policy in policies:
+            if policy == baseline:
+                continue
+            speedups[(mult, policy)] = geometric_mean(
+                [
+                    results[(mult, bench, policy)].speedup_over(
+                        results[(mult, bench, baseline)]
+                    )
+                    for bench in benchmarks
+                ]
+            )
+    return speedups
+
+
+def writeback_filter_energy(
+    results: GridResults,
+    benchmarks: Sequence[str] = WRITEFILTER_BENCHMARKS,
+    policies: Sequence[str] = WRITEFILTER_POLICIES,
+    write_costs: Sequence[float] = WRITE_COST_GRID,
+    baseline: str = "lru",
+) -> Dict[Tuple[float, str], float]:
+    """Geomean energy-per-kiloinstruction ratio vs the baseline.
+
+    Uses the ``pcm`` energy coefficients
+    (:func:`~repro.experiments.energy.energy_params_for`), so the write
+    column of the energy model matches the memory the grid simulates.
+    Below 1.0 means the policy also saves energy.
+    """
+    params = energy_params_for("pcm")
+    ratios: Dict[Tuple[float, str], float] = {}
+    for mult in write_costs:
+        for policy in policies:
+            if policy == baseline:
+                continue
+            ratios[(mult, policy)] = geometric_mean(
+                [
+                    evaluate_energy(
+                        results[(mult, bench, policy)], params
+                    ).energy_per_kilo_instruction_uj
+                    / evaluate_energy(
+                        results[(mult, bench, baseline)], params
+                    ).energy_per_kilo_instruction_uj
+                    for bench in benchmarks
+                ]
+            )
+    return ratios
+
+
+MixGridResults = Dict[Tuple[float, str, str], "object"]
+
+
+def writeback_filter_mix_grid(
+    mixes: Sequence[str] = WRITEFILTER_MIXES,
+    policies: Sequence[str] = WRITEFILTER_MIX_POLICIES,
+    write_costs: Sequence[float] = WRITE_COST_GRID,
+    per_core: ExperimentScale | None = None,
+    progress: bool = False,
+    jobs: int = 1,
+    store=None,
+    journal=None,
+) -> MixGridResults:
+    """Every (write_cost, mix, policy) cell on the shared LLC.
+
+    Returns ``{(write_mult, mix, policy): MixResult}``.
+    """
+    from repro.experiments.multicore_exp import run_mix_grid
+
+    per_core = per_core or ExperimentScale()
+    results: MixGridResults = {}
+    for mult in write_costs:
+        grid = run_mix_grid(
+            mixes,
+            list(dict.fromkeys(["lru", *policies])),
+            per_core=per_core,
+            progress=progress,
+            jobs=jobs,
+            store=store,
+            journal=journal,
+            memory=pcm_spec(mult, partitions=MULTICORE_PCM_PARTITIONS),
+        )
+        for (mix, policy), result in grid.items():
+            results[(mult, mix, policy)] = result
+    return results
+
+
+def writeback_filter_mix_ws(
+    results: MixGridResults,
+    mixes: Sequence[str] = WRITEFILTER_MIXES,
+    policies: Sequence[str] = WRITEFILTER_MIX_POLICIES,
+    write_costs: Sequence[float] = WRITE_COST_GRID,
+    baseline: str = "lru",
+) -> Dict[Tuple[float, str], float]:
+    """Geomean LRU-normalized weighted speedup per write-cost point."""
+    normalized: Dict[Tuple[float, str], float] = {}
+    for mult in write_costs:
+        for policy in policies:
+            if policy == baseline:
+                continue
+            normalized[(mult, policy)] = geometric_mean(
+                [
+                    results[(mult, mix, policy)].weighted_speedup
+                    / results[(mult, mix, baseline)].weighted_speedup
+                    for mix in mixes
+                ]
+            )
+    return normalized
+
+
+def format_writeback_filter(
+    speedups: Dict[Tuple[float, str], float],
+    energy: Dict[Tuple[float, str], float] | None = None,
+    policies: Sequence[str] = WRITEFILTER_POLICIES,
+    write_costs: Sequence[float] = WRITE_COST_GRID,
+    baseline: str = "lru",
+    title: str = "F10b: geomean speedup over LRU vs write cost (pcm)",
+) -> str:
+    """Markdown table: one row per write-cost point, one column per
+    policy (plus an energy-ratio column per policy when given)."""
+    shown = [p for p in policies if p != baseline]
+    header = ["write cost"] + [f"{p} speedup" for p in shown]
+    if energy is not None:
+        header += [f"{p} energy" for p in shown]
+    lines = [
+        f"### {title}",
+        "",
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join(["---"] * len(header)) + "|",
+    ]
+    for mult in write_costs:
+        row = [f"{mult}x"]
+        row += [f"{speedups[(mult, p)]:.4f}" for p in shown]
+        if energy is not None:
+            row += [f"{energy[(mult, p)]:.4f}" for p in shown]
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def is_monotone_nondecreasing(values: List[float], tolerance: float = 0.0) -> bool:
+    """True when each value is >= its predecessor (minus ``tolerance``)."""
+    return all(b >= a - tolerance for a, b in zip(values, values[1:]))

@@ -201,3 +201,11 @@ class WriteDrainScheduler:
             drained += 1
         self.drain_batches += 1
         return drained
+
+    def snapshot(self) -> dict:
+        return {
+            "writequeue.enqueued": self.enqueued,
+            "writequeue.forwarded_reads": self.forwarded_reads,
+            "writequeue.drain_batches": self.drain_batches,
+            "writequeue.occupancy": self.occupancy,
+        }

@@ -18,6 +18,10 @@ class MainMemory:
         self.config = config
         self.reads = 0
         self.writes = 0
+        #: when set to a list, :meth:`write` appends each write's address
+        #: in arrival order -- the backend timing replay consumes this to
+        #: recover per-access write addresses (see HierarchyRunner).
+        self.write_log = None
 
     def read(self, address: int) -> int:
         """Service a demand read; returns its latency in cycles."""
@@ -27,6 +31,8 @@ class MainMemory:
     def write(self, address: int) -> int:
         """Absorb a writeback; returns its channel occupancy in cycles."""
         self.writes += 1
+        if self.write_log is not None:
+            self.write_log.append(address)
         return self.config.writeback_cost
 
     def reset_stats(self) -> None:

@@ -61,10 +61,16 @@ class MemoryHierarchy:
         llc_policy: ReplacementPolicy | str = "lru",
         num_l1l2: int = 1,
         inclusive: bool = False,
+        backend=None,
     ) -> None:
         if isinstance(llc_policy, str):
             llc_policy = make_policy(llc_policy)
         self.config = config
+        #: optional :class:`~repro.mem.backend.MemoryBackend` whose stats
+        #: join :meth:`snapshot`.  The hierarchy's *functional* behaviour
+        #: (hits, misses, writebacks) never depends on it -- timing does,
+        #: and the timing replay lives in the runners.
+        self.backend = backend
         #: when True, an LLC eviction back-invalidates the line from every
         #: private L1/L2 (inclusive LLC); a back-invalidated dirty private
         #: copy is written straight to memory (its LLC home is gone).
@@ -448,4 +454,6 @@ class MemoryHierarchy:
                     stats[f"core{index}.{key}"] = value
         stats.update(self.llc.snapshot())
         stats.update(self.memory.snapshot())
+        if self.backend is not None:
+            stats.update(self.backend.stats())
         return stats

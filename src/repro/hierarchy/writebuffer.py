@@ -57,3 +57,10 @@ class WriteBufferModel:
     def reset_stats(self) -> None:
         self.total_writes = 0
         self.stall_cycles = 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "writebuffer.writes": self.total_writes,
+            "writebuffer.stall_cycles": self.stall_cycles,
+            "writebuffer.occupancy": self.occupancy,
+        }

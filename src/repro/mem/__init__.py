@@ -1,0 +1,85 @@
+"""Pluggable main-memory backends.
+
+The registry maps spec names to :class:`~repro.mem.backend.MemoryBackend`
+classes; :func:`make_backend` builds an instance from a
+:class:`~repro.mem.spec.BackendSpec` (or its string form), filling
+config-derived defaults (read latency, writeback cost, write-buffer
+depth, line size) from the run's :class:`~repro.common.config.HierarchyConfig`
+so a bare ``"pcm"`` behaves sensibly at any geometry.
+
+See ``docs/MEMORY.md`` for the ABI contract and how to add a backend.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type, Union
+
+from repro.common.config import HierarchyConfig
+from repro.mem.backend import MemoryBackend
+from repro.mem.dram import DRAMBackend
+from repro.mem.nvm import NVMBackend
+from repro.mem.pcm import PCMBackend
+from repro.mem.spec import DEFAULT_BACKEND, BackendSpec
+
+__all__ = [
+    "BackendSpec",
+    "DEFAULT_BACKEND",
+    "MemoryBackend",
+    "DRAMBackend",
+    "PCMBackend",
+    "NVMBackend",
+    "BACKENDS",
+    "backend_names",
+    "make_backend",
+]
+
+BACKENDS: Dict[str, Type[MemoryBackend]] = {
+    "dram": DRAMBackend,
+    "pcm": PCMBackend,
+    "nvm": NVMBackend,
+}
+
+
+def backend_names() -> Tuple[str, ...]:
+    return tuple(sorted(BACKENDS))
+
+
+def _config_defaults(name: str, config: HierarchyConfig) -> Dict[str, object]:
+    if name == "dram":
+        return {
+            "read_latency": config.memory.latency,
+            "writeback_cost": config.memory.writeback_cost,
+            "write_buffer_entries": config.core.write_buffer_entries,
+        }
+    if name == "pcm":
+        return {
+            "read_latency": config.memory.latency,
+            "line_size": config.llc.line_size,
+        }
+    if name == "nvm":
+        return {"read_latency": config.memory.latency}
+    return {}
+
+
+def make_backend(
+    spec: Union[BackendSpec, str], config: HierarchyConfig
+) -> MemoryBackend:
+    """Instantiate the backend ``spec`` names, defaulted from ``config``.
+
+    Spec kwargs override the config-derived defaults, so
+    ``"pcm:read_latency=300"`` wins over ``config.memory.latency``.
+    """
+    spec = BackendSpec.coerce(spec)
+    try:
+        cls = BACKENDS[spec.name]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise ValueError(
+            f"unknown memory backend {spec.name!r} (known: {known})"
+        ) from None
+    params = _config_defaults(spec.name, config)
+    params.update(spec.kwargs_dict())
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad parameters for backend {spec}: {exc}") from None

@@ -1,0 +1,51 @@
+"""The request-level memory-backend ABI.
+
+A :class:`MemoryBackend` sits where :class:`~repro.hierarchy.memory.MainMemory`
+plus the write buffer sit today, but is *stateful in time*: every request
+carries the core cycle at which it is issued, so a backend can model
+occupancy, queueing, and read/write interference instead of returning a
+flat constant.
+
+Contract:
+
+* ``read(address, now)`` returns the read's completion latency in cycles
+  (everything the requester waits for: queueing + service).  The caller
+  applies MLP overlap on top, exactly as it does for the flat model.
+* ``write(address, now)`` absorbs a writeback or bypassed store and
+  returns the *core stall* in cycles -- zero unless back-pressure (a full
+  write queue) reaches the core.  Write service time itself is off the
+  critical path.
+* ``now`` values must be non-decreasing per backend instance; the replay
+  loops guarantee this.  Shared-LLC runs give each core its own backend
+  instance (matching the per-core write buffers of the flat model).
+* ``stats()`` returns a flat ``{"prefix.name": value}`` dict in the same
+  convention as ``dram.*``; ``reset()`` clears timing state *and*
+  counters (used between warmup and the measured run).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class MemoryBackend:
+    """Base class for request-level main-memory models."""
+
+    #: registry name; subclasses override.
+    name = "backend"
+
+    def read(self, address: int, now: float) -> float:
+        """Service a demand read issued at cycle ``now``; returns latency."""
+        raise NotImplementedError
+
+    def write(self, address: int, now: float) -> float:
+        """Absorb a write issued at cycle ``now``; returns core stall."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, float]:
+        """Flat ``prefix.name`` counter dict (``dram.*`` convention)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear timing state and counters (warmup boundary)."""
+        raise NotImplementedError

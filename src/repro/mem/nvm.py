@@ -1,0 +1,71 @@
+"""NVM backend: fixed asymmetric latency, deliberately simple.
+
+A two-parameter model for fast sweeps: reads cost a flat
+``read_latency``; writes cost ``write_mult * read_latency`` of channel
+time, drained through a bank-parallel bounded buffer (effective
+per-write drain is ``write_latency / banks``).  No partitions, no
+pausing, no row state -- when you want to ask "does X survive a 5x write
+cost at all?" before paying for the PCM model's interference terms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hierarchy.writebuffer import WriteBufferModel
+from repro.mem.backend import MemoryBackend
+
+
+class NVMBackend(MemoryBackend):
+    """Flat asymmetric read/write latency with buffered writes."""
+
+    name = "nvm"
+
+    def __init__(
+        self,
+        read_latency: int = 200,
+        write_mult: float = 4.0,
+        banks: int = 8,
+        queue_entries: int = 64,
+    ) -> None:
+        if read_latency < 1:
+            raise ValueError("read_latency must be >= 1")
+        if write_mult < 1.0:
+            raise ValueError(
+                "write_mult must be >= 1 (NVM writes are never faster than reads)"
+            )
+        if banks < 1:
+            raise ValueError("banks must be >= 1")
+        self.read_latency = read_latency
+        self.write_mult = float(write_mult)
+        self.write_latency = float(write_mult) * read_latency
+        self.banks = banks
+        self.queue_entries = queue_entries
+        self._drain_cycles = max(1, round(self.write_latency / banks))
+        self.reads = 0
+        self.writes = 0
+        self._build()
+
+    def _build(self) -> None:
+        self.write_buffer = WriteBufferModel(self.queue_entries, self._drain_cycles)
+
+    def read(self, address: int, now: float) -> float:
+        self.reads += 1
+        return float(self.read_latency)
+
+    def write(self, address: int, now: float) -> float:
+        self.writes += 1
+        return self.write_buffer.issue(now)
+
+    def stats(self) -> Dict[str, float]:
+        out: Dict[str, float] = {
+            "nvm.reads": self.reads,
+            "nvm.writes": self.writes,
+        }
+        out.update(self.write_buffer.snapshot())
+        return out
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self._build()

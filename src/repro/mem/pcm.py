@@ -1,0 +1,148 @@
+"""PCM backend: asymmetric writes with partition-level parallelism.
+
+Phase-change memory writes are 4--10x slower than reads, but a PCM rank
+is split into partitions (PALP, arXiv:1908.07966) that can service
+requests concurrently, and an in-progress write can be *paused* at the
+next iteration boundary to let a demand read through (write pausing,
+~``write_latency / pause_slices`` worst-case wait).  This model keeps a
+busy-until horizon per partition for writes and reads separately:
+
+* a **write** starts when its partition's write horizon frees, occupies
+  the partition for ``write_mult * read_latency`` cycles, and only
+  stalls the core when the bounded write queue (aggregate, across
+  partitions) is full -- the stall is the wait until the oldest
+  in-flight write completes;
+* a **read** to a partition with an in-flight write waits at most one
+  pause slice (``write_latency / pause_slices``); reads also serialize
+  behind earlier reads on the same partition, and their occupancy pushes
+  the paused write's completion out correspondingly.
+
+The read-side interference term is the channel that makes a writeback
+filter visible in single-thread IPC: every eliminated writeback removes
+future pause-wait from demand reads, and the removal grows linearly with
+``write_mult`` -- which is what experiment family F10 measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.mem.backend import MemoryBackend
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class PCMBackend(MemoryBackend):
+    """Partitioned PCM with write asymmetry, pausing, and a write queue."""
+
+    name = "pcm"
+
+    def __init__(
+        self,
+        read_latency: int = 200,
+        write_mult: float = 4.0,
+        partitions: int = 8,
+        pause_slices: int = 8,
+        queue_entries: int = 64,
+        line_size: int = 64,
+    ) -> None:
+        if read_latency < 1:
+            raise ValueError("read_latency must be >= 1")
+        if write_mult < 1.0:
+            raise ValueError(
+                "write_mult must be >= 1 (PCM writes are never faster than reads)"
+            )
+        if not _is_pow2(partitions):
+            raise ValueError("partitions must be a power of two")
+        if pause_slices < 1:
+            raise ValueError("pause_slices must be >= 1")
+        if queue_entries < 1:
+            raise ValueError("queue_entries must be >= 1")
+        self.read_latency = read_latency
+        self.write_mult = float(write_mult)
+        self.write_latency = float(write_mult) * read_latency
+        self.partitions = partitions
+        self.pause_slices = pause_slices
+        self.queue_entries = queue_entries
+        self._line_shift = line_size.bit_length() - 1
+        self._part_mask = partitions - 1
+        self.reset()
+
+    def partition_of(self, address: int) -> int:
+        """Line-interleaved partition mapping (low line bits)."""
+        return (address >> self._line_shift) & self._part_mask
+
+    def _drain(self, now: float) -> None:
+        queue = self._write_queue
+        while queue and queue[0] <= now:
+            heapq.heappop(queue)
+
+    def read(self, address: int, now: float) -> float:
+        self.reads += 1
+        part = self.partition_of(address)
+        # Write pausing: wait only to the next iteration boundary, not for
+        # the whole in-flight write.
+        pending = self._write_free[part] - now
+        pause_wait = 0.0
+        if pending > 0.0:
+            slice_len = self.write_latency / self.pause_slices
+            pause_wait = pending if pending < slice_len else slice_len
+            self.pause_events += 1
+        queue_wait = self._read_free[part] - now
+        if queue_wait < 0.0:
+            queue_wait = 0.0
+        wait = pause_wait if pause_wait > queue_wait else queue_wait
+        latency = wait + self.read_latency
+        self._read_free[part] = now + latency
+        if pending > 0.0:
+            # The paused write resumes after the read releases the partition.
+            self._write_free[part] += latency
+        self.read_wait_cycles += wait
+        return latency
+
+    def write(self, address: int, now: float) -> float:
+        self.writes += 1
+        self._drain(now)
+        stall = 0.0
+        queue = self._write_queue
+        if len(queue) >= self.queue_entries:
+            # Queue full: the core waits for the oldest write to complete.
+            done = heapq.heappop(queue)
+            if done > now:
+                stall = done - now
+                now = done
+                self.queue_full_stalls += 1
+                self.write_stall_cycles += stall
+            self._drain(now)
+        part = self.partition_of(address)
+        start = now if now > self._write_free[part] else self._write_free[part]
+        self._write_free[part] = start + self.write_latency
+        heapq.heappush(queue, self._write_free[part])
+        self.write_busy_cycles += self.write_latency
+        return stall
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "pcm.reads": self.reads,
+            "pcm.writes": self.writes,
+            "pcm.read_wait_cycles": self.read_wait_cycles,
+            "pcm.write_stall_cycles": self.write_stall_cycles,
+            "pcm.write_busy_cycles": self.write_busy_cycles,
+            "pcm.pause_events": self.pause_events,
+            "pcm.queue_full_stalls": self.queue_full_stalls,
+        }
+
+    def reset(self) -> None:
+        self._write_free: List[float] = [0.0] * self.partitions
+        self._read_free: List[float] = [0.0] * self.partitions
+        self._write_queue: List[float] = []
+        self.reads = 0
+        self.writes = 0
+        self.read_wait_cycles = 0.0
+        self.write_stall_cycles = 0.0
+        self.write_busy_cycles = 0.0
+        self.pause_events = 0
+        self.queue_full_stalls = 0

@@ -123,17 +123,32 @@ class SharedLLCSystem:
         config: HierarchyConfig,
         num_cores: int,
         policy: ReplacementPolicy | str = "lru",
+        backends=None,
     ) -> None:
         if num_cores < 1:
             raise ValueError("num_cores must be >= 1")
         if isinstance(policy, str):
             policy = make_policy(policy)
+        if backends is not None and len(backends) != num_cores:
+            raise ValueError(
+                f"need {num_cores} memory backends, got {len(backends)}"
+            )
         self.config = config
         self.num_cores = num_cores
         self.llc = SetAssociativeCache(config.llc, policy)
+        #: optional per-core :class:`~repro.mem.backend.MemoryBackend`
+        #: instances (one each, matching the private write buffers of the
+        #: flat model).  When installed, :meth:`run` routes through the
+        #: scalar interleave -- the epoch driver inlines the flat timing.
+        self.backends = list(backends) if backends is not None else None
         self.timings = [
-            TimingModel(config.core, config.memory, config.llc.hit_latency)
-            for _ in range(num_cores)
+            TimingModel(
+                config.core,
+                config.memory,
+                config.llc.hit_latency,
+                backend=self.backends[core] if self.backends else None,
+            )
+            for core in range(num_cores)
         ]
 
     def _check_traces(self, traces: Sequence[Trace], warmup: int) -> None:
@@ -160,6 +175,10 @@ class SharedLLCSystem:
         geometry (never true for the shipped configs).
         """
         self._check_traces(traces, warmup)
+        if self.backends is not None:
+            # Request-level backends need per-access addresses and live
+            # cycle counts; the epoch sessions inline the flat timing.
+            return self.run_scalar(traces, warmup)
         try:
             views = [
                 trace.decoded(self.config.llc).with_core_offset(
@@ -368,20 +387,21 @@ class SharedLLCSystem:
                 counting[core] = True
             wrapped = index % length
             is_write = wrts[core][wrapped]
+            address = addr[core][wrapped]
             timing = timings[core]
             timing.advance(gaps[core][wrapped])
             hit, bypassed, writeback = access(
-                addr[core][wrapped], is_write, pcs[core][wrapped], core
+                address, is_write, pcs[core][wrapped], core
             )
             if is_write:
                 if bypassed:
-                    timing.memory_write()
+                    timing.memory_write(address)
             elif hit:
                 timing.read_hit()
             else:
-                timing.read_miss()
+                timing.read_miss(address)
             if writeback >= 0:
-                timing.memory_write()
+                timing.memory_write(writeback)
             if counting[core]:
                 row = stats[core]
                 if is_write:

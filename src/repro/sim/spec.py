@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     cached_trace,
     make_llc_policy,
 )
+from repro.mem.spec import BackendSpec
 from repro.trace.generator import LINE_SIZE
 
 #: the recognized simulation modes, in documentation order.
@@ -62,6 +63,11 @@ class SimulationSpec:
     capacity (default: ``num_cores * scale.llc_lines``).  ``num_cores``
     defaults to the named mix's own core count (one benchmark per
     core); setting it explicitly to a different value is an error.
+    ``memory`` names the main-memory backend -- a registry name, a
+    canonical ``"name:key=value"`` spec string, or a
+    :class:`~repro.mem.spec.BackendSpec`; the default ``"dram"`` keeps
+    the flat-latency fast paths and is bit-identical to having no
+    backend at all.
     """
 
     workload: str
@@ -71,6 +77,7 @@ class SimulationSpec:
     llc_lines: Optional[int] = None
     ways: Optional[int] = None
     num_cores: Optional[int] = None  # multicore mode; None = mix's count
+    memory: Union[str, BackendSpec] = "dram"
 
     def __post_init__(self) -> None:
         if self.mode not in SIMULATION_MODES:
@@ -78,6 +85,9 @@ class SimulationSpec:
                 f"unknown simulation mode {self.mode!r}; "
                 f"known: {', '.join(SIMULATION_MODES)}"
             )
+        # Validate the backend spec up front, so a bad --memory string
+        # fails at spec construction, not deep inside a run.
+        BackendSpec.coerce(self.memory)
 
     @property
     def core_count(self) -> int:
@@ -109,8 +119,23 @@ class SimulationSpec:
         return PolicySpec.coerce(self.policy).key()
 
     @property
+    def memory_spec(self) -> BackendSpec:
+        return BackendSpec.coerce(self.memory)
+
+    @property
+    def memory_key(self) -> str:
+        """Canonical string form of the memory backend."""
+        return self.memory_spec.key()
+
+    @property
+    def uses_default_memory(self) -> bool:
+        return self.memory_spec.is_default
+
+    @property
     def label(self) -> str:
         base = f"{self.mode}:{self.workload}/{self.policy_key}"
+        if not self.uses_default_memory:
+            base = f"{base}+{self.memory_key}"
         if self.llc_lines is None and self.ways is None:
             return base
         return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
@@ -139,16 +164,22 @@ def simulate(spec: SimulationSpec):
         spec.workload, scale.llc_lines, scale.total_accesses, scale.seed
     )
     policy = make_llc_policy(spec.policy, spec.geometry_lines)
+    config = spec.hierarchy_config()
+    backend = None
+    if not spec.uses_default_memory:
+        from repro.mem import make_backend
+
+        backend = make_backend(spec.memory_spec, config)
     if spec.mode == "hierarchy":
         from repro.cpu.core import HierarchyRunner
 
         runner: "Union[HierarchyRunner, object]" = HierarchyRunner(
-            spec.hierarchy_config(), policy
+            config, policy, backend=backend
         )
     else:
         from repro.cpu.core import LLCRunner
 
-        runner = LLCRunner(spec.hierarchy_config(), policy)
+        runner = LLCRunner(config, policy, backend=backend)
     return runner.run(trace, warmup=scale.warmup)
 
 
@@ -171,10 +202,21 @@ def _simulate_multicore(spec: SimulationSpec):
         )
         for bench in benchmarks
     ]
+    config = spec.hierarchy_config()
+    backends = None
+    if not spec.uses_default_memory:
+        from repro.mem import make_backend
+
+        # One backend instance per core, matching the per-core write
+        # buffers of the flat model (no shared-channel contention yet).
+        backends = [
+            make_backend(spec.memory_spec, config) for _ in range(num_cores)
+        ]
     system = SharedLLCSystem(
-        spec.hierarchy_config(),
+        config,
         num_cores,
         make_llc_policy(spec.policy, spec.geometry_lines, num_cores),
+        backends=backends,
     )
     return system.run(traces, warmup=scale.warmup)
 

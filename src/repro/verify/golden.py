@@ -31,8 +31,14 @@ from repro.verify.jobs import VERIFY_POLICIES
 
 #: corpus format version; bump when the record layout changes.
 #: v2 added the ``hierarchy`` and ``multicore`` system sections (the
-#: per-policy single-cache records are unchanged from v1).
-GOLDEN_VERSION = 2
+#: per-policy single-cache records are unchanged from v1); v3 added the
+#: ``hierarchy_pcm`` section pinning the full-stack timing replay over
+#: the asymmetric-write ``pcm`` memory backend.
+GOLDEN_VERSION = 3
+
+#: the backend spec the ``hierarchy_pcm`` section pins.  Fixed here so
+#: the corpus guards one canonical asymmetric configuration.
+PCM_GOLDEN_SPEC = "pcm:write_mult=4"
 
 
 @dataclass(frozen=True)
@@ -259,6 +265,48 @@ def system_golden_record(
     }
 
 
+def pcm_golden_record(policy: str, spec: SystemGoldenSpec) -> Dict[str, object]:
+    """Run one hierarchy cell over the ``pcm`` backend and pin it.
+
+    Covers what the plain ``hierarchy`` section cannot: the write-log
+    collection, the address-carrying timing replay, and the backend's
+    partition/pause/queue state machine.  Pins the timing result
+    (instructions, cycles, stall breakdown), the memory traffic, and
+    every ``pcm.*`` counter.
+    """
+    from repro.cpu.core import HierarchyRunner
+    from repro.mem import make_backend
+    from repro.verify.system import (
+        HIERARCHY_GEOMETRIES,
+        _system_policy,
+        small_hierarchy,
+    )
+
+    geometry = HIERARCHY_GEOMETRIES[spec.geometry]
+    config = small_hierarchy(geometry)
+    llc_sets, llc_ways = geometry[2]
+    trace = fuzz_trace(
+        spec.scenario, spec.seed, llc_sets, llc_ways, spec.length
+    )
+    runner = HierarchyRunner(
+        config,
+        _system_policy(policy),
+        backend=make_backend(PCM_GOLDEN_SPEC, config),
+    )
+    result = runner.run(trace, warmup=spec.length // 4)
+    return {
+        "geometry": [list(row) for row in geometry],
+        "backend_spec": PCM_GOLDEN_SPEC,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "read_stall_cycles": result.read_stall_cycles,
+        "write_stall_cycles": result.write_stall_cycles,
+        "memory_reads": runner.hierarchy.memory.reads,
+        "memory_writes": runner.hierarchy.memory.writes,
+        "backend": runner.backend.stats(),
+    }
+
+
 def compute_goldens(policies=VERIFY_POLICIES) -> Dict[str, object]:
     """The full corpus: per-policy single-cache records plus the
     hierarchy and multicore system sections, with trace metadata."""
@@ -294,6 +342,14 @@ def compute_goldens(policies=VERIFY_POLICIES) -> Dict[str, object]:
         "hierarchy": {
             policy: {
                 spec.name: system_golden_record(policy, spec, check_scalar=True)
+                for spec in SYSTEM_GOLDEN_SPECS
+                if spec.target == "hierarchy"
+            }
+            for policy in HIERARCHY_GOLDEN_POLICIES
+        },
+        "hierarchy_pcm": {
+            policy: {
+                spec.name: pcm_golden_record(policy, spec)
                 for spec in SYSTEM_GOLDEN_SPECS
                 if spec.target == "hierarchy"
             }
@@ -368,16 +424,28 @@ def check_goldens(path: "Path | str | None" = None) -> List[str]:
                 problems.append(problem)
     problems.extend(_check_system_section(corpus, "hierarchy"))
     problems.extend(_check_system_section(corpus, "multicore"))
+    problems.extend(_check_system_section(corpus, "hierarchy_pcm"))
     return problems
 
 
 def _check_system_section(corpus: Dict[str, object], target: str) -> List[str]:
-    """Re-run and compare one system section of the corpus."""
+    """Re-run and compare one system section of the corpus.
+
+    ``hierarchy_pcm`` shares the hierarchy specs and policy roster but
+    replays through :func:`pcm_golden_record` instead of the plain
+    system runner.
+    """
     problems: List[str] = []
     policies = (
-        HIERARCHY_GOLDEN_POLICIES
-        if target == "hierarchy"
-        else MULTICORE_GOLDEN_POLICIES
+        MULTICORE_GOLDEN_POLICIES
+        if target == "multicore"
+        else HIERARCHY_GOLDEN_POLICIES
+    )
+    spec_target = "multicore" if target == "multicore" else "hierarchy"
+    record_fn = (
+        pcm_golden_record
+        if target == "hierarchy_pcm"
+        else system_golden_record
     )
     recorded_section: Dict[str, Dict] = corpus.get(target, {})
     for policy in policies:
@@ -390,7 +458,7 @@ def _check_system_section(corpus: Dict[str, object], target: str) -> List[str]:
             )
             continue
         for spec in SYSTEM_GOLDEN_SPECS:
-            if spec.target != target:
+            if spec.target != spec_target:
                 continue
             recorded = recorded_traces.get(spec.name)
             if recorded is None:
@@ -400,7 +468,7 @@ def _check_system_section(corpus: Dict[str, object], target: str) -> List[str]:
                     "verify --regen-goldens`"
                 )
                 continue
-            current = _jsonify(system_golden_record(policy, spec))
+            current = _jsonify(record_fn(policy, spec))
             if current != recorded:
                 keys = [
                     key for key in current if current[key] != recorded.get(key)
