@@ -152,6 +152,10 @@ class SetAssociativeCache:
         # rebuild, which updates these lists in place.
         self._lookups: List[Dict[int, CacheLine]] | None = None
         self._getters: list | None = None
+        #: optional ``repro.kernels.KernelRuntime``: when set, the batch
+        #: entry points offer each replay to the SoA kernels first and
+        #: fall back to the dict drivers on any unsupported shape.
+        self.kernel = None
 
         # ABI v2: the policy declares its capabilities after attach and
         # the resolved plan is unpacked into per-hook attributes, so the
@@ -382,6 +386,12 @@ class SetAssociativeCache:
             return self._run_trace_step(
                 decoded, start, stop, timing, core, step, cycle_limit
             )
+        if self.kernel is not None:
+            ran = self.kernel.try_run_trace(
+                self, decoded, start, stop, timing, core, cycle_limit
+            )
+            if ran is not None:
+                return ran
         if (
             timing is not None
             and self.plan.stamp_policy is not None
@@ -1429,6 +1439,24 @@ class SetAssociativeCache:
         are bit-identical to the scalar walk (the conformance suite
         holds the two together).
         """
+        if self.kernel is not None:
+            forwarded = self.kernel.try_lru_filter(
+                self,
+                set_stream,
+                tag_stream,
+                write_stream,
+                start,
+                stop,
+                out_blocks,
+                out_write,
+                out_origin,
+                origins,
+                levels,
+                level,
+                core,
+            )
+            if forwarded is not None:
+                return forwarded
         sets = self.sets
         lookups, getters = self._lookup_tables()
         stats = self.stats

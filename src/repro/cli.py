@@ -28,7 +28,11 @@ variants can be swept without code changes.  The same grammar names
 main-memory backends via ``--memory``: ``dram`` (default),
 ``pcm:write_mult=4`` (asymmetric writes, partition-level parallelism),
 or ``nvm:write_mult=4`` (simple fixed asymmetry) -- see
-:class:`~repro.mem.spec.BackendSpec`.
+:class:`~repro.mem.spec.BackendSpec`.  ``--kernel`` selects the
+batch-replay driver the same way: ``dict`` (default, the reference
+dict driver), ``native`` (compiled SoA kernel), ``numba``, or ``auto``
+-- all bit-identical, falling back per replay on unsupported shapes
+(see :class:`~repro.kernels.spec.KernelSpec`).
 """
 
 from __future__ import annotations
@@ -129,6 +133,20 @@ def _add_memory_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        "-k",
+        default="dict",
+        help=(
+            "batch-replay kernel name or KernelSpec string: 'dict' "
+            "(default, the reference driver), 'native', 'numba', or "
+            "'auto'.  Non-default kernels are bit-identical and fall "
+            "back per replay on unsupported shapes"
+        ),
+    )
+
+
 def _store_from(args: argparse.Namespace):
     """Resolve the engine options to a ResultStore or None."""
     if getattr(args, "no_store", False):
@@ -160,6 +178,9 @@ def cmd_list(args: argparse.Namespace) -> int:
     from repro.mem import backend_names
 
     print(f"\nbackends:   {', '.join(backend_names())}")
+    from repro.kernels import KERNEL_NAMES
+
+    print(f"\nkernels:    {', '.join(KERNEL_NAMES)}")
     return 0
 
 
@@ -172,11 +193,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         store=_store_from(args),
         mode=args.mode,
         memory=args.memory,
+        kernel=args.kernel,
     )
     print(f"benchmark : {args.benchmark}")
     print(f"mode      : {args.mode}")
     print(f"policy    : {result.policy}")
     print(f"memory    : {args.memory}")
+    print(f"kernel    : {args.kernel}")
     print(f"llc       : {scale.llc_lines} lines "
           f"({scale.llc_lines * 64 >> 10} KiB), {scale.ways}-way")
     print(f"accesses  : {result.llc_accesses:,} measured "
@@ -214,6 +237,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         store=_store_from(args),
         timeout=args.timeout,
         memory=args.memory,
+        kernel=args.kernel,
     )
     baseline = grid[(args.benchmark, policies[0])]
     rows = []
@@ -249,6 +273,7 @@ def cmd_mix(args: argparse.Namespace) -> int:
         store=_store_from(args),
         timeout=args.timeout,
         memory=args.memory,
+        kernel=args.kernel,
     )
     rows = []
     for policy in policies:
@@ -337,6 +362,7 @@ def _sweep_multicore(args: argparse.Namespace) -> int:
             per_core,
             num_cores=get_mix(mix).core_count,
             memory=args.memory,
+            kernel=args.kernel,
         )
         for mix in mixes
         for policy in policies
@@ -351,6 +377,8 @@ def _sweep_multicore(args: argparse.Namespace) -> int:
         }
         if args.memory != "dram":
             sweep_payload["memory"] = args.memory
+        if args.kernel != "dict":
+            sweep_payload["kernel"] = args.kernel
         sweep_id = job_key(sweep_payload)[:16]
         journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
 
@@ -418,7 +446,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     store = _store_from(args)
 
     job_list = [
-        RunJob(bench, policy, scale, memory=args.memory)
+        RunJob(bench, policy, scale, memory=args.memory, kernel=args.kernel)
         for bench in benches
         for policy in policies
     ]
@@ -434,6 +462,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         }
         if args.memory != "dram":
             sweep_payload["memory"] = args.memory
+        if args.kernel != "dict":
+            sweep_payload["kernel"] = args.kernel
         sweep_id = job_key(sweep_payload)[:16]
         journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
 
@@ -566,7 +596,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
         from repro.verify.system import plan_system_jobs
 
         job_list = plan_system_jobs(
-            args.system_fuzz, base_seed=args.seed, length=args.length
+            args.system_fuzz, base_seed=args.seed, length=args.length,
+            kernel=args.kernel,
         )
         outcome = run_jobs(
             job_list,
@@ -582,9 +613,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
         ]
         for job, result in divergent:
             data = result["divergence"]
+            kernel = data.get("kernel", "dict")
+            driver = (
+                "batched replay" if kernel == "dict"
+                else f"batched replay (kernel {kernel!r})"
+            )
             print(f"\n{job.label}:", file=sys.stderr)
             print(
-                f"{data['target']} batched replay diverged from the scalar "
+                f"{data['target']} {driver} diverged from the scalar "
                 f"walk for policy {data['policy']!r}: {data['kind']} -- "
                 f"scalar says {data['expected']}, batched says "
                 f"{data['actual']}",
@@ -637,6 +673,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         QUICK_REPEATS if args.quick else DEFAULT_REPEATS
     )
     policies = args.policies.split(",")
+    from repro.kernels import KernelSpec
+
+    kernel = KernelSpec.coerce(args.kernel)
+    # Dict rows first, then the same rows under the kernel backend
+    # (``kernel:*``), all in one invocation so the pair is captured
+    # interleaved on one machine and the rates actually compare.
     results = run_bench(
         policies,
         benchmark=args.benchmark,
@@ -645,6 +687,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         repeats=repeats,
         seed=args.seed,
     )
+    if not kernel.is_default:
+        results = results + run_bench(
+            policies,
+            benchmark=args.benchmark,
+            llc_lines=llc_lines,
+            accesses=accesses,
+            repeats=repeats,
+            seed=args.seed,
+            kernel=kernel,
+        )
     if not args.llc_only:
         results = results + run_system_bench(
             policies,
@@ -652,6 +704,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
             repeats=args.repeats or None,
             seed=args.seed,
         )
+        if not kernel.is_default:
+            results = results + run_system_bench(
+                policies,
+                quick=args.quick,
+                repeats=args.repeats or None,
+                seed=args.seed,
+                kernel=kernel,
+            )
     print(
         format_bench(
             results,
@@ -732,6 +792,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_memory_option(run_parser)
+    _add_kernel_option(run_parser)
     _add_scale_options(run_parser)
     _add_engine_options(run_parser)
 
@@ -741,6 +802,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--policies", "-p", default="lru,dip,drrip,ship,rrp,rwp"
     )
     _add_memory_option(compare_parser)
+    _add_kernel_option(compare_parser)
     _add_scale_options(compare_parser)
     _add_engine_options(compare_parser)
 
@@ -753,6 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated policy names or PolicySpec strings",
     )
     _add_memory_option(mix_parser)
+    _add_kernel_option(mix_parser)
     _add_scale_options(mix_parser)
     _add_engine_options(mix_parser)
 
@@ -813,6 +876,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", "-q", action="store_true", help="suppress per-job progress"
     )
     _add_memory_option(sweep_parser)
+    _add_kernel_option(sweep_parser)
     _add_scale_options(sweep_parser)
     _add_engine_options(sweep_parser, store_by_default=True)
 
@@ -862,6 +926,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--llc-only",
         action="store_true",
         help="skip the hierarchy and 4-core system benches",
+    )
+    bench_parser.add_argument(
+        "--kernel",
+        "-k",
+        default="native",
+        help=(
+            "also time every row under this kernel backend, keyed "
+            "'kernel:<row>' (default: native; 'dict' skips the kernel "
+            "rows)"
+        ),
     )
     bench_parser.add_argument("--seed", type=int, default=2014)
     bench_parser.add_argument(
@@ -922,6 +996,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1536,
         metavar="N",
         help="accesses per fuzz trace",
+    )
+    verify_parser.add_argument(
+        "--kernel",
+        "-k",
+        default="native",
+        help=(
+            "batch kernel pinned by every third system-fuzz job "
+            "(default: native; 'dict' plans a dict-only slate)"
+        ),
     )
     verify_parser.add_argument(
         "--skip-golden",

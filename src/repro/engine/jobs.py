@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, ClassVar, Dict, Optional, Union
 
 from repro.cache.policyspec import PolicySpec
 from repro.engine.keys import job_key, scale_payload
+from repro.kernels.spec import KernelSpec
 from repro.mem.spec import BackendSpec
 
 
@@ -41,6 +42,16 @@ def _memory_key(memory: Union[str, BackendSpec]) -> str:
 
 def _memory_is_default(memory: Union[str, BackendSpec]) -> bool:
     return BackendSpec.coerce(memory).is_default
+
+
+def _kernel_key(kernel: Union[str, KernelSpec]) -> str:
+    """Canonical batch-kernel string for payloads/labels."""
+    return KernelSpec.coerce(kernel).key()
+
+
+def _kernel_is_default(kernel: Union[str, KernelSpec]) -> bool:
+    return KernelSpec.coerce(kernel).is_default
+
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.core import RunResult
@@ -64,6 +75,7 @@ class RunJob:
     ways: Optional[int] = None
     mode: str = "llc"
     memory: Union[str, BackendSpec] = "dram"
+    kernel: Union[str, KernelSpec] = "dict"
 
     kind: ClassVar[str] = "run"
 
@@ -82,6 +94,8 @@ class RunJob:
             base = f"{self.mode}:{base}"
         if not _memory_is_default(self.memory):
             base = f"{base}+{_memory_key(self.memory)}"
+        if not _kernel_is_default(self.kernel):
+            base = f"{base}~{_kernel_key(self.kernel)}"
         if self.llc_lines is None and self.ways is None:
             return base
         return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
@@ -103,6 +117,8 @@ class RunJob:
             payload["mode"] = self.mode
         if not _memory_is_default(self.memory):
             payload["memory"] = _memory_key(self.memory)
+        if not _kernel_is_default(self.kernel):
+            payload["kernel"] = _kernel_key(self.kernel)
         return payload
 
     def key(self) -> str:
@@ -120,6 +136,7 @@ class RunJob:
                 llc_lines=self.llc_lines,
                 ways=self.ways,
                 memory=BackendSpec.coerce(self.memory),
+                kernel=KernelSpec.coerce(self.kernel),
             )
         )
 
@@ -143,6 +160,7 @@ class MixJob:
     per_core: "ExperimentScale"
     num_cores: int = 4
     memory: Union[str, BackendSpec] = "dram"
+    kernel: Union[str, KernelSpec] = "dict"
 
     kind: ClassVar[str] = "mix"
 
@@ -151,6 +169,8 @@ class MixJob:
         base = f"{self.mix}/{_policy_key(self.policy)}"
         if not _memory_is_default(self.memory):
             base = f"{base}+{_memory_key(self.memory)}"
+        if not _kernel_is_default(self.kernel):
+            base = f"{base}~{_kernel_key(self.kernel)}"
         return base
 
     def payload(self) -> Dict[str, object]:
@@ -161,9 +181,13 @@ class MixJob:
             "per_core": scale_payload(self.per_core),
             "num_cores": self.num_cores,
         }
-        # Default backend is omitted so pre-backend store entries stay warm.
+        # Default backend/kernel are omitted so pre-existing store
+        # entries stay warm (and a kernel run can reuse a dict-driver
+        # result only when the kernel is the bit-identical default).
         if not _memory_is_default(self.memory):
             payload["memory"] = _memory_key(self.memory)
+        if not _kernel_is_default(self.kernel):
+            payload["kernel"] = _kernel_key(self.kernel)
         return payload
 
     def key(self) -> str:
@@ -178,6 +202,7 @@ class MixJob:
             self.per_core,
             self.num_cores,
             memory=self.memory,
+            kernel=KernelSpec.coerce(self.kernel),
         )
 
     @staticmethod

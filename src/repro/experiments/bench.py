@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence
 
 from repro.experiments.runner import cached_trace, make_llc_policy
+from repro.kernels.spec import KernelSpec
 from repro.trace.generator import LINE_SIZE
 
 #: bench file format version; bump when the record layout changes.
@@ -80,6 +81,26 @@ class BenchResult:
         }
 
 
+def _kernel_row(kernel: "str | KernelSpec") -> tuple:
+    """(row prefix, KernelSpec-or-None) for a bench kernel selection.
+
+    The default dict driver keeps the historical bare row keys; any
+    other kernel prefixes its rows ``kernel:`` so dict and kernel rates
+    coexist in one baseline file without colliding.
+    """
+    spec = KernelSpec.coerce(kernel)
+    if spec.is_default:
+        return "", None
+    return "kernel:", spec
+
+
+def _attach(target, spec) -> None:
+    if spec is not None:
+        from repro.kernels import attach_kernel
+
+        attach_kernel(target, spec)
+
+
 def run_bench(
     policies: Sequence[str] = DEFAULT_POLICIES,
     benchmark: str = DEFAULT_BENCHMARK,
@@ -87,11 +108,13 @@ def run_bench(
     accesses: int = DEFAULT_ACCESSES,
     repeats: int = DEFAULT_REPEATS,
     seed: int = 2014,
+    kernel: "str | KernelSpec" = "dict",
 ) -> List[BenchResult]:
     """Time each policy over one shared trace; returns per-policy rates."""
     from repro.common.config import default_hierarchy
     from repro.cpu.core import LLCRunner
 
+    prefix, spec = _kernel_row(kernel)
     trace = cached_trace(benchmark, llc_lines, accesses, seed)
     hierarchy = default_hierarchy(llc_size=llc_lines * LINE_SIZE, llc_ways=16)
     results: List[BenchResult] = []
@@ -99,13 +122,14 @@ def run_bench(
         best = float("inf")
         for _ in range(max(1, repeats)):
             runner = LLCRunner(hierarchy, make_llc_policy(policy, llc_lines))
+            _attach(runner.llc, spec)
             start = time.perf_counter()
             runner.run(trace, warmup=0)
             elapsed = time.perf_counter() - start
             best = min(best, elapsed)
         results.append(
             BenchResult(
-                policy=policy,
+                policy=f"{prefix}{policy}",
                 accesses=len(trace),
                 best_seconds=best,
                 accesses_per_sec=len(trace) / best,
@@ -121,6 +145,7 @@ def run_hierarchy_bench(
     accesses: int = HIER_ACCESSES,
     repeats: int = DEFAULT_REPEATS,
     seed: int = 2014,
+    kernel: "str | KernelSpec" = "dict",
 ) -> List[BenchResult]:
     """Time the full L1/L2/LLC stack replaying one raw trace per policy.
 
@@ -130,6 +155,7 @@ def run_hierarchy_bench(
     from repro.common.config import default_hierarchy
     from repro.hierarchy.system import MemoryHierarchy
 
+    prefix, spec = _kernel_row(kernel)
     trace = cached_trace(benchmark, DEFAULT_LLC_LINES, accesses, seed)
     config = default_hierarchy(
         llc_size=DEFAULT_LLC_LINES * LINE_SIZE, llc_ways=16
@@ -141,12 +167,13 @@ def run_hierarchy_bench(
             hierarchy = MemoryHierarchy(
                 config, make_llc_policy(policy, DEFAULT_LLC_LINES)
             )
+            _attach(hierarchy, spec)
             start = time.perf_counter()
             hierarchy.run_trace(trace)
             best = min(best, time.perf_counter() - start)
         results.append(
             BenchResult(
-                policy=f"hierarchy:{policy}",
+                policy=f"{prefix}hierarchy:{policy}",
                 accesses=len(trace),
                 best_seconds=best,
                 accesses_per_sec=len(trace) / best,
@@ -162,6 +189,7 @@ def run_hierarchy_pcm_bench(
     accesses: int = HIER_ACCESSES,
     repeats: int = DEFAULT_REPEATS,
     seed: int = 2014,
+    kernel: "str | KernelSpec" = "dict",
 ) -> List[BenchResult]:
     """Time the writeback-filter (F10b) hot path: the full hierarchy
     replay plus the per-access timing walk over the ``pcm`` backend.
@@ -175,6 +203,7 @@ def run_hierarchy_pcm_bench(
     from repro.cpu.core import HierarchyRunner
     from repro.mem import make_backend
 
+    prefix, spec = _kernel_row(kernel)
     trace = cached_trace(benchmark, DEFAULT_LLC_LINES, accesses, seed)
     config = default_hierarchy(
         llc_size=DEFAULT_LLC_LINES * LINE_SIZE, llc_ways=16
@@ -188,12 +217,13 @@ def run_hierarchy_pcm_bench(
                 make_llc_policy(policy, DEFAULT_LLC_LINES),
                 backend=make_backend("pcm:write_mult=4", config),
             )
+            _attach(runner.hierarchy, spec)
             start = time.perf_counter()
             runner.run(trace, warmup=len(trace) // 8)
             best = min(best, time.perf_counter() - start)
         results.append(
             BenchResult(
-                policy=f"hierarchy_pcm:{policy}",
+                policy=f"{prefix}hierarchy_pcm:{policy}",
                 accesses=len(trace),
                 best_seconds=best,
                 accesses_per_sec=len(trace) / best,
@@ -208,6 +238,7 @@ def run_multicore_bench(
     accesses_per_core: int = MC_ACCESSES,
     repeats: int = DEFAULT_REPEATS,
     seed: int = 2014,
+    kernel: "str | KernelSpec" = "dict",
 ) -> List[BenchResult]:
     """Time the 4-core shared-LLC run at the ``bench_f9`` geometry.
 
@@ -218,6 +249,7 @@ def run_multicore_bench(
     from repro.common.config import default_hierarchy
     from repro.multicore.shared import SharedLLCSystem
 
+    prefix, spec = _kernel_row(kernel)
     traces = [
         cached_trace(bench, MC_PER_CORE_LINES, accesses_per_core, seed)
         for bench in SYSTEM_MIX
@@ -237,12 +269,13 @@ def run_multicore_bench(
                 MC_CORES,
                 make_llc_policy(policy, shared_lines, MC_CORES),
             )
+            _attach(system, spec)
             start = time.perf_counter()
             system.run(traces, warmup=warmup)
             best = min(best, time.perf_counter() - start)
         results.append(
             BenchResult(
-                policy=f"multicore4:{policy}",
+                policy=f"{prefix}multicore4:{policy}",
                 accesses=nominal,
                 best_seconds=best,
                 accesses_per_sec=nominal / best,
@@ -257,6 +290,7 @@ def run_system_bench(
     quick: bool = False,
     repeats: int | None = None,
     seed: int = 2014,
+    kernel: "str | KernelSpec" = "dict",
 ) -> List[BenchResult]:
     """The hierarchy + multicore bench set with quick/full sizing.
 
@@ -277,15 +311,18 @@ def run_system_bench(
         accesses=HIER_QUICK_ACCESSES if quick else HIER_ACCESSES,
         repeats=repeats,
         seed=seed,
+        kernel=kernel,
     ) + run_hierarchy_pcm_bench(
         accesses=HIER_QUICK_ACCESSES if quick else HIER_ACCESSES,
         repeats=repeats,
         seed=seed,
+        kernel=kernel,
     ) + run_multicore_bench(
         multicore_policies,
         accesses_per_core=accesses_per_core,
         repeats=repeats,
         seed=seed,
+        kernel=kernel,
     )
 
 

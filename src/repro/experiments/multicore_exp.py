@@ -82,6 +82,7 @@ def _alone_ipc(
     per_core: ExperimentScale,
     shared_llc_lines: int,
     memory: str = "dram",
+    kernel: str = "dict",
 ) -> float:
     """IPC of one benchmark alone on the full shared LLC under LRU.
 
@@ -97,6 +98,7 @@ def _alone_ipc(
         llc_lines=shared_llc_lines,
         ways=per_core.ways,
         memory=memory,
+        kernel=kernel,
     )
     return simulate_cached(spec).ipc
 
@@ -107,6 +109,7 @@ def run_mix(
     per_core: ExperimentScale | None = None,
     num_cores: int | None = None,
     memory: str = "dram",
+    kernel: str = "dict",
 ) -> MixResult:
     """Run one named mix under one policy and compute all metrics.
 
@@ -121,9 +124,11 @@ def run_mix(
     if num_cores is None:
         num_cores = spec.core_count
     shared = _shared_scale(per_core, num_cores)
+    from repro.kernels.spec import KernelSpec
     from repro.mem.spec import BackendSpec
 
     memory_spec = BackendSpec.coerce(memory)
+    kernel_spec = KernelSpec.coerce(kernel)
 
     result: SharedRunResult = simulate(
         SimulationSpec(
@@ -133,12 +138,13 @@ def run_mix(
             scale=per_core,
             num_cores=num_cores,
             memory=memory_spec,
+            kernel=kernel_spec,
         )
     )
 
     shared_ipcs = result.ipcs()
     alone_ipcs = [
-        _alone_ipc(bench, per_core, shared.llc_lines, memory_spec)
+        _alone_ipc(bench, per_core, shared.llc_lines, memory_spec, kernel_spec)
         for bench in benchmarks
     ]
     return MixResult(
@@ -162,6 +168,7 @@ def run_mix_grid(
     journal=None,
     timeout: float | None = None,
     memory: str = "dram",
+    kernel: str = "dict",
 ) -> Dict[Tuple[str, str], MixResult]:
     """Every (mix, policy) pair, fanned out through the engine.
 
@@ -178,6 +185,7 @@ def run_mix_grid(
             per_core,
             num_cores=get_mix(mix).core_count,
             memory=memory,
+            kernel=kernel,
         )
         for mix in mixes
         for policy in policies

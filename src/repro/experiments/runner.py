@@ -135,11 +135,15 @@ def _run_benchmark_cached(
     scale: ExperimentScale,
     mode: str = "llc",
     memory: str = "dram",
+    kernel: str = "dict",
 ) -> RunResult:
     from repro.sim import SimulationSpec, simulate
 
     return simulate(
-        SimulationSpec(benchmark, policy, mode=mode, scale=scale, memory=memory)
+        SimulationSpec(
+            benchmark, policy, mode=mode, scale=scale, memory=memory,
+            kernel=kernel,
+        )
     )
 
 
@@ -150,14 +154,16 @@ def run_benchmark(
     store=None,
     mode: str = "llc",
     memory: str = "dram",
+    kernel: str = "dict",
 ) -> RunResult:
     """Run one benchmark under one policy at the given scale.
 
     ``mode`` selects LLC-level replay (default) or the full
     ``"hierarchy"`` stack; ``memory`` names the main-memory backend
     (``"dram"`` default, ``"pcm:..."``/``"nvm:..."`` for asymmetric
-    writes); both go through the :class:`~repro.sim.SimulationSpec`
-    front-end.  Runs are deterministic, so results are memoized:
+    writes); ``kernel`` the batch-replay driver (``"dict"`` default,
+    ``"native"``/``"numba"``/``"auto"`` for the SoA kernels); all go
+    through the :class:`~repro.sim.SimulationSpec` front-end.  Runs are deterministic, so results are memoized:
     harnesses that share a baseline (every figure normalizes to LRU)
     never re-simulate it.  With a ``store`` (a
     :class:`~repro.engine.store.ResultStore` or a path), results also
@@ -166,16 +172,21 @@ def run_benchmark(
     """
     scale = scale or ExperimentScale()
     if store is None:
-        return _run_benchmark_cached(benchmark, policy, scale, mode, memory)
+        return _run_benchmark_cached(
+            benchmark, policy, scale, mode, memory, kernel
+        )
     from repro.engine import RunJob, coerce_store
 
     store = coerce_store(store)
-    job = RunJob(benchmark, policy, scale, mode=mode, memory=memory)
+    job = RunJob(benchmark, policy, scale, mode=mode, memory=memory,
+                 kernel=kernel)
     key = job.key()
     record = store.get(key)
     if record is not None:
         return job.decode(record["result"])
-    result = _run_benchmark_cached(benchmark, policy, scale, mode, memory)
+    result = _run_benchmark_cached(
+        benchmark, policy, scale, mode, memory, kernel
+    )
     store.put(key, job.kind, job.encode(result))
     return result
 
@@ -219,6 +230,7 @@ def run_grid(
     timeout: float | None = None,
     mode: str = "llc",
     memory: str = "dram",
+    kernel: str = "dict",
 ) -> ResultGrid:
     """Run every (benchmark, policy) pair; identical traces per benchmark.
 
@@ -226,14 +238,16 @@ def run_grid(
     (``jobs=1`` is the serial in-process path), an optional on-disk
     result ``store``, and an optional JSONL ``journal`` for resumable
     sweeps.  ``progress`` reports per-job lines to stderr.  ``mode``
-    (``"llc"`` or ``"hierarchy"``) picks the simulation front-end mode
-    and ``memory`` the main-memory backend for every cell.
+    (``"llc"`` or ``"hierarchy"``) picks the simulation front-end mode,
+    ``memory`` the main-memory backend, and ``kernel`` the batch-replay
+    driver for every cell.
     """
     scale = scale or ExperimentScale()
     from repro.engine import RunJob, run_jobs
 
     job_list = [
-        RunJob(benchmark, policy, scale, mode=mode, memory=memory)
+        RunJob(benchmark, policy, scale, mode=mode, memory=memory,
+               kernel=kernel)
         for benchmark in benchmarks
         for policy in policies
     ]

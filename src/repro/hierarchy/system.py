@@ -180,6 +180,20 @@ class MemoryHierarchy:
         l2 = self.l2s[core]
         llc = self.llc
         decoded = trace.decoded(self.config.l1)
+
+        if (
+            llc.kernel is not None
+            and l1.kernel is not None
+            and l2.kernel is not None
+        ):
+            # All three levels under the kernel: replay the whole stack
+            # with the inter-stage streams kept as arrays end to end.
+            staged = llc.kernel.try_hierarchy_stages(
+                self, l1, l2, llc, decoded, start, stop, collect, core
+            )
+            if staged is not None:
+                return staged
+
         levels = [0] * stop if collect else None
         mem = [0] * stop if collect else None
 
@@ -271,6 +285,20 @@ class MemoryHierarchy:
                 LLC: llc_hits,
                 MEMORY: memory_reads,
             }
+
+        if llc.kernel is not None and levels is not None and mem is not None:
+            attributed = llc.kernel.try_llc_residue_collect(
+                llc, set3, tag3, llc_write, llc_origin, levels, mem, memory, core
+            )
+            if attributed is not None:
+                llc_hits, memory_reads = attributed
+                counts = {
+                    L1: l1_hits,
+                    L2: l2_hits,
+                    LLC: llc_hits,
+                    MEMORY: memory_reads,
+                }
+                return (counts, levels, mem) if collect else counts
 
         access = llc._access_decoded
         llc_hits = memory_reads = 0

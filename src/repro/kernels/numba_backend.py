@@ -1,0 +1,46 @@
+"""Optional numba JIT wrapper around the pure-Python SoA loop.
+
+numba is never a hard dependency: when it cannot be imported (or fails
+to compile the loop), :func:`load` returns ``None`` and the ``numba``
+kernel spec is simply inactive -- every replay falls back to the
+dict-driven reference driver.  The interpreted loop is *not* used as a
+substitute: uncompiled, it is slower than the dict driver it would
+replace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+_loaded: Optional[Callable] = None
+_load_attempted = False
+
+
+def load() -> Optional[Callable]:
+    """The JIT-compiled LRU loop, or None when numba is unavailable."""
+    global _loaded, _load_attempted
+    if _load_attempted:
+        return _loaded
+    _load_attempted = True
+    try:
+        import numba
+    except ImportError:
+        return None
+    from repro.kernels.pyloop import run_lru
+
+    try:
+        _loaded = numba.njit(cache=False)(run_lru)
+    except Exception:  # pragma: no cover - numba compile failure
+        _loaded = None
+    return _loaded
+
+
+def reset_numba_cache() -> None:
+    """Forget the memoized load (tests poking at availability)."""
+    global _loaded, _load_attempted
+    _loaded = None
+    _load_attempted = False
+
+
+def numba_available() -> bool:
+    return load() is not None

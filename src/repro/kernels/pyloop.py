@@ -1,0 +1,110 @@
+"""Pure-Python struct-of-arrays twin of the native LRU kernel.
+
+This is the loop the ``numba`` backend JIT-compiles (see
+:mod:`repro.kernels.numba_backend`): nopython-compatible scalar
+indexing over the same SoA arrays the C kernel walks, covering the
+untimed pure-LRU subset (the private-cache shape).  It is a port of
+``run_lane`` in ``native_src.c`` restricted to ``timed == 0``,
+``victim_kind == VICTIM_MIN_STAMP``, no sampler, no epochs -- and must
+stay operation-for-operation identical to it (the kernel-conformance
+suite compares all three drivers).
+"""
+
+from __future__ import annotations
+
+
+def run_lru(
+    set_stream,
+    tag_stream,
+    write_stream,
+    start,
+    stop,
+    ways,
+    core,
+    clock,
+    tag,
+    stamp,
+    owner,
+    valid,
+    dirty,
+    read_seen,
+    write_seen,
+    filled,
+    dirty_lines,
+    stats,
+):
+    """Untimed pure-LRU replay over SoA state; returns the new clock.
+
+    ``stats`` is the int64 counter block: [read_hits, write_hits,
+    read_misses, write_misses, evictions, dirty_evictions, writebacks,
+    evicted_read_only, evicted_write_only, evicted_read_write].
+    """
+    for i in range(start, stop):
+        si = set_stream[i]
+        t = tag_stream[i]
+        w = write_stream[i]
+        base = si * ways
+        li = -1
+        for wy in range(ways):
+            slot = base + wy
+            if valid[slot] and tag[slot] == t:
+                li = slot
+                break
+        if li >= 0:
+            if w:
+                stats[1] += 1
+                if not dirty[li]:
+                    dirty_lines[si] += 1
+                    dirty[li] = 1
+                write_seen[li] = 1
+            else:
+                stats[0] += 1
+                read_seen[li] = 1
+            clock += 1
+            stamp[li] = clock
+            continue
+
+        if w:
+            stats[3] += 1
+        else:
+            stats[2] += 1
+        if filled[si] < ways:
+            li = base
+            for wy in range(ways):
+                if not valid[base + wy]:
+                    li = base + wy
+                    break
+            filled[si] += 1
+        else:
+            best = 0
+            best_stamp = stamp[base]
+            for wy in range(1, ways):
+                if stamp[base + wy] < best_stamp:
+                    best = wy
+                    best_stamp = stamp[base + wy]
+            li = base + best
+            stats[4] += 1
+            was_dirty = dirty[li]
+            if was_dirty:
+                stats[5] += 1
+                dirty_lines[si] -= 1
+            if read_seen[li]:
+                if write_seen[li]:
+                    stats[9] += 1
+                else:
+                    stats[7] += 1
+            else:
+                stats[8] += 1
+            if was_dirty:
+                stats[6] += 1
+        tag[li] = t
+        valid[li] = 1
+        dirty[li] = w
+        owner[li] = core
+        read_seen[li] = 0 if w else 1
+        write_seen[li] = w
+        if w:
+            dirty_lines[si] += 1
+        clock += 1
+        stamp[li] = clock
+    return clock

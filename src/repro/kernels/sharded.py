@@ -1,0 +1,368 @@
+"""Sharded multi-process replay of one trace through the sweep engine.
+
+For an untimed pure-LRU replay, cache sets never interact: each access
+touches exactly one set, victim selection is set-local, and the policy
+clock advances by exactly one per access -- so the stamp an access
+writes is a pure function of its *global* position in the trace
+(``initial_clock + position + 1``).  That makes the replay embarrassingly
+parallel across sets: partition the sets by modulo over N shards, ship
+each shard's accesses (tagged with their global positions) to a worker
+via the PR-1 :func:`~repro.engine.executor.run_jobs` engine, and merge
+the per-shard final states and statistics back -- bit-identical to the
+sequential replay.
+
+Anything outside that scope (timing, sampling, epochs, non-min-stamp
+victims) is inherently cross-set sequential and raises ``ValueError``
+here; use :meth:`~repro.cache.cache.SetAssociativeCache.run_trace`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Tuple
+
+from repro.engine.executor import run_jobs
+from repro.engine.keys import job_key
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Final state of one shard's sets plus its statistics deltas."""
+
+    set_ids: Tuple[int, ...]
+    tags: Tuple[int, ...]
+    stamps: Tuple[int, ...]
+    owners: Tuple[int, ...]
+    valid: Tuple[bool, ...]
+    dirty: Tuple[bool, ...]
+    read_seen: Tuple[bool, ...]
+    write_seen: Tuple[bool, ...]
+    filled: Tuple[int, ...]
+    dirty_lines: Tuple[int, ...]
+    stats: Tuple[int, ...]  # rh, wh, rm, wm, ev, dev, wb, ro, wo, rw
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "set_ids": list(self.set_ids),
+            "tags": list(self.tags),
+            "stamps": list(self.stamps),
+            "owners": list(self.owners),
+            "valid": list(self.valid),
+            "dirty": list(self.dirty),
+            "read_seen": list(self.read_seen),
+            "write_seen": list(self.write_seen),
+            "filled": list(self.filled),
+            "dirty_lines": list(self.dirty_lines),
+            "stats": list(self.stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardResult":
+        return cls(**{key: tuple(value) for key, value in data.items()})
+
+
+@dataclass(frozen=True, eq=False)
+class ShardJob:
+    """Replay one shard's accesses against its slice of set state.
+
+    Frozen and picklable; ``eq=False`` keeps identity hashing (the
+    stream tuples would make content hashing quadratic in trace size).
+    """
+
+    name: str
+    shard: int
+    num_shards: int
+    ways: int
+    core: int
+    initial_clock: int
+    set_ids: Tuple[int, ...]
+    # way-major initial line state over ``set_ids``
+    tags: Tuple[int, ...]
+    stamps: Tuple[int, ...]
+    owners: Tuple[int, ...]
+    valid: Tuple[bool, ...]
+    dirty: Tuple[bool, ...]
+    read_seen: Tuple[bool, ...]
+    write_seen: Tuple[bool, ...]
+    filled: Tuple[int, ...]
+    dirty_lines: Tuple[int, ...]
+    # this shard's accesses: local set slot, tag, write flag, global index
+    acc_slot: Tuple[int, ...]
+    acc_tag: Tuple[int, ...]
+    acc_write: Tuple[bool, ...]
+    acc_pos: Tuple[int, ...]
+
+    kind: ClassVar[str] = "kernel-shard"
+
+    @property
+    def label(self) -> str:
+        return f"{self.name}#shard{self.shard}/{self.num_shards}"
+
+    def key(self) -> str:
+        digest = hashlib.sha256()
+        for stream in (self.acc_slot, self.acc_tag, self.acc_write):
+            digest.update(repr(stream).encode())
+        return job_key(
+            {
+                "kind": self.kind,
+                "name": self.name,
+                "shard": self.shard,
+                "num_shards": self.num_shards,
+                "ways": self.ways,
+                "initial_clock": self.initial_clock,
+                "accesses": digest.hexdigest(),
+            }
+        )
+
+    def execute(self) -> ShardResult:
+        ways = self.ways
+        core = self.core
+        base_clock = self.initial_clock
+        tags = list(self.tags)
+        stamps = list(self.stamps)
+        owners = list(self.owners)
+        valid = list(self.valid)
+        dirty = list(self.dirty)
+        read_seen = list(self.read_seen)
+        write_seen = list(self.write_seen)
+        filled = list(self.filled)
+        dirty_lines = list(self.dirty_lines)
+        rh = wh = rm = wm = ev = dev = wb = ro = wo = rw = 0
+
+        for slot, tag, w, pos in zip(
+            self.acc_slot, self.acc_tag, self.acc_write, self.acc_pos
+        ):
+            base = slot * ways
+            li = -1
+            for wy in range(ways):
+                k = base + wy
+                if valid[k] and tags[k] == tag:
+                    li = k
+                    break
+            if li >= 0:
+                if w:
+                    wh += 1
+                    if not dirty[li]:
+                        dirty_lines[slot] += 1
+                        dirty[li] = True
+                    write_seen[li] = True
+                else:
+                    rh += 1
+                    read_seen[li] = True
+                stamps[li] = base_clock + pos + 1
+                continue
+            if w:
+                wm += 1
+            else:
+                rm += 1
+            if filled[slot] < ways:
+                for wy in range(ways):
+                    if not valid[base + wy]:
+                        li = base + wy
+                        break
+                filled[slot] += 1
+            else:
+                best = base
+                best_stamp = stamps[base]
+                for wy in range(1, ways):
+                    if stamps[base + wy] < best_stamp:
+                        best = base + wy
+                        best_stamp = stamps[best]
+                li = best
+                ev += 1
+                was_dirty = dirty[li]
+                if was_dirty:
+                    dev += 1
+                    wb += 1
+                    dirty_lines[slot] -= 1
+                if read_seen[li]:
+                    if write_seen[li]:
+                        rw += 1
+                    else:
+                        ro += 1
+                else:
+                    wo += 1
+            tags[li] = tag
+            valid[li] = True
+            dirty[li] = bool(w)
+            owners[li] = core
+            read_seen[li] = not w
+            write_seen[li] = bool(w)
+            if w:
+                dirty_lines[slot] += 1
+            stamps[li] = base_clock + pos + 1
+
+        return ShardResult(
+            set_ids=self.set_ids,
+            tags=tuple(tags),
+            stamps=tuple(stamps),
+            owners=tuple(owners),
+            valid=tuple(valid),
+            dirty=tuple(dirty),
+            read_seen=tuple(read_seen),
+            write_seen=tuple(write_seen),
+            filled=tuple(filled),
+            dirty_lines=tuple(dirty_lines),
+            stats=(rh, wh, rm, wm, ev, dev, wb, ro, wo, rw),
+        )
+
+    @staticmethod
+    def encode(result: ShardResult) -> Dict[str, object]:
+        return result.to_dict()
+
+    @staticmethod
+    def decode(data: Dict[str, object]) -> ShardResult:
+        return ShardResult.from_dict(data)
+
+
+def shard_eligible(cache) -> bool:
+    """True when the sharded replay is exact for ``cache``'s plan."""
+    plan = cache.plan
+    return (
+        plan.stamp_policy is not None
+        and plan.min_stamp_victim
+        and cache._observe is None
+        and cache._on_sample is None
+        and cache._on_epoch is None
+        and cache._should_bypass is None
+        and cache._on_evict is None
+        and cache.eviction_listener is None
+        and not cache._prefetch_active
+        and not cache._needs_pc
+    )
+
+
+def plan_shards(cache, decoded, num_shards: int, core: int = 0):
+    """Partition one decoded replay into :class:`ShardJob` s."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    if not shard_eligible(cache):
+        raise ValueError(
+            "sharded replay requires an untimed pure-LRU plan "
+            "(sets must be independent)"
+        )
+    if not decoded.matches(cache.config):
+        raise ValueError("decoded trace geometry does not match the cache")
+
+    ways = cache.ways
+    num_sets = len(cache.sets)
+    initial_clock = cache.plan.stamp_policy._clock
+
+    shard_sets = [
+        tuple(range(shard, num_sets, num_shards))
+        for shard in range(num_shards)
+    ]
+    slot_of = [0] * num_sets
+    for sets in shard_sets:
+        for local, si in enumerate(sets):
+            slot_of[si] = local
+
+    acc_slot = [[] for _ in range(num_shards)]
+    acc_tag = [[] for _ in range(num_shards)]
+    acc_write = [[] for _ in range(num_shards)]
+    acc_pos = [[] for _ in range(num_shards)]
+    for pos, (si, tag, w) in enumerate(
+        zip(decoded.set_indices, decoded.tags, decoded.is_write)
+    ):
+        shard = si % num_shards
+        acc_slot[shard].append(slot_of[si])
+        acc_tag[shard].append(tag)
+        acc_write[shard].append(w)
+        acc_pos[shard].append(pos)
+
+    jobs = []
+    for shard in range(num_shards):
+        sets = shard_sets[shard]
+        lines = [line for si in sets for line in cache.sets[si].lines]
+        jobs.append(
+            ShardJob(
+                name=decoded.name,
+                shard=shard,
+                num_shards=num_shards,
+                ways=ways,
+                core=core,
+                initial_clock=initial_clock,
+                set_ids=sets,
+                tags=tuple(line.tag for line in lines),
+                stamps=tuple(line.stamp for line in lines),
+                owners=tuple(line.owner for line in lines),
+                valid=tuple(line.valid for line in lines),
+                dirty=tuple(line.dirty for line in lines),
+                read_seen=tuple(line.read_seen for line in lines),
+                write_seen=tuple(line.write_seen for line in lines),
+                filled=tuple(cache.sets[si].filled for si in sets),
+                dirty_lines=tuple(cache.sets[si].dirty_lines for si in sets),
+                acc_slot=tuple(acc_slot[shard]),
+                acc_tag=tuple(acc_tag[shard]),
+                acc_write=tuple(acc_write[shard]),
+                acc_pos=tuple(acc_pos[shard]),
+            )
+        )
+    return jobs
+
+
+def merge_shard_result(cache, result: ShardResult) -> None:
+    """Write one shard's final state back into the cache objects."""
+    ways = cache.ways
+    lookups, getters = cache._lookup_tables()
+    for local, si in enumerate(result.set_ids):
+        cache_set = cache.sets[si]
+        base = local * ways
+        live = []
+        for wy, line in enumerate(cache_set.lines):
+            k = base + wy
+            line.tag = result.tags[k]
+            line.stamp = result.stamps[k]
+            line.owner = result.owners[k]
+            line.valid = bool(result.valid[k])
+            line.dirty = bool(result.dirty[k])
+            line.read_seen = bool(result.read_seen[k])
+            line.write_seen = bool(result.write_seen[k])
+            if line.valid:
+                live.append(line)
+        live.sort(key=lambda line: line.stamp)
+        lookup = {line.tag: line for line in live}
+        cache_set.lookup = lookup
+        cache_set.filled = result.filled[local]
+        cache_set.dirty_lines = result.dirty_lines[local]
+        lookups[si] = lookup
+        getters[si] = lookup.get
+
+
+def sharded_replay(
+    cache,
+    decoded,
+    num_shards: int,
+    max_workers: int = 1,
+    core: int = 0,
+) -> int:
+    """Replay ``decoded`` through ``cache`` via N parallel shards.
+
+    Bit-identical to ``cache.run_trace(decoded)`` for eligible (untimed
+    pure-LRU) plans: final line state, recency stamps, statistics, and
+    the policy clock all match the sequential replay.  Returns the
+    number of accesses replayed.
+    """
+    jobs = plan_shards(cache, decoded, num_shards, core)
+    outcome = run_jobs(jobs, max_workers=max_workers)
+    for job in jobs:
+        merge_shard_result(cache, outcome.results[job])
+    total = len(decoded.set_indices)
+    stats = cache.stats
+    for job in jobs:
+        rh, wh, rm, wm, ev, dev, wb, ro, wo, rw = outcome.results[job].stats
+        stats.read_hits += rh
+        stats.write_hits += wh
+        stats.read_misses += rm
+        stats.write_misses += wm
+        stats.evictions += ev
+        stats.dirty_evictions += dev
+        stats.writebacks += wb
+        stats.evicted_read_only += ro
+        stats.evicted_write_only += wo
+        stats.evicted_read_write += rw
+    cache.plan.stamp_policy._clock += total
+    cache.tick += total
+    cache._lookup_ordered = True
+    return total

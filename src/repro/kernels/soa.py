@@ -1,0 +1,313 @@
+"""Struct-of-arrays gather/scatter for the native batch kernels.
+
+The dict-of-objects cache state (:class:`~repro.cache.cache.CacheSet`
+of :class:`~repro.cache.line.CacheLine`) is the source of truth; the
+kernels run over a flat numpy image of it -- parallel per-line arrays
+(tags, recency stamps, dirty bits, core owners, read/write-seen class
+bits) plus per-set fill/dirty counters -- gathered once per kernel run
+and scattered back afterwards.  The arrays are way-major within a set:
+line ``j`` of set ``i`` lives at index ``i * ways + j``, so a kernel's
+way scan walks the exact ``CacheSet.lines`` order the reference drivers
+iterate.
+
+Scatter also rebuilds every per-set lookup dict in ascending stamp
+order and re-arms the cache's ``_lookup_ordered`` invariant, so a
+follow-up dict-driven batch run starts from the same recency-ordered
+dicts the stamped driver itself would have maintained.
+
+Everything here returns ``None`` for state the SoA image cannot
+represent (tags beyond int64, foreign sampler shapes); callers treat
+that as "unsupported" and fall back to the dict driver.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from dataclasses import dataclass
+from operator import attrgetter
+from typing import List, Optional, Sequence, Tuple
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via tests stubbing numpy
+    np = None
+
+from repro.core.sampler import ShadowSet
+
+_BY_STAMP = attrgetter("stamp")
+
+_p_int64 = ctypes.POINTER(ctypes.c_int64)
+_p_uint8 = ctypes.POINTER(ctypes.c_uint8)
+_p_double = ctypes.POINTER(ctypes.c_double)
+
+
+def ptr_int64(array) -> "ctypes._Pointer":
+    return array.ctypes.data_as(_p_int64)
+
+
+def ptr_uint8(array) -> "ctypes._Pointer":
+    return array.ctypes.data_as(_p_uint8)
+
+
+def ptr_double(array) -> "ctypes._Pointer":
+    return array.ctypes.data_as(_p_double)
+
+
+@dataclass
+class LineImage:
+    """The SoA image of one cache's line and per-set state."""
+
+    tag: "np.ndarray"
+    stamp: "np.ndarray"
+    owner: "np.ndarray"
+    valid: "np.ndarray"
+    dirty: "np.ndarray"
+    read_seen: "np.ndarray"
+    write_seen: "np.ndarray"
+    filled: "np.ndarray"
+    dirty_lines: "np.ndarray"
+
+
+def gather_lines(cache) -> Optional[LineImage]:
+    """Flatten ``cache``'s sets into parallel arrays (way-major)."""
+    lines = [line for cache_set in cache.sets for line in cache_set.lines]
+    try:
+        tag = np.array([line.tag for line in lines], dtype=np.int64)
+        stamp = np.array([line.stamp for line in lines], dtype=np.int64)
+        owner = np.array([line.owner for line in lines], dtype=np.int64)
+    except OverflowError:
+        return None
+    return LineImage(
+        tag=tag,
+        stamp=stamp,
+        owner=owner,
+        valid=np.array([line.valid for line in lines], dtype=np.uint8),
+        dirty=np.array([line.dirty for line in lines], dtype=np.uint8),
+        read_seen=np.array([line.read_seen for line in lines], dtype=np.uint8),
+        write_seen=np.array(
+            [line.write_seen for line in lines], dtype=np.uint8
+        ),
+        filled=np.array(
+            [cache_set.filled for cache_set in cache.sets], dtype=np.int64
+        ),
+        dirty_lines=np.array(
+            [cache_set.dirty_lines for cache_set in cache.sets],
+            dtype=np.int64,
+        ),
+    )
+
+
+def scatter_lines(cache, image: LineImage) -> None:
+    """Write the (mutated) SoA image back into the line objects.
+
+    Rebuilds every set's lookup dict sorted by stamp and re-arms the
+    recency-order invariant; the cached ``_lookups``/``_getters`` tables
+    are updated in place, mirroring what the stamped driver's rebuild
+    does.
+    """
+    tags = image.tag.tolist()
+    stamps = image.stamp.tolist()
+    owners = image.owner.tolist()
+    valids = image.valid.tolist()
+    dirtys = image.dirty.tolist()
+    read_seens = image.read_seen.tolist()
+    write_seens = image.write_seen.tolist()
+    filleds = image.filled.tolist()
+    dirty_counts = image.dirty_lines.tolist()
+
+    lookups, getters = cache._lookup_tables()
+    index = 0
+    for set_index, cache_set in enumerate(cache.sets):
+        live: List = []
+        for line in cache_set.lines:
+            line.tag = tags[index]
+            line.stamp = stamps[index]
+            line.owner = owners[index]
+            line.valid = bool(valids[index])
+            line.dirty = bool(dirtys[index])
+            line.read_seen = bool(read_seens[index])
+            line.write_seen = bool(write_seens[index])
+            index += 1
+            if line.valid:
+                live.append(line)
+        live.sort(key=_BY_STAMP)
+        lookup = {line.tag: line for line in live}
+        cache_set.lookup = lookup
+        cache_set.filled = filleds[set_index]
+        cache_set.dirty_lines = dirty_counts[set_index]
+        lookups[set_index] = lookup
+        getters[set_index] = lookup.get
+    cache._lookup_ordered = True
+
+
+# -- statistics ------------------------------------------------------------
+def load_stats(ctx, cache) -> None:
+    """Copy the cache-wide counters the kernel maintains into ``ctx``."""
+    stats = cache.stats
+    ctx.read_hits = stats.read_hits
+    ctx.write_hits = stats.write_hits
+    ctx.read_misses = stats.read_misses
+    ctx.write_misses = stats.write_misses
+    ctx.evictions = stats.evictions
+    ctx.dirty_evictions = stats.dirty_evictions
+    ctx.writebacks = stats.writebacks
+    ctx.evicted_ro = stats.evicted_read_only
+    ctx.evicted_wo = stats.evicted_write_only
+    ctx.evicted_rw = stats.evicted_read_write
+
+
+def flush_stats(cache, ctx) -> None:
+    stats = cache.stats
+    stats.read_hits = ctx.read_hits
+    stats.write_hits = ctx.write_hits
+    stats.read_misses = ctx.read_misses
+    stats.write_misses = ctx.write_misses
+    stats.evictions = ctx.evictions
+    stats.dirty_evictions = ctx.dirty_evictions
+    stats.writebacks = ctx.writebacks
+    stats.evicted_read_only = ctx.evicted_ro
+    stats.evicted_write_only = ctx.evicted_wo
+    stats.evicted_read_write = ctx.evicted_rw
+
+
+# -- shadow sampler --------------------------------------------------------
+@dataclass
+class SamplerImage:
+    """SoA image of one or more ``ReadWriteSampler`` shadow structures."""
+
+    sh_tags: "np.ndarray"  # [samplers][slots][2][ways]
+    sh_len: "np.ndarray"  # [samplers][slots][2]
+    sh_touched: "np.ndarray"  # [samplers][slots]
+    hist: "np.ndarray"  # [samplers][2][ways]
+    slots: int
+
+
+def gather_sampler(
+    samplers: Sequence, stride: int, num_sets: int, ways: int
+) -> Optional[SamplerImage]:
+    """Pack shadow stacks + histograms; None when the shape is foreign.
+
+    Shadow slot ``set_index // stride`` is well-defined because the
+    batch drivers only ever feed set indices that are multiples of the
+    plan's sample stride; pre-existing state sampled under a different
+    stride makes the image unrepresentable and forces the fallback.
+    """
+    slots = (num_sets + stride - 1) // stride
+    count = len(samplers)
+    sh_tags = np.zeros((count, slots, 2, ways), dtype=np.int64)
+    sh_len = np.zeros((count, slots, 2), dtype=np.int64)
+    sh_touched = np.zeros((count, slots), dtype=np.uint8)
+    hist = np.zeros((count, 2, ways), dtype=np.int64)
+    try:
+        for k, sampler in enumerate(samplers):
+            if len(sampler.clean_hits) != ways:
+                return None
+            if len(sampler.dirty_hits) != ways:
+                return None
+            hist[k, 0, :] = sampler.clean_hits
+            hist[k, 1, :] = sampler.dirty_hits
+            for set_index, shadow in sampler._sets.items():
+                if set_index % stride or set_index // stride >= slots:
+                    return None
+                clean, dirty = shadow.clean, shadow.dirty
+                if len(clean) > ways or len(dirty) > ways:
+                    return None
+                slot = set_index // stride
+                sh_touched[k, slot] = 1
+                sh_len[k, slot, 0] = len(clean)
+                sh_len[k, slot, 1] = len(dirty)
+                sh_tags[k, slot, 0, : len(clean)] = clean
+                sh_tags[k, slot, 1, : len(dirty)] = dirty
+    except OverflowError:
+        return None
+    return SamplerImage(
+        sh_tags=sh_tags,
+        sh_len=sh_len,
+        sh_touched=sh_touched,
+        hist=hist,
+        slots=slots,
+    )
+
+
+def sync_hist_to_python(samplers: Sequence, image: SamplerImage) -> None:
+    """Histograms C -> Python (epoch boundary, before ``on_epoch``)."""
+    for k, sampler in enumerate(samplers):
+        sampler.clean_hits = image.hist[k, 0].tolist()
+        sampler.dirty_hits = image.hist[k, 1].tolist()
+
+
+def sync_hist_to_image(samplers: Sequence, image: SamplerImage) -> None:
+    """Histograms Python -> C (epoch boundary, after decay)."""
+    for k, sampler in enumerate(samplers):
+        image.hist[k, 0, :] = sampler.clean_hits
+        image.hist[k, 1, :] = sampler.dirty_hits
+
+
+def scatter_sampler(
+    samplers: Sequence, image: SamplerImage, stride: int
+) -> None:
+    """Write shadow stacks + histograms back into the sampler objects."""
+    sh_tags = image.sh_tags.tolist()
+    sh_len = image.sh_len.tolist()
+    for k, sampler in enumerate(samplers):
+        sampler.clean_hits = image.hist[k, 0].tolist()
+        sampler.dirty_hits = image.hist[k, 1].tolist()
+        sets = {}
+        touched = np.nonzero(image.sh_touched[k])[0].tolist()
+        for slot in touched:
+            shadow = ShadowSet()
+            clean_len, dirty_len = sh_len[k][slot]
+            shadow.clean = sh_tags[k][slot][0][:clean_len]
+            shadow.dirty = sh_tags[k][slot][1][:dirty_len]
+            sets[slot * stride] = shadow
+        sampler._sets = sets
+
+
+# -- write buffer ----------------------------------------------------------
+def load_write_buffer(lane, write_buffer) -> "np.ndarray":
+    """Bind a write buffer's state into ``lane``; returns the ring array.
+
+    The ring is sized ``entries + 1`` -- ``issue`` pops to at most
+    ``entries - 1`` pending completions before appending, so occupancy
+    never exceeds ``entries`` and one spare slot keeps head != tail.
+    """
+    entries = write_buffer.entries
+    pending = list(write_buffer._completions)
+    ring = np.zeros(entries + 1, dtype=np.float64)
+    ring[: len(pending)] = pending
+    lane.wb_ring = ptr_double(ring)
+    lane.wb_cap = entries + 1
+    lane.wb_head = 0
+    lane.wb_len = len(pending)
+    lane.wb_entries = entries
+    lane.wb_drain = write_buffer.drain_cycles
+    lane.wb_server_free = write_buffer._server_free
+    lane.wb_stall_cycles = write_buffer.stall_cycles
+    lane.wb_writes = write_buffer.total_writes
+    return ring
+
+
+def flush_write_buffer(write_buffer, lane, ring: "np.ndarray") -> None:
+    completions = write_buffer._completions
+    completions.clear()
+    head, length, cap = lane.wb_head, lane.wb_len, lane.wb_cap
+    values = ring.tolist()
+    for k in range(length):
+        completions.append(values[(head + k) % cap])
+    write_buffer._server_free = lane.wb_server_free
+    write_buffer.stall_cycles = lane.wb_stall_cycles
+    write_buffer.total_writes = lane.wb_writes
+
+
+# -- decoded streams -------------------------------------------------------
+def stream_arrays(decoded) -> Optional[Tuple]:
+    """(set, tag, write, gap) int64/uint8 arrays for a decoded trace."""
+    if np is None:
+        return None
+    return decoded.kernel_streams()
+
+
+def cycle_array(decoded, base_cpi: float) -> Optional["np.ndarray"]:
+    if np is None:
+        return None
+    return decoded.kernel_cycles(base_cpi)

@@ -189,6 +189,11 @@ class SharedLLCSystem:
         except ValueError:
             return self.run_scalar(traces, warmup)
 
+        if self.llc.kernel is not None:
+            result = self.llc.kernel.try_run_multicore(self, traces, views, warmup)
+            if result is not None:
+                return result
+
         num_cores = self.num_cores
         llc = self.llc
         timings = self.timings

@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     cached_trace,
     make_llc_policy,
 )
+from repro.kernels.spec import KernelSpec
 from repro.mem.spec import BackendSpec
 from repro.trace.generator import LINE_SIZE
 
@@ -67,7 +68,11 @@ class SimulationSpec:
     canonical ``"name:key=value"`` spec string, or a
     :class:`~repro.mem.spec.BackendSpec`; the default ``"dram"`` keeps
     the flat-latency fast paths and is bit-identical to having no
-    backend at all.
+    backend at all.  ``kernel`` selects the batch-replay driver the same
+    way (see :class:`~repro.kernels.spec.KernelSpec`); the default
+    ``"dict"`` is the reference dict driver, and any other choice is
+    bit-identical by construction (kernels fall back per-replay on
+    unsupported shapes).
     """
 
     workload: str
@@ -78,6 +83,7 @@ class SimulationSpec:
     ways: Optional[int] = None
     num_cores: Optional[int] = None  # multicore mode; None = mix's count
     memory: Union[str, BackendSpec] = "dram"
+    kernel: Union[str, KernelSpec] = "dict"
 
     def __post_init__(self) -> None:
         if self.mode not in SIMULATION_MODES:
@@ -85,9 +91,11 @@ class SimulationSpec:
                 f"unknown simulation mode {self.mode!r}; "
                 f"known: {', '.join(SIMULATION_MODES)}"
             )
-        # Validate the backend spec up front, so a bad --memory string
-        # fails at spec construction, not deep inside a run.
+        # Validate the backend/kernel specs up front, so a bad --memory
+        # or --kernel string fails at spec construction, not deep inside
+        # a run.
         BackendSpec.coerce(self.memory)
+        KernelSpec.coerce(self.kernel)
 
     @property
     def core_count(self) -> int:
@@ -132,10 +140,25 @@ class SimulationSpec:
         return self.memory_spec.is_default
 
     @property
+    def kernel_spec(self) -> KernelSpec:
+        return KernelSpec.coerce(self.kernel)
+
+    @property
+    def kernel_key(self) -> str:
+        """Canonical string form of the batch kernel."""
+        return self.kernel_spec.key()
+
+    @property
+    def uses_default_kernel(self) -> bool:
+        return self.kernel_spec.is_default
+
+    @property
     def label(self) -> str:
         base = f"{self.mode}:{self.workload}/{self.policy_key}"
         if not self.uses_default_memory:
             base = f"{base}+{self.memory_key}"
+        if not self.uses_default_kernel:
+            base = f"{base}~{self.kernel_key}"
         if self.llc_lines is None and self.ways is None:
             return base
         return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
@@ -176,10 +199,16 @@ def simulate(spec: SimulationSpec):
         runner: "Union[HierarchyRunner, object]" = HierarchyRunner(
             config, policy, backend=backend
         )
+        target = runner.hierarchy
     else:
         from repro.cpu.core import LLCRunner
 
         runner = LLCRunner(config, policy, backend=backend)
+        target = runner.llc
+    if not spec.uses_default_kernel:
+        from repro.kernels import attach_kernel
+
+        attach_kernel(target, spec.kernel_spec)
     return runner.run(trace, warmup=scale.warmup)
 
 
@@ -218,6 +247,10 @@ def _simulate_multicore(spec: SimulationSpec):
         make_llc_policy(spec.policy, spec.geometry_lines, num_cores),
         backends=backends,
     )
+    if not spec.uses_default_kernel:
+        from repro.kernels import attach_kernel
+
+        attach_kernel(system, spec.kernel_spec)
     return system.run(traces, warmup=scale.warmup)
 
 

@@ -16,9 +16,12 @@ exactly once.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised with numpy stubbed out
+    np = None
 
 #: decode cache key: everything address decoding depends on.
 GeometryKey = Tuple[int, int]
@@ -43,6 +46,8 @@ class DecodedTrace:
         "name",
         "_cycle_gaps",
         "_gap_cumsum",
+        "_np_streams",
+        "_np_cycles",
     )
 
     def __init__(
@@ -66,6 +71,8 @@ class DecodedTrace:
         self.name = name
         self._cycle_gaps: dict = {}
         self._gap_cumsum = None
+        self._np_streams = None
+        self._np_cycles: dict = {}
 
     def __len__(self) -> int:
         return len(self.set_indices)
@@ -79,13 +86,16 @@ class DecodedTrace:
         """
         cached = self._cycle_gaps.get(base_cpi)
         if cached is None:
-            try:
-                cached = (
-                    np.asarray(self.instr_gaps, dtype=np.int64)
-                    * float(base_cpi)
-                ).tolist()
-            except (OverflowError, TypeError, ValueError):
+            if np is None:
                 cached = [gap * base_cpi for gap in self.instr_gaps]
+            else:
+                try:
+                    cached = (
+                        np.asarray(self.instr_gaps, dtype=np.int64)
+                        * float(base_cpi)
+                    ).tolist()
+                except (OverflowError, TypeError, ValueError):
+                    cached = [gap * base_cpi for gap in self.instr_gaps]
             self._cycle_gaps[base_cpi] = cached
         return cached
 
@@ -98,11 +108,14 @@ class DecodedTrace:
         """
         cum = self._gap_cumsum
         if cum is None:
-            try:
-                cum = np.cumsum(
-                    np.asarray(self.instr_gaps, dtype=np.int64)
-                ).tolist()
-            except (OverflowError, TypeError, ValueError):
+            if np is not None:
+                try:
+                    cum = np.cumsum(
+                        np.asarray(self.instr_gaps, dtype=np.int64)
+                    ).tolist()
+                except (OverflowError, TypeError, ValueError):
+                    cum = None
+            if cum is None:
                 total = 0
                 cum = []
                 for gap in self.instr_gaps:
@@ -116,6 +129,44 @@ class DecodedTrace:
         cum = self.gap_cumsum()
         total = cum[stop - 1] if stop else 0
         return total - (cum[start - 1] if start else 0)
+
+    def kernel_streams(self) -> Optional[Tuple]:
+        """Memoized ``(set, tag, write, gap)`` arrays for the C kernels.
+
+        int64 set/tag/gap streams plus a uint8 write stream, converted
+        once per decode and reused by every kernel run over it.  ``None``
+        when numpy is absent or a stream exceeds int64 -- the kernel
+        layer then falls back to the dict driver.
+        """
+        if np is None:
+            return None
+        streams = self._np_streams
+        if streams is None:
+            try:
+                streams = (
+                    np.asarray(self.set_indices, dtype=np.int64),
+                    np.asarray(self.tags, dtype=np.int64),
+                    np.asarray(self.is_write, dtype=np.uint8),
+                    np.asarray(self.instr_gaps, dtype=np.int64),
+                )
+            except (OverflowError, TypeError, ValueError):
+                return None
+            self._np_streams = streams
+        return streams
+
+    def kernel_cycles(self, base_cpi: float) -> Optional["np.ndarray"]:
+        """Memoized float64 per-access cycle-cost array (timed kernels).
+
+        Element ``i`` is the identical IEEE double ``cycle_gaps`` holds
+        at ``i``; this is just the unboxed array form.
+        """
+        if np is None:
+            return None
+        cached = self._np_cycles.get(base_cpi)
+        if cached is None:
+            cached = np.asarray(self.cycle_gaps(base_cpi), dtype=np.float64)
+            self._np_cycles[base_cpi] = cached
+        return cached
 
     def with_core_offset(
         self, core: int, address_stride: int, pc_stride: int
@@ -160,6 +211,9 @@ class DecodedTrace:
         # same objects, so the cached products/cumsum stay valid.
         view._cycle_gaps = self._cycle_gaps
         view._gap_cumsum = self.gap_cumsum()
+        # The cycle-cost arrays depend only on the shared gap stream;
+        # the set/tag kernel streams differ per view and stay per-view.
+        view._np_cycles = self._np_cycles
         return view
 
     @property
@@ -186,7 +240,7 @@ def _offset_stream(values: List[int], offset: int) -> List[int]:
     numpy int64 addition wraps silently on overflow, so the vector path
     is only taken when the result provably fits.
     """
-    if values and offset < (1 << 62):
+    if values and np is not None and offset < (1 << 62):
         try:
             array = np.asarray(values, dtype=np.int64)
             if int(array.max()) + offset < (1 << 62):
@@ -207,11 +261,15 @@ def decode_addresses(
     """Split addresses into (set_indices, tags) for one geometry."""
     index_mask = (1 << index_bits) - 1
     tag_shift = offset_bits + index_bits
-    try:
-        array = np.asarray(addresses, dtype=np.int64)
-    except (OverflowError, TypeError, ValueError):
+    array = None
+    if np is not None:
+        try:
+            array = np.asarray(addresses, dtype=np.int64)
+        except (OverflowError, TypeError, ValueError):
+            array = None
+    if array is None:
         # Addresses beyond int64 (never produced by our generators, but
-        # legal in hand-written tests): decode in pure Python.
+        # legal in hand-written tests) or no numpy: pure-Python decode.
         return (
             [(address >> offset_bits) & index_mask for address in addresses],
             [address >> tag_shift for address in addresses],

@@ -132,9 +132,10 @@ def golden_record(
     Deliberately the *scalar* replay -- one ``access()`` per record --
     so the corpus stays independent of the batch driver it also guards.
     With ``check_batched`` (regeneration time), a second fresh cache
-    replays the same trace through ``run_trace`` and must agree exactly;
-    a golden is never written from a driver that disagrees with its own
-    scalar path.
+    replays the same trace through ``run_trace`` -- and, where the
+    configuration is kernel-eligible, a third one through the ``auto``
+    SoA batch kernel -- and all must agree exactly; a golden is never
+    written from a driver that disagrees with its own scalar path.
     """
     trace = spec.trace()
     sut = make_sut_cache(policy, spec.config())
@@ -143,21 +144,26 @@ def golden_record(
     stats = {name: getattr(sut, name) for name in COMPARED_STATS}
     record = {"state_digest": _state_digest(sut), "stats": stats}
     if check_batched:
-        batched = make_sut_cache(policy, spec.config())
-        batched.run_trace(trace.decoded(spec.config()))
-        batched_stats = {
-            name: getattr(batched, name) for name in COMPARED_STATS
-        }
-        if batched_stats != stats or _state_digest(batched) != record[
-            "state_digest"
-        ]:
-            raise AssertionError(
-                f"scalar and batched replay disagree for policy "
-                f"{policy!r} on trace {spec.name!r}: scalar {stats} / "
-                f"{record['state_digest']}, batched {batched_stats} / "
-                f"{_state_digest(batched)} -- refusing to regenerate "
-                "goldens from an inconsistent driver"
-            )
+        for driver, kernel in (("batched", None), ("kernel", "auto")):
+            batched = make_sut_cache(policy, spec.config())
+            if kernel is not None:
+                from repro.kernels import attach_kernel
+
+                attach_kernel(batched, kernel)
+            batched.run_trace(trace.decoded(spec.config()))
+            batched_stats = {
+                name: getattr(batched, name) for name in COMPARED_STATS
+            }
+            if batched_stats != stats or _state_digest(batched) != record[
+                "state_digest"
+            ]:
+                raise AssertionError(
+                    f"scalar and {driver} replay disagree for policy "
+                    f"{policy!r} on trace {spec.name!r}: scalar {stats} / "
+                    f"{record['state_digest']}, {driver} {batched_stats} / "
+                    f"{_state_digest(batched)} -- refusing to regenerate "
+                    "goldens from an inconsistent driver"
+                )
     return record
 
 
@@ -168,13 +174,20 @@ def _jsonify(record: Dict[str, object]) -> Dict[str, object]:
 
 
 def system_golden_record(
-    policy: str, spec: SystemGoldenSpec, check_scalar: bool = False
+    policy: str,
+    spec: SystemGoldenSpec,
+    check_scalar: bool = False,
+    kernel: "str | None" = None,
 ) -> Dict[str, object]:
     """Run one system-level cell (production batched path) and pin it.
 
     With ``check_scalar`` (regeneration time), the batched-vs-scalar
-    system differ must pass first: a golden is never written from a
-    driver that disagrees with its own scalar specification.
+    system differ must pass first -- for the dict driver *and* for the
+    ``auto`` SoA batch kernel -- so a golden is never written from a
+    driver that disagrees with its own scalar specification.  With
+    ``kernel``, the pinned replay itself runs under that batch kernel
+    (used by the conformance tests; the checked-in corpus is recorded
+    kernel-free).
     """
     from repro.verify.system import (
         HIERARCHY_GEOMETRIES,
@@ -196,10 +209,17 @@ def system_golden_record(
             spec.scenario, spec.seed, llc_sets, llc_ways, spec.length
         )
         if check_scalar:
-            divergence = diff_hierarchy(policy, trace, config)
-            if divergence is not None:
-                raise AssertionError(divergence.describe())
+            for check_kernel in (None, "auto"):
+                divergence = diff_hierarchy(
+                    policy, trace, config, kernel=check_kernel
+                )
+                if divergence is not None:
+                    raise AssertionError(divergence.describe())
         hierarchy = MemoryHierarchy(config, _system_policy(policy))
+        if kernel is not None:
+            from repro.kernels import attach_kernel
+
+            attach_kernel(hierarchy, kernel)
         counts = hierarchy.run_trace(trace)
         blob = json.dumps(
             {
@@ -243,10 +263,18 @@ def system_golden_record(
     ]
     warmup = spec.length // 4
     if check_scalar:
-        divergence = diff_multicore(policy, traces, config, num_cores, warmup)
-        if divergence is not None:
-            raise AssertionError(divergence.describe())
+        for check_kernel in (None, "auto"):
+            divergence = diff_multicore(
+                policy, traces, config, num_cores, warmup,
+                kernel=check_kernel,
+            )
+            if divergence is not None:
+                raise AssertionError(divergence.describe())
     system = SharedLLCSystem(config, num_cores, _system_policy(policy, num_cores))
+    if kernel is not None:
+        from repro.kernels import attach_kernel
+
+        attach_kernel(system, kernel)
     result = system.run(traces, warmup=warmup)
     return {
         "geometry": [num_cores, llc_sets, ways],

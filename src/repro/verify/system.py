@@ -94,11 +94,17 @@ class SystemDivergence:
     kind: str  # which comparison failed
     expected: object  # the scalar reference's value
     actual: object  # the batched driver's value
+    kernel: str = "dict"  # the batch kernel the batched side ran under
+
+    def _driver(self) -> str:
+        if self.kernel == "dict":
+            return "batched replay"
+        return f"batched replay (kernel {self.kernel!r})"
 
     def describe(self) -> str:
         return (
-            f"{self.target} batched replay diverged from the scalar walk "
-            f"for policy {self.policy!r}: {self.kind} -- scalar says "
+            f"{self.target} {self._driver()} diverged from the scalar "
+            f"walk for policy {self.policy!r}: {self.kind} -- scalar says "
             f"{self.expected!r}, batched says {self.actual!r}"
         )
 
@@ -109,6 +115,7 @@ class SystemDivergence:
             "kind": self.kind,
             "expected": repr(self.expected),
             "actual": repr(self.actual),
+            "kernel": self.kernel,
         }
 
 
@@ -180,19 +187,26 @@ def diff_hierarchy(
     policy: str,
     trace,
     config: HierarchyConfig,
+    kernel: Optional[str] = None,
 ) -> Optional[SystemDivergence]:
     """Replay one trace both ways through fresh hierarchies.
 
     Runs the comparison twice: once in plain counting mode (which takes
     the fast LLC-residue path when the policy allows it) and once in
     ``collect`` mode (per-access service levels and memory-write
-    attribution, the timing replay's inputs).  ``None`` means the
-    batched pipeline is bit-identical here.
+    attribution, the timing replay's inputs).  With ``kernel``, the
+    batched side runs under that SoA batch kernel (the scalar side
+    never does), so the comparison pins the kernel to the scalar walk.
+    ``None`` means the batched pipeline is bit-identical here.
     """
     from repro.hierarchy.system import MemoryHierarchy
 
     for collect in (False, True):
         batched = MemoryHierarchy(config, _system_policy(policy))
+        if kernel is not None:
+            from repro.kernels import attach_kernel
+
+            attach_kernel(batched, kernel)
         scalar = MemoryHierarchy(config, _system_policy(policy))
         if not batched._batch_supported(0):
             # The staged replay would fall back to the scalar walk;
@@ -217,6 +231,7 @@ def diff_hierarchy(
                     f"collect levels at access #{first}",
                     want_levels[first],
                     got_levels[first],
+                    kernel=kernel or "dict",
                 )
             if got_mem != want_mem:
                 first = next(
@@ -230,20 +245,22 @@ def diff_hierarchy(
                     f"collect memory writes at access #{first}",
                     want_mem[first],
                     got_mem[first],
+                    kernel=kernel or "dict",
                 )
         else:
             got_counts, want_counts = got, want
         if got_counts != want_counts:
             return SystemDivergence(
                 "hierarchy", policy, "service-level counts",
-                want_counts, got_counts,
+                want_counts, got_counts, kernel=kernel or "dict",
             )
         got_snap = _hierarchy_snapshot(batched)
         want_snap = _hierarchy_snapshot(scalar)
         for key in want_snap:
             if got_snap[key] != want_snap[key]:
                 return SystemDivergence(
-                    "hierarchy", policy, key, want_snap[key], got_snap[key]
+                    "hierarchy", policy, key, want_snap[key], got_snap[key],
+                    kernel=kernel or "dict",
                 )
     return None
 
@@ -254,19 +271,25 @@ def diff_multicore(
     config: HierarchyConfig,
     num_cores: int,
     warmup: int = 0,
+    kernel: Optional[str] = None,
 ) -> Optional[SystemDivergence]:
     """Run one mix through the epoch driver and the scalar interleave.
 
     Fresh systems (fresh policy instances) on both sides; compares every
     ``CoreResult`` field -- including the exact IEEE cycle floats, which
     is the strongest possible statement that the interleave matched --
-    then the shared LLC's final contents, statistics, and tick.
+    then the shared LLC's final contents, statistics, and tick.  With
+    ``kernel``, the epoch driver runs under that SoA batch kernel.
     """
     from repro.multicore.shared import SharedLLCSystem
 
     batched_system = SharedLLCSystem(
         config, num_cores, _system_policy(policy, num_cores)
     )
+    if kernel is not None:
+        from repro.kernels import attach_kernel
+
+        attach_kernel(batched_system, kernel)
     scalar_system = SharedLLCSystem(
         config, num_cores, _system_policy(policy, num_cores)
     )
@@ -275,7 +298,8 @@ def diff_multicore(
     for core, (g, w) in enumerate(zip(got.cores, want.cores)):
         if g != w:
             return SystemDivergence(
-                "multicore", policy, f"core {core} result", w, g
+                "multicore", policy, f"core {core} result", w, g,
+                kernel=kernel or "dict",
             )
     got_state = _cache_state(batched_system.llc)
     want_state = _cache_state(scalar_system.llc)
@@ -287,18 +311,20 @@ def diff_multicore(
         )
         return SystemDivergence(
             "multicore", policy, f"llc set {first}",
-            want_state[first], got_state[first],
+            want_state[first], got_state[first], kernel=kernel or "dict",
         )
     got_stats = batched_system.llc.snapshot()
     want_stats = scalar_system.llc.snapshot()
     if got_stats != want_stats:
         return SystemDivergence(
-            "multicore", policy, "llc stats", want_stats, got_stats
+            "multicore", policy, "llc stats", want_stats, got_stats,
+            kernel=kernel or "dict",
         )
     if batched_system.llc.tick != scalar_system.llc.tick:
         return SystemDivergence(
             "multicore", policy, "llc tick",
             scalar_system.llc.tick, batched_system.llc.tick,
+            kernel=kernel or "dict",
         )
     return None
 
@@ -313,15 +339,19 @@ class SystemFuzzJob:
     seed: int
     geometry: int  # index into the target's geometry menu
     length: int = SYSTEM_TRACE_LENGTH
+    kernel: str = "dict"  # batch kernel on the batched side
 
     kind: ClassVar[str] = "verify-system"
 
     @property
     def label(self) -> str:
-        return (
+        base = (
             f"verify:{self.target}:{self.policy}/{self.scenario}"
             f"@g{self.geometry}#{self.seed}"
         )
+        if self.kernel != "dict":
+            base = f"{base}~{self.kernel}"
+        return base
 
     def payload(self) -> Dict[str, object]:
         # The resolved geometry, not the menu index: re-ordering the
@@ -330,7 +360,7 @@ class SystemFuzzJob:
             geometry = [list(row) for row in HIERARCHY_GEOMETRIES[self.geometry]]
         else:
             geometry = list(MULTICORE_GEOMETRIES[self.geometry])
-        return {
+        payload: Dict[str, object] = {
             "kind": self.kind,
             "target": self.target,
             "policy": self.policy,
@@ -339,6 +369,12 @@ class SystemFuzzJob:
             "geometry": geometry,
             "length": self.length,
         }
+        # Same convention as RunJob: the default dict kernel is omitted
+        # so pre-kernel store entries stay warm, while every non-default
+        # kernel keys (and caches) separately.
+        if self.kernel != "dict":
+            payload["kernel"] = self.kernel
+        return payload
 
     def key(self) -> str:
         return job_key(self.payload())
@@ -350,6 +386,7 @@ class SystemFuzzJob:
             "policy": self.policy,
             "scenario": self.scenario,
             "seed": self.seed,
+            "kernel": self.kernel,
             "ok": divergence is None,
         }
         if divergence is not None:
@@ -364,7 +401,8 @@ class SystemFuzzJob:
             trace = fuzz_trace(
                 self.scenario, self.seed, llc_sets, geometry[2][1], self.length
             )
-            return diff_hierarchy(self.policy, trace, config)
+            kernel = None if self.kernel == "dict" else self.kernel
+            return diff_hierarchy(self.policy, trace, config, kernel=kernel)
         num_cores, llc_sets, ways = MULTICORE_GEOMETRIES[self.geometry]
         config = small_hierarchy(
             ((4, 2), (8, 4), (llc_sets, ways))
@@ -381,8 +419,10 @@ class SystemFuzzJob:
             )
             for core in range(num_cores)
         ]
+        kernel = None if self.kernel == "dict" else self.kernel
         return diff_multicore(
-            self.policy, traces, config, num_cores, warmup=self.length // 4
+            self.policy, traces, config, num_cores,
+            warmup=self.length // 4, kernel=kernel,
         )
 
     @staticmethod
@@ -398,17 +438,23 @@ def plan_system_jobs(
     count: int,
     base_seed: int = 2014,
     length: int = SYSTEM_TRACE_LENGTH,
+    kernel: str = "native",
 ) -> List[SystemFuzzJob]:
     """A deterministic slate alternating hierarchy and multicore jobs.
 
     Policies rotate fastest within each target, scenarios and geometries
     at different strides, every job with a distinct seed -- mirroring
-    :func:`repro.verify.jobs.plan_fuzz_jobs`.
+    :func:`repro.verify.jobs.plan_fuzz_jobs`.  Every third job pins the
+    batched side to ``kernel`` (default ``native``), so a standard
+    ``repro verify --system-fuzz N`` sweep exercises the SoA batch
+    kernels against the scalar walk alongside the dict driver; pass
+    ``kernel="dict"`` to plan a dict-only slate.
     """
     jobs: List[SystemFuzzJob] = []
     h = m = 0
     for index in range(count):
         seed = base_seed * 1_000_003 + 7_777 + index
+        job_kernel = kernel if (kernel != "dict" and index % 3 == 2) else "dict"
         if index % 2 == 0:
             jobs.append(
                 SystemFuzzJob(
@@ -422,6 +468,7 @@ def plan_system_jobs(
                     seed=seed,
                     geometry=h % len(HIERARCHY_GEOMETRIES),
                     length=length,
+                    kernel=job_kernel,
                 )
             )
             h += 1
@@ -438,6 +485,7 @@ def plan_system_jobs(
                     seed=seed,
                     geometry=m % len(MULTICORE_GEOMETRIES),
                     length=length,
+                    kernel=job_kernel,
                 )
             )
             m += 1
