@@ -18,7 +18,7 @@ from repro.trace.mixes import mix_names
 
 
 def run() -> tuple:
-    mixes = mix_names(4)
+    mixes = mix_names(4, sharing=False)  # the paper's private-address mixes
     grid = run_mix_grid(mixes, MULTICORE_POLICIES, PER_CORE_SCALE)
     normalized = normalized_ws(grid, mixes, MULTICORE_POLICIES)
     rows = [

@@ -138,6 +138,11 @@ class SetAssociativeCache:
         #: optional callback(address, was_dirty) fired on every eviction;
         #: used by inclusive hierarchies for back-invalidation.
         self.eviction_listener = None
+        #: optional callback(set_index, tag, is_write, pc, core) fired
+        #: before every demand access; install via
+        #: :meth:`set_access_listener` (used by the multicore sharer
+        #: directory).  Orthogonal to the policy's observe hook.
+        self.access_listener = None
         #: True once any prefetch was installed; lets the batch driver
         #: skip the per-hit ``line.prefetched`` check for demand-only runs.
         self._prefetch_active = False
@@ -177,6 +182,23 @@ class SetAssociativeCache:
         self._needs_pc = plan.needs_pc
         self._pre_active = (
             plan.observe is not None
+            or plan.sample_stride > 0
+            or plan.epoch_period > 0
+        )
+
+    def set_access_listener(self, callback) -> None:
+        """Install (or clear) the pre-access listener.
+
+        ``_pre_active`` is resolved at construction, so the listener
+        must be installed through this setter for the drivers to see
+        it; assigning the attribute directly would leave the hoisted
+        batch loops running without it.
+        """
+        self.access_listener = callback
+        plan = self.plan
+        self._pre_active = (
+            callback is not None
+            or plan.observe is not None
             or plan.sample_stride > 0
             or plan.epoch_period > 0
         )
@@ -237,6 +259,8 @@ class SetAssociativeCache:
         self, set_index: int, tag: int, is_write: bool, pc: int, core: int
     ) -> None:
         """Pre-lookup policy notification: full, sampled, and/or epoch."""
+        if self.access_listener is not None:
+            self.access_listener(set_index, tag, is_write, pc, core)
         if self._observe is not None:
             self._observe(set_index, tag, is_write, pc, core)
             return
@@ -399,6 +423,7 @@ class SetAssociativeCache:
             and self._should_bypass is None
             and self._on_evict is None
             and self.eviction_listener is None
+            and self.access_listener is None
             and not self._prefetch_active
             and not self._needs_pc
         ):
@@ -417,6 +442,7 @@ class SetAssociativeCache:
         lookups, _ = self._lookup_tables()
         stats = self.stats
         observe = self._observe
+        access_listener = self.access_listener
         on_sample = self._on_sample
         stride = self._sample_stride
         period = self._epoch_period
@@ -509,6 +535,8 @@ class SetAssociativeCache:
                 if timed:
                     cycles += cgap
                 if pre_active:
+                    if access_listener is not None:
+                        access_listener(si, tag, w, pc, core)
                     if observe is not None:
                         observe(si, tag, w, pc, core)
                     else:
@@ -1051,6 +1079,7 @@ class SetAssociativeCache:
             and self._should_bypass is None
             and self._on_evict is None
             and self.eviction_listener is None
+            and self.access_listener is None
             and not self._prefetch_active
             and not self._needs_pc
         ):
@@ -1390,6 +1419,7 @@ class SetAssociativeCache:
             and self._should_bypass is None
             and self._on_evict is None
             and self.eviction_listener is None
+            and self.access_listener is None
             and not self._prefetch_active
             and not self._needs_pc
         )

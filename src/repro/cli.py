@@ -172,8 +172,14 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("\nmixes:")
     core_counts = sorted({spec.core_count for spec in mix_specs()})
     for count in core_counts:
-        names = mix_names(count)
-        print(f"  {f'{count}-core':10} {', '.join(names)}")
+        private = mix_names(count, sharing=False)
+        if private:
+            print(f"  {f'{count}-core':10} {', '.join(private)}")
+        for spec in mix_specs(count, sharing=True):
+            print(
+                f"  {f'{count}-core':10} {spec.name}  "
+                f"[shared: {spec.sharing_mode}]"
+            )
     print(f"\npolicies:   {', '.join(policy_names())}")
     from repro.mem import backend_names
 
@@ -199,7 +205,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(f"mode      : {args.mode}")
     print(f"policy    : {result.policy}")
     print(f"memory    : {args.memory}")
-    print(f"kernel    : {args.kernel}")
+    from repro.sim.spec import last_kernel_info
+
+    kernel_info = last_kernel_info() or {}
+    backend = kernel_info.get("backend")
+    kernel_line = f"{args.kernel} (backend: {backend})" if backend else args.kernel
+    print(f"kernel    : {kernel_line}")
+    fallback = kernel_info.get("fallback")
+    if fallback:
+        print(f"  fallback: dict driver -- {fallback}")
     print(f"llc       : {scale.llc_lines} lines "
           f"({scale.llc_lines * 64 >> 10} KiB), {scale.ways}-way")
     print(f"accesses  : {result.llc_accesses:,} measured "
@@ -339,12 +353,33 @@ def _sweep_multicore(args: argparse.Namespace) -> int:
 
     per_core = _scale_from(args)
     core_counts = [int(count) for count in args.cores.split(",")]
+    available = [
+        name for count in core_counts for name in mix_names(count)
+    ]
     if args.mixes == "all":
-        mixes = [
-            name for count in core_counts for name in mix_names(count)
-        ]
+        mixes = list(available)
     else:
-        mixes = args.mixes.split(",")
+        # Each comma-separated item is a mix name or a glob pattern
+        # (fnmatch syntax) over the registered mixes at the requested
+        # core counts -- e.g. --mixes 'mix8s*' for the shared 8-core set.
+        import fnmatch
+
+        mixes = []
+        for pattern in args.mixes.split(","):
+            if any(ch in pattern for ch in "*?["):
+                matched = [
+                    name for name in available
+                    if fnmatch.fnmatchcase(name, pattern)
+                    and name not in mixes
+                ]
+                if not matched:
+                    raise ValueError(
+                        f"--mixes pattern {pattern!r} matches no "
+                        f"registered mix at core counts {core_counts}"
+                    )
+                mixes.extend(matched)
+            elif pattern not in mixes:
+                mixes.append(pattern)
     if not mixes:
         raise ValueError(
             f"no mixes registered for core counts {core_counts}"
@@ -848,7 +883,8 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
         help=(
             "'all' (every mix at the swept core counts) or a "
-            "comma-separated mix list (multicore mode)"
+            "comma-separated list of mix names and glob patterns, "
+            "e.g. 'mix8s*' for the shared 8-core mixes (multicore mode)"
         ),
     )
     sweep_parser.add_argument(

@@ -175,6 +175,7 @@ def core_rwp_targets(
     clean_curves: List[List[int]],
     dirty_curves: List[List[int]],
     total_ways: int,
+    shared_claimant: bool = False,
 ) -> List[tuple]:
     """Arbitrate per-core clean/dirty way budgets by marginal read-hit utility.
 
@@ -185,15 +186,30 @@ def core_rwp_targets(
     whichever of its partitions earns more read hits at depth one (ties
     keep clean: a clean way never owes a writeback).
 
-    Returns one ``(clean_ways, dirty_ways)`` tuple per core.
+    With ``shared_claimant`` the *last* curve pair is the shared-line
+    class rather than a core: lines touched by two or more cores are
+    arbitrated jointly, since charging them to any single owner
+    double-protects (every sharer reserves room) or under-protects
+    (only the first toucher does).  The shared class holds no floor --
+    it competes purely on marginal utility, so an unshared workload
+    concedes it nothing.
+
+    Returns one ``(clean_ways, dirty_ways)`` tuple per claimant.
     """
-    num_cores = len(clean_curves)
-    if total_ways < num_cores:
+    num_claimants = len(clean_curves)
+    guaranteed = num_claimants - 1 if shared_claimant else num_claimants
+    if total_ways < guaranteed:
         raise ValueError("need at least one way per core")
     curves: List[List[int]] = []
     floors: List[int] = []
-    for core in range(num_cores):
-        clean, dirty = clean_curves[core], dirty_curves[core]
+    for index in range(num_claimants):
+        clean, dirty = clean_curves[index], dirty_curves[index]
+        if shared_claimant and index == num_claimants - 1:
+            curves.append(clean)
+            floors.append(0)
+            curves.append(dirty)
+            floors.append(0)
+            continue
         prefer_clean = clean[1] >= dirty[1]
         curves.append(clean)
         floors.append(1 if prefer_clean else 0)
@@ -201,8 +217,8 @@ def core_rwp_targets(
         floors.append(0 if prefer_clean else 1)
     allocation = lookahead_allocate(curves, total_ways, floors)
     return [
-        (allocation[2 * core], allocation[2 * core + 1])
-        for core in range(num_cores)
+        (allocation[2 * index], allocation[2 * index + 1])
+        for index in range(num_claimants)
     ]
 
 
@@ -225,6 +241,28 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
     every occupied group is under budget -- a core under-occupying its
     share -- the set falls back to whole-set LRU, so no way is ever
     held idle.
+
+    Two refinements handle regimes where pure per-core attribution is
+    wrong:
+
+    * **Shared-line class** -- when the system binds a
+      :class:`~repro.multicore.shared.SharerDirectory` via
+      :meth:`bind_sharer_directory`, lines touched by two or more cores
+      stop being charged to their last filler.  The sampler grows one
+      extra claimant (index ``num_cores``) that accumulates the shared
+      class's hit curves, the lookahead arbiter allocates its ways
+      jointly (no per-core floor), and ``victim`` classifies resident
+      lines through the directory, so a hot shared table is protected
+      once instead of per sharer.
+    * **Confidence-weighted blend** (``blend=True``) -- with many cores
+      and few ways per core, per-core floors over-constrain the greedy
+      and homogeneous co-runners carry no per-core signal worth the
+      constraint.  The blend keeps a parallel aggregate clean/dirty
+      sampler (exactly :class:`RWPPolicy`'s) and an EMA confidence in
+      ``[0, 1]`` built from way pressure (``ways / 4*num_cores``) times
+      the disparity of per-core demand; while confidence stays at or
+      below one half, replacement delegates to the global rwp split,
+      recovering :class:`RWPPolicy` bit-for-bit.
     """
 
     bypasses = False
@@ -235,6 +273,7 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
         num_cores: int = 4,
         epoch: int = DEFAULT_EPOCH,
         sampling: int | None = None,
+        blend: bool = False,
     ) -> None:
         super().__init__()
         if num_cores < 1:
@@ -251,6 +290,15 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
         self.dirty_targets: List[int] = []
         #: (access_count, ((clean, dirty), ...)) decision log
         self.decision_history: List[tuple] = []
+        # -- shared-line arbitration class (armed by bind_sharer_directory)
+        self.directory = None
+        self._num_claimants = num_cores
+        # -- confidence-weighted blend with the global rwp split
+        self.blend = bool(blend)
+        self.global_mode = self.blend
+        self.target_clean = 0
+        self._agg: ReadWriteSampler | None = None
+        self._confidence = 0.0
 
     def attach(self, cache) -> None:
         super().attach(cache)
@@ -266,9 +314,21 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
         self.sampler = CoreReadWriteSampler(
             ways, config.num_sets, sampling, self.num_cores
         )
+        self._num_claimants = self.num_cores
         self.sample_stride = sampling
         self.epoch_period = self._epoch
-        self.on_sample = self.sampler.observe
+        if self.blend:
+            # The aggregate shadow sampler mirrors RWPPolicy's exactly, so
+            # global mode reproduces the global rwp split bit-for-bit.
+            self._agg = ReadWriteSampler(ways, config.num_sets, sampling)
+            self.target_clean = ways // 2
+            self.global_mode = True
+            self._confidence = 0.0
+            # Routed sampling: a stable bound method, so a directory bound
+            # after the cache copies its hooks still takes effect.
+            self.on_sample = self._sample
+        else:
+            self.on_sample = self.sampler.observe
         # Start from an even inter-core split, each share balanced
         # clean/dirty; the first epoch corrects this from evidence.
         base = ways // self.num_cores
@@ -276,6 +336,47 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
         shares[0] += ways - base * self.num_cores
         self.clean_targets = [share // 2 for share in shares]
         self.dirty_targets = [share - share // 2 for share in shares]
+
+    def bind_sharer_directory(self, directory) -> None:
+        """Arm (or disarm, with None) the shared-line arbitration class.
+
+        :class:`~repro.multicore.shared.SharedLLCSystem` calls this at
+        the start of a sharing-enabled replay, after the cache exists.
+        The sampler is rebuilt with one extra claimant for the shared
+        class and the live cache's sample hook is repointed at the
+        router, so both the batch and the scalar drivers see identical
+        hooks from the first access.
+        """
+        self.directory = directory
+        if directory is None:
+            return
+        cache = self.cache
+        if cache is None:
+            raise RuntimeError("bind_sharer_directory needs an attached policy")
+        config = cache.config
+        self._num_claimants = self.num_cores + 1
+        self.sampler = CoreReadWriteSampler(
+            config.ways, config.num_sets, self.sample_stride, self._num_claimants
+        )
+        if len(self.clean_targets) == self.num_cores:
+            # The shared class starts with no reservation; the first
+            # epoch sizes it from evidence.
+            self.clean_targets = list(self.clean_targets) + [0]
+            self.dirty_targets = list(self.dirty_targets) + [0]
+        self.on_sample = self._sample
+        cache._on_sample = self.on_sample
+
+    def _sample(self, set_index, tag, is_write, pc=0, core=0) -> None:
+        # Routed shadow sampling: shared lines feed the shared claimant's
+        # curves instead of the issuing core's; the blend additionally
+        # feeds the aggregate (global-rwp) sampler.
+        directory = self.directory
+        if directory is not None and directory.is_shared(set_index, tag):
+            core = self.num_cores
+        self.sampler.observe(set_index, tag, is_write, pc, core)
+        agg = self._agg
+        if agg is not None:
+            agg.observe(set_index, tag, is_write)
 
     # -- sampling & repartitioning ----------------------------------------
     def on_epoch(self) -> None:
@@ -285,19 +386,60 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
     def _repartition(self) -> None:
         sampler = self.sampler
         ways = self.cache.config.ways
+        claimants = self._num_claimants
+        shared = claimants > self.num_cores
         clean_curves = [
-            _prefix_curve(sampler.clean_hits_of(core), ways)
-            for core in range(self.num_cores)
+            _prefix_curve(sampler.clean_hits_of(index), ways)
+            for index in range(claimants)
         ]
         dirty_curves = [
-            _prefix_curve(sampler.dirty_hits_of(core), ways)
-            for core in range(self.num_cores)
+            _prefix_curve(sampler.dirty_hits_of(index), ways)
+            for index in range(claimants)
         ]
-        targets = core_rwp_targets(clean_curves, dirty_curves, ways)
+        targets = core_rwp_targets(
+            clean_curves, dirty_curves, ways, shared_claimant=shared
+        )
         self.clean_targets = [clean for clean, _ in targets]
         self.dirty_targets = [dirty for _, dirty in targets]
         self.decision_history.append((self._accesses, tuple(targets)))
+        agg = self._agg
+        if agg is not None:
+            # Maintain the global split in parallel (exactly RWPPolicy's
+            # update) and re-decide which mode replacement runs in.
+            self.target_clean, _ = best_split(
+                agg.clean_hits,
+                agg.dirty_hits,
+                current=self.target_clean,
+                hysteresis=DEFAULT_HYSTERESIS,
+            )
+            self._update_confidence(clean_curves, dirty_curves, ways)
+            agg.decay()
         sampler.decay()
+
+    def _update_confidence(self, clean_curves, dirty_curves, ways) -> None:
+        # Per-core mode earns trust only when (a) each core has enough
+        # ways for its floors not to dominate the greedy -- the pressure
+        # term, 1.0 at >= 4 ways/core, 0.5 at 2 ways/core -- and (b) the
+        # cores' shadow-hit demand actually differs: total-variation
+        # distance of the per-core demand shares from uniform, in [0, 1].
+        # An EMA smooths epoch noise; per-core arbitration activates only
+        # while confidence exceeds one half.
+        num_cores = self.num_cores
+        demand = [
+            clean_curves[core][ways] + dirty_curves[core][ways]
+            for core in range(num_cores)
+        ]
+        total = sum(demand)
+        if total > 0 and num_cores > 1:
+            uniform = 1.0 / num_cores
+            deviation = sum(abs(d / total - uniform) for d in demand)
+            divergence = deviation / (2.0 * (1.0 - uniform))
+        else:
+            divergence = 0.0
+        pressure = min(1.0, ways / (4.0 * num_cores))
+        sample = pressure * divergence
+        self._confidence += 0.5 * (sample - self._confidence)
+        self.global_mode = not (self._confidence > 0.5)
 
     # -- replacement -------------------------------------------------------
     def victim(self, cache_set, set_index, is_write, pc, core) -> CacheLine:
@@ -306,6 +448,13 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
         # group is at or above its way budget.  Under-budget groups are
         # protected; if every occupied group is under budget (a core
         # under-occupies its share), fall back to whole-set LRU.
+        if self.global_mode:
+            # Blend fallback: the per-core curves carry no signal worth
+            # their floors, so replace exactly as global rwp would.
+            return RWPPolicy.victim(self, cache_set, set_index, is_write, pc, core)
+        directory = self.directory
+        if directory is not None:
+            return self._victim_shared(cache_set, set_index, is_write, directory)
         num_cores = self.num_cores
         clean_occ = [0] * num_cores
         dirty_occ = [0] * num_cores
@@ -330,11 +479,51 @@ class CoreAwareRWPPolicy(RecencyStampMixin, ReplacementPolicy):
             pool = lines
         return min(pool, key=_BY_STAMP)
 
+    def _victim_shared(self, cache_set, set_index, is_write, directory) -> CacheLine:
+        # Same soft enforcement, but over num_cores + 1 groups: resident
+        # lines the directory has seen two or more cores touch belong to
+        # the shared class, not to whichever core happened to fill them.
+        num_cores = self.num_cores
+        groups = num_cores + 1
+        clean_occ = [0] * groups
+        dirty_occ = [0] * groups
+        lines = cache_set.lines
+        owners = []
+        for line in lines:
+            if directory.is_shared(set_index, line.tag):
+                owner = num_cores
+            else:
+                owner = line.owner % num_cores
+            owners.append(owner)
+            if line.dirty:
+                dirty_occ[owner] += 1
+            else:
+                clean_occ[owner] += 1
+        clean_targets = self.clean_targets
+        dirty_targets = self.dirty_targets
+        pool = []
+        for line, owner in zip(lines, owners):
+            if line.dirty:
+                if dirty_occ[owner] >= dirty_targets[owner]:
+                    pool.append(line)
+            elif clean_occ[owner] >= clean_targets[owner]:
+                pool.append(line)
+        if not pool:
+            pool = lines
+        return min(pool, key=_BY_STAMP)
+
     def describe(self):
         info = super().describe()
         info["num_cores"] = self.num_cores
         info["clean_targets"] = list(self.clean_targets)
         info["dirty_targets"] = list(self.dirty_targets)
+        if self.blend:
+            info["blend"] = True
+            info["global_mode"] = self.global_mode
+            info["target_clean"] = self.target_clean
+            info["confidence"] = round(self._confidence, 6)
+        if self.directory is not None:
+            info["shared_claimant"] = True
         return info
 
 

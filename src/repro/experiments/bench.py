@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import platform
+import sys
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -61,6 +62,12 @@ MC_PER_CORE_LINES = 1024
 MC_ACCESSES = 1 << 14
 MC_QUICK_ACCESSES = 1 << 12
 
+#: the data-sharing multicore bench: the 8-core producer/consumer mix
+#: replayed with sharer tracking + shared-claimant arbitration -- the
+#: generic (listener-carrying) batch path shared replays always take.
+SHARED_MC_MIX = "mix8s01_prodcons"
+SHARED_MC_CORES = 8
+
 
 @dataclass(frozen=True)
 class BenchResult:
@@ -101,6 +108,23 @@ def _attach(target, spec) -> None:
         attach_kernel(target, spec)
 
 
+def _log_fallback(row: str, reason: "str | None") -> None:
+    """One visible line when a requested kernel fell back -- no silent caps."""
+    if reason:
+        print(
+            f"bench note: {row}: kernel fell back to the dict driver "
+            f"-- {reason}",
+            file=sys.stderr,
+        )
+
+
+def _runtime_fallback(target) -> "str | None":
+    """The recorded fallback reason of ``target``'s kernel runtime, if any."""
+    cache = getattr(target, "llc", target)
+    runtime = getattr(cache, "kernel", None)
+    return runtime.fallback_reason if runtime is not None else None
+
+
 def run_bench(
     policies: Sequence[str] = DEFAULT_POLICIES,
     benchmark: str = DEFAULT_BENCHMARK,
@@ -127,6 +151,7 @@ def run_bench(
             runner.run(trace, warmup=0)
             elapsed = time.perf_counter() - start
             best = min(best, elapsed)
+        _log_fallback(f"{prefix}{policy}", _runtime_fallback(runner.llc))
         results.append(
             BenchResult(
                 policy=f"{prefix}{policy}",
@@ -171,6 +196,9 @@ def run_hierarchy_bench(
             start = time.perf_counter()
             hierarchy.run_trace(trace)
             best = min(best, time.perf_counter() - start)
+        _log_fallback(
+            f"{prefix}hierarchy:{policy}", _runtime_fallback(hierarchy)
+        )
         results.append(
             BenchResult(
                 policy=f"{prefix}hierarchy:{policy}",
@@ -221,6 +249,10 @@ def run_hierarchy_pcm_bench(
             start = time.perf_counter()
             runner.run(trace, warmup=len(trace) // 8)
             best = min(best, time.perf_counter() - start)
+        _log_fallback(
+            f"{prefix}hierarchy_pcm:{policy}",
+            _runtime_fallback(runner.hierarchy),
+        )
         results.append(
             BenchResult(
                 policy=f"{prefix}hierarchy_pcm:{policy}",
@@ -273,9 +305,72 @@ def run_multicore_bench(
             start = time.perf_counter()
             system.run(traces, warmup=warmup)
             best = min(best, time.perf_counter() - start)
+        _log_fallback(
+            f"{prefix}multicore4:{policy}", _runtime_fallback(system)
+        )
         results.append(
             BenchResult(
                 policy=f"{prefix}multicore4:{policy}",
+                accesses=nominal,
+                best_seconds=best,
+                accesses_per_sec=nominal / best,
+                repeats=max(1, repeats),
+            )
+        )
+    return results
+
+
+def run_shared_multicore_bench(
+    policies: Sequence[str] = ("rwp-core",),
+    accesses_per_core: int = MC_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2014,
+    kernel: "str | KernelSpec" = "dict",
+) -> List[BenchResult]:
+    """Time the 8-core data-sharing mix on the shared-LLC system.
+
+    Global-address traces install a sharer directory (access + eviction
+    listeners) on the LLC, which routes the replay through the generic
+    batch path and declines every kernel -- so this row times the
+    sharing hot path itself: listener dispatch, directory updates, and
+    rwp-core's shared-claimant victim scan.  Results are keyed
+    ``multicore8shared:<policy>``; a requested kernel's recorded
+    fallback reason is logged, never swallowed.
+    """
+    from repro.common.config import default_hierarchy
+    from repro.experiments.runner import cached_shared_mix
+    from repro.multicore.shared import SharedLLCSystem
+
+    prefix, spec = _kernel_row(kernel)
+    traces = cached_shared_mix(
+        SHARED_MC_MIX, MC_PER_CORE_LINES, accesses_per_core, seed
+    )
+    shared_lines = MC_PER_CORE_LINES * SHARED_MC_CORES
+    config = default_hierarchy(
+        llc_size=shared_lines * LINE_SIZE, llc_ways=16
+    )
+    warmup = accesses_per_core // 8
+    nominal = SHARED_MC_CORES * accesses_per_core
+    results: List[BenchResult] = []
+    for policy in policies:
+        best = float("inf")
+        fallback = None
+        for _ in range(max(1, repeats)):
+            system = SharedLLCSystem(
+                config,
+                SHARED_MC_CORES,
+                make_llc_policy(policy, shared_lines, SHARED_MC_CORES),
+            )
+            _attach(system, spec)
+            start = time.perf_counter()
+            system.run(traces, warmup=warmup)
+            best = min(best, time.perf_counter() - start)
+            fallback = _runtime_fallback(system) or fallback
+        row = f"{prefix}multicore8shared:{policy}"
+        _log_fallback(row, fallback)
+        results.append(
+            BenchResult(
+                policy=row,
                 accesses=nominal,
                 best_seconds=best,
                 accesses_per_sec=nominal / best,
@@ -298,7 +393,9 @@ def run_system_bench(
     LLC, so a ``multicore4:rwp-core`` row is always included even when
     the caller benches the default policy pair; likewise a
     ``hierarchy_pcm:rwp`` row always covers the F10b backend replay
-    path.
+    path, and a ``multicore8shared:rwp-core`` row covers the
+    data-sharing replay (sharer directory + shared-claimant victim
+    scan).
     """
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
@@ -319,6 +416,11 @@ def run_system_bench(
         kernel=kernel,
     ) + run_multicore_bench(
         multicore_policies,
+        accesses_per_core=accesses_per_core,
+        repeats=repeats,
+        seed=seed,
+        kernel=kernel,
+    ) + run_shared_multicore_bench(
         accesses_per_core=accesses_per_core,
         repeats=repeats,
         seed=seed,

@@ -71,6 +71,28 @@ def cached_trace(
     return model.generate(num_accesses, seed=seed)
 
 
+@lru_cache(maxsize=32)
+def cached_shared_mix(
+    mix_name: str, llc_lines: int, num_accesses: int, seed: int
+) -> tuple:
+    """Generate (once) the per-core traces of a data-sharing mix.
+
+    Returns one global-address :class:`~repro.trace.access.Trace` per
+    core (see :func:`repro.trace.generator.generate_shared_mix`); the
+    private-mix counterpart is per-benchmark :func:`cached_trace`.
+    """
+    from repro.trace.generator import generate_shared_mix
+    from repro.trace.mixes import get_mix
+
+    mix = get_mix(mix_name)
+    if mix.sharing is None:
+        raise ValueError(f"mix {mix_name!r} has no sharing spec")
+    models = [make_model(bench, llc_lines) for bench in mix.benchmarks]
+    return tuple(
+        generate_shared_mix(models, mix.sharing, num_accesses, seed=seed)
+    )
+
+
 def make_llc_policy(
     policy, llc_lines: int = DEFAULT_LLC_LINES, num_cores: int = 1
 ) -> ReplacementPolicy:

@@ -103,8 +103,56 @@ def _victim_kind(cache) -> Optional[int]:
     victim_func = getattr(cache._victim, "__func__", None)
     if victim_func is CoreAwareRWPPolicy.victim:
         policy = cache.policy
+        # The C scan enforces plain per-core budgets; the blend's
+        # global-mode delegation and the shared-claimant classification
+        # both dispatch per-eviction in Python, so they stay dict-only.
+        if getattr(policy, "blend", False):
+            return None
+        if getattr(policy, "directory", None) is not None:
+            return None
         if 1 <= policy.num_cores <= _MAX_POLICY_CORES:
             return _VICTIM_CORE_RWP
+    return None
+
+
+def _victim_block_reason(cache) -> str:
+    """Why :func:`_victim_kind` said no, for fallback surfacing."""
+    victim_func = getattr(cache._victim, "__func__", None)
+    if victim_func is CoreAwareRWPPolicy.victim:
+        policy = cache.policy
+        if getattr(policy, "blend", False):
+            return "rwp-core blend arbitration is dict-only"
+        if getattr(policy, "directory", None) is not None:
+            return "rwp-core shared-claimant arbitration is dict-only"
+        return f"rwp-core with more than {_MAX_POLICY_CORES} cores"
+    return (
+        f"victim selection of {type(cache.policy).__name__} "
+        "has no kernel counterpart"
+    )
+
+
+def _plan_block_reason(cache) -> Optional[str]:
+    """Why the ``_run_trace_stamped`` gate declines, or None if it won't.
+
+    The checks mirror the gate in :func:`_plan_eligible` one-for-one;
+    the strings feed :attr:`KernelRuntime.fallback_reason`.
+    """
+    if cache.plan.stamp_policy is None:
+        return "policy is outside the stamped fast path"
+    if cache._observe is not None:
+        return "policy installs a full observe hook"
+    if cache._should_bypass is not None:
+        return "policy installs a bypass hook"
+    if cache._on_evict is not None:
+        return "policy trains on evictions"
+    if cache.access_listener is not None:
+        return "sharer tracking is active (access listener attached)"
+    if cache.eviction_listener is not None:
+        return "an eviction listener is attached"
+    if cache._prefetch_active:
+        return "prefetching is active"
+    if cache._needs_pc:
+        return "policy needs per-access PCs"
     return None
 
 
@@ -116,20 +164,32 @@ def _plan_eligible(cache) -> bool:
         and cache._should_bypass is None
         and cache._on_evict is None
         and cache.eviction_listener is None
+        and cache.access_listener is None
         and not cache._prefetch_active
         and not cache._needs_pc
     )
 
 
-def bind_cache(cache) -> Optional[_CacheBinding]:
-    """Gather ``cache`` into a ``CacheCtx``; None when unsupported."""
+def bind_cache(cache, reasons: Optional[List[str]] = None) -> Optional[_CacheBinding]:
+    """Gather ``cache`` into a ``CacheCtx``; None when unsupported.
+
+    When ``reasons`` is given, every decline appends one human-readable
+    sentence fragment explaining it (the fallback-surfacing channel).
+    """
+
+    def decline(reason: str) -> None:
+        if reasons is not None:
+            reasons.append(reason)
+        return None
+
     if np is None:
-        return None
-    if not _plan_eligible(cache):
-        return None
+        return decline("numpy is unavailable")
+    blocked = _plan_block_reason(cache)
+    if blocked is not None:
+        return decline(blocked)
     kind = _victim_kind(cache)
     if kind is None:
-        return None
+        return decline(_victim_block_reason(cache))
     plan = cache.plan
     policy = cache.policy
     stamp = plan.stamp_policy
@@ -145,7 +205,7 @@ def bind_cache(cache) -> Optional[_CacheBinding]:
     route_mod = 0
     if on_sample is not None:
         if stride <= 0:
-            return None
+            return decline("sample hook installed without a stride")
         observe_func = getattr(on_sample, "__func__", None)
         if observe_func is ReadWriteSampler.observe:
             samplers = [on_sample.__self__]
@@ -154,12 +214,12 @@ def bind_cache(cache) -> Optional[_CacheBinding]:
             samplers = list(router.samplers)
             route_mod = router.num_cores
         else:
-            return None
+            return decline("sample hook is not a recognized shadow sampler")
         simage = soa.gather_sampler(
             samplers, stride, len(cache.sets), cache.ways
         )
         if simage is None:
-            return None
+            return decline("shadow-sampler state not SoA-representable")
         binding.samplers = samplers
         binding.simage = simage
         binding.stride = stride
@@ -171,13 +231,13 @@ def bind_cache(cache) -> Optional[_CacheBinding]:
     period = cache._epoch_period
     if period:
         if getattr(on_epoch, "__func__", None) not in _SAFE_EPOCH_HOOKS:
-            return None
+            return decline("epoch hook is not on the kernel-safe list")
     else:
         period = 0
 
     image = soa.gather_lines(cache)
     if image is None:
-        return None
+        return decline("cache line state not SoA-representable")
     binding.image = image
 
     ctx = CacheCtx()
@@ -219,7 +279,7 @@ def bind_cache(cache) -> Optional[_CacheBinding]:
         ctx.epoch_left = cache._epoch_left
         soa.load_stats(ctx, cache)
     except OverflowError:
-        return None
+        return decline("cache state overflows the int64 kernel ABI")
     binding.ctx = ctx
 
     if period:
@@ -312,6 +372,24 @@ class KernelRuntime:
         self._resolved = False
         self._native = None
         self._numba = None
+        #: why the most recent ``try_*`` dispatch fell back to the dict
+        #: driver (None while every dispatch ran on a kernel).  Surfaced
+        #: by ``repro run`` and logged by the bench harness, so a
+        #: requested kernel never degrades silently.
+        self.fallback_reason: Optional[str] = None
+
+    def _fallback(self, reason: str) -> None:
+        """Record why this dispatch uses the dict driver; returns None."""
+        self.fallback_reason = reason
+        return None
+
+    def _bind(self, cache) -> Optional[_CacheBinding]:
+        """``bind_cache`` with the decline reason routed to the runtime."""
+        reasons: List[str] = []
+        binding = bind_cache(cache, reasons)
+        if binding is None:
+            self._fallback(reasons[0] if reasons else "kernel binding declined")
+        return binding
 
     def _resolve(self):
         if not self._resolved:
@@ -346,11 +424,11 @@ class KernelRuntime:
         if lib is None:
             return self._try_pyloop(cache, decoded, start, stop, timing, core)
         if timing is not None and getattr(timing, "backend", None) is not None:
-            return None
+            return self._fallback("memory timing backend is active")
         streams = soa.stream_arrays(decoded)
         if streams is None:
-            return None
-        binding = bind_cache(cache)
+            return self._fallback("decoded trace is not array-backed")
+        binding = self._bind(cache)
         if binding is None:
             return None
         set_arr, tag_arr, write_arr, gap_arr = streams
@@ -366,7 +444,7 @@ class KernelRuntime:
             try:
                 ring = _fill_lane_timing(lane, timing, decoded)
             except OverflowError:
-                return None
+                return self._fallback("timing state overflows the lane image")
             lane.gap_stream = soa.ptr_int64(gap_arr)
 
         ran = lib.run_trace(
@@ -401,9 +479,11 @@ class KernelRuntime:
         output streams are Python lists (the hierarchy ABI) extended
         from the kernel's preallocated arrays.
         """
-        lib = self._resolve()
-        if lib is None or np is None or start >= stop:
+        if start >= stop:
             return None
+        lib = self._resolve()
+        if lib is None or np is None:
+            return self._fallback("no native kernel library available")
         try:
             set_arr = np.asarray(set_stream, dtype=np.int64)
             tag_arr = np.asarray(tag_stream, dtype=np.int64)
@@ -419,8 +499,8 @@ class KernelRuntime:
                 else None
             )
         except (OverflowError, TypeError, ValueError):
-            return None
-        binding = bind_cache(cache)
+            return self._fallback("stream not coercible to the int64 ABI")
+        binding = self._bind(cache)
         if binding is None:
             return None
 
@@ -622,7 +702,7 @@ class KernelRuntime:
         """
         lib = self._resolve()
         if lib is None or np is None:
-            return None
+            return self._fallback("no native kernel library available")
         count = len(set_stream)
         try:
             set_arr = np.asarray(set_stream, dtype=np.int64)
@@ -632,8 +712,8 @@ class KernelRuntime:
             level_arr = np.asarray(levels, dtype=np.int64)
             mem_arr = np.asarray(mem, dtype=np.int64)
         except (OverflowError, TypeError, ValueError):
-            return None
-        binding = bind_cache(cache)
+            return self._fallback("stream not coercible to the int64 ABI")
+        binding = self._bind(cache)
         if binding is None:
             return None
 
@@ -676,17 +756,17 @@ class KernelRuntime:
         """
         lib = self._resolve()
         if lib is None or np is None:
-            return None
+            return self._fallback("no native kernel library available")
         llc = system.llc
         timings = system.timings
         num_cores = system.num_cores
         for timing in timings:
             if getattr(timing, "backend", None) is not None:
-                return None
+                return self._fallback("memory timing backend is active")
         stream_sets = [soa.stream_arrays(view) for view in views]
         if any(streams is None for streams in stream_sets):
-            return None
-        binding = bind_cache(llc)
+            return self._fallback("decoded views are not array-backed")
+        binding = self._bind(llc)
         if binding is None:
             return None
 
@@ -704,7 +784,7 @@ class KernelRuntime:
                 rings.append(_fill_lane_timing(lane, timings[core], views[core]))
                 lane.cycle_limit = inf
         except OverflowError:
-            return None
+            return self._fallback("timing state overflows the lane image")
 
         lengths = np.array([len(trace) for trace in traces], dtype=np.int64)
         position = np.zeros(num_cores, dtype=np.int64)
@@ -762,18 +842,23 @@ class KernelRuntime:
         self, cache, decoded, start, stop, timing, core
     ) -> Optional[int]:
         """The numba backend: untimed pure-LRU replay only."""
-        if self._numba is None or np is None or timing is not None:
-            return None
-        if not _plan_eligible(cache) or not cache.plan.min_stamp_victim:
-            return None
+        if self._numba is None or np is None:
+            return self._fallback("no compiled kernel backend available")
+        if timing is not None:
+            return self._fallback("numba backend is untimed")
+        blocked = _plan_block_reason(cache)
+        if blocked is not None:
+            return self._fallback(blocked)
+        if not cache.plan.min_stamp_victim:
+            return self._fallback("numba backend supports plain LRU only")
         if cache._on_sample is not None or cache._epoch_period:
-            return None
+            return self._fallback("numba backend supports plain LRU only")
         streams = soa.stream_arrays(decoded)
         if streams is None:
-            return None
+            return self._fallback("decoded trace is not array-backed")
         image = soa.gather_lines(cache)
         if image is None:
-            return None
+            return self._fallback("cache line state not SoA-representable")
         set_arr, tag_arr, write_arr, _ = streams
         try:
             stats_arr = np.array(
@@ -812,7 +897,7 @@ class KernelRuntime:
                 stats_arr,
             )
         except OverflowError:
-            return None
+            return self._fallback("cache state overflows the int64 kernel ABI")
         soa.scatter_lines(cache, image)
         stats = cache.stats
         values = stats_arr.tolist()

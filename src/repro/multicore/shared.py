@@ -30,17 +30,128 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from math import inf, nextafter
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.policy import ReplacementPolicy, make_policy
-from repro.common.config import HierarchyConfig
+from repro.common.config import CacheConfig, HierarchyConfig
 from repro.cpu.timing import TimingModel
 from repro.trace.access import Trace
 
 #: per-core offsets that keep address/PC spaces disjoint across cores
 CORE_ADDRESS_STRIDE = 1 << 44
 CORE_PC_STRIDE = 1 << 30
+
+
+class SharerDirectory:
+    """Line-level sharer tracking for one shared LLC.
+
+    For global-address (data-sharing) runs the single ``line.owner``
+    field is wrong the moment a second core touches a line, so the
+    system installs this directory on the LLC as its access/eviction
+    listener pair.  ``observe`` fires before every demand access and
+    ``on_evict`` on every eviction -- in both the scalar walk and the
+    batched drivers (the listener hooks force the generic,
+    per-access-identical batch paths), so directory state is
+    bit-identical between the two by construction.
+
+    Each tracked line carries a sharer bitmask (bit per core) and the
+    last writing core.  An entry lives from a line's first touch to its
+    eviction, so a mask with two or more bits set means two cores
+    really did touch the line within one residency generation.
+
+    Invariants (pinned by the Hypothesis tests): every resident line
+    is tracked with a non-empty sharer mask (the filling core observed
+    first), and a dirty line's last writer is in its sharer mask.
+    """
+
+    __slots__ = (
+        "index_bits",
+        "offset_bits",
+        "num_cores",
+        "table",
+        "peak_tracked",
+        "shared_lines",
+        "shared_accesses",
+        "shared_writes",
+        "write_migrations",
+        "shared_evictions",
+    )
+
+    def __init__(self, llc_config: CacheConfig, num_cores: int) -> None:
+        self.index_bits = llc_config.index_bits
+        self.offset_bits = llc_config.offset_bits
+        self.num_cores = num_cores
+        #: block number -> [sharer_mask, last_writer] (-1 = never written)
+        self.table: Dict[int, list] = {}
+        self.peak_tracked = 0
+        self.shared_lines = 0
+        self.shared_accesses = 0
+        self.shared_writes = 0
+        self.write_migrations = 0
+        self.shared_evictions = 0
+
+    def observe(
+        self, set_index: int, tag: int, is_write: bool, pc: int, core: int
+    ) -> None:
+        """Pre-access hook: fold ``core`` into the line's sharer mask."""
+        table = self.table
+        key = (tag << self.index_bits) | set_index
+        entry = table.get(key)
+        if entry is None:
+            entry = table[key] = [0, -1]
+            if len(table) > self.peak_tracked:
+                self.peak_tracked = len(table)
+        mask = entry[0]
+        bit = 1 << core
+        if not mask & bit:
+            updated = mask | bit
+            entry[0] = updated
+            if mask and updated.bit_count() == 2:
+                self.shared_lines += 1
+            mask = updated
+        if mask & (mask - 1):  # popcount >= 2: a genuinely shared line
+            self.shared_accesses += 1
+            if is_write:
+                self.shared_writes += 1
+        if is_write:
+            if entry[1] not in (-1, core):
+                self.write_migrations += 1
+            entry[1] = core
+
+    def on_evict(self, address: int, dirty: bool) -> None:
+        """Eviction hook: the line's sharing generation ends here."""
+        entry = self.table.pop(address >> self.offset_bits, None)
+        if entry is not None:
+            mask = entry[0]
+            if mask & (mask - 1):
+                self.shared_evictions += 1
+
+    def is_shared(self, set_index: int, tag: int) -> bool:
+        """True when two or more cores touched this line generation."""
+        entry = self.table.get((tag << self.index_bits) | set_index)
+        return entry is not None and bool(entry[0] & (entry[0] - 1))
+
+    def sharer_mask(self, set_index: int, tag: int) -> int:
+        entry = self.table.get((tag << self.index_bits) | set_index)
+        return entry[0] if entry is not None else 0
+
+    def last_writer(self, set_index: int, tag: int) -> int:
+        """The last core to write the line, or -1 if never written."""
+        entry = self.table.get((tag << self.index_bits) | set_index)
+        return entry[1] if entry is not None else -1
+
+    def stats_dict(self) -> Dict[str, int]:
+        """The ``shared.*`` counters surfaced on run results."""
+        return {
+            "shared.tracked": len(self.table),
+            "shared.peak_tracked": self.peak_tracked,
+            "shared.lines": self.shared_lines,
+            "shared.accesses": self.shared_accesses,
+            "shared.writes": self.shared_writes,
+            "shared.write_migrations": self.write_migrations,
+            "shared.evictions": self.shared_evictions,
+        }
 
 
 def _first_violation(bound: float, penalty: float, strict: bool) -> float:
@@ -106,10 +217,18 @@ class CoreResult:
 
 @dataclass(frozen=True)
 class SharedRunResult:
-    """Outcome of one multiprogrammed run."""
+    """Outcome of one multiprogrammed run.
+
+    ``shared`` carries the sharer directory's ``shared.*`` counters for
+    global-address (data-sharing) runs; None for private-address runs.
+    (Kernel fallback reasons deliberately live on the runtime --
+    :attr:`repro.kernels.runner.KernelRuntime.fallback_reason` -- not
+    here, so kernel results stay bit-comparable to dict results.)
+    """
 
     policy: str
     cores: List[CoreResult]
+    shared: Optional[Dict[str, int]] = None
 
     def ipcs(self) -> List[float]:
         return [core.ipc for core in self.cores]
@@ -150,8 +269,12 @@ class SharedLLCSystem:
             )
             for core in range(num_cores)
         ]
+        #: the :class:`SharerDirectory` of the current/last global run,
+        #: None while running private-address traces.
+        self.sharer_directory: Optional[SharerDirectory] = None
 
-    def _check_traces(self, traces: Sequence[Trace], warmup: int) -> None:
+    def _check_traces(self, traces: Sequence[Trace], warmup: int) -> bool:
+        """Validate the mix; returns True for a global-address run."""
         if len(traces) != self.num_cores:
             raise ValueError(
                 f"need {self.num_cores} traces, got {len(traces)}"
@@ -161,6 +284,43 @@ class SharedLLCSystem:
                 raise ValueError(
                     f"warmup ({warmup}) >= trace length ({len(trace)})"
                 )
+        spaces = {trace.address_space for trace in traces}
+        if len(spaces) > 1:
+            raise ValueError(
+                "cannot mix private- and global-address-space traces "
+                "in one run"
+            )
+        return spaces.pop() == "global"
+
+    def _bind_directory(self) -> SharerDirectory:
+        """Fresh sharer tracking for one global-address run.
+
+        The listener hooks deliberately disqualify the LLC from the
+        stamped batch fast paths and the SoA kernels: the generic
+        paths they force call every hook per access in scalar order,
+        which is what makes batch==scalar hold for sharing runs by
+        construction.
+        """
+        directory = SharerDirectory(self.config.llc, self.num_cores)
+        self.sharer_directory = directory
+        llc = self.llc
+        llc.set_access_listener(directory.observe)
+        llc.eviction_listener = directory.on_evict
+        bind = getattr(llc.policy, "bind_sharer_directory", None)
+        if bind is not None:
+            bind(directory)
+        return directory
+
+    def _unbind_directory(self) -> None:
+        if self.sharer_directory is None:
+            return
+        self.sharer_directory = None
+        llc = self.llc
+        llc.set_access_listener(None)
+        llc.eviction_listener = None
+        bind = getattr(llc.policy, "bind_sharer_directory", None)
+        if bind is not None:
+            bind(None)
 
     def run(
         self, traces: Sequence[Trace], warmup: int = 0
@@ -173,16 +333,27 @@ class SharedLLCSystem:
         driver.  Falls back to the scalar loop if the per-core address
         stride cannot be expressed as a pure tag offset at this
         geometry (never true for the shipped configs).
+
+        Global-address (data-sharing) traces replay without per-core
+        offsets and with a fresh :class:`SharerDirectory` installed on
+        the LLC; its listener hooks route the replay through the
+        generic (scalar-identical) batch paths.
         """
-        self._check_traces(traces, warmup)
+        shared = self._check_traces(traces, warmup)
         if self.backends is not None:
             # Request-level backends need per-access addresses and live
             # cycle counts; the epoch sessions inline the flat timing.
             return self.run_scalar(traces, warmup)
+        if shared:
+            self._bind_directory()
+        else:
+            self._unbind_directory()
+        addr_stride = 0 if shared else CORE_ADDRESS_STRIDE
+        pc_stride = 0 if shared else CORE_PC_STRIDE
         try:
             views = [
                 trace.decoded(self.config.llc).with_core_offset(
-                    core, CORE_ADDRESS_STRIDE, CORE_PC_STRIDE
+                    core, addr_stride, pc_stride
                 )
                 for core, trace in enumerate(traces)
             ]
@@ -346,23 +517,32 @@ class SharedLLCSystem:
         the fallback for address strides the decoded views cannot
         express.
         """
-        self._check_traces(traces, warmup)
+        shared = self._check_traces(traces, warmup)
+        if shared:
+            self._bind_directory()
+        else:
+            self._unbind_directory()
 
         num_cores = self.num_cores
         llc = self.llc
         access = llc.access
         timings = self.timings
 
-        # Pre-offset the traces into disjoint address/PC regions.
-        addr = [
-            [a + core * CORE_ADDRESS_STRIDE for a in traces[core].addresses]
-            for core in range(num_cores)
-        ]
+        # Pre-offset the traces into disjoint address/PC regions --
+        # except for global-address mixes, which share one space.
+        if shared:
+            addr = [traces[core].addresses for core in range(num_cores)]
+            pcs = [traces[core].pcs for core in range(num_cores)]
+        else:
+            addr = [
+                [a + core * CORE_ADDRESS_STRIDE for a in traces[core].addresses]
+                for core in range(num_cores)
+            ]
+            pcs = [
+                [p + core * CORE_PC_STRIDE for p in traces[core].pcs]
+                for core in range(num_cores)
+            ]
         wrts = [traces[core].is_write for core in range(num_cores)]
-        pcs = [
-            [p + core * CORE_PC_STRIDE for p in traces[core].pcs]
-            for core in range(num_cores)
-        ]
         gaps = [traces[core].instr_gaps for core in range(num_cores)]
         lengths = [len(trace) for trace in traces]
 
@@ -446,4 +626,9 @@ class SharedLLCSystem:
                     write_misses=wm,
                 )
             )
-        return SharedRunResult(policy=self.llc.policy.name, cores=cores)
+        directory = self.sharer_directory
+        return SharedRunResult(
+            policy=self.llc.policy.name,
+            cores=cores,
+            shared=directory.stats_dict() if directory is not None else None,
+        )

@@ -180,6 +180,8 @@ def simulate(spec: SimulationSpec):
     results (which is what :func:`simulate_cached` and the engine's
     content-addressed store rely on).
     """
+    global _LAST_KERNEL_INFO
+    _LAST_KERNEL_INFO = None
     if spec.mode == "multicore":
         return _simulate_multicore(spec)
     scale = spec.scale
@@ -209,28 +211,84 @@ def simulate(spec: SimulationSpec):
         from repro.kernels import attach_kernel
 
         attach_kernel(target, spec.kernel_spec)
-    return runner.run(trace, warmup=scale.warmup)
+    result = runner.run(trace, warmup=scale.warmup)
+    if not spec.uses_default_kernel:
+        _record_kernel(target, spec)
+    return result
+
+
+#: Kernel disposition of the most recent non-default-kernel
+#: :func:`simulate` in this process (``None`` after a default-kernel
+#: run).  A reporting side channel for the CLI -- deliberately NOT part
+#: of the result objects, so kernel runs stay bit-comparable to dict
+#: runs (the conformance contract above).
+_LAST_KERNEL_INFO: Optional[dict] = None
+
+
+def last_kernel_info() -> Optional[dict]:
+    """Disposition of the most recent kernel-backed :func:`simulate`.
+
+    ``{"requested": <kernel key>, "backend": <active backend>}`` plus a
+    ``"fallback"`` reason when the runtime declined the run and the dict
+    driver served it instead; ``None`` when the last run used the
+    default dict kernel.  Lets ``repro run`` report a requested kernel
+    that silently fell back, without polluting result equality.
+    """
+    return _LAST_KERNEL_INFO
+
+
+def _record_kernel(target, spec: SimulationSpec) -> None:
+    """Capture the runtime's disposition into the side channel."""
+    global _LAST_KERNEL_INFO
+    runtime = getattr(target, "kernel", None)
+    if runtime is None:
+        llc = getattr(target, "llc", None)
+        runtime = getattr(llc, "kernel", None)
+    if runtime is None and hasattr(target, "all_caches"):
+        for cache in target.all_caches():
+            runtime = cache.kernel
+            break
+    if runtime is None:
+        return
+    info = {
+        "requested": spec.kernel_key,
+        "backend": runtime.active_backend,
+    }
+    if runtime.fallback_reason is not None:
+        info["fallback"] = runtime.fallback_reason
+    _LAST_KERNEL_INFO = info
 
 
 def _simulate_multicore(spec: SimulationSpec):
     """One mix through the epoch-interleaved shared-LLC system."""
     from repro.multicore.shared import SharedLLCSystem
-    from repro.trace.mixes import mix_benchmarks
+    from repro.trace.mixes import get_mix
 
     scale = spec.scale
-    benchmarks = mix_benchmarks(spec.workload)
+    mix = get_mix(spec.workload)
+    benchmarks = mix.benchmarks
     num_cores = spec.core_count
     if len(benchmarks) != num_cores:
         raise ValueError(
             f"mix {spec.workload} has {len(benchmarks)} benchmarks, "
             f"need {num_cores}"
         )
-    traces = [
-        cached_trace(
-            bench, scale.llc_lines, scale.total_accesses, scale.seed
+    if mix.sharing is not None:
+        from repro.experiments.runner import cached_shared_mix
+
+        traces = list(
+            cached_shared_mix(
+                spec.workload, scale.llc_lines, scale.total_accesses,
+                scale.seed,
+            )
         )
-        for bench in benchmarks
-    ]
+    else:
+        traces = [
+            cached_trace(
+                bench, scale.llc_lines, scale.total_accesses, scale.seed
+            )
+            for bench in benchmarks
+        ]
     config = spec.hierarchy_config()
     backends = None
     if not spec.uses_default_memory:
@@ -251,7 +309,10 @@ def _simulate_multicore(spec: SimulationSpec):
         from repro.kernels import attach_kernel
 
         attach_kernel(system, spec.kernel_spec)
-    return system.run(traces, warmup=scale.warmup)
+    result = system.run(traces, warmup=scale.warmup)
+    if not spec.uses_default_kernel:
+        _record_kernel(system, spec)
+    return result
 
 
 @lru_cache(maxsize=4096)

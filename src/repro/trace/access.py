@@ -43,7 +43,15 @@ class Trace:
     :class:`Access` objects for code that prefers names over positions.
     """
 
-    __slots__ = ("addresses", "is_write", "pcs", "instr_gaps", "name", "_decoded")
+    __slots__ = (
+        "addresses",
+        "is_write",
+        "pcs",
+        "instr_gaps",
+        "name",
+        "address_space",
+        "_decoded",
+    )
 
     def __init__(
         self,
@@ -52,6 +60,7 @@ class Trace:
         pcs: Sequence[int] | None = None,
         instr_gaps: Sequence[int] | None = None,
         name: str = "trace",
+        address_space: str = "private",
     ) -> None:
         n = len(addresses)
         if len(is_write) != n:
@@ -67,6 +76,12 @@ class Trace:
             list(instr_gaps) if instr_gaps is not None else [1] * n
         )
         self.name = name
+        if address_space not in ("private", "global"):
+            raise ValueError(
+                "address_space must be 'private' or 'global', "
+                f"got {address_space!r}"
+            )
+        self.address_space = address_space
         self._decoded: dict = {}
 
     @classmethod
@@ -77,6 +92,7 @@ class Trace:
         pcs: np.ndarray | None = None,
         instr_gaps: np.ndarray | None = None,
         name: str = "trace",
+        address_space: str = "private",
     ) -> "Trace":
         """Build from numpy arrays (the generators' native output)."""
         trace = cls.__new__(cls)
@@ -88,6 +104,7 @@ class Trace:
             instr_gaps.astype(np.int64).tolist() if instr_gaps is not None else [1] * n
         )
         trace.name = name
+        trace.address_space = address_space
         trace._decoded = {}
         return trace
 
@@ -103,10 +120,17 @@ class Trace:
 
     def __getstate__(self):
         # The decode cache is per-process scratch; keep pickles lean.
-        return (self.addresses, self.is_write, self.pcs, self.instr_gaps, self.name)
+        # Private traces keep the historical 5-tuple so old pickles and
+        # new ones stay interchangeable; only global-address traces
+        # carry the extra field.
+        base = (self.addresses, self.is_write, self.pcs, self.instr_gaps, self.name)
+        if self.address_space == "private":
+            return base
+        return base + (self.address_space,)
 
     def __setstate__(self, state) -> None:
-        self.addresses, self.is_write, self.pcs, self.instr_gaps, self.name = state
+        self.addresses, self.is_write, self.pcs, self.instr_gaps, self.name = state[:5]
+        self.address_space = state[5] if len(state) > 5 else "private"
         self._decoded = {}
 
     def __len__(self) -> int:
@@ -143,6 +167,7 @@ class Trace:
             self.pcs[start:stop],
             self.instr_gaps[start:stop],
             name=f"{self.name}[{start}:{stop}]",
+            address_space=self.address_space,
         )
 
     @property

@@ -92,11 +92,19 @@ def iter_champsim_records(path: str | Path) -> Iterator[tuple]:
             yield ip, dest_mem, src_mem
 
 
-def read_champsim(path: str | Path, name: str | None = None) -> Trace:
+def read_champsim(
+    path: str | Path,
+    name: str | None = None,
+    address_space: str = "private",
+) -> Trace:
     """Convert a ChampSim instruction trace to a flat access stream.
 
     Every record is one committed instruction; records with no memory
-    operands only advance the instruction gap.
+    operands only advance the instruction gap.  ChampSim records carry
+    raw physical addresses with no per-core tag, so a set of per-core
+    files from one data-sharing run must be re-imported with
+    ``address_space="global"`` to keep the shared system from applying
+    its per-core address offsets on replay.
     """
     path = Path(path)
     addresses: List[int] = []
@@ -123,4 +131,8 @@ def read_champsim(path: str | Path, name: str | None = None) -> Trace:
                 gaps.append(pending_gap if first else 0)
                 pending_gap = 0
                 first = False
-    return Trace(addresses, writes, pcs, gaps, name=name or path.stem)
+    return Trace(
+        addresses, writes, pcs, gaps,
+        name=name or path.stem,
+        address_space=address_space,
+    )

@@ -44,8 +44,16 @@ AccessMode = Literal["read", "write", "rmw"]
 # Each kernel occupies its own aligned region this many lines wide, so
 # kernels can never alias each other's cache lines.
 _REGION_LINES = 1 << 26
+# The shared region lives in region 0 (below every private kernel),
+# offset one page up so address 0 is never issued: the null page is
+# unmapped in any real address space, and ChampSim records use a zero
+# operand address to mean "no memory operand".
+_SHARED_BASE_LINE = 64
 # Each kernel's instructions live in their own PC region.
 _PC_REGION = 1 << 20
+
+#: shared-region patterns supported by :class:`SharingSpec`.
+SHARING_PATTERNS = ("producer_consumer", "read_mostly", "migratory")
 
 
 @dataclass(frozen=True)
@@ -199,6 +207,183 @@ class MixtureGenerator:
         return Trace.from_arrays(
             addresses, writes, pcs, gaps, name=self.model.name
         )
+
+
+@dataclass(frozen=True)
+class SharingSpec:
+    """How a mix's cores share a common address region.
+
+    ``shared_fraction`` of each core's accesses are redirected into one
+    shared region of ``ws_lines`` cache lines that every core addresses
+    identically (no per-core offset).  ``pattern`` fixes who writes it:
+
+    ``producer_consumer``  the first ``writers`` cores write-sweep the
+                           region; every other core read-sweeps it
+    ``read_mostly``        every core read-sweeps; the first ``writers``
+                           cores additionally write one access in 20
+                           (a mostly-read shared table with rare updates)
+    ``migratory``          the first ``writers`` cores perform
+                           read-modify-write pairs (ownership migrates
+                           line by line); the rest read randomly
+    """
+
+    pattern: str
+    shared_fraction: float = 0.25
+    writers: int = 1
+    ws_lines: int = 512
+
+    def __post_init__(self) -> None:
+        if self.pattern not in SHARING_PATTERNS:
+            raise ValueError(
+                f"unknown sharing pattern {self.pattern!r}; "
+                f"expected one of {', '.join(SHARING_PATTERNS)}"
+            )
+        if not 0.0 < self.shared_fraction < 1.0:
+            raise ValueError("shared_fraction must be in (0, 1)")
+        if self.writers < 1:
+            raise ValueError("writers must be >= 1")
+        if self.ws_lines <= 0:
+            raise ValueError("ws_lines must be positive")
+        if self.ws_lines > _REGION_LINES - _SHARED_BASE_LINE:
+            raise ValueError(
+                f"shared ws_lines must fit the reserved region "
+                f"({_REGION_LINES - _SHARED_BASE_LINE} lines)"
+            )
+
+    def canonical(self) -> str:
+        return (
+            f"{self.pattern}:frac={self.shared_fraction:g}"
+            f",writers={self.writers},ws={self.ws_lines}"
+        )
+
+    @classmethod
+    def parse(cls, text: "str | SharingSpec") -> "SharingSpec":
+        """Parse the canonical ``pattern:key=value,...`` string form."""
+        if isinstance(text, cls):
+            return text
+        pattern, _, rest = text.partition(":")
+        kwargs: Dict[str, object] = {}
+        if rest:
+            for item in rest.split(","):
+                key, sep, value = item.partition("=")
+                if not sep:
+                    raise ValueError(
+                        f"malformed sharing option {item!r} in {text!r}"
+                    )
+                if key == "frac":
+                    kwargs["shared_fraction"] = float(value)
+                elif key == "writers":
+                    kwargs["writers"] = int(value)
+                elif key == "ws":
+                    kwargs["ws_lines"] = int(value)
+                else:
+                    raise ValueError(
+                        f"unknown sharing option {key!r} in {text!r}"
+                    )
+        return cls(pattern=pattern, **kwargs)
+
+
+class _SharedRegionState:
+    """Per-core cursor into the shared region (pattern-specific)."""
+
+    __slots__ = ("sharing", "core", "cursor")
+
+    def __init__(self, sharing: SharingSpec, core: int) -> None:
+        self.sharing = sharing
+        self.core = core
+        self.cursor = 0
+
+    def generate(
+        self, n: int, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Produce ``n`` shared-region accesses: (line indices, is_write)."""
+        sharing = self.sharing
+        ws = sharing.ws_lines
+        is_writer = self.core < sharing.writers
+        pattern = sharing.pattern
+        if pattern == "producer_consumer":
+            lines = (self.cursor + np.arange(n, dtype=np.int64)) % ws
+            self.cursor = (self.cursor + n) % ws
+            writes = np.full(n, is_writer, dtype=bool)
+        elif pattern == "read_mostly":
+            lines = (self.cursor + np.arange(n, dtype=np.int64)) % ws
+            self.cursor = (self.cursor + n) % ws
+            writes = np.zeros(n, dtype=bool)
+            if is_writer:
+                writes[::20] = True
+        else:  # migratory
+            if is_writer:
+                # Read-modify-write pairs: each line is read then
+                # written before ownership moves on.
+                seq = (self.cursor + np.arange(n, dtype=np.int64)) // 2 % ws
+                writes = (
+                    np.arange(self.cursor, self.cursor + n) % 2
+                ).astype(bool)
+                self.cursor = (self.cursor + n) % (2 * ws)
+                lines = seq
+            else:
+                lines = rng.integers(0, ws, size=n, dtype=np.int64)
+                writes = np.zeros(n, dtype=bool)
+        return lines, writes
+
+
+def generate_shared_mix(
+    models: Sequence[WorkloadModel],
+    sharing: SharingSpec,
+    num_accesses: int,
+    seed: int = 2014,
+) -> List[Trace]:
+    """Per-core global-address traces with a common shared region.
+
+    Each core runs its private workload model with its address and PC
+    streams pre-offset by the multicore strides (what
+    ``DecodedTrace.with_core_offset`` would have applied), then
+    ``sharing.shared_fraction`` of its accesses are redirected into the
+    shared region at lines ``[_SHARED_BASE_LINE, _SHARED_BASE_LINE +
+    ws_lines)`` -- below every private kernel region, so shared and
+    private lines never alias, and above the null page, so the traces
+    survive ChampSim interchange (whose records encode "no operand" as
+    address zero).  The
+    returned traces are marked ``address_space="global"``; the shared
+    system replays them without per-core offsets, so two cores really
+    do hit the same LLC lines.
+    """
+    from repro.multicore.shared import CORE_ADDRESS_STRIDE, CORE_PC_STRIDE
+
+    if num_accesses <= 0:
+        raise ValueError("num_accesses must be positive")
+    traces: List[Trace] = []
+    for core, model in enumerate(models):
+        private = MixtureGenerator(model, seed + 7919 * core).generate(
+            num_accesses
+        )
+        rng = split_rng(seed, f"shared:{sharing.pattern}:core{core}")
+        addresses = np.array(private.addresses, dtype=np.int64)
+        writes = np.array(private.is_write, dtype=bool)
+        pcs = np.array(private.pcs, dtype=np.int64)
+        addresses += core * CORE_ADDRESS_STRIDE
+        pcs += core * CORE_PC_STRIDE
+        mask = rng.random(num_accesses) < sharing.shared_fraction
+        count = int(mask.sum())
+        if count:
+            state = _SharedRegionState(sharing, core)
+            lines, shared_writes = state.generate(count, rng)
+            addresses[mask] = (lines + _SHARED_BASE_LINE) * LINE_SIZE
+            writes[mask] = shared_writes
+            # Shared code issues the shared accesses: one small PC
+            # region common to all cores (below every private region).
+            pcs[mask] = (lines % 8) * 4
+        traces.append(
+            Trace.from_arrays(
+                addresses,
+                writes,
+                pcs,
+                np.array(private.instr_gaps, dtype=np.int64),
+                name=f"{model.name}+{sharing.pattern}@c{core}",
+                address_space="global",
+            )
+        )
+    return traces
 
 
 def _instruction_gaps(

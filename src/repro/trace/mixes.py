@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.trace.generator import SharingSpec
 from repro.trace.spec import SPEC2006_PARAMS
 
 
@@ -27,16 +28,27 @@ class MixSpec:
 
     ``core_count`` is derived from the benchmark tuple -- one benchmark
     per core -- and validated at registration, so a spec can never
-    disagree with its own workload list.
+    disagree with its own workload list.  ``sharing`` is None for the
+    classic private-address mixes; when set, the cores additionally
+    share one address region per the :class:`SharingSpec` (and the
+    per-core traces are generated in one global address space).
     """
 
     name: str
     benchmarks: Tuple[str, ...]
     description: str = ""
+    sharing: Optional[SharingSpec] = None
 
     @property
     def core_count(self) -> int:
         return len(self.benchmarks)
+
+    @property
+    def sharing_mode(self) -> str:
+        """Short human-readable sharing summary (``private`` or canonical)."""
+        if self.sharing is None:
+            return "private"
+        return self.sharing.canonical()
 
     def __post_init__(self) -> None:
         if not self.benchmarks:
@@ -52,11 +64,18 @@ class MixSpec:
 MIXES: Dict[str, MixSpec] = {}
 
 
-def register_mix(name: str, benchmarks: Tuple[str, ...], description: str = "") -> MixSpec:
+def register_mix(
+    name: str,
+    benchmarks: Tuple[str, ...],
+    description: str = "",
+    sharing: "Optional[str | SharingSpec]" = None,
+) -> MixSpec:
     """Add one mix to the registry (benchmarks validated eagerly)."""
     if name in MIXES:
         raise ValueError(f"duplicate mix {name!r}")
-    spec = MixSpec(name, tuple(benchmarks), description)
+    if sharing is not None:
+        sharing = SharingSpec.parse(sharing)
+    spec = MixSpec(name, tuple(benchmarks), description, sharing)
     MIXES[name] = spec
     return spec
 
@@ -111,20 +130,75 @@ register_mix(
 )
 
 
-#: Compatibility shim: name -> 4 benchmark names (4-core mixes only).
+# -- data-sharing mixes ---------------------------------------------------
+# Cores run their private workloads but also touch one shared region;
+# the traces live in a single global address space (no per-core offset).
+register_mix(
+    "mix2s01_prodcons", ("mcf", "omnetpp"),
+    "one producer streaming updates to one consumer",
+    sharing="producer_consumer:frac=0.3,writers=1,ws=512",
+)
+register_mix(
+    "mix4s01_prodcons", ("mcf", "omnetpp", "soplex", "sphinx3"),
+    "two producers feeding two consumers over a shared buffer",
+    sharing="producer_consumer:frac=0.3,writers=2,ws=512",
+)
+register_mix(
+    "mix4s02_readmostly", ("xalancbmk", "astar", "bzip2", "gcc"),
+    "a read-mostly shared table with one rare writer",
+    sharing="read_mostly:frac=0.25,writers=1,ws=1024",
+)
+register_mix(
+    "mix4s03_migratory", ("mcf", "soplex", "lbm", "povray"),
+    "migratory read-modify-write ownership over a small shared set",
+    sharing="migratory:frac=0.2,writers=4,ws=256",
+)
+register_mix(
+    "mix8s01_prodcons",
+    ("mcf", "omnetpp", "soplex", "sphinx3", "xalancbmk", "astar", "bzip2", "gcc"),
+    "two producers, six consumers: sensitive mix over a shared buffer",
+    sharing="producer_consumer:frac=0.25,writers=2,ws=1024",
+)
+register_mix(
+    "mix8s02_readmostly",
+    ("mcf", "soplex", "sphinx3", "dealII", "lbm", "milc", "hmmer", "povray"),
+    "eight cores sweeping a read-mostly shared table, two writers",
+    sharing="read_mostly:frac=0.25,writers=2,ws=1024",
+)
+register_mix(
+    "mix16s01_prodcons",
+    (
+        "mcf", "omnetpp", "soplex", "sphinx3", "xalancbmk", "astar",
+        "bzip2", "gcc", "cactusADM", "dealII", "libquantum", "lbm",
+        "milc", "leslie3d", "hmmer", "namd",
+    ),
+    "sixteen-core stress mix over a shared producer/consumer buffer",
+    sharing="producer_consumer:frac=0.2,writers=4,ws=2048",
+)
+
+
+#: Compatibility shim: name -> 4 benchmark names (4-core private mixes).
 FOUR_CORE_MIXES: Dict[str, Tuple[str, ...]] = {
     name: spec.benchmarks
     for name, spec in MIXES.items()
-    if spec.core_count == 4
+    if spec.core_count == 4 and spec.sharing is None
 }
 
 
-def mix_specs(core_count: Optional[int] = None) -> List[MixSpec]:
-    """All registered mixes (sorted by name), optionally one core count."""
+def mix_specs(
+    core_count: Optional[int] = None,
+    sharing: Optional[bool] = None,
+) -> List[MixSpec]:
+    """All registered mixes (sorted by name), optionally filtered.
+
+    ``core_count`` selects one width; ``sharing`` narrows to shared
+    (True) or private (False) mixes, None keeping both.
+    """
     return [
         MIXES[name]
         for name in sorted(MIXES)
-        if core_count is None or MIXES[name].core_count == core_count
+        if (core_count is None or MIXES[name].core_count == core_count)
+        and (sharing is None or (MIXES[name].sharing is not None) == sharing)
     ]
 
 
@@ -138,8 +212,11 @@ def get_mix(mix_name: str) -> MixSpec:
         ) from None
 
 
-def mix_names(core_count: Optional[int] = None) -> List[str]:
-    return [spec.name for spec in mix_specs(core_count)]
+def mix_names(
+    core_count: Optional[int] = None,
+    sharing: Optional[bool] = None,
+) -> List[str]:
+    return [spec.name for spec in mix_specs(core_count, sharing)]
 
 
 def mix_benchmarks(mix_name: str) -> Tuple[str, ...]:

@@ -33,8 +33,11 @@ from repro.verify.jobs import VERIFY_POLICIES
 #: v2 added the ``hierarchy`` and ``multicore`` system sections (the
 #: per-policy single-cache records are unchanged from v1); v3 added the
 #: ``hierarchy_pcm`` section pinning the full-stack timing replay over
-#: the asymmetric-write ``pcm`` memory backend.
-GOLDEN_VERSION = 3
+#: the asymmetric-write ``pcm`` memory backend; v4 added the
+#: ``multicore_shared`` section pinning global-address (data-sharing)
+#: mixes -- sharer-directory counters included -- with every v3 section
+#: byte-identical.
+GOLDEN_VERSION = 4
 
 #: the backend spec the ``hierarchy_pcm`` section pins.  Fixed here so
 #: the corpus guards one canonical asymmetric configuration.
@@ -89,6 +92,7 @@ class SystemGoldenSpec:
     seed: int
     geometry: int
     length: int
+    shared: bool = False  # multicore only: global-address (data-sharing) mix
 
 
 #: LLC policies pinned at the system level.  A subset of the verified
@@ -105,6 +109,21 @@ SYSTEM_GOLDEN_SPECS = (
     SystemGoldenSpec("mc4_mixed_g2", "multicore", "mixed", 8808, 2, 1024),
     SystemGoldenSpec(
         "mc2_conflict_g1", "multicore", "conflict", 9909, 1, 1024
+    ),
+)
+
+#: the v4 ``multicore_shared`` menu: 8-core global-address mixes on the
+#: shared geometry row (see SHARED_GEOMETRY_INDEX in
+#: :mod:`repro.verify.system`).  dirty_storm maximizes write-sharing
+#: and writer migration; mixed covers every scenario's access shapes
+#: under one sharer directory.
+SHARED_GOLDEN_SPECS = (
+    SystemGoldenSpec(
+        "mc8s_dirty_storm_g6", "multicore", "dirty_storm", 11011, 6, 1024,
+        shared=True,
+    ),
+    SystemGoldenSpec(
+        "mc8s_mixed_g6", "multicore", "mixed", 12012, 6, 1024, shared=True
     ),
 )
 
@@ -248,6 +267,7 @@ def system_golden_record(
         }
 
     from repro.multicore.shared import SharedLLCSystem
+    from repro.verify.system import _as_global
 
     num_cores, llc_sets, ways = MULTICORE_GEOMETRIES[spec.geometry]
     config = small_hierarchy(((4, 2), (8, 4), (llc_sets, ways)))
@@ -261,6 +281,8 @@ def system_golden_record(
         )
         for core in range(num_cores)
     ]
+    if spec.shared:
+        traces = [_as_global(trace) for trace in traces]
     warmup = spec.length // 4
     if check_scalar:
         for check_kernel in (None, "auto"):
@@ -276,7 +298,7 @@ def system_golden_record(
 
         attach_kernel(system, kernel)
     result = system.run(traces, warmup=warmup)
-    return {
+    record = {
         "geometry": [num_cores, llc_sets, ways],
         "cores": [
             {
@@ -291,6 +313,11 @@ def system_golden_record(
         ],
         "llc_digest": _state_digest(system.llc),
     }
+    if spec.shared:
+        # Pin the sharer-directory counters too: any drift in sharer
+        # bitmask or last-writer maintenance shows up here by name.
+        record["shared"] = result.shared
+    return record
 
 
 def pcm_golden_record(policy: str, spec: SystemGoldenSpec) -> Dict[str, object]:
@@ -391,6 +418,24 @@ def compute_goldens(policies=VERIFY_POLICIES) -> Dict[str, object]:
             }
             for policy in MULTICORE_GOLDEN_POLICIES
         },
+        "shared_traces": {
+            spec.name: {
+                "target": spec.target,
+                "scenario": spec.scenario,
+                "seed": spec.seed,
+                "geometry": spec.geometry,
+                "length": spec.length,
+                "shared": spec.shared,
+            }
+            for spec in SHARED_GOLDEN_SPECS
+        },
+        "multicore_shared": {
+            policy: {
+                spec.name: system_golden_record(policy, spec, check_scalar=True)
+                for spec in SHARED_GOLDEN_SPECS
+            }
+            for policy in MULTICORE_GOLDEN_POLICIES
+        },
     }
     return corpus
 
@@ -453,6 +498,7 @@ def check_goldens(path: "Path | str | None" = None) -> List[str]:
     problems.extend(_check_system_section(corpus, "hierarchy"))
     problems.extend(_check_system_section(corpus, "multicore"))
     problems.extend(_check_system_section(corpus, "hierarchy_pcm"))
+    problems.extend(_check_system_section(corpus, "multicore_shared"))
     return problems
 
 
@@ -461,15 +507,24 @@ def _check_system_section(corpus: Dict[str, object], target: str) -> List[str]:
 
     ``hierarchy_pcm`` shares the hierarchy specs and policy roster but
     replays through :func:`pcm_golden_record` instead of the plain
-    system runner.
+    system runner; ``multicore_shared`` uses the multicore roster over
+    its own global-address spec menu (:data:`SHARED_GOLDEN_SPECS`).
     """
     problems: List[str] = []
     policies = (
         MULTICORE_GOLDEN_POLICIES
-        if target == "multicore"
+        if target in ("multicore", "multicore_shared")
         else HIERARCHY_GOLDEN_POLICIES
     )
-    spec_target = "multicore" if target == "multicore" else "hierarchy"
+    spec_target = (
+        "multicore" if target in ("multicore", "multicore_shared")
+        else "hierarchy"
+    )
+    spec_menu = (
+        SHARED_GOLDEN_SPECS
+        if target == "multicore_shared"
+        else SYSTEM_GOLDEN_SPECS
+    )
     record_fn = (
         pcm_golden_record
         if target == "hierarchy_pcm"
@@ -485,7 +540,7 @@ def _check_system_section(corpus: Dict[str, object], target: str) -> List[str]:
                 "--regen-goldens`"
             )
             continue
-        for spec in SYSTEM_GOLDEN_SPECS:
+        for spec in spec_menu:
             if spec.target != spec_target:
                 continue
             recorded = recorded_traces.get(spec.name)

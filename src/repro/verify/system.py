@@ -80,7 +80,13 @@ MULTICORE_GEOMETRIES: Tuple[Tuple[int, int, int], ...] = (
     (4, 64, 8),
     (6, 32, 8),
     (8, 64, 16),  # appended: golden specs index into this tuple
+    (8, 32, 16),  # shared-mix row: 8 cores contending on a small global LLC
 )
+
+#: index of the geometry row shared (global-address) multicore jobs pin:
+#: 8 cores on a deliberately small LLC keeps cross-core line overlap and
+#: sharer-directory churn high.
+SHARED_GEOMETRY_INDEX = len(MULTICORE_GEOMETRIES) - 1
 
 SYSTEM_TRACE_LENGTH = 1024
 
@@ -130,6 +136,27 @@ def small_hierarchy(
         llc=CacheConfig(
             size=llcs * llcw * 64, ways=llcw, hit_latency=30, name="LLC"
         ),
+    )
+
+
+def _as_global(trace):
+    """The same access stream, re-tagged into the global address space.
+
+    Shared fuzz jobs reuse the per-core coverage-biased streams but
+    drop the per-core address offsetting (global traces replay with a
+    zero core stride), so identical low addresses from different cores
+    land on the same LLC lines -- exactly the overlap the sharer
+    directory exists to track.
+    """
+    from repro.trace.access import Trace
+
+    return Trace(
+        trace.addresses,
+        trace.is_write,
+        trace.pcs,
+        trace.instr_gaps,
+        name=f"{trace.name}-global",
+        address_space="global",
     )
 
 
@@ -278,7 +305,11 @@ def diff_multicore(
     Fresh systems (fresh policy instances) on both sides; compares every
     ``CoreResult`` field -- including the exact IEEE cycle floats, which
     is the strongest possible statement that the interleave matched --
-    then the shared LLC's final contents, statistics, and tick.  With
+    then the shared LLC's final contents, statistics, and tick.  For
+    global-address (data-sharing) mixes it also compares the
+    ``shared.*`` counters and the sharer directory's full line table
+    (sharer masks + last writers), so the batched replay's directory
+    updates are pinned access-for-access to the scalar walk.  With
     ``kernel``, the epoch driver runs under that SoA batch kernel.
     """
     from repro.multicore.shared import SharedLLCSystem
@@ -326,6 +357,29 @@ def diff_multicore(
             scalar_system.llc.tick, batched_system.llc.tick,
             kernel=kernel or "dict",
         )
+    if got.shared != want.shared:
+        return SystemDivergence(
+            "multicore", policy, "shared stats", want.shared, got.shared,
+            kernel=kernel or "dict",
+        )
+    got_dir = batched_system.sharer_directory
+    want_dir = scalar_system.sharer_directory
+    if (got_dir is None) != (want_dir is None):
+        return SystemDivergence(
+            "multicore", policy, "sharer directory presence",
+            want_dir is not None, got_dir is not None,
+            kernel=kernel or "dict",
+        )
+    if got_dir is not None and got_dir.table != want_dir.table:
+        keys = set(got_dir.table) | set(want_dir.table)
+        first = min(
+            k for k in keys if got_dir.table.get(k) != want_dir.table.get(k)
+        )
+        return SystemDivergence(
+            "multicore", policy, f"sharer directory entry for block {first}",
+            want_dir.table.get(first), got_dir.table.get(first),
+            kernel=kernel or "dict",
+        )
     return None
 
 
@@ -340,6 +394,7 @@ class SystemFuzzJob:
     geometry: int  # index into the target's geometry menu
     length: int = SYSTEM_TRACE_LENGTH
     kernel: str = "dict"  # batch kernel on the batched side
+    shared: bool = False  # multicore only: global-address (data-sharing) mix
 
     kind: ClassVar[str] = "verify-system"
 
@@ -349,6 +404,8 @@ class SystemFuzzJob:
             f"verify:{self.target}:{self.policy}/{self.scenario}"
             f"@g{self.geometry}#{self.seed}"
         )
+        if self.shared:
+            base = f"{base}:shared"
         if self.kernel != "dict":
             base = f"{base}~{self.kernel}"
         return base
@@ -371,9 +428,12 @@ class SystemFuzzJob:
         }
         # Same convention as RunJob: the default dict kernel is omitted
         # so pre-kernel store entries stay warm, while every non-default
-        # kernel keys (and caches) separately.
+        # kernel keys (and caches) separately.  Likewise ``shared`` only
+        # appears for global-address jobs -- private-job keys predate it.
         if self.kernel != "dict":
             payload["kernel"] = self.kernel
+        if self.shared:
+            payload["shared"] = True
         return payload
 
     def key(self) -> str:
@@ -387,6 +447,7 @@ class SystemFuzzJob:
             "scenario": self.scenario,
             "seed": self.seed,
             "kernel": self.kernel,
+            "shared": self.shared,
             "ok": divergence is None,
         }
         if divergence is not None:
@@ -419,6 +480,11 @@ class SystemFuzzJob:
             )
             for core in range(num_cores)
         ]
+        if self.shared:
+            # Re-tag as one global address space: the per-core fuzz
+            # streams all cluster near address zero, so cross-core line
+            # overlap is dense and the sharer directory works hard.
+            traces = [_as_global(trace) for trace in traces]
         kernel = None if self.kernel == "dict" else self.kernel
         return diff_multicore(
             self.policy, traces, config, num_cores,
@@ -448,9 +514,13 @@ def plan_system_jobs(
     batched side to ``kernel`` (default ``native``), so a standard
     ``repro verify --system-fuzz N`` sweep exercises the SoA batch
     kernels against the scalar walk alongside the dict driver; pass
-    ``kernel="dict"`` to plan a dict-only slate.
+    ``kernel="dict"`` to plan a dict-only slate.  Every fourth
+    multicore job runs a *shared* (global-address) mix pinned to the
+    8-core shared geometry row, so sharer-directory tracking and the
+    shared-claimant arbitration paths are fuzzed by default.
     """
     jobs: List[SystemFuzzJob] = []
+    private_rows = SHARED_GEOMETRY_INDEX  # rotation excludes the shared row
     h = m = 0
     for index in range(count):
         seed = base_seed * 1_000_003 + 7_777 + index
@@ -473,6 +543,7 @@ def plan_system_jobs(
             )
             h += 1
         else:
+            shared = m % 4 == 3
             jobs.append(
                 SystemFuzzJob(
                     target="multicore",
@@ -483,9 +554,11 @@ def plan_system_jobs(
                         (m // len(MULTICORE_VERIFY_POLICIES)) % len(SCENARIOS)
                     ],
                     seed=seed,
-                    geometry=m % len(MULTICORE_GEOMETRIES),
+                    geometry=SHARED_GEOMETRY_INDEX if shared
+                    else m % private_rows,
                     length=length,
                     kernel=job_kernel,
+                    shared=shared,
                 )
             )
             m += 1

@@ -133,10 +133,22 @@ class TestMixSpecRegistry:
         assert {2, 4, 8, 16} <= counts
 
     def test_core_count_filter(self):
-        assert len(mix_names(4)) == 10
+        assert len(mix_names(4, sharing=False)) == 10
         for name in mix_names(8):
             assert get_mix(name).core_count == 8
         assert len(mix_names()) >= 16
+
+    def test_sharing_filter(self):
+        for name in mix_names(sharing=True):
+            assert get_mix(name).sharing is not None
+        for name in mix_names(sharing=False):
+            assert get_mix(name).sharing is None
+        # The shared registry covers every core width of the scaling
+        # sweeps.
+        shared_counts = {
+            get_mix(name).core_count for name in mix_names(sharing=True)
+        }
+        assert {2, 4, 8, 16} <= shared_counts
 
     def test_four_core_compat_dict_matches_registry(self):
         for name, benches in FOUR_CORE_MIXES.items():
