@@ -26,7 +26,9 @@ BLEND = "rwp-core:blend=true"
 
 
 def run_core_count(core_count: int, policies=POLICIES) -> tuple:
-    mixes = mix_names(core_count, sharing=False)
+    # models_only: the core-count scaling figure compares the classic
+    # SPEC mixes, not the stress-kernel pairings.
+    mixes = mix_names(core_count, sharing=False, models_only=True)
     grid = run_mix_grid(mixes, policies, PER_CORE_SCALE)
     normalized = normalized_ws(grid, mixes, policies)
     rows = [

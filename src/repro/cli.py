@@ -2,13 +2,20 @@
 
 Commands
 --------
-``list``        available benchmarks (by category) and policies
-``run``         one benchmark under one policy; prints the full result
+``list``        available benchmarks (by category), mixes, and policies;
+                ``list workloads`` enumerates every registered workload
+                (models and the stress-kernel grid) by canonical name
+``run``         one workload under one policy; prints the full result
 ``compare``     one benchmark under several policies, as a table
 ``mix``         a multicore mix (2/4/8/16-core) under one or more policies
-``sweep``       a full (benchmark x policy) grid through the engine:
+``sweep``       a full (workload x policy) grid through the engine:
                 parallel (``--jobs``), persistent (``--store``), resumable;
-                ``--mode multicore`` sweeps (mix x policy) over core counts
+                ``--workloads`` accepts canonical workload names and glob
+                patterns like ``'stress:chase,*'``; ``--mode multicore``
+                sweeps (mix x policy) over core counts
+``ingest``      convert an external trace file (ChampSim binary,
+                perf-mem/SPE sample log, or interchange text) to the
+                native ``.npz`` interchange format, validating as it reads
 ``overhead``    the RWP-vs-RRP state budget (paper Table 2)
 ``motivation``  read/write traffic + line-class breakdown for a benchmark
 ``bench``       hot-path throughput (accesses/sec per policy), with JSON
@@ -55,6 +62,7 @@ from repro.experiments.runner import (
 from repro.experiments.tables import format_percent, format_table
 from repro.trace.mixes import get_mix, mix_names, mix_specs
 from repro.trace.spec import ALL_PARAMS, benchmark_names, sensitive_names
+from repro.trace.workload import WorkloadSpec
 
 
 def _scale_from(args: argparse.Namespace) -> ExperimentScale:
@@ -162,7 +170,61 @@ def _store_from(args: argparse.Namespace):
     return None
 
 
+def _store_summary() -> None:
+    """One line about the default result store; unreadable is not fatal."""
+    import errno
+
+    from repro.engine.store import ResultStore
+
+    store = ResultStore()
+    try:
+        if store.root.exists() and not store.root.is_dir():
+            raise NotADirectoryError(
+                errno.ENOTDIR, "not a directory", str(store.root)
+            )
+        results = len(store)
+        journals = (
+            sum(1 for _ in store.journals_dir.glob("*.jsonl"))
+            if store.journals_dir.is_dir()
+            else 0
+        )
+    except OSError as error:
+        print(
+            f"\nstore:      {store.root} is unreadable ({error}); "
+            "simulations still run, but results will not be cached -- "
+            "fix $REPRO_STORE or pass --store PATH / --no-store"
+        )
+        return
+    print(
+        f"\nstore:      {store.root} "
+        f"({results} results, {journals} journals)"
+    )
+
+
+def _list_workloads() -> int:
+    """Every registered workload, grouped by kind, one name per line."""
+    from repro.trace.stress import stress_names
+
+    groups = (
+        ("model", list(benchmark_names())
+         + sorted(n for n in ALL_PARAMS if n.startswith("micro_"))),
+        ("stress", stress_names()),
+    )
+    for kind, names in groups:
+        print(f"{kind} ({len(names)}):")
+        for name in names:
+            print(f"  {name}")
+    print(
+        "\nfile-backed kinds (point them at a trace file): "
+        "champsim:<path>, memsample:<path>, interchange:<path> "
+        "-- see `repro ingest --help` and docs/WORKLOADS.md"
+    )
+    return 0
+
+
 def cmd_list(args: argparse.Namespace) -> int:
+    if getattr(args, "what", "all") == "workloads":
+        return _list_workloads()
     print("benchmarks:")
     for category in ("sensitive", "streaming", "compute"):
         names = benchmark_names(category)
@@ -187,13 +249,33 @@ def cmd_list(args: argparse.Namespace) -> int:
     from repro.kernels import KERNEL_NAMES
 
     print(f"\nkernels:    {', '.join(KERNEL_NAMES)}")
+    from repro.trace.stress import STRESS_GRID
+
+    print(
+        f"\nworkloads:  {len(ALL_PARAMS)} models + {len(STRESS_GRID)} "
+        "stress kernels (`repro list workloads` enumerates them)"
+    )
+    _store_summary()
     return 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    if args.benchmark and args.workload:
+        raise ValueError(
+            "pass either a positional workload or --workload, not both"
+        )
+    workload = args.benchmark or args.workload
+    if not workload:
+        raise ValueError(
+            "no workload given: pass a name like 'mcf' or "
+            "--workload 'stress:chase,ws=64k,rw=0.3'"
+        )
+    # Echo the canonical spelling -- the same string the result store
+    # keys on -- so `run` output names reusable workload references.
+    workload = WorkloadSpec.coerce(workload).store_key()
     scale = _scale_from(args)
     result = run_benchmark(
-        args.benchmark,
+        workload,
         args.policy,
         scale,
         store=_store_from(args),
@@ -201,7 +283,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         memory=args.memory,
         kernel=args.kernel,
     )
-    print(f"benchmark : {args.benchmark}")
+    print(f"workload  : {workload}")
     print(f"mode      : {args.mode}")
     print(f"policy    : {result.policy}")
     print(f"memory    : {args.memory}")
@@ -473,7 +555,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return _sweep_multicore(args)
 
     scale = _scale_from(args)
-    benches = _sweep_benchmarks(args.benchmarks)
+    if args.workloads:
+        from repro.trace.workload import expand_workloads
+
+        benches = expand_workloads(args.workloads)
+    else:
+        benches = _sweep_benchmarks(args.benchmarks)
     policies = (
         args.policies.split(",") if args.policies
         else list(SINGLE_CORE_POLICIES)
@@ -773,6 +860,55 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Convert an external trace file to the native interchange format."""
+    from pathlib import Path
+
+    from repro.trace.ingest import detect_format, read_trace, save_interchange
+    from repro.trace.ingest.memsample import scan_memsample
+
+    path = Path(args.path)
+    fmt = args.format
+    if fmt == "auto":
+        fmt = detect_format(path)
+    skipped = 0
+    if fmt == "memsample":
+        trace, skipped = scan_memsample(
+            path,
+            name=args.name,
+            address_space=args.address_space,
+            strict=args.strict,
+        )
+    else:
+        trace = read_trace(
+            path, format=fmt, name=args.name,
+            address_space=args.address_space,
+        )
+    if not len(trace):
+        raise ValueError(
+            f"{path} yielded no usable records (format {fmt!r}"
+            + (f", {skipped} line(s) skipped" if skipped else "")
+            + ")"
+        )
+    output = (
+        Path(args.output)
+        if args.output
+        else path.with_name(path.name + ".npz")
+    )
+    save_interchange(trace, output)
+    print(f"ingested  : {path} ({fmt})")
+    print(f"records   : {len(trace):,}")
+    if skipped:
+        print(f"skipped   : {skipped:,} malformed line(s)")
+    print(f"name      : {trace.name}")
+    print(f"addresses : {trace.address_space}")
+    print(f"wrote     : {output}")
+    print(
+        f"run it    : python -m repro run 'interchange:{output}' -p rwp"
+    )
+    return 0
+
+
 def cmd_motivation(args: argparse.Namespace) -> int:
     scale = _scale_from(args)
     benches = (
@@ -804,10 +940,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list benchmarks, mixes, and policies")
+    list_parser = sub.add_parser(
+        "list", help="list benchmarks, mixes, and policies"
+    )
+    list_parser.add_argument(
+        "what",
+        nargs="?",
+        choices=("all", "workloads"),
+        default="all",
+        help=(
+            "'all' (default): the category overview; 'workloads': every "
+            "registered workload name, one per line, grouped by kind"
+        ),
+    )
 
-    run_parser = sub.add_parser("run", help="run one benchmark+policy")
-    run_parser.add_argument("benchmark")
+    run_parser = sub.add_parser("run", help="run one workload+policy")
+    run_parser.add_argument(
+        "benchmark",
+        nargs="?",
+        default=None,
+        help=(
+            "workload reference: a model name like 'mcf' or any "
+            "canonical spec like 'stress:chase,ws=64k,rw=0.3' or "
+            "'champsim:traces/astar.champsim.xz'"
+        ),
+    )
+    run_parser.add_argument(
+        "--workload",
+        "-w",
+        default=None,
+        help="workload reference (alternative to the positional form)",
+    )
     run_parser.add_argument(
         "--policy",
         "-p",
@@ -872,6 +1035,20 @@ def build_parser() -> argparse.ArgumentParser:
         "-b",
         default="all",
         help="'all', 'sensitive', or a comma-separated list (single mode)",
+    )
+    sweep_parser.add_argument(
+        "--workloads",
+        "-w",
+        nargs="+",
+        default=None,
+        metavar="WORKLOAD",
+        help=(
+            "workload references or glob patterns over the registry "
+            "(space-separated; canonical stress names contain commas, "
+            "so they cannot be comma-joined): e.g. "
+            "-w mcf 'stress:chase,*' sweeps mcf plus every registered "
+            "pointer chase.  Overrides --benchmarks (single mode)"
+        ),
     )
     sweep_parser.add_argument(
         "--cores",
@@ -990,6 +1167,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="fail when rate < tolerance * baseline (default 0.2)",
     )
 
+    ingest_parser = sub.add_parser(
+        "ingest",
+        help="convert an external trace file to the interchange format",
+    )
+    ingest_parser.add_argument(
+        "path", help="the trace file to ingest (optionally .gz/.xz)"
+    )
+    ingest_parser.add_argument(
+        "--format",
+        "-f",
+        choices=("auto", "champsim", "memsample", "interchange"),
+        default="auto",
+        help="input format (default: sniffed from suffix/content)",
+    )
+    ingest_parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="output .npz path (default: <input>.npz alongside the input)",
+    )
+    ingest_parser.add_argument(
+        "--name",
+        default=None,
+        help="workload name recorded in the trace (default: the file stem)",
+    )
+    ingest_parser.add_argument(
+        "--address-space",
+        choices=("private", "global"),
+        default="private",
+        help=(
+            "how multicore replays treat the addresses: 'private' "
+            "(default, per-core offsetting) or 'global' (shared space, "
+            "enables sharer tracking)"
+        ),
+    )
+    ingest_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "fail on the first malformed sample-log line instead of "
+            "counting and skipping it (memsample only)"
+        ),
+    )
+
     motivation_parser = sub.add_parser(
         "motivation", help="traffic breakdown for a benchmark"
     )
@@ -1075,6 +1297,7 @@ _COMMANDS = {
     "overhead": cmd_overhead,
     "report": cmd_report,
     "bench": cmd_bench,
+    "ingest": cmd_ingest,
     "motivation": cmd_motivation,
     "verify": cmd_verify,
 }

@@ -24,6 +24,7 @@ from repro.cache.policyspec import PolicySpec
 from repro.engine.keys import job_key, scale_payload
 from repro.kernels.spec import KernelSpec
 from repro.mem.spec import BackendSpec
+from repro.trace.workload import WorkloadSpec
 
 
 def _policy_key(policy: Union[str, PolicySpec]) -> str:
@@ -33,6 +34,15 @@ def _policy_key(policy: Union[str, PolicySpec]) -> str:
     result stored before :class:`PolicySpec` existed stays warm.
     """
     return PolicySpec.coerce(policy).key()
+
+
+def _workload_key(benchmark: Union[str, WorkloadSpec]) -> str:
+    """Canonical workload string for payloads/labels.
+
+    A plain model workload keys as the bare benchmark name, so every
+    result stored before :class:`WorkloadSpec` existed stays warm.
+    """
+    return WorkloadSpec.coerce(benchmark).store_key()
 
 
 def _memory_key(memory: Union[str, BackendSpec]) -> str:
@@ -68,7 +78,7 @@ class RunJob:
     :class:`MixJob`'s business.
     """
 
-    benchmark: str
+    benchmark: Union[str, WorkloadSpec]
     policy: Union[str, PolicySpec]
     scale: "ExperimentScale"
     llc_lines: Optional[int] = None  # geometry override (sweeps)
@@ -89,7 +99,7 @@ class RunJob:
 
     @property
     def label(self) -> str:
-        base = f"{self.benchmark}/{_policy_key(self.policy)}"
+        base = f"{_workload_key(self.benchmark)}/{_policy_key(self.policy)}"
         if self.mode != "llc":
             base = f"{self.mode}:{base}"
         if not _memory_is_default(self.memory):
@@ -101,9 +111,10 @@ class RunJob:
         return f"{base}@{self.geometry_lines}x{self.geometry_ways}"
 
     def payload(self) -> Dict[str, object]:
+        workload = WorkloadSpec.coerce(self.benchmark)
         payload: Dict[str, object] = {
             "kind": self.kind,
-            "benchmark": self.benchmark,
+            "benchmark": workload.store_key(),
             "policy": _policy_key(self.policy),
             "scale": scale_payload(self.scale),
             "geometry": {
@@ -119,6 +130,10 @@ class RunJob:
             payload["memory"] = _memory_key(self.memory)
         if not _kernel_is_default(self.kernel):
             payload["kernel"] = _kernel_key(self.kernel)
+        # File-backed workloads key by content: editing the trace file
+        # misses the store instead of serving a stale parse.
+        if workload.is_file:
+            payload["source_digest"] = workload.file_digest()
         return payload
 
     def key(self) -> str:

@@ -68,6 +68,12 @@ MC_QUICK_ACCESSES = 1 << 12
 SHARED_MC_MIX = "mix8s01_prodcons"
 SHARED_MC_CORES = 8
 
+#: the stress-kernel bench workload: a pointer chase whose working set
+#: matches the bench LLC (16k lines) at the grid's moderate write ratio
+#: -- the trace-generation + LLC replay path any ``stress:*`` sweep
+#: cell takes.  The row is keyed ``stress:chase``.
+STRESS_BENCH_WORKLOAD = "stress:chase,depth=4,rw=0.3,ws=16k"
+
 
 @dataclass(frozen=True)
 class BenchResult:
@@ -380,6 +386,56 @@ def run_shared_multicore_bench(
     return results
 
 
+def run_stress_bench(
+    policies: Sequence[str] = ("rwp",),
+    workload: str = STRESS_BENCH_WORKLOAD,
+    llc_lines: int = DEFAULT_LLC_LINES,
+    accesses: int = HIER_ACCESSES,
+    repeats: int = DEFAULT_REPEATS,
+    seed: int = 2014,
+    kernel: "str | KernelSpec" = "dict",
+) -> List[BenchResult]:
+    """Time the LLC replay of a stress-kernel workload.
+
+    The stress grid routes sweeps through the same
+    :func:`~repro.experiments.runner.cached_trace` + LLC-runner path as
+    the model workloads but with a generated (array-built) trace, so
+    this row notices when the stress generation or its replay slows
+    down.  Results are keyed ``stress:<pattern>`` (e.g. ``stress:chase``
+    for the default workload).
+    """
+    from repro.common.config import default_hierarchy
+    from repro.cpu.core import LLCRunner
+    from repro.trace.workload import WorkloadSpec
+
+    prefix, spec = _kernel_row(kernel)
+    pattern = WorkloadSpec.coerce(workload).stress.pattern
+    trace = cached_trace(workload, llc_lines, accesses, seed)
+    hierarchy = default_hierarchy(llc_size=llc_lines * LINE_SIZE, llc_ways=16)
+    results: List[BenchResult] = []
+    for policy in policies:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            runner = LLCRunner(hierarchy, make_llc_policy(policy, llc_lines))
+            _attach(runner.llc, spec)
+            start = time.perf_counter()
+            runner.run(trace, warmup=0)
+            best = min(best, time.perf_counter() - start)
+        _log_fallback(
+            f"{prefix}stress:{pattern}", _runtime_fallback(runner.llc)
+        )
+        results.append(
+            BenchResult(
+                policy=f"{prefix}stress:{pattern}",
+                accesses=len(trace),
+                best_seconds=best,
+                accesses_per_sec=len(trace) / best,
+                repeats=max(1, repeats),
+            )
+        )
+    return results
+
+
 def run_system_bench(
     policies: Sequence[str] = DEFAULT_POLICIES,
     quick: bool = False,
@@ -395,7 +451,8 @@ def run_system_bench(
     ``hierarchy_pcm:rwp`` row always covers the F10b backend replay
     path, and a ``multicore8shared:rwp-core`` row covers the
     data-sharing replay (sharer directory + shared-claimant victim
-    scan).
+    scan); a ``stress:chase`` row covers the stress-kernel generation
+    + LLC replay path the workload zoo's sweeps take.
     """
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
@@ -422,6 +479,11 @@ def run_system_bench(
         kernel=kernel,
     ) + run_shared_multicore_bench(
         accesses_per_core=accesses_per_core,
+        repeats=repeats,
+        seed=seed,
+        kernel=kernel,
+    ) + run_stress_bench(
+        accesses=HIER_QUICK_ACCESSES if quick else HIER_ACCESSES,
         repeats=repeats,
         seed=seed,
         kernel=kernel,

@@ -27,6 +27,7 @@ from repro.cpu.core import RunResult
 from repro.trace.access import Trace
 from repro.trace.generator import LINE_SIZE
 from repro.trace.spec import make_model
+from repro.trace.workload import WorkloadSpec, workload_trace
 
 #: default experiment scale: 4096-line (256 KiB) LLC
 DEFAULT_LLC_LINES = 4096
@@ -62,13 +63,37 @@ class ExperimentScale:
         return self.hierarchy().llc
 
 
-@lru_cache(maxsize=128)
 def cached_trace(
-    benchmark: str, llc_lines: int, num_accesses: int, seed: int
+    benchmark: "str | WorkloadSpec", llc_lines: int, num_accesses: int,
+    seed: int,
 ) -> Trace:
-    """Generate (once) the trace for a benchmark at a given scale."""
-    model = make_model(benchmark, llc_lines)
-    return model.generate(num_accesses, seed=seed)
+    """Materialize (once) the trace of any workload at a given scale.
+
+    ``benchmark`` is any workload reference -- a bare model name, a
+    canonical ``kind:name,key=value`` string, or a
+    :class:`~repro.trace.workload.WorkloadSpec`.  References are
+    normalized to their store key before memoization, so ``"mcf"`` and
+    ``"model:mcf"`` share one cache entry; file-backed sources fold
+    their content digest into the cache identity, so an edited trace
+    file re-reads instead of serving the stale parse.
+    """
+    spec = WorkloadSpec.coerce(benchmark)
+    digest = spec.file_digest() if spec.is_file else ""
+    return _cached_trace(spec.store_key(), digest, llc_lines, num_accesses, seed)
+
+
+@lru_cache(maxsize=128)
+def _cached_trace(
+    workload_key: str, digest: str, llc_lines: int, num_accesses: int,
+    seed: int,
+) -> Trace:
+    return workload_trace(workload_key, llc_lines, num_accesses, seed)
+
+
+# The memo lives on the inner normalized-key function; forward the
+# lru_cache control surface so callers can still drop the trace cache.
+cached_trace.cache_clear = _cached_trace.cache_clear  # type: ignore[attr-defined]
+cached_trace.cache_info = _cached_trace.cache_info  # type: ignore[attr-defined]
 
 
 @lru_cache(maxsize=32)

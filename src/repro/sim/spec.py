@@ -45,6 +45,7 @@ from repro.experiments.runner import (
 from repro.kernels.spec import KernelSpec
 from repro.mem.spec import BackendSpec
 from repro.trace.generator import LINE_SIZE
+from repro.trace.workload import WorkloadSpec
 
 #: the recognized simulation modes, in documentation order.
 SIMULATION_MODES = ("llc", "hierarchy", "multicore")
@@ -54,8 +55,12 @@ SIMULATION_MODES = ("llc", "hierarchy", "multicore")
 class SimulationSpec:
     """Everything needed to reproduce one simulation run.
 
-    ``workload`` is a benchmark name for ``llc``/``hierarchy`` modes and
-    a mix name (see :func:`repro.trace.mixes.mix_names`) for
+    ``workload`` is any workload reference for ``llc``/``hierarchy``
+    modes -- a bare benchmark name, a canonical
+    ``kind:name,key=value`` string, or a
+    :class:`~repro.trace.workload.WorkloadSpec` (synthetic models,
+    stress kernels, and ingested trace files all replay identically) --
+    and a mix name (see :func:`repro.trace.mixes.mix_names`) for
     ``multicore``.  ``policy`` is a registry name, a canonical spec
     string, or a :class:`~repro.cache.policyspec.PolicySpec` (all
     hashable, so the spec stays cacheable).  ``llc_lines``/``ways``
@@ -75,7 +80,7 @@ class SimulationSpec:
     unsupported shapes).
     """
 
-    workload: str
+    workload: Union[str, WorkloadSpec]
     policy: Union[str, PolicySpec] = "lru"
     mode: str = "llc"
     scale: ExperimentScale = ExperimentScale()
@@ -96,6 +101,10 @@ class SimulationSpec:
         # a run.
         BackendSpec.coerce(self.memory)
         KernelSpec.coerce(self.kernel)
+        # Multicore workloads are mix names (their own registry); every
+        # other mode's workload must parse as a WorkloadSpec reference.
+        if self.mode != "multicore":
+            WorkloadSpec.coerce(self.workload)
 
     @property
     def core_count(self) -> int:
@@ -120,6 +129,17 @@ class SimulationSpec:
     @property
     def geometry_ways(self) -> int:
         return self.ways if self.ways is not None else self.scale.ways
+
+    @property
+    def workload_key(self) -> str:
+        """Canonical string form of the workload (store/label friendly).
+
+        A plain model workload keys as the bare benchmark name (the
+        historical form); multicore mix names pass through untouched.
+        """
+        if self.mode == "multicore":
+            return str(self.workload)
+        return WorkloadSpec.coerce(self.workload).store_key()
 
     @property
     def policy_key(self) -> str:
@@ -154,7 +174,7 @@ class SimulationSpec:
 
     @property
     def label(self) -> str:
-        base = f"{self.mode}:{self.workload}/{self.policy_key}"
+        base = f"{self.mode}:{self.workload_key}/{self.policy_key}"
         if not self.uses_default_memory:
             base = f"{base}+{self.memory_key}"
         if not self.uses_default_kernel:

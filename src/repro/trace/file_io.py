@@ -1,80 +1,27 @@
-"""Trace (de)serialization.
+"""Deprecated shim: trace (de)serialization moved to
+:mod:`repro.trace.ingest.interchange`.
 
-Two formats:
-
-* a compact binary ``.npz`` (numpy) format for bulk experiment traces, and
-* a line-oriented gzip text format (``address is_write pc instr_gap`` per
-  line) for interchange with external tools and for eyeballing.
+Import from :mod:`repro.trace.ingest` (or :mod:`repro.trace`) instead;
+this module re-exports the public names so pre-existing imports keep
+working unchanged.
 """
 
-from __future__ import annotations
+from repro.trace.ingest.interchange import (  # noqa: F401
+    InterchangeSource,
+    load_interchange,
+    load_npz,
+    load_text,
+    save_interchange,
+    save_npz,
+    save_text,
+)
 
-import gzip
-from pathlib import Path
-
-import numpy as np
-
-from repro.trace.access import Trace
-
-_TEXT_HEADER = "# repro-trace v1: address is_write pc instr_gap\n"
-
-
-def save_npz(trace: Trace, path: str | Path) -> None:
-    """Write a trace as a compressed numpy archive."""
-    np.savez_compressed(
-        Path(path),
-        addresses=np.asarray(trace.addresses, dtype=np.int64),
-        is_write=np.asarray(trace.is_write, dtype=bool),
-        pcs=np.asarray(trace.pcs, dtype=np.int64),
-        instr_gaps=np.asarray(trace.instr_gaps, dtype=np.int64),
-        name=np.array(trace.name),
-    )
-
-
-def load_npz(path: str | Path) -> Trace:
-    """Read a trace written by :func:`save_npz`."""
-    with np.load(Path(path), allow_pickle=False) as data:
-        return Trace.from_arrays(
-            data["addresses"],
-            data["is_write"],
-            data["pcs"],
-            data["instr_gaps"],
-            name=str(data["name"]),
-        )
-
-
-def save_text(trace: Trace, path: str | Path) -> None:
-    """Write a trace as gzipped whitespace-separated text."""
-    with gzip.open(Path(path), "wt") as handle:
-        handle.write(_TEXT_HEADER)
-        for addr, wr, pc, gap in trace:
-            handle.write(f"{addr:#x} {int(wr)} {pc:#x} {gap}\n")
-
-
-def load_text(path: str | Path, name: str | None = None) -> Trace:
-    """Read a trace written by :func:`save_text`.
-
-    Unknown header versions and malformed lines raise ``ValueError`` with
-    the offending line number, rather than silently producing a bad trace.
-    """
-    path = Path(path)
-    addresses, writes, pcs, gaps = [], [], [], []
-    with gzip.open(path, "rt") as handle:
-        header = handle.readline()
-        if header != _TEXT_HEADER:
-            raise ValueError(f"{path}: unrecognized trace header {header!r}")
-        for lineno, line in enumerate(handle, start=2):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            fields = line.split()
-            if len(fields) != 4:
-                raise ValueError(f"{path}:{lineno}: expected 4 fields, got {len(fields)}")
-            try:
-                addresses.append(int(fields[0], 0))
-                writes.append(bool(int(fields[1])))
-                pcs.append(int(fields[2], 0))
-                gaps.append(int(fields[3]))
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from exc
-    return Trace(addresses, writes, pcs, gaps, name=name or path.stem)
+__all__ = [
+    "InterchangeSource",
+    "load_interchange",
+    "load_npz",
+    "load_text",
+    "save_interchange",
+    "save_npz",
+    "save_text",
+]

@@ -1,0 +1,121 @@
+"""Trace ingestion: external formats -> validated :class:`Trace` streams.
+
+Three adapters behind one :class:`~repro.trace.ingest.base.TraceSource`
+interface (see each module for the format details):
+
+``champsim``     ChampSim binary instruction records (``.gz``/``.xz``)
+``memsample``    perf-mem / Arm-SPE-style memory-sample logs
+``interchange``  this library's own npz / gzipped-text formats
+
+:func:`read_trace` dispatches by format name or sniffs it
+(:func:`detect_format`): ChampSim by the ``.champsim`` suffix, npz by
+suffix, interchange text by its header line, and anything else textual
+as a sample log.
+"""
+
+from __future__ import annotations
+
+import gzip
+import lzma
+from pathlib import Path
+from typing import Dict
+
+from repro.trace.access import Trace
+from repro.trace.ingest.base import NULL_PAGE_BYTES, TraceSource, check_address
+from repro.trace.ingest.champsim import (
+    RECORD_BYTES,
+    ChampSimSource,
+    iter_champsim_records,
+    read_champsim,
+    write_champsim,
+)
+from repro.trace.ingest.interchange import (
+    InterchangeSource,
+    load_interchange,
+    load_npz,
+    load_text,
+    save_interchange,
+    save_npz,
+    save_text,
+)
+from repro.trace.ingest.memsample import (
+    MemSampleSource,
+    read_memsample,
+    scan_memsample,
+)
+
+#: format name -> adapter instance; the dispatch table.
+FORMATS: Dict[str, TraceSource] = {
+    source.format: source
+    for source in (ChampSimSource(), MemSampleSource(), InterchangeSource())
+}
+
+
+def detect_format(path: "str | Path") -> str:
+    """Sniff which adapter reads ``path``."""
+    path = Path(path)
+    suffixes = [suffix.lower() for suffix in path.suffixes]
+    if ".champsim" in suffixes:
+        return "champsim"
+    if suffixes and suffixes[-1] == ".npz":
+        return "interchange"
+    try:
+        if suffixes and suffixes[-1] == ".gz":
+            handle = gzip.open(path, "rt")
+        elif suffixes and suffixes[-1] == ".xz":
+            handle = lzma.open(path, "rt")
+        else:
+            handle = path.open("rt")
+        with handle:
+            first = handle.readline()
+    except (OSError, UnicodeDecodeError, EOFError) as exc:
+        raise ValueError(
+            f"cannot detect the trace format of {path} ({exc}); "
+            f"pass an explicit format: {', '.join(sorted(FORMATS))}"
+        ) from None
+    if first.startswith("# repro-trace"):
+        return "interchange"
+    return "memsample"
+
+
+def read_trace(
+    path: "str | Path",
+    format: str = "auto",
+    name: "str | None" = None,
+    address_space: str = "private",
+) -> Trace:
+    """Read any supported trace file into a validated :class:`Trace`."""
+    fmt = detect_format(path) if format == "auto" else format
+    try:
+        source = FORMATS[fmt]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; "
+            f"known: {', '.join(sorted(FORMATS))} (or 'auto')"
+        ) from None
+    return source.read(path, name=name, address_space=address_space)
+
+
+__all__ = [
+    "FORMATS",
+    "NULL_PAGE_BYTES",
+    "RECORD_BYTES",
+    "ChampSimSource",
+    "InterchangeSource",
+    "MemSampleSource",
+    "TraceSource",
+    "check_address",
+    "detect_format",
+    "iter_champsim_records",
+    "load_interchange",
+    "load_npz",
+    "load_text",
+    "read_champsim",
+    "read_memsample",
+    "read_trace",
+    "save_interchange",
+    "save_npz",
+    "save_text",
+    "scan_memsample",
+    "write_champsim",
+]

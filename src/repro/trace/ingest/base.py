@@ -1,0 +1,57 @@
+"""The trace-adapter contract: every external format, one interface.
+
+A :class:`TraceSource` turns one on-disk trace format into a validated
+:class:`~repro.trace.access.Trace` with a declared ``address_space``.
+Adapters share the null-page rule: byte addresses in ``(0,
+NULL_PAGE_BYTES)`` are reserved -- the ChampSim record layout encodes
+"no memory operand" as address 0, so a record claiming an operand
+*inside* the null page is corrupt (or a pointer bug in the traced
+program) and is rejected with the offending record named, never
+silently ingested.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import ClassVar
+
+from repro.trace.access import Trace
+
+#: the reserved low page: 64 lines x 64 B.  The synthetic generators
+#: never address it (shared regions start exactly at its end) and the
+#: ChampSim format cannot represent address 0 as a real operand.
+NULL_PAGE_BYTES = 4096
+
+
+def check_address(address: int, path: Path, where: str) -> None:
+    """Reject addresses colliding with the reserved null page."""
+    if 0 < address < NULL_PAGE_BYTES:
+        raise ValueError(
+            f"{path}: {where}: address {address:#x} falls inside the "
+            f"reserved null page (< {NULL_PAGE_BYTES:#x}); the record is "
+            "corrupt or the trace was captured with a null-pointer bug"
+        )
+
+
+class TraceSource(ABC):
+    """One ingest adapter: reads (and optionally writes) one format."""
+
+    #: the format name the CLI and :func:`repro.trace.ingest.read_trace`
+    #: dispatch on.
+    format: ClassVar[str]
+
+    @abstractmethod
+    def read(
+        self,
+        path: "str | Path",
+        name: "str | None" = None,
+        address_space: str = "private",
+    ) -> Trace:
+        """Decode ``path`` into a validated :class:`Trace`."""
+
+    def write(self, trace: Trace, path: "str | Path") -> Path:
+        """Encode ``trace`` at ``path`` (adapters that support export)."""
+        raise NotImplementedError(
+            f"{self.format} traces are read-only (no exporter)"
+        )

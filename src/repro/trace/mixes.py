@@ -19,19 +19,25 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.trace.generator import SharingSpec
-from repro.trace.spec import SPEC2006_PARAMS
+from repro.trace.spec import ALL_PARAMS
+from repro.trace.workload import WorkloadSpec
 
 
 @dataclass(frozen=True)
 class MixSpec:
-    """One named multiprogrammed mix: which benchmarks share the LLC.
+    """One named multiprogrammed mix: which workloads share the LLC.
 
-    ``core_count`` is derived from the benchmark tuple -- one benchmark
-    per core -- and validated at registration, so a spec can never
-    disagree with its own workload list.  ``sharing`` is None for the
-    classic private-address mixes; when set, the cores additionally
-    share one address region per the :class:`SharingSpec` (and the
-    per-core traces are generated in one global address space).
+    ``core_count`` is derived from the member tuple -- one workload per
+    core -- and validated at registration, so a spec can never disagree
+    with its own workload list.  Members are workload references (see
+    :class:`~repro.trace.workload.WorkloadSpec`): bare benchmark names
+    for the classic SPEC mixes, or any ``kind:name,key=value`` string,
+    so a synthetic model can share the LLC with a stress kernel.
+    ``sharing`` is None for the private-address mixes; when set, the
+    cores additionally share one address region per the
+    :class:`SharingSpec` (and the per-core traces are generated in one
+    global address space -- which requires every member to be a
+    synthetic model).
     """
 
     name: str
@@ -50,13 +56,27 @@ class MixSpec:
             return "private"
         return self.sharing.canonical()
 
+    @property
+    def models_only(self) -> bool:
+        """True when every member is a plain synthetic model."""
+        return all(
+            WorkloadSpec.coerce(bench).kind == "model"
+            for bench in self.benchmarks
+        )
+
     def __post_init__(self) -> None:
         if not self.benchmarks:
             raise ValueError(f"mix {self.name!r} has no benchmarks")
         for bench in self.benchmarks:
-            if bench not in SPEC2006_PARAMS:
+            spec = WorkloadSpec.coerce(bench)
+            if spec.kind == "model" and spec.name not in ALL_PARAMS:
                 raise ValueError(
                     f"mix {self.name} references unknown benchmark {bench!r}"
+                )
+            if self.sharing is not None and spec.kind != "model":
+                raise ValueError(
+                    f"data-sharing mix {self.name} requires synthetic-model "
+                    f"members, got {bench!r}"
                 )
 
 
@@ -130,6 +150,26 @@ register_mix(
 )
 
 
+# -- mixed synthetic + stress mixes ---------------------------------------
+# Stress kernels are first-class mix members: a SPEC-like victim next to
+# a parameterized polluter isolates exactly the contention the paper's
+# partitioning targets (see repro.trace.stress for the grid).
+register_mix(
+    "mix2x01_stress_pair",
+    ("mcf", "stress:chase,depth=4,rw=0.3,ws=16k"),
+    "a cache-sensitive model next to a pointer-chase stress kernel",
+)
+register_mix(
+    "mix4x01_stress_blend",
+    (
+        "mcf", "omnetpp",
+        "stress:chase,depth=4,rw=0.3,ws=16k",
+        "stress:sweep,rw=0.5,stride=4,ws=64k",
+    ),
+    "two sensitive models vs a pointer chase and a strided write sweep",
+)
+
+
 # -- data-sharing mixes ---------------------------------------------------
 # Cores run their private workloads but also touch one shared region;
 # the traces live in a single global address space (no per-core offset).
@@ -177,28 +217,33 @@ register_mix(
 )
 
 
-#: Compatibility shim: name -> 4 benchmark names (4-core private mixes).
+#: Compatibility shim: name -> 4 benchmark names (the paper's 4-core
+#: private all-model mixes, as before stress members existed).
 FOUR_CORE_MIXES: Dict[str, Tuple[str, ...]] = {
     name: spec.benchmarks
     for name, spec in MIXES.items()
-    if spec.core_count == 4 and spec.sharing is None
+    if spec.core_count == 4 and spec.sharing is None and spec.models_only
 }
 
 
 def mix_specs(
     core_count: Optional[int] = None,
     sharing: Optional[bool] = None,
+    models_only: bool = False,
 ) -> List[MixSpec]:
     """All registered mixes (sorted by name), optionally filtered.
 
     ``core_count`` selects one width; ``sharing`` narrows to shared
-    (True) or private (False) mixes, None keeping both.
+    (True) or private (False) mixes, None keeping both; ``models_only``
+    drops mixes with stress-kernel (or other non-model) members -- the
+    paper-figure harnesses compare the classic SPEC mixes.
     """
     return [
         MIXES[name]
         for name in sorted(MIXES)
         if (core_count is None or MIXES[name].core_count == core_count)
         and (sharing is None or (MIXES[name].sharing is not None) == sharing)
+        and (not models_only or MIXES[name].models_only)
     ]
 
 
@@ -215,8 +260,9 @@ def get_mix(mix_name: str) -> MixSpec:
 def mix_names(
     core_count: Optional[int] = None,
     sharing: Optional[bool] = None,
+    models_only: bool = False,
 ) -> List[str]:
-    return [spec.name for spec in mix_specs(core_count, sharing)]
+    return [spec.name for spec in mix_specs(core_count, sharing, models_only)]
 
 
 def mix_benchmarks(mix_name: str) -> Tuple[str, ...]:

@@ -1,0 +1,296 @@
+"""ustress-style parameterized stress kernels.
+
+Where the SPEC-like models in :mod:`repro.trace.spec` imitate whole
+programs, a stress kernel isolates *one* access pattern and sweeps its
+parameters: pointer-chase depth, working-set size, read/write ratio,
+stride.  Each point in the grid is a first-class workload with a
+canonical name like ``stress:chase,depth=4,rw=0.3,ws=64k`` -- usable
+anywhere a benchmark name is (runs, sweeps, mixes, verify fuzzing) and
+fully deterministic: the same spec and seed always produce the same
+trace, bit for bit.
+
+Patterns
+--------
+``chase``   ``depth`` interleaved pointer chains walking one random
+            permutation ring of ``ws`` lines -- the classic
+            latency-bound linked-list traversal; depth controls memory-
+            level parallelism (reuse distance between chain revisits)
+``sweep``   a strided sequential loop over ``ws`` lines that wraps --
+            bandwidth-bound array traversal with perfect reuse at the
+            working-set period
+``stream``  a strided pure stream that never revisits a line within any
+            realistic trace length -- zero temporal reuse, the polluter
+``blend``   a random-access working set of ``ws`` lines polluted by a
+            ``mix`` fraction of streaming accesses -- the victim-vs-
+            polluter tension the paper's partitioning exploits
+
+``rw`` is the write fraction of every pattern.  Working sets are given
+in cache lines and format with a ``k`` suffix (``ws=64k`` is 65536
+lines = 4 MiB of data).
+
+The registered grid (:data:`STRESS_GRID`, 220 entries) spans working
+sets from well under to well over any experiment's LLC capacity, write
+ratios from read-only to write-heavy, and the pattern-specific depth /
+stride / mix axes; arbitrary off-grid points parse just as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.common.rng import split_rng
+from repro.trace.access import Trace
+from repro.trace.generator import LINE_SIZE, _instruction_gaps
+
+#: the recognized stress patterns, in documentation order.
+STRESS_PATTERNS = ("chase", "sweep", "stream", "blend")
+
+#: which parameters each pattern's canonical name carries (sorted).
+_PATTERN_PARAMS = {
+    "chase": ("depth", "rw", "ws"),
+    "sweep": ("rw", "stride", "ws"),
+    "stream": ("rw", "stride"),
+    "blend": ("mix", "rw", "ws"),
+}
+
+#: stress kernels address lines at this offset -- far above the
+#: reserved null page and clear of the shared-region base the mixture
+#: generator uses (see :mod:`repro.trace.generator`).
+_STRESS_BASE_LINE = 1 << 26
+
+#: the ``stream`` pattern wraps at this many lines: large enough that
+#: no realistic trace length ever revisits a line.
+_STREAM_PERIOD_LINES = 1 << 24
+
+#: mean committed instructions per access, per pattern (chase stalls
+#: serially; streams retire fast).
+_PATTERN_IPA = {"chase": 60.0, "sweep": 30.0, "stream": 20.0, "blend": 40.0}
+
+
+def _format_ws(lines: int) -> str:
+    if lines % 1024 == 0 and lines >= 1024:
+        return f"{lines // 1024}k"
+    return str(lines)
+
+
+def _parse_ws(raw: str) -> int:
+    raw = raw.strip().lower()
+    if raw.endswith("k"):
+        return int(raw[:-1]) * 1024
+    return int(raw)
+
+
+def _format_frac(value: float) -> str:
+    return f"{value:g}"
+
+
+@dataclass(frozen=True)
+class StressSpec:
+    """One stress kernel: a pattern plus its swept parameters.
+
+    Only the parameters relevant to the pattern participate in the
+    canonical name (``stream`` has no working set; only ``chase`` has a
+    depth), so equal kernels always canonicalize identically.
+    """
+
+    pattern: str
+    ws: int = 4096  # working-set size in cache lines
+    rw: float = 0.0  # write fraction
+    depth: int = 1  # chase: interleaved pointer chains
+    stride: int = 1  # sweep/stream: line stride
+    mix: float = 0.5  # blend: streaming-access fraction
+
+    def __post_init__(self) -> None:
+        if self.pattern not in STRESS_PATTERNS:
+            raise ValueError(
+                f"unknown stress pattern {self.pattern!r}; "
+                f"known: {', '.join(STRESS_PATTERNS)}"
+            )
+        object.__setattr__(self, "ws", int(self.ws))
+        object.__setattr__(self, "rw", float(self.rw))
+        object.__setattr__(self, "depth", int(self.depth))
+        object.__setattr__(self, "stride", int(self.stride))
+        object.__setattr__(self, "mix", float(self.mix))
+        if self.ws < 2:
+            raise ValueError(f"stress ws must be >= 2 lines, got {self.ws}")
+        if self.ws > _STREAM_PERIOD_LINES:
+            raise ValueError(
+                f"stress ws must be <= {_STREAM_PERIOD_LINES} lines"
+            )
+        if not 0.0 <= self.rw <= 1.0:
+            raise ValueError(f"stress rw must be in [0, 1], got {self.rw}")
+        if self.depth < 1:
+            raise ValueError(f"stress depth must be >= 1, got {self.depth}")
+        if self.stride < 1:
+            raise ValueError(f"stress stride must be >= 1, got {self.stride}")
+        if not 0.0 <= self.mix <= 1.0:
+            raise ValueError(f"stress mix must be in [0, 1], got {self.mix}")
+
+    # -- canonical naming --------------------------------------------------
+    def canonical(self) -> str:
+        """``pattern,key=value,...`` with only the pattern's parameters."""
+        parts = [self.pattern]
+        for key in _PATTERN_PARAMS[self.pattern]:
+            value = getattr(self, key)
+            if key == "ws":
+                parts.append(f"ws={_format_ws(value)}")
+            elif key in ("rw", "mix"):
+                parts.append(f"{key}={_format_frac(value)}")
+            else:
+                parts.append(f"{key}={value}")
+        return ",".join(parts)
+
+    @classmethod
+    def parse(cls, text: str) -> "StressSpec":
+        """Parse ``pattern[,key=value]*`` (the canonical body form)."""
+        if not isinstance(text, str) or not text:
+            raise ValueError(f"stress spec must be a non-empty string, got {text!r}")
+        pattern, *parts = text.split(",")
+        if pattern not in STRESS_PATTERNS:
+            raise ValueError(
+                f"unknown stress pattern {pattern!r} in {text!r}; "
+                f"known: {', '.join(STRESS_PATTERNS)}"
+            )
+        kwargs: Dict[str, object] = {}
+        allowed = _PATTERN_PARAMS[pattern]
+        for part in parts:
+            key, sep, raw = part.partition("=")
+            if not sep or not raw:
+                raise ValueError(
+                    f"bad stress parameter {part!r} in {text!r} (want key=value)"
+                )
+            if key not in allowed:
+                raise ValueError(
+                    f"stress pattern {pattern!r} takes no parameter {key!r}; "
+                    f"allowed: {', '.join(allowed)}"
+                )
+            if key in kwargs:
+                raise ValueError(f"duplicate stress parameter {key!r} in {text!r}")
+            try:
+                if key == "ws":
+                    kwargs[key] = _parse_ws(raw)
+                elif key in ("rw", "mix"):
+                    kwargs[key] = float(raw)
+                else:
+                    kwargs[key] = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad stress parameter value {part!r} in {text!r}"
+                ) from None
+        return cls(pattern, **kwargs)
+
+
+# -- generation ------------------------------------------------------------
+
+def _chase_lines(spec: StressSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+    # ``depth`` chains walk one permutation ring, round-robin: chain c
+    # visits ring position (start_c + step) at its step-th turn, so the
+    # reuse distance of any line is depth * ws regardless of the ring.
+    order = rng.permutation(spec.ws).astype(np.int64)
+    starts = (np.arange(spec.depth, dtype=np.int64) * (spec.ws // max(1, spec.depth)))
+    i = np.arange(n, dtype=np.int64)
+    idx = (starts[i % spec.depth] + i // spec.depth) % spec.ws
+    return order[idx]
+
+
+def _sweep_lines(spec: StressSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+    i = np.arange(n, dtype=np.int64)
+    return (i * spec.stride) % spec.ws
+
+
+def _stream_lines(spec: StressSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+    i = np.arange(n, dtype=np.int64)
+    return (i * spec.stride) % _STREAM_PERIOD_LINES
+
+
+def _blend_lines(spec: StressSpec, n: int, rng: np.random.Generator) -> np.ndarray:
+    streaming = rng.random(n) < spec.mix
+    lines = rng.integers(0, spec.ws, size=n, dtype=np.int64)
+    # The streaming accesses advance a private cursor region placed just
+    # past the working set, so polluter lines never alias hot lines.
+    stream_positions = np.cumsum(streaming.astype(np.int64)) - 1
+    lines[streaming] = spec.ws + stream_positions[streaming] % _STREAM_PERIOD_LINES
+    return lines
+
+
+_LINE_MAKERS = {
+    "chase": _chase_lines,
+    "sweep": _sweep_lines,
+    "stream": _stream_lines,
+    "blend": _blend_lines,
+}
+
+
+def stress_trace(
+    spec: "StressSpec | str", num_accesses: int, seed: int = 2014
+) -> Trace:
+    """Generate the deterministic trace of one stress kernel.
+
+    The RNG stream is derived from ``(seed, canonical name)``, so equal
+    specs at equal seeds produce bit-identical traces no matter how the
+    spec was written (``ws=64k`` vs ``ws=65536``).
+    """
+    if isinstance(spec, str):
+        spec = StressSpec.parse(spec)
+    if num_accesses <= 0:
+        raise ValueError("num_accesses must be positive")
+    canonical = spec.canonical()
+    rng = split_rng(seed, f"stress:{canonical}")
+    lines = _LINE_MAKERS[spec.pattern](spec, num_accesses, rng)
+    writes = rng.random(num_accesses) < spec.rw
+    # A small per-pattern PC pool, keyed off the line, so PC-indexed
+    # predictors (RRP, SHiP) see stable instruction identities.
+    pcs = (0x4000 + (lines % 8) * 4).astype(np.int64)
+    gaps = _instruction_gaps(num_accesses, _PATTERN_IPA[spec.pattern], rng)
+    addresses = (lines + _STRESS_BASE_LINE) * LINE_SIZE
+    return Trace.from_arrays(
+        addresses, writes, pcs, gaps, name=f"stress:{canonical}"
+    )
+
+
+# -- the registered grid ---------------------------------------------------
+
+_WS_GRID = (1024, 4096, 16384, 65536, 262144)  # 1k .. 256k lines
+_RW_GRID = (0.0, 0.1, 0.3, 0.5)
+_DEPTH_GRID = (1, 4, 16)
+_STRIDE_GRID = (1, 2, 4, 8)
+_STREAM_RW_GRID = (0.0, 0.3, 0.5, 0.7, 1.0)
+_MIX_GRID = (0.25, 0.5, 0.75)
+
+
+def _build_grid() -> Dict[str, StressSpec]:
+    grid: Dict[str, StressSpec] = {}
+
+    def add(spec: StressSpec) -> None:
+        grid[spec.canonical()] = spec
+
+    for ws in _WS_GRID:
+        for rw in _RW_GRID:
+            for depth in _DEPTH_GRID:
+                add(StressSpec("chase", ws=ws, rw=rw, depth=depth))
+            for stride in _STRIDE_GRID:
+                add(StressSpec("sweep", ws=ws, rw=rw, stride=stride))
+            for mix in _MIX_GRID:
+                add(StressSpec("blend", ws=ws, rw=rw, mix=mix))
+    for rw in _STREAM_RW_GRID:
+        for stride in _STRIDE_GRID:
+            add(StressSpec("stream", rw=rw, stride=stride))
+    return grid
+
+
+#: canonical body (``chase,depth=4,rw=0.3,ws=64k``) -> StressSpec; the
+#: enumerable stress-kernel zoo (arbitrary off-grid specs also parse).
+STRESS_GRID: Dict[str, StressSpec] = _build_grid()
+
+
+def stress_names() -> List[str]:
+    """The registered grid's canonical names, ``stress:`` prefix included."""
+    return [f"stress:{body}" for body in sorted(STRESS_GRID)]
+
+
+def stress_specs() -> List[Tuple[str, StressSpec]]:
+    """Sorted ``(canonical body, spec)`` pairs of the registered grid."""
+    return [(body, STRESS_GRID[body]) for body in sorted(STRESS_GRID)]

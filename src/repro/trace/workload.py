@@ -1,0 +1,340 @@
+"""Unified workload specification: every trace source, one grammar.
+
+A :class:`WorkloadSpec` names one workload the way
+:class:`~repro.cache.policyspec.PolicySpec` names a policy: a *kind*, a
+*name*, and optional parameters, with a canonical string form
+
+    ``kind:name[,key=value]*``
+
+The kinds:
+
+``model``        a synthetic SPEC-like model from
+                 :mod:`repro.trace.spec` (``model:mcf``); a bare name
+                 with no ``kind:`` prefix means exactly this, and a
+                 kwarg-free model keys as the bare name -- so every
+                 store entry and journal id written before this class
+                 existed stays warm, byte for byte
+``stress``       a parameterized stress kernel from
+                 :mod:`repro.trace.stress`
+                 (``stress:chase,depth=4,rw=0.3,ws=64k``)
+``champsim``     a ChampSim binary trace file
+                 (``champsim:path/to/trace.champsim.xz``)
+``memsample``    a perf-mem / Arm-SPE-style memory-sample log
+                 (``memsample:samples.csv``)
+``interchange``  this library's own npz/text interchange format
+                 (``interchange:trace.npz``)
+
+File-backed kinds name a path and accept one parameter,
+``space=global``, declaring the trace's address space (per-core files
+from one data-sharing run must not get per-core offsets on replay).
+Their cache identity includes a content digest -- editing the file
+misses every cache instead of serving stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.trace.access import Trace
+from repro.trace.stress import StressSpec, stress_names
+
+#: the recognized workload kinds, in documentation order.
+WORKLOAD_KINDS = ("model", "stress", "champsim", "memsample", "interchange")
+
+#: the kinds whose name is a path on disk.
+FILE_KINDS = ("champsim", "memsample", "interchange")
+
+#: characters with structural meaning in the canonical string form.
+_RESERVED = set(":=,")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload: a kind, a name, and sorted parameter pairs."""
+
+    kind: str
+    name: str
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}; "
+                f"known: {', '.join(WORKLOAD_KINDS)}"
+            )
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("workload name must be a non-empty string")
+        object.__setattr__(self, "kwargs", tuple(sorted(self.kwargs)))
+        if self.kind == "model":
+            if self.kwargs:
+                raise ValueError(
+                    f"model workload {self.name!r} takes no parameters"
+                )
+            if _RESERVED & set(self.name):
+                raise ValueError(
+                    f"model name {self.name!r} contains reserved characters"
+                )
+        elif self.kind == "stress":
+            # Round-trip through StressSpec: validates the pattern and
+            # every parameter, and pins the canonical form.
+            self._stress_spec()
+        else:  # file kinds
+            if _RESERVED & set(self.name):
+                raise ValueError(
+                    f"workload path {self.name!r} contains reserved "
+                    "characters (:=,)"
+                )
+            for key, value in self.kwargs:
+                if key != "space":
+                    raise ValueError(
+                        f"{self.kind} workload takes no parameter {key!r} "
+                        "(only space=global|private)"
+                    )
+                if value not in ("private", "global"):
+                    raise ValueError(
+                        f"workload space must be 'private' or 'global', "
+                        f"got {value!r}"
+                    )
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "WorkloadSpec":
+        """Parse ``kind:name[,key=value]*``; a bare name is ``model:<name>``."""
+        if not isinstance(text, str) or not text:
+            raise ValueError(
+                f"workload must be a non-empty string, got {text!r}"
+            )
+        head, sep, rest = text.partition(":")
+        if not sep:
+            return cls("model", text)
+        if head not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {head!r} in {text!r}; known: "
+                f"{', '.join(WORKLOAD_KINDS)} (a bare name means model:<name>)"
+            )
+        if not rest:
+            raise ValueError(f"workload {text!r} names no {head}")
+        if head == "model":
+            return cls("model", rest)
+        if head == "stress":
+            spec = StressSpec.parse(rest)
+            return cls.from_stress(spec)
+        name, *parts = rest.split(",")
+        kwargs = []
+        for part in parts:
+            key, eq, raw = part.partition("=")
+            if not eq:
+                raise ValueError(
+                    f"bad workload parameter {part!r} in {text!r} "
+                    "(want key=value)"
+                )
+            kwargs.append((key, raw))
+        return cls(head, name, tuple(kwargs))
+
+    @classmethod
+    def coerce(cls, value: Union["WorkloadSpec", str]) -> "WorkloadSpec":
+        """Accept a spec, a bare benchmark name, or a canonical string."""
+        if isinstance(value, WorkloadSpec):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        raise TypeError(
+            f"workload must be a str or WorkloadSpec, got {type(value).__name__}"
+        )
+
+    @classmethod
+    def from_stress(cls, spec: StressSpec) -> "WorkloadSpec":
+        params = spec.canonical().split(",")[1:]
+        return cls(
+            "stress",
+            spec.pattern,
+            tuple(tuple(part.split("=", 1)) for part in params),
+        )
+
+    # -- views -------------------------------------------------------------
+    def _stress_spec(self) -> StressSpec:
+        body = ",".join(
+            [self.name] + [f"{key}={value}" for key, value in self.kwargs]
+        )
+        return StressSpec.parse(body)
+
+    @property
+    def stress(self) -> StressSpec:
+        """The validated :class:`StressSpec` (stress kind only)."""
+        if self.kind != "stress":
+            raise ValueError(f"{self} is not a stress workload")
+        return self._stress_spec()
+
+    @property
+    def is_file(self) -> bool:
+        return self.kind in FILE_KINDS
+
+    @property
+    def path(self) -> Path:
+        """The source file (file-backed kinds only)."""
+        if not self.is_file:
+            raise ValueError(f"{self} is not a file-backed workload")
+        return Path(self.name)
+
+    @property
+    def address_space(self) -> str:
+        """The declared address space of a file-backed source."""
+        return dict(self.kwargs).get("space", "private")
+
+    def canonical(self) -> str:
+        """The full canonical string, kind prefix always included."""
+        if self.kind == "stress":
+            return f"stress:{self._stress_spec().canonical()}"
+        base = f"{self.kind}:{self.name}"
+        if self.kwargs:
+            params = ",".join(f"{key}={value}" for key, value in self.kwargs)
+            base = f"{base},{params}"
+        return base
+
+    def store_key(self) -> str:
+        """Store/journal identity.
+
+        A model workload keys as the bare benchmark name -- byte-identical
+        to the pre-WorkloadSpec keys, so old store entries stay warm.
+        """
+        if self.kind == "model":
+            return self.name
+        return self.canonical()
+
+    def __str__(self) -> str:
+        return self.store_key()
+
+    def file_digest(self) -> str:
+        """SHA-256 of the source file's content (file-backed kinds only)."""
+        return _file_digest(self.path)
+
+
+#: (resolved path, size, mtime_ns) -> content digest.  Stat-validated so
+#: an edited file re-hashes while repeated sweeps over a stable file
+#: hash exactly once.
+_DIGEST_CACHE: Dict[Tuple[str, int, int], str] = {}
+
+
+def _file_digest(path: Path) -> str:
+    stat = path.stat()
+    cache_key = (str(path.resolve()), stat.st_size, stat.st_mtime_ns)
+    cached = _DIGEST_CACHE.get(cache_key)
+    if cached is None:
+        digest = hashlib.sha256()
+        with path.open("rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                digest.update(chunk)
+        cached = _DIGEST_CACHE[cache_key] = digest.hexdigest()
+    return cached
+
+
+def trace_digest(trace: Trace) -> str:
+    """SHA-256 over a trace's access stream (name excluded).
+
+    Two traces digest equal exactly when they replay identically:
+    addresses, write flags, PCs, instruction gaps, and address space.
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.address_space.encode())
+    for record in trace:
+        digest.update(repr(record).encode())
+    return digest.hexdigest()
+
+
+def workload_names(kind: Optional[str] = None) -> List[str]:
+    """Every enumerable workload's store key, optionally one kind.
+
+    Models list as bare names (their store keys); stress kernels as full
+    ``stress:...`` canonical names.  File-backed kinds are not
+    enumerable (any path works) and list empty.
+    """
+    from repro.trace.spec import ALL_PARAMS
+
+    if kind is not None and kind not in WORKLOAD_KINDS:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; known: {', '.join(WORKLOAD_KINDS)}"
+        )
+    names: List[str] = []
+    if kind in (None, "model"):
+        names.extend(sorted(ALL_PARAMS))
+    if kind in (None, "stress"):
+        names.extend(stress_names())
+    return names
+
+
+def expand_workloads(patterns: Sequence[str]) -> List[str]:
+    """Resolve workload names and glob patterns to store keys.
+
+    Each pattern is either a workload reference (any kind, validated by
+    :meth:`WorkloadSpec.parse`) or an ``fnmatch`` glob matched against
+    the enumerable catalog -- both the short form (``mcf``) and the
+    canonical form (``model:mcf``), so ``'stress:*'`` selects the whole
+    stress grid and ``'model:*'`` every synthetic model.
+    """
+    import fnmatch
+
+    catalog: List[Tuple[str, Tuple[str, ...]]] = []
+    for name in workload_names("model"):
+        catalog.append((name, (name, f"model:{name}")))
+    for name in workload_names("stress"):
+        catalog.append((name, (name,)))
+
+    selected: List[str] = []
+    for pattern in patterns:
+        if any(ch in pattern for ch in "*?["):
+            matched = [
+                key
+                for key, match_keys in catalog
+                if any(
+                    fnmatch.fnmatchcase(candidate, pattern)
+                    for candidate in match_keys
+                )
+                and key not in selected
+            ]
+            if not matched:
+                raise ValueError(
+                    f"workload pattern {pattern!r} matches no registered "
+                    "workload (try 'repro list workloads')"
+                )
+            selected.extend(matched)
+        else:
+            key = WorkloadSpec.coerce(pattern).store_key()
+            if key not in selected:
+                selected.append(key)
+    return selected
+
+
+def workload_trace(
+    workload: Union[str, WorkloadSpec],
+    llc_lines: int,
+    num_accesses: int,
+    seed: int,
+) -> Trace:
+    """Materialize any workload's trace; the one dispatch point.
+
+    Synthetic models scale their working sets to ``llc_lines`` and
+    generate exactly ``num_accesses`` records; stress kernels generate
+    ``num_accesses`` records at their own fixed working set; file-backed
+    sources are read as recorded (their length is the file's -- only
+    truncated down to ``num_accesses`` when longer) and ignore the seed.
+    """
+    spec = WorkloadSpec.coerce(workload)
+    if spec.kind == "model":
+        from repro.trace.spec import make_model
+
+        return make_model(spec.name, llc_lines).generate(num_accesses, seed=seed)
+    if spec.kind == "stress":
+        from repro.trace.stress import stress_trace
+
+        return stress_trace(spec.stress, num_accesses, seed=seed)
+    from repro.trace.ingest import read_trace
+
+    trace = read_trace(
+        spec.path, format=spec.kind, address_space=spec.address_space
+    )
+    if len(trace) > num_accesses:
+        trace = trace.slice(0, num_accesses)
+    return trace

@@ -18,6 +18,11 @@ cache core's state space:
 ``phase_shift``   the working set and write ratio jump every phase --
                   set-dueling reversals and RWP repartitioning
 ``mixed``         everything above, interleaved per access
+``stress_chase``  a randomly parameterized pointer-chase stress kernel
+                  (:mod:`repro.trace.stress`) sized near capacity --
+                  long fixed reuse distances at a random write ratio
+``stress_sweep``  a randomly parameterized strided-sweep stress kernel
+                  -- perfect working-set-period reuse, stride conflicts
 
 Generation is deterministic: the stream is derived from
 ``(seed, scenario, geometry, length)`` through
@@ -31,11 +36,19 @@ from typing import List, Tuple
 
 from repro.common.rng import split_rng
 from repro.trace.access import Trace
+from repro.trace.stress import StressSpec, stress_trace
 
 LINE = 64
 
+#: the original scenario menu.  The golden corpus' per-core scenario
+#: rotation is pinned to this tuple (see :mod:`repro.verify.golden`), so
+#: extending :data:`SCENARIOS` never drifts the checked-in corpus.
+CLASSIC_SCENARIOS = (
+    "conflict", "dirty_storm", "bypass_pc", "phase_shift", "mixed"
+)
+
 #: scenario names, in the order the CLI round-robins them.
-SCENARIOS = ("conflict", "dirty_storm", "bypass_pc", "phase_shift", "mixed")
+SCENARIOS = CLASSIC_SCENARIOS + ("stress_chase", "stress_sweep")
 
 #: (num_sets, ways) menu for fuzz jobs.  Small sets keep conflict
 #: pressure high; the 128-set entry is the only one large enough to give
@@ -178,12 +191,44 @@ def _mixed(rng, num_sets: int, ways: int, length: int):
             produced += 1
 
 
+def _stress_records(spec: StressSpec, length: int, rng):
+    # Derive the kernel seed from the scenario RNG so the stream is
+    # still fully determined by (seed, scenario, geometry, length).
+    trace = stress_trace(spec, length, seed=int(rng.integers(0, 1 << 31)))
+    for address, is_write, pc, _gap in trace:
+        yield (int(address), bool(is_write), int(pc))
+
+
+def _stress_chase(rng, num_sets: int, ways: int, length: int):
+    capacity = num_sets * ways
+    spec = StressSpec(
+        "chase",
+        ws=max(2, int(capacity * float(rng.uniform(0.5, 2.5)))),
+        rw=float(rng.uniform(0.0, 0.6)),
+        depth=int(rng.choice([1, 2, 4, 8])),
+    )
+    yield from _stress_records(spec, length, rng)
+
+
+def _stress_sweep(rng, num_sets: int, ways: int, length: int):
+    capacity = num_sets * ways
+    spec = StressSpec(
+        "sweep",
+        ws=max(2, int(capacity * float(rng.uniform(0.75, 3.0)))),
+        rw=float(rng.uniform(0.0, 0.6)),
+        stride=int(rng.choice([1, 2, 4, 7])),
+    )
+    yield from _stress_records(spec, length, rng)
+
+
 _MAKERS = {
     "conflict": _conflict,
     "dirty_storm": _dirty_storm,
     "bypass_pc": _bypass_pc,
     "phase_shift": _phase_shift,
     "mixed": _mixed,
+    "stress_chase": _stress_chase,
+    "stress_sweep": _stress_sweep,
 }
 
 

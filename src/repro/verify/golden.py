@@ -216,7 +216,7 @@ def system_golden_record(
         diff_multicore,
         small_hierarchy,
     )
-    from repro.verify.fuzzer import SCENARIOS
+    from repro.verify.fuzzer import CLASSIC_SCENARIOS
 
     if spec.target == "hierarchy":
         from repro.hierarchy.system import MemoryHierarchy
@@ -271,9 +271,15 @@ def system_golden_record(
 
     num_cores, llc_sets, ways = MULTICORE_GEOMETRIES[spec.geometry]
     config = small_hierarchy(((4, 2), (8, 4), (llc_sets, ways)))
+    # The rotation is pinned to CLASSIC_SCENARIOS: the corpus was
+    # recorded before the stress scenarios existed, and adding fuzz
+    # scenarios must never re-derive the pinned traces.
     traces = [
         fuzz_trace(
-            SCENARIOS[(SCENARIOS.index(spec.scenario) + core) % len(SCENARIOS)],
+            CLASSIC_SCENARIOS[
+                (CLASSIC_SCENARIOS.index(spec.scenario) + core)
+                % len(CLASSIC_SCENARIOS)
+            ],
             spec.seed + core,
             llc_sets,
             ways,

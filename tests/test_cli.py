@@ -189,3 +189,83 @@ class TestMulticoreSweep:
         ]
         assert main(args) == 2
         assert "unknown mix" in capsys.readouterr().err
+
+
+class TestWorkloadCli:
+    def test_list_workloads(self, capsys):
+        assert main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out
+        stress_lines = [
+            line for line in out.splitlines() if "stress:" in line
+        ]
+        assert len(stress_lines) >= 200
+
+    def test_run_workload_flag(self, capsys):
+        args = ["run", "--workload", "stress:chase,ws=1k,rw=0.3,depth=4",
+                "-p", "rwp", *FAST, "--no-store"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "stress:chase,depth=4,rw=0.3,ws=1k" in out
+        assert "ipc" in out
+
+    def test_run_positional_and_flag_conflict(self, capsys):
+        args = ["run", "mcf", "--workload", "mcf", *FAST]
+        assert main(args) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_without_workload_exits_2(self, capsys):
+        assert main(["run", *FAST]) == 2
+        assert "no workload given" in capsys.readouterr().err
+
+    def test_bad_workload_spec_exits_2(self, capsys):
+        args = ["run", "--workload", "stress:zigzag,ws=1k", *FAST]
+        assert main(args) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_workloads_with_glob(self, capsys, tmp_path):
+        store = str(tmp_path / "store")
+        args = [
+            "sweep", "--workloads", "model:micro_f*",
+            "stress:chase,depth=4,rw=0.3,ws=1k",
+            "--policies", "lru", "--quiet", *FAST, "--store", store,
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "micro_fit" in out
+        assert "stress:chase,depth=4,rw=0.3,ws=1k" in out
+
+        # Resumable: warm rerun serves every job from the store.
+        assert main(args) == 0
+        assert "simulated: 0" in capsys.readouterr().out
+
+    def test_ingest_round_trip(self, capsys, tmp_path):
+        log = tmp_path / "capture.txt"
+        log.write_text(
+            "0x4000 0x10000 LD\n"
+            "mangled row\n"
+            "0x4004 0x10040 ST\n"
+        )
+        out_path = tmp_path / "capture.npz"
+        assert main(["ingest", str(log), "-o", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert out_path.exists()
+        assert "records   : 2" in out
+        assert "skipped   : 1" in out
+        assert f"interchange:{out_path}" in out
+
+    def test_ingest_strict_exits_2(self, capsys, tmp_path):
+        log = tmp_path / "capture.txt"
+        log.write_text("0x4000 0x10000 LD\nmangled row\n")
+        assert main(["ingest", str(log), "--strict"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreadable_store_list_still_works(self, capsys, tmp_path,
+                                               monkeypatch):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("occupied")
+        monkeypatch.setenv("REPRO_STORE", str(bogus))
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "is unreadable" in out
+        assert "mcf" in out

@@ -40,8 +40,8 @@ class TestPublicSurface:
         assert len(repro.benchmark_names()) == 29
 
     def test_mix_names_count(self):
-        assert len(repro.mix_names(4, sharing=False)) == 10
-        assert len(repro.mix_names(4)) == 13  # + the data-sharing mixes
+        assert len(repro.mix_names(4, sharing=False)) == 11
+        assert len(repro.mix_names(4)) == 14  # + the data-sharing mixes
         assert len(repro.mix_names()) >= 16
         assert {spec.core_count for spec in repro.mix_specs()} >= {2, 4, 8, 16}
 

@@ -109,10 +109,34 @@ class TestMixes:
         for name in mix_names(4):
             assert len(mix_benchmarks(name)) == 4
 
-    def test_all_mix_members_registered(self):
+    def test_four_core_shim_is_models_only(self):
+        # The compat shim stays exactly the paper's ten all-SPEC mixes;
+        # stress-kernel mixes live only in the full registry.
+        for benchmarks in FOUR_CORE_MIXES.values():
+            for bench in benchmarks:
+                assert bench in SPEC2006_PARAMS
+
+    def test_all_mix_members_are_valid_workloads(self):
+        from repro.trace.workload import WorkloadSpec
+
         for name in mix_names():
             for bench in mix_benchmarks(name):
-                assert bench in SPEC2006_PARAMS
+                spec = WorkloadSpec.coerce(bench)
+                if spec.kind == "model":
+                    assert spec.name in ALL_PARAMS
+                else:
+                    assert spec.kind == "stress"
+
+    def test_stress_mixes_registered(self):
+        assert set(mix_benchmarks("mix2x01_stress_pair")) & set(
+            SPEC2006_PARAMS
+        )
+        stress_members = [
+            bench
+            for bench in mix_benchmarks("mix4x01_stress_blend")
+            if bench.startswith("stress:")
+        ]
+        assert len(stress_members) == 2
 
     def test_unknown_mix_raises(self):
         with pytest.raises(KeyError, match="unknown mix"):
@@ -133,10 +157,17 @@ class TestMixSpecRegistry:
         assert {2, 4, 8, 16} <= counts
 
     def test_core_count_filter(self):
-        assert len(mix_names(4, sharing=False)) == 10
+        assert len(mix_names(4, sharing=False)) == 11
+        assert len(mix_names(4, sharing=False, models_only=True)) == 10
         for name in mix_names(8):
             assert get_mix(name).core_count == 8
         assert len(mix_names()) >= 16
+
+    def test_models_only_filter(self):
+        for name in mix_names(models_only=True):
+            assert get_mix(name).models_only
+        dropped = set(mix_names()) - set(mix_names(models_only=True))
+        assert dropped == {"mix2x01_stress_pair", "mix4x01_stress_blend"}
 
     def test_sharing_filter(self):
         for name in mix_names(sharing=True):
@@ -163,3 +194,19 @@ class TestMixSpecRegistry:
             MixSpec("bad", ("mcf", "quake3"))
         with pytest.raises(ValueError, match="no benchmarks"):
             MixSpec("empty", ())
+
+    def test_stress_members_accepted_in_private_mixes(self):
+        spec = MixSpec("ok", ("mcf", "stress:chase,ws=1k"))
+        assert not spec.models_only
+
+    def test_sharing_mixes_require_model_members(self):
+        from repro.trace.generator import SharingSpec
+
+        with pytest.raises(ValueError, match="synthetic-model"):
+            MixSpec(
+                "bad_shared",
+                ("mcf", "stress:chase,ws=1k"),
+                sharing=SharingSpec.parse(
+                    "producer_consumer:frac=0.3,writers=1,ws=512"
+                ),
+            )

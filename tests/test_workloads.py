@@ -1,0 +1,261 @@
+"""Unit tests for the unified WorkloadSpec registry and stress zoo."""
+
+import pytest
+
+from repro.engine.jobs import RunJob
+from repro.experiments.runner import ExperimentScale, cached_trace
+from repro.trace.stress import STRESS_GRID, StressSpec, stress_names, stress_trace
+from repro.trace.workload import (
+    WORKLOAD_KINDS,
+    WorkloadSpec,
+    expand_workloads,
+    trace_digest,
+    workload_names,
+    workload_trace,
+)
+
+
+class TestGrammar:
+    def test_bare_name_is_model(self):
+        spec = WorkloadSpec.parse("mcf")
+        assert spec.kind == "model"
+        assert spec.name == "mcf"
+        assert spec.canonical() == "model:mcf"
+
+    def test_model_prefix_equals_bare(self):
+        assert WorkloadSpec.parse("model:mcf") == WorkloadSpec.parse("mcf")
+
+    def test_model_store_key_is_bare_name(self):
+        # Byte-identical to the pre-WorkloadSpec store keys.
+        assert WorkloadSpec.parse("model:mcf").store_key() == "mcf"
+        assert WorkloadSpec.parse("mcf").store_key() == "mcf"
+        assert str(WorkloadSpec.parse("model:mcf")) == "mcf"
+
+    def test_stress_normalizes_parameters(self):
+        a = WorkloadSpec.parse("stress:chase,ws=64k,rw=0.3")
+        b = WorkloadSpec.parse("stress:chase,rw=0.30,ws=65536")
+        assert a == b
+        assert a.store_key() == "stress:chase,depth=1,rw=0.3,ws=64k"
+
+    def test_canonical_round_trips(self):
+        for text in (
+            "mcf",
+            "model:omnetpp",
+            "stress:chase,depth=4,rw=0.3,ws=16k",
+            "stress:stream,rw=1,stride=8",
+            "champsim:traces/astar.champsim.xz",
+            "interchange:t.npz,space=global",
+        ):
+            spec = WorkloadSpec.parse(text)
+            again = WorkloadSpec.parse(spec.canonical())
+            assert again == spec
+            assert again.store_key() == spec.store_key()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            WorkloadSpec.parse("quake:3")
+
+    def test_unknown_stress_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown stress pattern"):
+            WorkloadSpec.parse("stress:zigzag,ws=1k")
+
+    def test_pattern_irrelevant_parameter_rejected(self):
+        with pytest.raises(ValueError, match="takes no parameter"):
+            WorkloadSpec.parse("stress:stream,ws=1k")
+
+    def test_model_takes_no_parameters(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("model", "mcf", (("ws", "1k"),))
+
+    def test_file_kinds_accept_only_space(self):
+        spec = WorkloadSpec.parse("memsample:log.csv,space=global")
+        assert spec.address_space == "global"
+        assert spec.is_file
+        with pytest.raises(ValueError, match="only space"):
+            WorkloadSpec.parse("memsample:log.csv,seed=3")
+        with pytest.raises(ValueError, match="private"):
+            WorkloadSpec.parse("memsample:log.csv,space=banana")
+
+    def test_coerce_accepts_spec_and_str(self):
+        spec = WorkloadSpec.parse("mcf")
+        assert WorkloadSpec.coerce(spec) is spec
+        assert WorkloadSpec.coerce("mcf") == spec
+        with pytest.raises(TypeError):
+            WorkloadSpec.coerce(42)
+
+
+class TestStoreKeyCompat:
+    #: a RunJob payload captured before WorkloadSpec existed.  The job
+    #: key is sha256(payload + code_version), so pinning the payload
+    #: pins every store entry and journal id across the refactor.
+    PRE_REFACTOR_PAYLOAD = {
+        "kind": "run",
+        "benchmark": "astar",
+        "policy": "lru",
+        "scale": {
+            "llc_lines": 4096,
+            "ways": 16,
+            "warmup_factor": 8,
+            "measure_factor": 32,
+            "seed": 2014,
+        },
+        "geometry": {"llc_lines": 4096, "ways": 16},
+    }
+
+    def test_payload_matches_pre_refactor_fixture(self):
+        job = RunJob("astar", "lru", ExperimentScale())
+        assert job.payload() == self.PRE_REFACTOR_PAYLOAD
+
+    def test_bare_and_prefixed_names_key_identically(self):
+        scale = ExperimentScale()
+        bare = RunJob("astar", "lru", scale)
+        prefixed = RunJob("model:astar", "lru", scale)
+        spec = RunJob(WorkloadSpec.parse("astar"), "lru", scale)
+        assert bare.key() == prefixed.key() == spec.key()
+        assert bare.payload() == prefixed.payload() == spec.payload()
+
+    def test_stress_jobs_key_by_canonical_name(self):
+        scale = ExperimentScale()
+        a = RunJob("stress:chase,ws=64k,rw=0.3", "lru", scale)
+        b = RunJob("stress:chase,rw=0.30,ws=65536", "lru", scale)
+        assert a.key() == b.key()
+        assert a.payload()["benchmark"] == "stress:chase,depth=1,rw=0.3,ws=64k"
+
+    def test_file_jobs_key_by_content_digest(self, tmp_path):
+        from repro.trace.access import Trace
+        from repro.trace.ingest import save_interchange
+
+        path = tmp_path / "t.npz"
+        save_interchange(Trace([64 * 100], [False], name="t"), path)
+        scale = ExperimentScale()
+        job = RunJob(f"interchange:{path}", "lru", scale)
+        first = job.payload()["source_digest"]
+        save_interchange(
+            Trace([64 * 100, 64 * 101], [False, True], name="t"), path
+        )
+        assert RunJob(f"interchange:{path}", "lru", scale).payload()[
+            "source_digest"
+        ] != first
+
+
+class TestStressZoo:
+    def test_grid_is_large_and_enumerable(self):
+        names = stress_names()
+        assert len(names) >= 200
+        assert len(names) == len(STRESS_GRID)
+        assert all(name.startswith("stress:") for name in names)
+        # Every registered name parses back to itself.
+        for name in names[::17]:
+            assert WorkloadSpec.parse(name).store_key() == name
+
+    def test_workload_names_cover_models_and_stress(self):
+        names = workload_names()
+        assert "mcf" in names
+        assert sum(1 for n in names if n.startswith("stress:")) >= 200
+        assert workload_names("model") == sorted(
+            n for n in names if not n.startswith("stress:")
+        )
+        with pytest.raises(ValueError, match="unknown workload kind"):
+            workload_names("quake")
+
+    def test_generation_is_deterministic(self):
+        # stress_trace takes the body form (no "stress:" prefix).
+        spec = "chase,depth=4,rw=0.3,ws=1k"
+        a = stress_trace(spec, 2048, seed=7)
+        b = stress_trace(StressSpec("chase", ws=1024, rw=0.3, depth=4), 2048, seed=7)
+        assert trace_digest(a) == trace_digest(b)
+        c = stress_trace(spec, 2048, seed=8)
+        assert trace_digest(a) != trace_digest(c)
+
+    def test_patterns_shape(self):
+        sweep = stress_trace("sweep,rw=0,stride=2,ws=8", 64, seed=1)
+        lines = [address // 64 for address in sweep.addresses]
+        base = lines[0]
+        assert [line - base for line in lines[:4]] == [0, 2, 4, 6]
+        stream = stress_trace("stream,rw=0,stride=1", 512, seed=1)
+        assert len(set(stream.addresses)) == 512  # zero reuse
+        assert not any(stream.is_write)
+        write_heavy = stress_trace("blend,mix=0.5,rw=1,ws=1k", 256, seed=1)
+        assert all(write_heavy.is_write)
+
+    def test_expand_workloads_globs(self):
+        chase = expand_workloads(["stress:chase,*"])
+        assert len(chase) == sum(
+            1 for n in stress_names() if n.startswith("stress:chase,")
+        )
+        assert expand_workloads(["model:mc*"]) == ["mcf"]
+        mixed = expand_workloads(["mcf", "stress:chase,*", "mcf"])
+        assert mixed[0] == "mcf" and mixed.count("mcf") == 1
+        with pytest.raises(ValueError, match="matches no registered"):
+            expand_workloads(["stress:zigzag*"])
+
+    def test_expand_workloads_validates_non_globs(self):
+        with pytest.raises(ValueError):
+            expand_workloads(["stress:chase,ws=0"])
+
+
+class TestWorkloadTrace:
+    def test_model_dispatch_matches_make_model(self):
+        from repro.trace.spec import make_model
+
+        direct = make_model("mcf", 512).generate(2048, seed=3)
+        routed = workload_trace("mcf", 512, 2048, 3)
+        assert trace_digest(direct) == trace_digest(routed)
+
+    def test_stress_dispatch(self):
+        routed = workload_trace("stress:sweep,rw=0.5,stride=4,ws=1k", 512, 1024, 3)
+        assert trace_digest(routed) == trace_digest(
+            stress_trace("sweep,rw=0.5,stride=4,ws=1k", 1024, seed=3)
+        )
+
+    def test_file_dispatch_truncates_long_traces(self, tmp_path):
+        from repro.trace.access import Trace
+        from repro.trace.ingest import save_interchange
+
+        path = tmp_path / "t.npz"
+        save_interchange(
+            Trace([64 * i for i in range(100, 200)], [False] * 100, name="t"),
+            path,
+        )
+        trace = workload_trace(f"interchange:{path}", 512, 10, 3)
+        assert len(trace) == 10
+
+    def test_cached_trace_normalizes_references(self):
+        cached_trace.cache_clear()
+        a = cached_trace("mcf", 256, 1024, 5)
+        b = cached_trace("model:mcf", 256, 1024, 5)
+        c = cached_trace(WorkloadSpec.parse("mcf"), 256, 1024, 5)
+        assert a is b is c  # one lru entry for all three spellings
+
+    def test_cached_trace_refreshes_on_file_edit(self, tmp_path):
+        from repro.trace.access import Trace
+        from repro.trace.ingest import save_interchange
+
+        path = tmp_path / "t.npz"
+        save_interchange(Trace([6400], [False], name="t"), path)
+        ref = f"interchange:{path}"
+        first = cached_trace(ref, 256, 1024, 5)
+        assert len(first) == 1
+        import os
+
+        save_interchange(Trace([6400, 6464], [False, True], name="t"), path)
+        # Force a distinct mtime so the stat-validated digest cache
+        # cannot serve the stale hash on coarse-mtime filesystems.
+        os.utime(path, ns=(1, 1))
+        second = cached_trace(ref, 256, 1024, 5)
+        assert len(second) == 2
+
+    def test_stress_workload_runs_end_to_end(self):
+        from repro.experiments.runner import run_benchmark
+
+        result = run_benchmark(
+            "stress:chase,depth=4,rw=0.3,ws=1k",
+            "rwp",
+            ExperimentScale(llc_lines=256, warmup_factor=2, measure_factor=8),
+        )
+        assert result.llc_accesses > 0
+
+    def test_kinds_tuple_stable(self):
+        assert WORKLOAD_KINDS == (
+            "model", "stress", "champsim", "memsample", "interchange"
+        )
