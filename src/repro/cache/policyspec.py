@@ -11,141 +11,29 @@ PolicySpec(name='rwp-core', kwargs=(('epoch', 512),))
 >>> str(PolicySpec.make("rwp"))
 'rwp'
 
-The spec is frozen and hashable (kwargs held as a sorted tuple of
-pairs), so it can key ``lru_cache``/store entries; a spec without kwargs
-stringifies to the bare name, which keeps old string-keyed store entries
-warm.  ``to_dict``/``from_dict`` round-trip exactly through
+The grammar, validation, and round-trip machinery live on the shared
+:class:`~repro.common.spec.Spec` base (one copy for policies, memory
+backends, kernels, workloads, and queues).  The spec is frozen and
+hashable (kwargs held as a sorted tuple of pairs), so it can key
+``lru_cache``/store entries; a spec without kwargs stringifies to the
+bare name, which keeps old string-keyed store entries warm.
+``to_dict``/``from_dict`` round-trip exactly through
 :mod:`repro.common.jsonutil`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple, Union
+from typing import Any, ClassVar, Tuple
 
-from repro.common.jsonutil import from_jsonable, to_jsonable
-
-#: kwarg value types a spec may carry (JSON-safe, constructor-friendly).
-_VALUE_TYPES = (bool, int, float, str)
-
-#: characters with structural meaning in the canonical string form.
-_RESERVED = set(":=,")
-
-
-def _parse_value(raw: str) -> Union[bool, int, float, str]:
-    """Parse one ``key=value`` right-hand side: bool, int, float, or str."""
-    lowered = raw.lower()
-    if lowered == "true":
-        return True
-    if lowered == "false":
-        return False
-    try:
-        return int(raw)
-    except ValueError:
-        pass
-    try:
-        return float(raw)
-    except ValueError:
-        pass
-    return raw
-
-
-def _format_value(value: Union[bool, int, float, str]) -> str:
-    if value is True:
-        return "true"
-    if value is False:
-        return "false"
-    return str(value)
+from repro.common.spec import Spec
 
 
 @dataclass(frozen=True)
-class PolicySpec:
+class PolicySpec(Spec):
     """One replacement policy plus its constructor overrides."""
 
     name: str
     kwargs: Tuple[Tuple[str, Any], ...] = ()
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.name, str) or not self.name:
-            raise ValueError("policy name must be a non-empty string")
-        if _RESERVED & set(self.name):
-            raise ValueError(f"policy name {self.name!r} contains reserved characters")
-        seen = set()
-        items = []
-        for pair in self.kwargs:
-            key, value = pair
-            if not isinstance(key, str) or not key.isidentifier():
-                raise ValueError(f"policy kwarg name {key!r} is not an identifier")
-            if key in seen:
-                raise ValueError(f"duplicate policy kwarg {key!r}")
-            if isinstance(value, bool):
-                pass  # bool before int: bool is an int subclass
-            elif not isinstance(value, _VALUE_TYPES):
-                raise ValueError(
-                    f"policy kwarg {key}={value!r} must be bool/int/float/str"
-                )
-            if isinstance(value, str) and (_RESERVED & set(value)):
-                raise ValueError(
-                    f"policy kwarg {key}={value!r} contains reserved characters"
-                )
-            seen.add(key)
-            items.append((key, value))
-        object.__setattr__(self, "kwargs", tuple(sorted(items)))
-
-    # -- construction ------------------------------------------------------
-    @classmethod
-    def make(cls, name: str, **kwargs: Any) -> "PolicySpec":
-        return cls(name, tuple(kwargs.items()))
-
-    @classmethod
-    def parse(cls, text: str) -> "PolicySpec":
-        """Parse the canonical string form ``name[:key=value]*``."""
-        if not isinstance(text, str):
-            raise ValueError(f"policy spec must be a string, got {type(text).__name__}")
-        head, *parts = text.split(":")
-        kwargs: Dict[str, Any] = {}
-        for part in parts:
-            key, sep, raw = part.partition("=")
-            if not sep:
-                raise ValueError(
-                    f"bad policy parameter {part!r} in {text!r} (want key=value)"
-                )
-            kwargs[key] = _parse_value(raw)
-        return cls.make(head, **kwargs)
-
-    @classmethod
-    def coerce(cls, value: Union["PolicySpec", str]) -> "PolicySpec":
-        """Accept a spec, a bare name, or a canonical spec string."""
-        if isinstance(value, PolicySpec):
-            return value
-        if isinstance(value, str):
-            return cls.parse(value)
-        raise TypeError(
-            f"policy must be a str or PolicySpec, got {type(value).__name__}"
-        )
-
-    # -- views -------------------------------------------------------------
-    def kwargs_dict(self) -> Dict[str, Any]:
-        return dict(self.kwargs)
-
-    def __str__(self) -> str:
-        if not self.kwargs:
-            return self.name
-        params = ":".join(f"{key}={_format_value(val)}" for key, val in self.kwargs)
-        return f"{self.name}:{params}"
-
-    def key(self) -> str:
-        """Store/journal key: the canonical string.
-
-        A kwarg-free spec keys as the bare name, so specs and legacy
-        strings address the same store entries.
-        """
-        return str(self)
-
-    # -- exact JSON round-trip --------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "kwargs": to_jsonable(self.kwargs)}
-
-    @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "PolicySpec":
-        return cls(payload["name"], from_jsonable(payload["kwargs"]))
+    spec_noun: ClassVar[str] = "policy"

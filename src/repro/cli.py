@@ -12,7 +12,14 @@ Commands
                 parallel (``--jobs``), persistent (``--store``), resumable;
                 ``--workloads`` accepts canonical workload names and glob
                 patterns like ``'stress:chase,*'``; ``--mode multicore``
-                sweeps (mix x policy) over core counts
+                sweeps (mix x policy) over core counts; ``--backend
+                dir:/path`` submits the grid to a shared-filesystem
+                queue drained by ``repro worker`` processes on any host
+``worker``      drain a shared sweep queue: claim leases atomically,
+                simulate, publish into the result store, journal
+``serve``       HTTP front-end over the store and queue: ``GET
+                /result/<key>``, ``POST /sweep``, ``GET /sweep/<id>``,
+                ``GET /healthz`` (see docs/SERVICE.md)
 ``ingest``      convert an external trace file (ChampSim binary,
                 perf-mem/SPE sample log, or interchange text) to the
                 native ``.npz`` interchange format, validating as it reads
@@ -57,7 +64,6 @@ from repro.experiments.runner import (
     SINGLE_CORE_POLICIES,
     ExperimentScale,
     run_benchmark,
-    speedups_over,
 )
 from repro.experiments.tables import format_percent, format_table
 from repro.trace.mixes import get_mix, mix_names, mix_specs
@@ -423,17 +429,8 @@ def _sweep_benchmarks(selection: str) -> list:
     return selection.split(",")
 
 
-def _sweep_multicore(args: argparse.Namespace) -> int:
-    """Run a (mix x policy) grid over the requested core counts."""
-    from repro.engine import MixJob, ProgressReporter, job_key, run_jobs
-    from repro.engine.keys import scale_payload
-    from repro.experiments.multicore_exp import (
-        MULTICORE_POLICIES,
-        normalized_ws,
-    )
-    from repro.multicore.metrics import geometric_mean
-
-    per_core = _scale_from(args)
+def _sweep_mixes(args: argparse.Namespace) -> list:
+    """Resolve --cores/--mixes (names + glob patterns) to mix names."""
     core_counts = [int(count) for count in args.cores.split(",")]
     available = [
         name for count in core_counts for name in mix_names(count)
@@ -466,95 +463,28 @@ def _sweep_multicore(args: argparse.Namespace) -> int:
         raise ValueError(
             f"no mixes registered for core counts {core_counts}"
         )
-    policies = (
-        args.policies.split(",") if args.policies
-        else list(MULTICORE_POLICIES)
-    )
-    store = _store_from(args)
+    return mixes
 
-    job_list = [
-        MixJob(
-            mix,
-            policy,
-            per_core,
-            num_cores=get_mix(mix).core_count,
+
+def _sweep_spec_from(args: argparse.Namespace):
+    """Build the typed SweepSpec the requested grid describes."""
+    from repro.engine import SweepSpec
+    from repro.experiments.multicore_exp import MULTICORE_POLICIES
+
+    scale = _scale_from(args)
+    if args.mode == "multicore":
+        policies = (
+            args.policies.split(",") if args.policies
+            else list(MULTICORE_POLICIES)
+        )
+        return SweepSpec(
+            mode="multicore",
+            mixes=_sweep_mixes(args),
+            policies=policies,
+            scale=scale,
             memory=args.memory,
             kernel=args.kernel,
         )
-        for mix in mixes
-        for policy in policies
-    ]
-    journal = args.journal
-    if journal is None and store is not None:
-        sweep_payload = {
-            "kind": "sweep-multicore",
-            "mixes": mixes,
-            "policies": policies,
-            "scale": scale_payload(per_core),
-        }
-        if args.memory != "dram":
-            sweep_payload["memory"] = args.memory
-        if args.kernel != "dict":
-            sweep_payload["kernel"] = args.kernel
-        sweep_id = job_key(sweep_payload)[:16]
-        journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
-
-    outcome = run_jobs(
-        job_list,
-        max_workers=args.jobs,
-        store=store,
-        journal=journal,
-        timeout=args.timeout,
-        progress=ProgressReporter(len(job_list), enabled=not args.quiet),
-    )
-    grid = {
-        (job.mix, job.policy): result
-        for job, result in outcome.results.items()
-    }
-
-    baseline = policies[0]
-    normalized = normalized_ws(grid, mixes, policies, baseline=baseline)
-    rows = [
-        [
-            f"{mix} ({get_mix(mix).core_count}c)",
-            *(normalized[policy][index] for policy in policies),
-        ]
-        for index, mix in enumerate(mixes)
-    ]
-    rows.append(
-        ["GEOMEAN", *(geometric_mean(normalized[policy]) for policy in policies)]
-    )
-    print(
-        format_table(
-            ["mix", *policies],
-            rows,
-            title=(
-                f"weighted speedup over {baseline} "
-                f"@ {per_core.llc_lines} lines/core"
-            ),
-        )
-    )
-
-    stats = outcome.stats
-    print(
-        f"jobs: {stats.total}  simulated: {stats.simulated}  "
-        f"cache_hits: {stats.cache_hits}  resumed: {stats.resumed}  "
-        f"failed: {stats.failed}  wall: {stats.wall_seconds:.1f}s"
-    )
-    return 0
-
-
-def cmd_sweep(args: argparse.Namespace) -> int:
-    """Run a (benchmark x policy) grid through the engine."""
-    from repro.engine import ProgressReporter, RunJob, job_key, run_jobs
-    from repro.engine.keys import scale_payload
-    from repro.experiments.export import export_grid
-    from repro.multicore.metrics import geometric_mean
-
-    if args.mode == "multicore":
-        return _sweep_multicore(args)
-
-    scale = _scale_from(args)
     if args.workloads:
         from repro.trace.workload import expand_workloads
 
@@ -565,63 +495,84 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         args.policies.split(",") if args.policies
         else list(SINGLE_CORE_POLICIES)
     )
+    return SweepSpec(
+        mode="single",
+        workloads=benches,
+        policies=policies,
+        scale=scale,
+        memory=args.memory,
+        kernel=args.kernel,
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a (benchmark x policy) grid through the engine or a queue."""
+    from repro.engine import ProgressReporter, run_jobs
+    from repro.service import QueueSpec
+
+    spec = _sweep_spec_from(args)
     store = _store_from(args)
+    backend = QueueSpec.coerce(args.backend)
 
-    job_list = [
-        RunJob(bench, policy, scale, memory=args.memory, kernel=args.kernel)
-        for bench in benches
-        for policy in policies
-    ]
-    journal = args.journal
-    if journal is None and store is not None:
-        # One journal per sweep definition: same grid -> same file, so an
-        # interrupted invocation resumes automatically.
-        sweep_payload = {
-            "kind": "sweep",
-            "benchmarks": benches,
-            "policies": policies,
-            "scale": scale_payload(scale),
-        }
-        if args.memory != "dram":
-            sweep_payload["memory"] = args.memory
-        if args.kernel != "dict":
-            sweep_payload["kernel"] = args.kernel
-        sweep_id = job_key(sweep_payload)[:16]
-        journal = store.journals_dir / f"sweep-{sweep_id}.jsonl"
-
-    outcome = run_jobs(
-        job_list,
-        max_workers=args.jobs,
-        store=store,
-        journal=journal,
-        timeout=args.timeout,
-        progress=ProgressReporter(len(job_list), enabled=not args.quiet),
-    )
-    grid = {
-        (job.benchmark, job.policy): result
-        for job, result in outcome.results.items()
-    }
-
-    baseline = policies[0]
-    speedups = speedups_over(grid, benches, policies, baseline=baseline)
-    rows = [
-        [bench, *(speedups[policy][index] for policy in policies)]
-        for index, bench in enumerate(benches)
-    ]
-    rows.append(
-        ["GEOMEAN", *(geometric_mean(speedups[policy]) for policy in policies)]
-    )
-    print(
-        format_table(
-            ["benchmark", *policies],
-            rows,
-            title=f"speedup over {baseline} @ {scale.llc_lines} lines",
+    if backend.is_local:
+        # The pre-service path, unchanged: same pool, same journal id,
+        # same store writes -- bit-identical to every earlier sweep.
+        job_list = spec.jobs()
+        journal = args.journal
+        if journal is None and store is not None:
+            # One journal per sweep definition: same grid -> same file,
+            # so an interrupted invocation resumes automatically.
+            journal = store.journals_dir / spec.journal_name()
+        outcome = run_jobs(
+            job_list,
+            max_workers=args.jobs,
+            store=store,
+            journal=journal,
+            timeout=args.timeout,
+            progress=ProgressReporter(len(job_list), enabled=not args.quiet),
         )
-    )
+    else:
+        from repro.service import queue_from_spec, submit_sweep, wait_for_sweep
 
-    written = export_grid(grid, csv_path=args.csv, json_path=args.json)
-    for path in written:
-        print(f"wrote {path}")
+        if store is None:
+            raise ValueError(
+                "a queue-backed sweep publishes into the result store; "
+                "drop --no-store (or pass --store PATH)"
+            )
+        queue = queue_from_spec(backend)
+        receipt = submit_sweep(spec, queue, store)
+        print(
+            f"sweep {spec.sweep_id()} -> {backend}: "
+            f"{len(receipt.enqueued)} enqueued, {len(receipt.warm)} warm, "
+            f"{len(receipt.pending)} already queued, "
+            f"{len(receipt.done)} already done"
+        )
+        if args.detach:
+            print(
+                f"detached; run workers with: repro worker --backend "
+                f"{backend}  then poll: repro sweep ... --backend {backend}"
+            )
+            return 0
+        outcome = wait_for_sweep(
+            spec,
+            queue,
+            store,
+            poll=backend.poll_interval,
+            timeout=args.wait_timeout,
+            progress=not args.quiet,
+        )
+
+    table = spec.table(spec.grid(outcome.results))
+    print(format_table(table["columns"], table["rows"], title=table["title"]))
+
+    if spec.mode == "single":
+        from repro.experiments.export import export_grid
+
+        written = export_grid(
+            spec.grid(outcome.results), csv_path=args.csv, json_path=args.json
+        )
+        for path in written:
+            print(f"wrote {path}")
 
     stats = outcome.stats
     print(
@@ -629,6 +580,56 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         f"cache_hits: {stats.cache_hits}  resumed: {stats.resumed}  "
         f"failed: {stats.failed}  wall: {stats.wall_seconds:.1f}s"
     )
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Drain a shared dir queue: claim, simulate, publish, journal."""
+    from repro.engine import ResultStore
+    from repro.service import QueueSpec, Worker, queue_from_spec
+
+    spec = QueueSpec.coerce(args.backend)
+    if spec.is_local:
+        raise ValueError(
+            "a worker needs a shared queue: --backend dir:/path/to/queue"
+        )
+    queue = queue_from_spec(spec)
+    store = ResultStore(args.store) if args.store else ResultStore()
+    worker_kwargs = {"poll_interval": spec.poll_interval}
+    if args.id:
+        worker_kwargs["worker_id"] = args.id
+    worker = Worker(queue, store, **worker_kwargs)
+    print(
+        f"worker {worker.worker_id}: queue {spec}, store {store.root}",
+        file=sys.stderr,
+    )
+    stats = worker.run(
+        max_jobs=args.max_jobs,
+        drain=args.drain,
+        idle_timeout=args.idle_timeout,
+        progress=None if args.quiet else (
+            lambda line: print(line, file=sys.stderr)
+        ),
+    )
+    print(
+        f"worker {worker.worker_id}: {stats.stopped or 'stopped'} -- "
+        f"claimed: {stats.claimed}  simulated: {stats.simulated}  "
+        f"hits: {stats.hits}  failed: {stats.failed}  "
+        f"requeued: {stats.requeued}  wall: {stats.wall_seconds:.1f}s"
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve the result store + sweep submission over HTTP."""
+    from repro.engine import ResultStore
+    from repro.service import SweepService, queue_from_spec, serve_forever
+
+    store = ResultStore(args.store) if args.store else ResultStore()
+    queue = queue_from_spec(
+        args.backend, jobs=args.jobs, timeout=args.timeout
+    )
+    serve_forever(SweepService(store, queue), args.host, args.port)
     return 0
 
 
@@ -1088,10 +1089,126 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", "-q", action="store_true", help="suppress per-job progress"
     )
+    sweep_parser.add_argument(
+        "--backend",
+        default="local",
+        metavar="QUEUE",
+        help=(
+            "execution backend (QueueSpec string): 'local' (default, "
+            "in-process -- identical to every pre-service sweep) or "
+            "'dir:/path/to/queue' to submit jobs to a shared-filesystem "
+            "queue drained by `repro worker` processes on any host"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--detach",
+        action="store_true",
+        help=(
+            "with a dir backend: submit the jobs and exit without "
+            "waiting; re-run the same sweep later to collect results"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with a dir backend: give up waiting for workers after this "
+            "long (default: wait forever)"
+        ),
+    )
     _add_memory_option(sweep_parser)
     _add_kernel_option(sweep_parser)
     _add_scale_options(sweep_parser)
     _add_engine_options(sweep_parser, store_by_default=True)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="drain a shared sweep queue (claim, simulate, publish)",
+    )
+    worker_parser.add_argument(
+        "--backend",
+        required=True,
+        metavar="QUEUE",
+        help=(
+            "the queue to drain: 'dir:/path/to/queue' (optionally "
+            "'dir:/path:ttl=120' to change the lease TTL)"
+        ),
+    )
+    worker_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="result store directory (default: ~/.cache/repro)",
+    )
+    worker_parser.add_argument(
+        "--id",
+        default=None,
+        metavar="WORKER_ID",
+        help="worker identity in leases and journal (default: <host>-<pid>)",
+    )
+    worker_parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after claiming N jobs",
+    )
+    worker_parser.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty and no leases remain",
+    )
+    worker_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long without claiming anything",
+    )
+    worker_parser.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-job lines"
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="HTTP front-end over the result store and sweep queue",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        default="local",
+        metavar="QUEUE",
+        help=(
+            "where POSTed sweeps execute: 'local' (default, in this "
+            "process) or 'dir:/path/to/queue' (enqueue for `repro "
+            "worker` processes)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="result store directory (default: ~/.cache/repro)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8787, help="TCP port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for local-backend sweeps",
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock limit for local-backend sweeps",
+    )
 
     sub.add_parser("overhead", help="RWP vs RRP state budget")
 
@@ -1294,6 +1411,8 @@ _COMMANDS = {
     "compare": cmd_compare,
     "mix": cmd_mix,
     "sweep": cmd_sweep,
+    "worker": cmd_worker,
+    "serve": cmd_serve,
     "overhead": cmd_overhead,
     "report": cmd_report,
     "bench": cmd_bench,

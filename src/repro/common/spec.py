@@ -1,0 +1,213 @@
+"""Shared base for every typed ``name:key=value`` specification.
+
+One grammar names everything tunable in this codebase -- policies
+(:class:`~repro.cache.policyspec.PolicySpec`), memory backends
+(:class:`~repro.mem.spec.BackendSpec`), batch kernels
+(:class:`~repro.kernels.spec.KernelSpec`), workloads
+(:class:`~repro.trace.workload.WorkloadSpec`), and job queues
+(:class:`~repro.service.spec.QueueSpec`).  Before this module each of
+those classes carried its own copy of the parser, the kwarg validator,
+and the canonical formatter; any wire protocol (the distributed sweep
+service, the HTTP front-end) would have had to re-serialize four
+dialects of the same idea.  Now they all subclass :class:`Spec`.
+
+The canonical string form is
+
+    ``name[:key=value]*``
+
+with values parsed as ``bool`` (``true``/``false``), ``int``, ``float``,
+or ``str`` and kwargs held as a *sorted* tuple of pairs -- so equal
+specs stringify identically, the string round-trips exactly, and a
+kwarg-free spec stringifies to the bare name (which keeps every store
+entry written before the typed specs existed warm, byte for byte).
+:class:`~repro.trace.workload.WorkloadSpec` keeps its comma-separated
+parameter dialect (``kind:name[,key=value]*``) by overriding
+:meth:`Spec.parse` and the formatter while inheriting the validation,
+coercion, and round-trip machinery.
+
+Subclasses configure behaviour through class attributes:
+
+``spec_noun``    the noun used in error messages (``"policy"``, ...)
+``coerce_noun``  an optional longer noun for :meth:`coerce` errors
+                 (``"memory backend"``); defaults to ``spec_noun``
+``known_names``  an optional closed set of valid names; ``None`` means
+                 any name (registries validated elsewhere)
+
+The concrete classes stay frozen dataclasses with ``name``/``kwargs``
+fields, so reprs, hashing, pickling, and positional construction are
+byte-compatible with the pre-refactor copies (pinned by
+``tests/data/spec_fixture.json``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Dict, Optional, Tuple, Union
+
+from repro.common.jsonutil import from_jsonable, to_jsonable
+
+#: kwarg value types a spec may carry (JSON-safe, constructor-friendly).
+VALUE_TYPES = (bool, int, float, str)
+
+#: characters with structural meaning in the canonical string forms.
+RESERVED = set(":=,")
+
+
+def parse_value(raw: str) -> Union[bool, int, float, str]:
+    """Parse one ``key=value`` right-hand side: bool, int, float, or str."""
+    lowered = raw.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    return raw
+
+
+def format_value(value: Union[bool, int, float, str]) -> str:
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    return str(value)
+
+
+class Spec:
+    """Mixin giving a frozen ``(name, kwargs)`` dataclass one grammar.
+
+    Subclasses are dataclasses declaring ``name: str`` and
+    ``kwargs: Tuple[Tuple[str, Any], ...] = ()``; everything else --
+    validation, parsing, canonical strings, store keys, exact JSON
+    round-trips -- lives here, once.
+    """
+
+    #: noun used in validation/parse error messages.
+    spec_noun: ClassVar[str] = "spec"
+    #: noun used in coerce() type errors (defaults to ``spec_noun``).
+    coerce_noun: ClassVar[Optional[str]] = None
+    #: closed set of valid names, or None for open registries.
+    known_names: ClassVar[Optional[Tuple[str, ...]]] = None
+
+    # Declared for type checkers; the concrete dataclass defines them.
+    name: str
+    kwargs: Tuple[Tuple[str, Any], ...]
+
+    # -- validation --------------------------------------------------------
+    def __post_init__(self) -> None:
+        noun = self.spec_noun
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(f"{noun} name must be a non-empty string")
+        if RESERVED & set(self.name):
+            raise ValueError(
+                f"{noun} name {self.name!r} contains reserved characters"
+            )
+        if self.known_names is not None and self.name not in self.known_names:
+            raise ValueError(
+                f"unknown {noun} {self.name!r}; "
+                f"known: {', '.join(self.known_names)}"
+            )
+        object.__setattr__(
+            self, "kwargs", self.validate_kwargs(self.kwargs)
+        )
+
+    @classmethod
+    def validate_kwargs(
+        cls, pairs: Tuple[Tuple[str, Any], ...]
+    ) -> Tuple[Tuple[str, Any], ...]:
+        """Check every pair and return them sorted by key."""
+        noun = cls.spec_noun
+        seen = set()
+        items = []
+        for pair in pairs:
+            key, value = pair
+            if not isinstance(key, str) or not key.isidentifier():
+                raise ValueError(
+                    f"{noun} kwarg name {key!r} is not an identifier"
+                )
+            if key in seen:
+                raise ValueError(f"duplicate {noun} kwarg {key!r}")
+            if isinstance(value, bool):
+                pass  # bool before int: bool is an int subclass
+            elif not isinstance(value, VALUE_TYPES):
+                raise ValueError(
+                    f"{noun} kwarg {key}={value!r} must be bool/int/float/str"
+                )
+            if isinstance(value, str) and (RESERVED & set(value)):
+                raise ValueError(
+                    f"{noun} kwarg {key}={value!r} contains reserved characters"
+                )
+            seen.add(key)
+            items.append((key, value))
+        return tuple(sorted(items))
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def make(cls, name: str, **kwargs: Any):
+        return cls(name, tuple(kwargs.items()))
+
+    @classmethod
+    def parse(cls, text: str):
+        """Parse the canonical string form ``name[:key=value]*``."""
+        noun = cls.spec_noun
+        if not isinstance(text, str):
+            raise ValueError(
+                f"{noun} spec must be a string, got {type(text).__name__}"
+            )
+        head, *parts = text.split(":")
+        kwargs: Dict[str, Any] = {}
+        for part in parts:
+            key, sep, raw = part.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"bad {noun} parameter {part!r} in {text!r} "
+                    "(want key=value)"
+                )
+            kwargs[key] = parse_value(raw)
+        return cls.make(head, **kwargs)
+
+    @classmethod
+    def coerce(cls, value):
+        """Accept a spec of this class, a bare name, or a canonical string."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls.parse(value)
+        noun = cls.coerce_noun or cls.spec_noun
+        raise TypeError(
+            f"{noun} must be a str or {cls.__name__}, "
+            f"got {type(value).__name__}"
+        )
+
+    # -- views -------------------------------------------------------------
+    def kwargs_dict(self) -> Dict[str, Any]:
+        return dict(self.kwargs)
+
+    def __str__(self) -> str:
+        if not self.kwargs:
+            return self.name
+        params = ":".join(
+            f"{key}={format_value(val)}" for key, val in self.kwargs
+        )
+        return f"{self.name}:{params}"
+
+    def key(self) -> str:
+        """Store/journal key: the canonical string.
+
+        A kwarg-free spec keys as the bare name, so specs and legacy
+        strings address the same store entries.
+        """
+        return str(self)
+
+    # -- exact JSON round-trip --------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "kwargs": to_jsonable(self.kwargs)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]):
+        return cls(payload["name"], from_jsonable(payload["kwargs"]))

@@ -15,11 +15,12 @@ from repro.engine.executor import (
     SweepStats,
     run_jobs,
 )
-from repro.engine.jobs import MixJob, RunJob
+from repro.engine.jobs import MixJob, RunJob, job_from_dict
 from repro.engine.journal import JournalEntry, RunJournal
 from repro.engine.keys import code_version, job_key
 from repro.engine.progress import ProgressReporter
 from repro.engine.store import ResultStore, coerce_store, default_store_path
+from repro.engine.sweepspec import SweepSpec
 
 __all__ = [
     "JobTimeoutError",
@@ -31,10 +32,12 @@ __all__ = [
     "RunJournal",
     "SweepError",
     "SweepOutcome",
+    "SweepSpec",
     "SweepStats",
     "code_version",
     "coerce_store",
     "default_store_path",
+    "job_from_dict",
     "job_key",
     "run_jobs",
 ]

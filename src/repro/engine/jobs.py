@@ -165,6 +165,41 @@ class RunJob:
 
         return RunResult.from_dict(data)
 
+    # -- wire format (distributed queue) ----------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe description a remote worker can rebuild the job from.
+
+        Specs travel as their canonical strings (the same spellings the
+        store keys on), so a rebuilt job has a byte-identical
+        :meth:`payload` and therefore the same :meth:`key`.
+        """
+        return {
+            "kind": self.kind,
+            "benchmark": _workload_key(self.benchmark),
+            "policy": _policy_key(self.policy),
+            "scale": scale_payload(self.scale),
+            "llc_lines": self.llc_lines,
+            "ways": self.ways,
+            "mode": self.mode,
+            "memory": _memory_key(self.memory),
+            "kernel": _kernel_key(self.kernel),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunJob":
+        from repro.experiments.runner import ExperimentScale
+
+        return cls(
+            benchmark=data["benchmark"],
+            policy=data["policy"],
+            scale=ExperimentScale(**data["scale"]),
+            llc_lines=data.get("llc_lines"),
+            ways=data.get("ways"),
+            mode=data.get("mode", "llc"),
+            memory=data.get("memory", "dram"),
+            kernel=data.get("kernel", "dict"),
+        )
+
 
 @dataclass(frozen=True)
 class MixJob:
@@ -229,3 +264,44 @@ class MixJob:
         from repro.experiments.multicore_exp import MixResult
 
         return MixResult.from_dict(data)
+
+    # -- wire format (distributed queue) ----------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe description a remote worker can rebuild the job from."""
+        return {
+            "kind": self.kind,
+            "mix": self.mix,
+            "policy": _policy_key(self.policy),
+            "per_core": scale_payload(self.per_core),
+            "num_cores": self.num_cores,
+            "memory": _memory_key(self.memory),
+            "kernel": _kernel_key(self.kernel),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MixJob":
+        from repro.experiments.runner import ExperimentScale
+
+        return cls(
+            mix=data["mix"],
+            policy=data["policy"],
+            per_core=ExperimentScale(**data["per_core"]),
+            num_cores=data.get("num_cores", 4),
+            memory=data.get("memory", "dram"),
+            kernel=data.get("kernel", "dict"),
+        )
+
+
+#: job kinds a queue worker can decode, keyed by their wire ``kind``.
+JOB_KINDS = {"run": RunJob, "mix": MixJob}
+
+
+def job_from_dict(data: Dict[str, object]) -> "RunJob | MixJob":
+    """Rebuild any queue-transported job from its :meth:`to_dict` form."""
+    kind = data.get("kind")
+    job_cls = JOB_KINDS.get(kind)
+    if job_cls is None:
+        raise ValueError(
+            f"unknown job kind {kind!r}; known: {', '.join(sorted(JOB_KINDS))}"
+        )
+    return job_cls.from_dict(data)

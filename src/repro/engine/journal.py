@@ -4,12 +4,24 @@ sweep can pick up where it left off.
 Record format (one JSON object per line)::
 
     {"key": "<64-hex job key>", "label": "mcf/rwp", "status": "ok",
-     "wall_s": 1.234567, "ts": 1754000000.0}
+     "wall_s": 1.234567, "ts": 1754000000.0, "worker": "host-1234"}
 
 ``status`` is ``ok`` (simulated this run), ``hit`` (served from the
-result store), or ``error`` (failed after retry).  Appends are flushed
-line-by-line; a torn final line from a crash is skipped on read, so a
-journal is always safe to resume from.
+result store), or ``error`` (failed after retry).  ``worker`` is
+optional: distributed sweeps record which worker ran each job; local
+runs omit the field entirely so their journals stay byte-identical to
+the pre-service format.  Appends are flushed line-by-line as a single
+``write`` call, so concurrent workers appending to one shared journal
+interleave whole lines.
+
+Recovery rules (``entries()``):
+
+* A *trailing* line without a terminating newline is a torn write from
+  a crash -- it is dropped, never raised on, even when the truncation
+  splits a multi-byte UTF-8 sequence (the file is read as bytes and
+  decoded per line for exactly this reason).
+* A corrupt line *mid-file* (bad JSON, missing fields, stray bytes) is
+  skipped; every parseable line around it is still returned.
 """
 
 from __future__ import annotations
@@ -18,7 +30,7 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Set
+from typing import List, Optional, Set
 
 #: statuses that mean "this job's result exists" (resume can skip it).
 COMPLETED_STATUSES = frozenset({"ok", "hit"})
@@ -33,6 +45,7 @@ class JournalEntry:
     status: str
     wall_seconds: float
     timestamp: float
+    worker: str = ""
 
 
 class RunJournal:
@@ -42,9 +55,18 @@ class RunJournal:
         self.path = Path(path).expanduser()
 
     def append(
-        self, key: str, label: str, status: str, wall_seconds: float
+        self,
+        key: str,
+        label: str,
+        status: str,
+        wall_seconds: float,
+        worker: Optional[str] = None,
     ) -> None:
-        """Record one finished job (flushed immediately)."""
+        """Record one finished job (flushed immediately).
+
+        ``worker`` names the process that ran the job (distributed
+        sweeps); omitted, the record matches the pre-service format.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
         record = {
             "key": key,
@@ -53,18 +75,33 @@ class RunJournal:
             "wall_s": round(wall_seconds, 6),
             "ts": time.time(),
         }
+        if worker is not None:
+            record["worker"] = worker
         with self.path.open("a") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
 
     def entries(self) -> List[JournalEntry]:
-        """Every parseable line (torn/corrupt lines are skipped)."""
-        if not self.path.is_file():
+        """Every parseable line; torn/corrupt lines are skipped.
+
+        The file is read as *bytes*: a crash mid-append can truncate
+        the final line anywhere, including inside a multi-byte UTF-8
+        character, and that torn tail must be dropped -- not raised as
+        a decode error the way a text-mode read would.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
             return []
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()  # the normal case: file ends with a newline
+        elif lines:
+            lines.pop()  # torn trailing write: drop the partial line
         parsed: List[JournalEntry] = []
-        for line in self.path.read_text().splitlines():
+        for line in lines:
             try:
-                record = json.loads(line)
+                record = json.loads(line.decode("utf-8"))
                 parsed.append(
                     JournalEntry(
                         key=record["key"],
@@ -72,9 +109,10 @@ class RunJournal:
                         status=record["status"],
                         wall_seconds=float(record.get("wall_s", 0.0)),
                         timestamp=float(record.get("ts", 0.0)),
+                        worker=str(record.get("worker", "")),
                     )
                 )
-            except (ValueError, KeyError, TypeError):
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError):
                 continue
         return parsed
 

@@ -24,8 +24,8 @@ from typing import Dict, Mapping
 import repro
 
 #: top-level package entries whose source does NOT affect simulation
-#: results: the engine itself (orchestration only) and the CLI.
-_NON_SEMANTIC = {"engine", "cli.py", "__main__.py", "__pycache__"}
+#: results: the engine and sweep service (orchestration only) and the CLI.
+_NON_SEMANTIC = {"engine", "service", "cli.py", "__main__.py", "__pycache__"}
 
 
 @lru_cache(maxsize=1)

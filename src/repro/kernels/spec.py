@@ -2,7 +2,8 @@
 
 Everywhere the simulator accepts a batch-kernel backend it takes a
 :class:`KernelSpec` -- or the spec's canonical string form
-``"name:key=value:key=value"`` -- mirroring
+``"name:key=value:key=value"`` -- sharing the
+:class:`~repro.common.spec.Spec` grammar with
 :class:`~repro.cache.policyspec.PolicySpec` and
 :class:`~repro.mem.spec.BackendSpec` exactly:
 
@@ -36,9 +37,9 @@ stored before kernels existed stays warm (the same convention
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple, Union
+from typing import Any, ClassVar, Tuple
 
-from repro.common.jsonutil import from_jsonable, to_jsonable
+from repro.common.spec import Spec
 
 #: the kernel every simulation uses unless told otherwise: the
 #: dict-driven reference batch drivers.
@@ -47,118 +48,16 @@ DEFAULT_KERNEL = "dict"
 #: every selectable kernel backend name.
 KERNEL_NAMES = ("dict", "native", "numba", "auto")
 
-#: kwarg value types a spec may carry (JSON-safe, constructor-friendly).
-_VALUE_TYPES = (bool, int, float, str)
-
-#: characters with structural meaning in the canonical string form.
-_RESERVED = set(":=,")
-
-
-def _parse_value(raw: str) -> Union[bool, int, float, str]:
-    """Parse one ``key=value`` right-hand side: bool, int, float, or str."""
-    lowered = raw.lower()
-    if lowered == "true":
-        return True
-    if lowered == "false":
-        return False
-    try:
-        return int(raw)
-    except ValueError:
-        pass
-    try:
-        return float(raw)
-    except ValueError:
-        pass
-    return raw
-
-
-def _format_value(value: Union[bool, int, float, str]) -> str:
-    if value is True:
-        return "true"
-    if value is False:
-        return "false"
-    return str(value)
-
 
 @dataclass(frozen=True)
-class KernelSpec:
+class KernelSpec(Spec):
     """One batch-kernel backend plus its overrides."""
 
     name: str
     kwargs: Tuple[Tuple[str, Any], ...] = ()
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.name, str) or not self.name:
-            raise ValueError("kernel name must be a non-empty string")
-        if _RESERVED & set(self.name):
-            raise ValueError(
-                f"kernel name {self.name!r} contains reserved characters"
-            )
-        if self.name not in KERNEL_NAMES:
-            raise ValueError(
-                f"unknown kernel {self.name!r}; known: {', '.join(KERNEL_NAMES)}"
-            )
-        seen = set()
-        items = []
-        for pair in self.kwargs:
-            key, value = pair
-            if not isinstance(key, str) or not key.isidentifier():
-                raise ValueError(
-                    f"kernel kwarg name {key!r} is not an identifier"
-                )
-            if key in seen:
-                raise ValueError(f"duplicate kernel kwarg {key!r}")
-            if isinstance(value, bool):
-                pass  # bool before int: bool is an int subclass
-            elif not isinstance(value, _VALUE_TYPES):
-                raise ValueError(
-                    f"kernel kwarg {key}={value!r} must be bool/int/float/str"
-                )
-            if isinstance(value, str) and (_RESERVED & set(value)):
-                raise ValueError(
-                    f"kernel kwarg {key}={value!r} contains reserved characters"
-                )
-            seen.add(key)
-            items.append((key, value))
-        object.__setattr__(self, "kwargs", tuple(sorted(items)))
-
-    # -- construction ------------------------------------------------------
-    @classmethod
-    def make(cls, name: str, **kwargs: Any) -> "KernelSpec":
-        return cls(name, tuple(kwargs.items()))
-
-    @classmethod
-    def parse(cls, text: str) -> "KernelSpec":
-        """Parse the canonical string form ``name[:key=value]*``."""
-        if not isinstance(text, str):
-            raise ValueError(
-                f"kernel spec must be a string, got {type(text).__name__}"
-            )
-        head, *parts = text.split(":")
-        kwargs: Dict[str, Any] = {}
-        for part in parts:
-            key, sep, raw = part.partition("=")
-            if not sep:
-                raise ValueError(
-                    f"bad kernel parameter {part!r} in {text!r} (want key=value)"
-                )
-            kwargs[key] = _parse_value(raw)
-        return cls.make(head, **kwargs)
-
-    @classmethod
-    def coerce(cls, value: Union["KernelSpec", str]) -> "KernelSpec":
-        """Accept a spec, a bare name, or a canonical spec string."""
-        if isinstance(value, KernelSpec):
-            return value
-        if isinstance(value, str):
-            return cls.parse(value)
-        raise TypeError(
-            f"kernel must be a str or KernelSpec, got {type(value).__name__}"
-        )
-
-    # -- views -------------------------------------------------------------
-    def kwargs_dict(self) -> Dict[str, Any]:
-        return dict(self.kwargs)
+    spec_noun: ClassVar[str] = "kernel"
+    known_names: ClassVar[Tuple[str, ...]] = KERNEL_NAMES
 
     @property
     def is_default(self) -> bool:
@@ -168,25 +67,3 @@ class KernelSpec:
         keys; anything else routes through :mod:`repro.kernels.runner`.
         """
         return self.name == DEFAULT_KERNEL and not self.kwargs
-
-    def __str__(self) -> str:
-        if not self.kwargs:
-            return self.name
-        params = ":".join(f"{key}={_format_value(val)}" for key, val in self.kwargs)
-        return f"{self.name}:{params}"
-
-    def key(self) -> str:
-        """Store/journal key: the canonical string.
-
-        A kwarg-free spec keys as the bare name, so specs and legacy
-        strings address the same store entries.
-        """
-        return str(self)
-
-    # -- exact JSON round-trip --------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        return {"name": self.name, "kwargs": to_jsonable(self.kwargs)}
-
-    @classmethod
-    def from_dict(cls, payload: Dict[str, Any]) -> "KernelSpec":
-        return cls(payload["name"], from_jsonable(payload["kwargs"]))

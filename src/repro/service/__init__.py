@@ -1,0 +1,55 @@
+"""Distributed sweep service: queue backends, workers, HTTP front-end.
+
+The service layer turns the content-addressed result store into shared
+infrastructure: sweeps submit jobs to a :class:`JobQueue` (in-process
+``local`` or shared-filesystem ``dir``), any number of :class:`Worker`
+processes on any host drain the queue, and ``repro serve`` exposes the
+store and sweep progress over HTTP.  Everything here is orchestration;
+the simulation semantics (job keys, store payloads, journal lines) are
+owned by :mod:`repro.engine` and are byte-identical however a job
+reaches its executor.
+"""
+
+from repro.service.queue import (
+    DirQueue,
+    JobQueue,
+    Lease,
+    LocalQueue,
+    QueueCounts,
+    SubmitReceipt,
+    default_worker_id,
+    queue_from_spec,
+)
+from repro.service.run import submit_sweep, wait_for_sweep
+from repro.service.server import SweepService, make_server, serve_forever
+from repro.service.spec import (
+    DEFAULT_LEASE_TTL,
+    DEFAULT_POLL,
+    DEFAULT_QUEUE,
+    QUEUE_NAMES,
+    QueueSpec,
+)
+from repro.service.worker import Worker, WorkerStats
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DEFAULT_POLL",
+    "DEFAULT_QUEUE",
+    "DirQueue",
+    "JobQueue",
+    "Lease",
+    "LocalQueue",
+    "QUEUE_NAMES",
+    "QueueCounts",
+    "QueueSpec",
+    "SubmitReceipt",
+    "SweepService",
+    "Worker",
+    "WorkerStats",
+    "default_worker_id",
+    "make_server",
+    "queue_from_spec",
+    "serve_forever",
+    "submit_sweep",
+    "wait_for_sweep",
+]

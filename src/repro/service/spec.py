@@ -1,0 +1,110 @@
+"""Typed job-queue specification: which queue backend, where, how.
+
+A :class:`QueueSpec` names a sweep-execution backend with the shared
+:class:`~repro.common.spec.Spec` grammar:
+
+``local``             the in-process engine path (``run_jobs`` over a
+                      ``ProcessPoolExecutor``) -- the default, and
+                      bit-identical to every sweep run before the
+                      service existed
+``dir:path=<root>``   a shared-filesystem queue rooted at ``<root>``
+                      (see :class:`~repro.service.queue.DirQueue`);
+                      workers on any host that mounts the root can
+                      claim jobs
+
+Because queue roots are paths, ``dir`` accepts a sugar form whose first
+parameter has no ``=``: ``dir:/srv/rwp/q`` parses as
+``dir:path=/srv/rwp/q`` (the canonical spelling).  Optional ``dir``
+parameters: ``ttl=<seconds>`` (lease time-to-live before another
+worker may requeue a claimed job, default 60) and ``poll=<seconds>``
+(idle worker poll interval, default 0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Tuple
+
+from repro.common.spec import Spec, parse_value
+
+#: every selectable queue backend name.
+QUEUE_NAMES = ("local", "dir")
+
+#: the backend sweeps use unless told otherwise.
+DEFAULT_QUEUE = "local"
+
+#: lease time-to-live (seconds) before a claimed job may be requeued.
+DEFAULT_LEASE_TTL = 60.0
+
+#: idle worker poll interval (seconds).
+DEFAULT_POLL = 0.5
+
+
+@dataclass(frozen=True)
+class QueueSpec(Spec):
+    """One job-queue backend plus its parameters."""
+
+    name: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    spec_noun: ClassVar[str] = "queue"
+    known_names: ClassVar[Tuple[str, ...]] = QUEUE_NAMES
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        allowed = {"dir": {"path", "ttl", "poll"}, "local": set()}[self.name]
+        for key, _ in self.kwargs:
+            if key not in allowed:
+                raise ValueError(
+                    f"queue backend {self.name!r} takes no parameter {key!r}"
+                    + (f" (allowed: {', '.join(sorted(allowed))})"
+                       if allowed else "")
+                )
+        if self.name == "dir" and "path" not in dict(self.kwargs):
+            raise ValueError(
+                "dir queue needs a root path: 'dir:/path/to/queue' or "
+                "'dir:path=/path/to/queue'"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "QueueSpec":
+        """Parse ``name[:key=value]*``, plus the ``dir:<path>`` sugar."""
+        if not isinstance(text, str):
+            raise ValueError(
+                f"queue spec must be a string, got {type(text).__name__}"
+            )
+        head, sep, rest = text.partition(":")
+        if head == "dir" and sep:
+            parts = rest.split(":") if rest else []
+            kwargs: Dict[str, Any] = {}
+            if parts and "=" not in parts[0]:
+                kwargs["path"] = parts.pop(0)
+            for part in parts:
+                key, eq, raw = part.partition("=")
+                if not eq:
+                    raise ValueError(
+                        f"bad queue parameter {part!r} in {text!r} "
+                        "(want key=value)"
+                    )
+                kwargs[key] = parse_value(raw) if key != "path" else raw
+            return cls.make("dir", **kwargs)
+        return super().parse(text)
+
+    @property
+    def is_local(self) -> bool:
+        return self.name == "local"
+
+    @property
+    def path(self) -> str:
+        """The queue root (dir backend only)."""
+        if self.name != "dir":
+            raise ValueError(f"{self} has no filesystem root")
+        return dict(self.kwargs)["path"]
+
+    @property
+    def lease_ttl(self) -> float:
+        return float(dict(self.kwargs).get("ttl", DEFAULT_LEASE_TTL))
+
+    @property
+    def poll_interval(self) -> float:
+        return float(dict(self.kwargs).get("poll", DEFAULT_POLL))

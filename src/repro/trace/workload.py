@@ -36,8 +36,11 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import ClassVar, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.common.jsonutil import from_jsonable, to_jsonable
+from repro.common.spec import RESERVED as _RESERVED
+from repro.common.spec import Spec
 from repro.trace.access import Trace
 from repro.trace.stress import StressSpec, stress_names
 
@@ -47,17 +50,22 @@ WORKLOAD_KINDS = ("model", "stress", "champsim", "memsample", "interchange")
 #: the kinds whose name is a path on disk.
 FILE_KINDS = ("champsim", "memsample", "interchange")
 
-#: characters with structural meaning in the canonical string form.
-_RESERVED = set(":=,")
-
 
 @dataclass(frozen=True)
-class WorkloadSpec:
-    """One workload: a kind, a name, and sorted parameter pairs."""
+class WorkloadSpec(Spec):
+    """One workload: a kind, a name, and sorted parameter pairs.
+
+    Shares the :class:`~repro.common.spec.Spec` base with the other
+    typed specs (coercion, hashing, store-key conventions) but keeps
+    its own dialect: a leading ``kind:`` and comma-separated parameters
+    whose values stay raw strings (``stress:chase,depth=4,ws=64k``).
+    """
 
     kind: str
     name: str
     kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    spec_noun: ClassVar[str] = "workload"
 
     def __post_init__(self) -> None:
         if self.kind not in WORKLOAD_KINDS:
@@ -135,15 +143,9 @@ class WorkloadSpec:
         return cls(head, name, tuple(kwargs))
 
     @classmethod
-    def coerce(cls, value: Union["WorkloadSpec", str]) -> "WorkloadSpec":
-        """Accept a spec, a bare benchmark name, or a canonical string."""
-        if isinstance(value, WorkloadSpec):
-            return value
-        if isinstance(value, str):
-            return cls.parse(value)
-        raise TypeError(
-            f"workload must be a str or WorkloadSpec, got {type(value).__name__}"
-        )
+    def make(cls, kind: str, name: str, **kwargs: object) -> "WorkloadSpec":
+        """Build a spec from a kind, a name, and keyword parameters."""
+        return cls(kind, name, tuple(kwargs.items()))
 
     @classmethod
     def from_stress(cls, spec: StressSpec) -> "WorkloadSpec":
@@ -206,6 +208,20 @@ class WorkloadSpec:
 
     def __str__(self) -> str:
         return self.store_key()
+
+    # -- exact JSON round-trip --------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "kwargs": to_jsonable(self.kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "WorkloadSpec":
+        return cls(
+            payload["kind"], payload["name"], from_jsonable(payload["kwargs"])
+        )
 
     def file_digest(self) -> str:
         """SHA-256 of the source file's content (file-backed kinds only)."""

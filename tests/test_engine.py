@@ -207,6 +207,47 @@ class TestJournal:
         assert journal.entries() == []
         assert journal.completed_keys() == set()
 
+    def test_corrupt_mid_file_line_is_skipped_not_fatal(self, tmp_path):
+        # A crash-truncated line that later appends merged into, or bit
+        # rot, mid-file: the surrounding intact lines must still parse.
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.append("k1", "a/lru", "ok", 0.5)
+        with journal.path.open("a") as handle:
+            handle.write('{"key": "k2", "status": }garbled{\n')
+        journal.append("k3", "a/rwp", "ok", 0.2)
+        entries = journal.entries()
+        assert [e.key for e in entries] == ["k1", "k3"]
+        assert journal.completed_keys() == {"k1", "k3"}
+
+    def test_torn_multibyte_utf8_tail_is_dropped(self, tmp_path):
+        # A crash can split a multi-byte UTF-8 sequence; the torn tail
+        # must read as a partial line, not a decode crash.
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.append("k1", "a/lru", "ok", 0.5)
+        with journal.path.open("ab") as handle:
+            payload = '{"key": "k2", "label": "émile'.encode("utf-8")
+            handle.write(payload[:-1])  # cut inside the é... literal
+        assert journal.completed_keys() == {"k1"}
+        # The next append merges into the torn physical line (and is
+        # sacrificed with it), but the one after that is intact.
+        journal.append("k3", "a/rwp", "hit", 0.0)
+        journal.append("k4", "a/dip", "ok", 0.1)
+        assert journal.completed_keys() == {"k1", "k4"}
+
+    def test_worker_field_round_trips_and_stays_optional(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.append("k1", "a/lru", "ok", 0.5)
+        journal.append("k2", "a/rwp", "ok", 0.5, worker="host-42")
+        entries = journal.entries()
+        assert entries[0].worker == ""
+        assert entries[1].worker == "host-42"
+        # Lines without a worker carry no "worker" field at all, so
+        # pre-service journals and new ones are byte-compatible.
+        first_line = json.loads(
+            journal.path.read_text().splitlines()[0]
+        )
+        assert "worker" not in first_line
+
     def test_append_after_torn_line_still_recovers(self, tmp_path):
         journal = RunJournal(tmp_path / "j.jsonl")
         with journal.path.parent.joinpath("j.jsonl").open("w") as handle:
